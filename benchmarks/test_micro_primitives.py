@@ -1,0 +1,80 @@
+"""E7: micro-costs of the Table 2 primitives under both protocols.
+
+These reproduce (in simulated time) the per-primitive costs the Hyperion
+memory subsystem exposes: the cost of a local get/put, of a remote
+loadIntoCache, of invalidateCache and of updateMainMemory, under ``java_ic``
+and ``java_pf``.  They also benchmark the *simulator's own* throughput
+(accesses simulated per wall-clock second), which is what pytest-benchmark
+actually times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.core.conftest import MemoryRig
+
+
+def _primitive_costs(protocol: str) -> dict:
+    rig = MemoryRig(protocol=protocol)
+    remote_array = rig.heap.new_array("double", 512, home_node=1, page_aligned=True)
+    local_array = rig.heap.new_array("double", 512, home_node=0, page_aligned=True)
+    costs = {}
+
+    ctx = rig.ctx(0)
+    rig.memory.get(ctx, 0, local_array, 0)
+    costs["get_local"] = ctx.total_seconds
+
+    ctx = rig.ctx(1)
+    rig.memory.load_into_cache(ctx, 1, remote_array)
+    costs["loadIntoCache_remote"] = ctx.total_seconds
+
+    ctx = rig.ctx(2)
+    rig.memory.get(ctx, 2, remote_array, 0)
+    before = ctx.total_seconds
+    rig.memory.get(ctx, 2, remote_array, 1)
+    costs["get_remote_first"] = before
+    costs["get_remote_cached"] = ctx.total_seconds - before
+
+    ctx = rig.ctx(2)
+    ctx.reset()
+    rig.memory.put(ctx, 2, remote_array, 3, 1.0)
+    costs["put_remote_cached"] = ctx.total_seconds
+    rig.memory.update_main_memory(ctx, 2)
+    costs["updateMainMemory"] = ctx.total_seconds - costs["put_remote_cached"]
+
+    ctx.reset()
+    rig.memory.invalidate_cache(ctx, 2)
+    costs["invalidateCache"] = ctx.total_seconds
+    return costs
+
+
+@pytest.mark.benchmark(group="micro")
+@pytest.mark.parametrize("protocol", ["java_ic", "java_pf"])
+def test_table2_primitive_costs(benchmark, protocol, results_dir):
+    costs = benchmark.pedantic(_primitive_costs, args=(protocol,), rounds=1, iterations=1)
+    benchmark.extra_info["simulated_costs_seconds"] = costs
+    print(f"[{protocol}] " + ", ".join(f"{k}={v * 1e6:.2f}us" for k, v in costs.items()))
+    if protocol == "java_ic":
+        # every access pays the check, even cached/local ones
+        assert costs["get_local"] > 0
+        assert costs["invalidateCache"] < 1e-5  # no mprotect storm
+    else:
+        # local access pays (nearly) nothing; remote first access pays the fault
+        assert costs["get_remote_first"] > costs["get_remote_cached"]
+        assert costs["get_remote_first"] >= 22e-6
+
+
+def _simulate_many_accesses(protocol: str, count: int = 20_000) -> float:
+    rig = MemoryRig(protocol=protocol)
+    array = rig.heap.new_array("double", 1024, home_node=1, page_aligned=True)
+    ctx = rig.ctx(0)
+    rig.memory.account_accesses(ctx, 0, array, count)
+    return ctx.total_seconds
+
+
+@pytest.mark.benchmark(group="micro")
+@pytest.mark.parametrize("protocol", ["java_ic", "java_pf"])
+def test_simulator_access_throughput(benchmark, protocol):
+    simulated = benchmark(_simulate_many_accesses, protocol)
+    assert simulated >= 0.0

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Writing your own threaded program against the Hyperion runtime API.
+
+The benchmarks shipped with the library are ordinary users of the public
+API — nothing stops you from writing new "Java" programs.  This example
+implements a small parallel histogram computation from scratch: worker
+threads scan blocks of a shared array and merge their partial histograms
+into a shared result under a monitor, then the main thread prints it.
+
+Run with::
+
+    python examples/custom_application.py
+"""
+
+import numpy as np
+
+from repro import HyperionRuntime, sci_cluster
+
+BINS = 8
+
+
+def worker(ctx, data, histogram, lock, lo, hi):
+    """One worker thread: histogram of data[lo:hi], merged under the monitor."""
+    values = ctx.aget_range(data, lo, hi)
+    local_counts, _ = np.histogram(values, bins=BINS, range=(0.0, 1.0))
+    ctx.compute(int_ops=6 * (hi - lo), mem_seconds=10e-9 * (hi - lo))
+
+    yield from ctx.monitor_enter(lock)
+    for bin_index in range(BINS):
+        current = ctx.aget(histogram, bin_index)
+        ctx.aput(histogram, bin_index, int(current) + int(local_counts[bin_index]))
+    yield from ctx.monitor_exit(lock)
+    return int(local_counts.sum())
+
+
+def main_thread(ctx):
+    """The Java 'main': allocate shared data, spawn workers, join, report."""
+    runtime = ctx.runtime
+    n = 20_000
+    rng = np.random.default_rng(0)
+
+    data = ctx.new_array("double", n, home_node=0, page_aligned=True)
+    ctx.aput_range(data, 0, n, rng.random(n))
+    histogram = ctx.new_array("long", BINS, home_node=0)
+    lock_class = runtime.java_class("HistogramLock", ["owner"])
+    lock = ctx.new_object(lock_class, home_node=0)
+
+    workers = runtime.num_nodes
+    threads = []
+    chunk = n // workers
+    for index in range(workers):
+        lo, hi = index * chunk, (index + 1) * chunk if index < workers - 1 else n
+        threads.append(ctx.spawn(worker, data, histogram, lock, lo, hi))
+
+    total = 0
+    for thread in threads:
+        total += yield from ctx.join(thread)
+
+    counts = [int(ctx.aget(histogram, b)) for b in range(BINS)]
+    ctx.println(f"histogram={counts} total={total}")
+    return counts
+
+
+def main() -> None:
+    print("Custom application: parallel histogram on the SCI cluster preset\n")
+    for protocol in ("java_ic", "java_pf"):
+        runtime = HyperionRuntime(sci_cluster(), num_nodes=4, protocol=protocol)
+        runtime.spawn_main(main_thread)
+        report = runtime.run()
+        counts = report.result
+        assert sum(counts) == 20_000
+        print(f"[{protocol}] time={report.execution_seconds * 1e3:7.3f} ms  "
+              f"checks={report.stats.dsm.inline_checks:>6d} "
+              f"faults={report.stats.dsm.page_faults:>3d}")
+        print(f"  console: {report.console[0]}")
+    print("\nBoth protocols give the same histogram; they only differ in how")
+    print("remote objects are detected and therefore in simulated cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment this reproduction targets has no network access and no
+``wheel`` package, which breaks PEP 660 editable installs
+(``pip install -e .``).  This shim lets ``python setup.py develop`` (or a
+plain ``pip install .`` once ``wheel`` is available) install the package; all
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

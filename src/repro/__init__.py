@@ -1,0 +1,55 @@
+"""repro: reproduction of "Remote Object Detection in Cluster-Based Java".
+
+The package simulates the Hyperion cluster-JVM system (Antoniu & Hatcher,
+IPDPS 2001 workshops) and reproduces its evaluation: the comparison of the
+``java_ic`` (in-line check) and ``java_pf`` (page fault) Java-consistency
+protocols on five benchmarks across two cluster platforms.
+
+Quick start::
+
+    from repro import HyperionRuntime, myrinet_cluster
+    from repro.apps import PiApplication, WorkloadPreset
+
+    runtime = HyperionRuntime(myrinet_cluster(), num_nodes=4, protocol="java_pf")
+    app = PiApplication()
+    app.launch(runtime, WorkloadPreset.testing().pi)
+    report = runtime.run()
+    print(report)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured results.
+"""
+
+from repro._version import __version__
+from repro.cluster import (
+    ClusterSpec,
+    cluster_by_name,
+    list_clusters,
+    myrinet_cluster,
+    sci_cluster,
+)
+from repro.core import available_protocols
+from repro.hyperion import (
+    ExecutionReport,
+    HyperionRuntime,
+    JavaArray,
+    JavaClass,
+    JavaObject,
+    RuntimeConfig,
+)
+
+__all__ = [
+    "__version__",
+    "HyperionRuntime",
+    "RuntimeConfig",
+    "ExecutionReport",
+    "JavaClass",
+    "JavaObject",
+    "JavaArray",
+    "ClusterSpec",
+    "myrinet_cluster",
+    "sci_cluster",
+    "cluster_by_name",
+    "list_clusters",
+    "available_protocols",
+]

@@ -1,0 +1,53 @@
+"""The five benchmark applications of the paper (Section 4.1).
+
+Each application is a threaded "Java" program written against the Hyperion
+runtime API in its post-translation form (every object access goes through
+the ``get``/``put`` primitives of the memory subsystem):
+
+* :class:`~repro.apps.pi.PiApplication` — Riemann-sum estimate of pi,
+  embarrassingly parallel;
+* :class:`~repro.apps.jacobi.JacobiApplication` — 2-D heat diffusion with a
+  row-block decomposition and neighbour boundary exchange;
+* :class:`~repro.apps.barnes.BarnesApplication` — Barnes–Hut gravitational
+  N-body simulation with irregular communication and dynamic body
+  assignment (SPLASH-2 derivative);
+* :class:`~repro.apps.tsp.TspApplication` — branch-and-bound travelling
+  salesperson with a central work queue and a shared best bound;
+* :class:`~repro.apps.asp.AspApplication` — all-pairs shortest paths
+  (Floyd's algorithm) with per-iteration row broadcast.
+
+Workload sizes are configured through :class:`~repro.apps.workloads.WorkloadPreset`
+(``paper()``, ``bench()`` and ``testing()`` scales).
+"""
+
+from repro.apps.asp import AspApplication
+from repro.apps.barnes import BarnesApplication
+from repro.apps.base import Application, available_apps, create_app
+from repro.apps.jacobi import JacobiApplication
+from repro.apps.pi import PiApplication
+from repro.apps.tsp import TspApplication
+from repro.apps.workloads import (
+    AspWorkload,
+    BarnesWorkload,
+    JacobiWorkload,
+    PiWorkload,
+    TspWorkload,
+    WorkloadPreset,
+)
+
+__all__ = [
+    "Application",
+    "available_apps",
+    "create_app",
+    "PiApplication",
+    "JacobiApplication",
+    "BarnesApplication",
+    "TspApplication",
+    "AspApplication",
+    "WorkloadPreset",
+    "PiWorkload",
+    "JacobiWorkload",
+    "BarnesWorkload",
+    "TspWorkload",
+    "AspWorkload",
+]

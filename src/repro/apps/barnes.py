@@ -1,0 +1,471 @@
+"""Barnes-Hut gravitational N-body simulation (paper Section 4.1).
+
+Adapted from the structure of the SPLASH-2 Barnes code: every time step an
+octree is built over the current body positions, each body's acceleration is
+computed by traversing the tree with the opening-angle criterion, and the
+bodies are advanced with a simple integrator.  The communication pattern is
+irregular — bodies move, body-body interactions change — and the program
+re-assigns bodies to threads every step based on the work they caused in the
+previous step (a simplified costzones policy), so threads frequently read and
+write objects homed on other nodes.  This is the benchmark whose growing
+communication erodes ``java_pf``'s advantage at higher node counts in the
+paper (the improvement falls from about 46% on one node to 28% on twelve).
+
+All shared data (body attribute arrays and the flattened tree) is allocated
+by the main thread and therefore homed on node 0, as a straightforward
+Hyperion port of the SPLASH-2 code would do; remote nodes replicate the pages
+they touch and flush their modifications at each barrier.
+
+Structure of one time step (barriers between phases):
+
+1. the master thread gathers positions, builds the octree, publishes it in
+   shared arrays and publishes the new body-to-thread assignment;
+2. every thread computes accelerations for its assigned bodies by traversing
+   the shared tree, and records per-body work counts;
+3. every thread integrates the block of bodies it owns using the
+   accelerations written in phase 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.base import Application, register_app
+from repro.apps.workloads import BarnesWorkload
+
+#: gravitational constant of the toy system
+G = 1.0
+#: Plummer-style softening to avoid singular forces
+SOFTENING = 0.05
+
+#: floating-point operations per body/cell interaction
+FLOPS_PER_INTERACTION = 12.0
+#: integer operations per body/cell interaction (tree walking, tests)
+INT_OPS_PER_INTERACTION = 10.0
+#: clock-independent memory time per interaction
+MEM_SECONDS_PER_INTERACTION = 20e-9
+#: object accesses per interaction (cell mass, centre of mass, child link...)
+ACCESSES_PER_INTERACTION = 6
+
+#: maximum octree depth; deep enough that random positions never collide
+MAX_DEPTH = 48
+
+
+def initial_bodies(workload: BarnesWorkload) -> Dict[str, np.ndarray]:
+    """Deterministic initial conditions: uniform cube, small velocities."""
+    rng = np.random.default_rng(workload.seed)
+    n = workload.bodies
+    return {
+        "mass": np.full(n, 1.0 / n),
+        "pos": rng.random((n, 3)),
+        "vel": (rng.random((n, 3)) - 0.5) * 0.1,
+    }
+
+
+# ---------------------------------------------------------------------------
+# octree construction and traversal (plain Python/NumPy)
+# ---------------------------------------------------------------------------
+@dataclass
+class _OctreeNode:
+    """One cell of the octree during construction."""
+
+    center: np.ndarray
+    half: float
+    depth: int
+    bodies: List[int] = field(default_factory=list)
+    children: Optional[List[Optional["_OctreeNode"]]] = None
+    mass: float = 0.0
+    com: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+
+class FlatTree:
+    """The octree flattened into arrays (the representation shared via DSM)."""
+
+    __slots__ = ("count", "mass", "com", "half", "children", "leaf_body")
+
+    def __init__(self, count: int):
+        self.count = count
+        self.mass = np.zeros(count)
+        self.com = np.zeros((count, 3))
+        self.half = np.zeros(count)
+        #: child cell index per octant, -1 when absent
+        self.children = np.full((count, 8), -1, dtype=np.int64)
+        #: index of the single body held by a leaf cell, -1 for internal/empty
+        self.leaf_body = np.full(count, -1, dtype=np.int64)
+
+
+def build_octree(positions: np.ndarray, masses: np.ndarray) -> FlatTree:
+    """Build the Barnes-Hut octree and flatten it (deterministic)."""
+    n = len(positions)
+    lo = positions.min(axis=0)
+    hi = positions.max(axis=0)
+    center = (lo + hi) / 2.0
+    half = float(max((hi - lo).max() / 2.0, 1e-9)) * 1.0001
+    root = _OctreeNode(center=center, half=half, depth=0, bodies=list(range(n)))
+
+    def subdivide(node: _OctreeNode) -> None:
+        if len(node.bodies) <= 1 or node.depth >= MAX_DEPTH:
+            return
+        node.children = [None] * 8
+        for body in node.bodies:
+            offset = positions[body] >= node.center
+            octant = int(offset[0]) * 4 + int(offset[1]) * 2 + int(offset[2])
+            child = node.children[octant]
+            if child is None:
+                sign = np.where(offset, 0.5, -0.5)
+                child = _OctreeNode(
+                    center=node.center + sign * node.half,
+                    half=node.half / 2.0,
+                    depth=node.depth + 1,
+                )
+                node.children[octant] = child
+            child.bodies.append(body)
+        node.bodies = []
+        for child in node.children:
+            if child is not None:
+                subdivide(child)
+
+    subdivide(root)
+
+    order: List[_OctreeNode] = []
+
+    def visit(node: _OctreeNode) -> None:
+        order.append(node)
+        if node.children:
+            for child in node.children:
+                if child is not None:
+                    visit(child)
+
+    visit(root)
+
+    def summarize(node: _OctreeNode) -> Tuple[float, np.ndarray]:
+        if node.children:
+            total, weighted = 0.0, np.zeros(3)
+            for child in node.children:
+                if child is None:
+                    continue
+                m, c = summarize(child)
+                total += m
+                weighted += m * c
+            node.mass = total
+            node.com = weighted / total if total > 0 else node.center.copy()
+        else:
+            node.mass = float(masses[node.bodies].sum()) if node.bodies else 0.0
+            node.com = (
+                (masses[node.bodies, None] * positions[node.bodies]).sum(axis=0)
+                / node.mass
+                if node.mass > 0
+                else node.center.copy()
+            )
+        return node.mass, node.com
+
+    summarize(root)
+
+    flat = FlatTree(len(order))
+    index_of = {id(node): i for i, node in enumerate(order)}
+    for i, node in enumerate(order):
+        flat.mass[i] = node.mass
+        flat.com[i] = node.com
+        flat.half[i] = node.half
+        if node.children:
+            for octant, child in enumerate(node.children):
+                if child is not None:
+                    flat.children[i, octant] = index_of[id(child)]
+        elif node.bodies:
+            flat.leaf_body[i] = node.bodies[0]
+    return flat
+
+
+def compute_acceleration(
+    flat: FlatTree,
+    positions: np.ndarray,
+    masses: np.ndarray,
+    body: int,
+    theta: float,
+) -> Tuple[np.ndarray, int]:
+    """Acceleration on *body* from a tree traversal; returns (acc, interactions)."""
+    acc = np.zeros(3)
+    pos = positions[body]
+    interactions = 0
+    theta_sq = theta * theta
+    stack = [0]
+    while stack:
+        cell = stack.pop()
+        if flat.mass[cell] <= 0.0:
+            continue
+        has_children = flat.children[cell, 0] >= 0 or (flat.children[cell] >= 0).any()
+        if not has_children:
+            other = int(flat.leaf_body[cell])
+            if other < 0 or other == body:
+                continue
+            delta = positions[other] - pos
+            dist_sq = float(delta @ delta) + SOFTENING**2
+            acc += G * masses[other] * delta / (dist_sq * np.sqrt(dist_sq))
+            interactions += 1
+            continue
+        delta = flat.com[cell] - pos
+        dist_sq = float(delta @ delta) + SOFTENING**2
+        size = 2.0 * flat.half[cell]
+        if size * size < theta_sq * dist_sq:
+            acc += G * flat.mass[cell] * delta / (dist_sq * np.sqrt(dist_sq))
+            interactions += 1
+        else:
+            for child in flat.children[cell]:
+                if child >= 0:
+                    stack.append(int(child))
+    return acc, interactions
+
+
+def reference_simulation(workload: BarnesWorkload) -> Dict[str, np.ndarray]:
+    """Run the same simulation without the DSM (for verification)."""
+    init = initial_bodies(workload)
+    positions = init["pos"].copy()
+    velocities = init["vel"].copy()
+    masses = init["mass"]
+    n = workload.bodies
+    for _ in range(workload.steps):
+        flat = build_octree(positions, masses)
+        acc = np.zeros((n, 3))
+        for body in range(n):
+            acc[body], _ = compute_acceleration(flat, positions, masses, body, workload.theta)
+        velocities = velocities + workload.dt * acc
+        positions = positions + workload.dt * velocities
+    return {"positions": positions, "velocities": velocities}
+
+
+# ---------------------------------------------------------------------------
+# the Hyperion application
+# ---------------------------------------------------------------------------
+@register_app
+class BarnesApplication(Application):
+    """Barnes-Hut over the DSM with dynamic body assignment."""
+
+    name = "barnes"
+
+    # ------------------------------------------------------------------
+    def _publish_tree(self, ctx, shared, flat: FlatTree) -> None:
+        """Master: write the flattened tree into the shared arrays."""
+        count = flat.count
+        ctx.put(shared["meta"], "tree_cells", count)
+        ctx.aput_range(shared["tree_mass"], 0, count, flat.mass)
+        ctx.aput_range(shared["tree_comx"], 0, count, flat.com[:, 0])
+        ctx.aput_range(shared["tree_comy"], 0, count, flat.com[:, 1])
+        ctx.aput_range(shared["tree_comz"], 0, count, flat.com[:, 2])
+        ctx.aput_range(shared["tree_half"], 0, count, flat.half)
+        ctx.aput_range(shared["tree_leaf"], 0, count, flat.leaf_body)
+        children_flat = flat.children.reshape(-1)
+        ctx.aput_range(shared["tree_children"], 0, len(children_flat), children_flat)
+
+    def _read_tree(self, ctx, shared) -> FlatTree:
+        """Worker: read the flattened tree back through the DSM."""
+        cells = int(ctx.get(shared["meta"], "tree_cells"))
+        flat = FlatTree(cells)
+        flat.mass = ctx.aget_range(shared["tree_mass"], 0, cells)
+        flat.com = np.stack(
+            [
+                ctx.aget_range(shared["tree_comx"], 0, cells),
+                ctx.aget_range(shared["tree_comy"], 0, cells),
+                ctx.aget_range(shared["tree_comz"], 0, cells),
+            ],
+            axis=1,
+        )
+        flat.half = ctx.aget_range(shared["tree_half"], 0, cells)
+        flat.leaf_body = ctx.aget_range(shared["tree_leaf"], 0, cells)
+        flat.children = ctx.aget_range(shared["tree_children"], 0, cells * 8).reshape(
+            cells, 8
+        )
+        return flat
+
+    def _read_positions(self, ctx, shared, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Gather body positions and masses through the DSM."""
+        px = ctx.aget_range(shared["px"], 0, n)
+        py = ctx.aget_range(shared["py"], 0, n)
+        pz = ctx.aget_range(shared["pz"], 0, n)
+        masses = ctx.aget_range(shared["mass"], 0, n)
+        return np.stack([px, py, pz], axis=1), masses
+
+    # ------------------------------------------------------------------
+    def worker(
+        self,
+        ctx,
+        index: int,
+        count: int,
+        workload: BarnesWorkload,
+        shared,
+        barrier,
+    ) -> Generator:
+        """One computation thread."""
+        n = workload.bodies
+        owned = self.block_partition(n, count, index)
+        is_master = index == 0
+        scale = workload.work_multiplier
+
+        for _step in range(workload.steps):
+            # -- phase 1: the master builds and publishes the tree ------------
+            if is_master:
+                positions, masses = self._read_positions(ctx, shared, n)
+                flat = build_octree(positions, masses)
+                self._publish_tree(ctx, shared, flat)
+                # dynamic assignment: balance the per-body work of the
+                # previous step across threads (equal blocks on step 0)
+                work = ctx.aget_range(shared["work"], 0, n).astype(np.float64)
+                if work.sum() <= 0:
+                    work = np.ones(n)
+                cumulative = np.cumsum(work)
+                boundaries = np.searchsorted(
+                    cumulative, np.linspace(0, cumulative[-1], count + 1)[1:-1]
+                )
+                assignment = np.zeros(n, dtype=np.int32)
+                start = 0
+                for t, end in enumerate(list(boundaries) + [n]):
+                    assignment[start:end] = t
+                    start = end
+                ctx.aput_range(shared["assign"], 0, n, assignment)
+                ctx.compute(
+                    flops=30.0 * n * scale,
+                    int_ops=40.0 * n * scale,
+                    mem_seconds=40e-9 * n * scale,
+                )
+            yield from ctx.barrier(barrier)
+
+            # -- phase 2: force computation over assigned bodies --------------
+            flat = self._read_tree(ctx, shared)
+            positions, masses = self._read_positions(ctx, shared, n)
+            assignment = ctx.aget_range(shared["assign"], 0, n)
+            my_bodies = np.flatnonzero(assignment == index)
+            total_interactions = 0
+            for body in my_bodies:
+                acc, interactions = compute_acceleration(
+                    flat, positions, masses, int(body), workload.theta
+                )
+                total_interactions += interactions
+                ctx.aput(shared["ax"], int(body), acc[0])
+                ctx.aput(shared["ay"], int(body), acc[1])
+                ctx.aput(shared["az"], int(body), acc[2])
+                ctx.aput(shared["work"], int(body), float(interactions))
+            if total_interactions:
+                ctx.account_accesses(
+                    shared["tree_mass"],
+                    int(ACCESSES_PER_INTERACTION * total_interactions * scale),
+                )
+                ctx.compute(
+                    flops=FLOPS_PER_INTERACTION * total_interactions * scale,
+                    int_ops=INT_OPS_PER_INTERACTION * total_interactions * scale,
+                    mem_seconds=MEM_SECONDS_PER_INTERACTION * total_interactions * scale,
+                )
+            yield from ctx.barrier(barrier)
+
+            # -- phase 3: integrate the bodies this thread owns ----------------
+            if len(owned):
+                lo, hi = owned.start, owned.stop
+                ax = ctx.aget_range(shared["ax"], lo, hi)
+                ay = ctx.aget_range(shared["ay"], lo, hi)
+                az = ctx.aget_range(shared["az"], lo, hi)
+                vx = ctx.aget_range(shared["vx"], lo, hi) + workload.dt * ax
+                vy = ctx.aget_range(shared["vy"], lo, hi) + workload.dt * ay
+                vz = ctx.aget_range(shared["vz"], lo, hi) + workload.dt * az
+                ctx.aput_range(shared["vx"], lo, hi, vx)
+                ctx.aput_range(shared["vy"], lo, hi, vy)
+                ctx.aput_range(shared["vz"], lo, hi, vz)
+                px = ctx.aget_range(shared["px"], lo, hi) + workload.dt * vx
+                py = ctx.aget_range(shared["py"], lo, hi) + workload.dt * vy
+                pz = ctx.aget_range(shared["pz"], lo, hi) + workload.dt * vz
+                ctx.aput_range(shared["px"], lo, hi, px)
+                ctx.aput_range(shared["py"], lo, hi, py)
+                ctx.aput_range(shared["pz"], lo, hi, pz)
+                ctx.compute(
+                    flops=18.0 * len(owned) * scale,
+                    mem_seconds=30e-9 * len(owned) * scale,
+                )
+            yield from ctx.barrier(barrier)
+        return None
+
+    # ------------------------------------------------------------------
+    def main(self, ctx, workload: BarnesWorkload) -> Generator:
+        """Allocate the body and tree arrays, run the simulation."""
+        runtime = ctx.runtime
+        n = workload.bodies
+        count = self.worker_count(ctx)
+        init = initial_bodies(workload)
+
+        def shared_array(element_type: str = "double", length: int = n):
+            return ctx.new_array(element_type, length, home_node=0, page_aligned=True)
+
+        max_cells = 3 * n + 16
+        shared = {
+            "mass": shared_array(),
+            "px": shared_array(),
+            "py": shared_array(),
+            "pz": shared_array(),
+            "vx": shared_array(),
+            "vy": shared_array(),
+            "vz": shared_array(),
+            "ax": shared_array(),
+            "ay": shared_array(),
+            "az": shared_array(),
+            "work": shared_array(),
+            "assign": shared_array("int"),
+            "tree_mass": shared_array("double", max_cells),
+            "tree_comx": shared_array("double", max_cells),
+            "tree_comy": shared_array("double", max_cells),
+            "tree_comz": shared_array("double", max_cells),
+            "tree_half": shared_array("double", max_cells),
+            "tree_leaf": shared_array("long", max_cells),
+            "tree_children": shared_array("long", max_cells * 8),
+        }
+        meta_class = runtime.java_class("BarnesMeta", ["tree_cells"])
+        shared["meta"] = ctx.new_object(meta_class, home_node=0)
+        ctx.put(shared["meta"], "tree_cells", 0)
+
+        ctx.aput_range(shared["mass"], 0, n, init["mass"])
+        ctx.aput_range(shared["px"], 0, n, init["pos"][:, 0])
+        ctx.aput_range(shared["py"], 0, n, init["pos"][:, 1])
+        ctx.aput_range(shared["pz"], 0, n, init["pos"][:, 2])
+        ctx.aput_range(shared["vx"], 0, n, init["vel"][:, 0])
+        ctx.aput_range(shared["vy"], 0, n, init["vel"][:, 1])
+        ctx.aput_range(shared["vz"], 0, n, init["vel"][:, 2])
+
+        barrier = runtime.create_barrier(count, name="barnes-barrier")
+        threads = self.spawn_workers(ctx, self.worker, count, workload, shared, barrier)
+        yield from self.join_all(ctx, threads)
+
+        positions = np.stack(
+            [
+                ctx.aget_range(shared["px"], 0, n),
+                ctx.aget_range(shared["py"], 0, n),
+                ctx.aget_range(shared["pz"], 0, n),
+            ],
+            axis=1,
+        )
+        velocities = np.stack(
+            [
+                ctx.aget_range(shared["vx"], 0, n),
+                ctx.aget_range(shared["vy"], 0, n),
+                ctx.aget_range(shared["vz"], 0, n),
+            ],
+            axis=1,
+        )
+        masses = ctx.aget_range(shared["mass"], 0, n)
+        com = (masses[:, None] * positions).sum(axis=0) / masses.sum()
+        return {
+            "positions": positions,
+            "velocities": velocities,
+            "center_of_mass": com,
+            "checksum": float(np.abs(positions).sum()),
+        }
+
+    # ------------------------------------------------------------------
+    def verify(self, result, workload: BarnesWorkload) -> bool:
+        """Compare against the same algorithm run without the DSM."""
+        if not isinstance(result, dict) or "positions" not in result:
+            return False
+        if not np.all(np.isfinite(result["positions"])):
+            return False
+        reference = reference_simulation(workload)
+        return bool(
+            np.allclose(result["positions"], reference["positions"], atol=1e-9)
+            and np.allclose(result["velocities"], reference["velocities"], atol=1e-9)
+        )

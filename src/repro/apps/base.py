@@ -1,0 +1,110 @@
+"""Common scaffolding for the benchmark applications.
+
+Every benchmark follows the structure the paper describes: the program
+creates one computation thread for each processor in the cluster (or
+``threads_per_node`` of them, for the A3 ablation), the threads coordinate
+through shared objects and monitors/barriers, and the main thread joins them
+and assembles the result.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Type
+
+from repro.hyperion.runtime import ExecutionReport, HyperionRuntime
+from repro.hyperion.threads import JavaThread
+
+
+class Application(ABC):
+    """A threaded Java benchmark program."""
+
+    #: short name used by the harness and the CLI ("pi", "jacobi", ...)
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    def launch(self, runtime: HyperionRuntime, workload) -> None:
+        """Spawn the application's main thread on *runtime*.
+
+        The caller subsequently invokes ``runtime.run()``; the report's
+        ``result`` is whatever :meth:`main` returned.
+        """
+        runtime.spawn_main(self.main, workload)
+
+    def run(self, runtime: HyperionRuntime, workload) -> ExecutionReport:
+        """Convenience: launch, run to completion and return the report."""
+        self.launch(runtime, workload)
+        return runtime.run()
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def main(self, ctx, workload) -> Generator:
+        """The Java ``main`` thread body (a generator function)."""
+
+    def verify(self, result: Any, workload) -> bool:
+        """Check that *result* is numerically correct for *workload*."""
+        return result is not None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def worker_count(ctx) -> int:
+        """Number of computation threads to create (paper: one per node)."""
+        runtime = ctx.runtime
+        return runtime.num_nodes * runtime.config.threads_per_node
+
+    @staticmethod
+    def spawn_workers(
+        ctx, body: Callable, count: int, *args: Any, name_prefix: str = "worker"
+    ) -> List[JavaThread]:
+        """Spawn *count* worker threads through the load balancer."""
+        return [
+            ctx.spawn(body, index, count, *args, name=f"{name_prefix}-{index}", index=index)
+            for index in range(count)
+        ]
+
+    @staticmethod
+    def join_all(ctx, threads: Sequence[JavaThread]) -> Generator:
+        """Join every thread in *threads*; returns their results in order."""
+        results = []
+        for thread in threads:
+            result = yield from ctx.join(thread)
+            results.append(result)
+        return results
+
+    @staticmethod
+    def block_partition(total: int, parts: int, index: int) -> range:
+        """Contiguous block decomposition of ``range(total)`` into *parts*."""
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        base, extra = divmod(total, parts)
+        lo = index * base + min(index, extra)
+        hi = lo + base + (1 if index < extra else 0)
+        return range(lo, hi)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+_APPS: Dict[str, Type[Application]] = {}
+
+
+def register_app(cls: Type[Application]) -> Type[Application]:
+    """Class decorator registering an application under its ``name``."""
+    if cls.name in _APPS:
+        raise ValueError(f"application {cls.name!r} is already registered")
+    _APPS[cls.name] = cls
+    return cls
+
+
+def create_app(name: str) -> Application:
+    """Instantiate the application registered under *name*."""
+    try:
+        return _APPS[name.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(_APPS))
+        raise KeyError(f"unknown application {name!r}; known: {known}") from None
+
+
+def available_apps() -> List[str]:
+    """Names of all registered applications (the five paper benchmarks)."""
+    return sorted(_APPS)

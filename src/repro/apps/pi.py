@@ -1,0 +1,84 @@
+"""Pi: Riemann-sum estimation of pi (paper Section 4.1).
+
+The program estimates pi by integrating 4/(1+x^2) over [0, 1] with a midpoint
+Riemann sum of ``intervals`` values.  It is embarrassingly parallel: each
+thread sums its share of the intervals on its stack and the only shared-object
+activity is the final monitor-protected accumulation into a global sum.  The
+paper uses it as the control case where the two protocols should behave
+identically (almost no object accesses, hence almost no locality checks and
+almost no page faults).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.base import Application, register_app
+from repro.apps.workloads import PiWorkload
+
+#: cycles per Riemann interval in compiled code: one FP divide (the dominant
+#: cost on the Pentium Pro / Pentium II FPUs), two multiplies and two adds
+CYCLES_PER_INTERVAL = 38.0
+
+
+@register_app
+class PiApplication(Application):
+    """Riemann-sum pi estimation."""
+
+    name = "pi"
+
+    # ------------------------------------------------------------------
+    def worker(self, ctx, index: int, count: int, workload: PiWorkload, shared, lock_obj) -> Generator:
+        """One computation thread: sum a block of intervals, then accumulate."""
+        n = workload.intervals
+        h = 1.0 / n
+        chunk = self.block_partition(n, count, index)
+
+        partial = 0.0
+        # The numerical work happens on the thread's stack: no shared-object
+        # accesses, only compute cycles (charged per interval and scaled by
+        # the workload's work multiplier).
+        scale = workload.work_multiplier
+        lo = chunk.start
+        while lo < chunk.stop:
+            hi = min(lo + workload.block, chunk.stop)
+            x = (np.arange(lo, hi, dtype=np.float64) + 0.5) * h
+            partial += float(np.sum(4.0 / (1.0 + x * x)))
+            ctx.compute(cycles=CYCLES_PER_INTERVAL * (hi - lo) * scale)
+            lo = hi
+        partial *= h
+
+        # Monitor-protected accumulation into the shared sum object.
+        yield from ctx.monitor_enter(lock_obj)
+        current = ctx.get(shared, "value")
+        ctx.put(shared, "value", current + partial)
+        done = ctx.get(shared, "done")
+        ctx.put(shared, "done", done + 1)
+        yield from ctx.monitor_exit(lock_obj)
+        return partial
+
+    # ------------------------------------------------------------------
+    def main(self, ctx, workload: PiWorkload) -> Generator:
+        """Main thread: create the shared sum, spawn workers, join, report."""
+        runtime = ctx.runtime
+        sum_class = runtime.java_class("PiSum", ["value", "done"])
+        shared = ctx.new_object(sum_class, home_node=0)
+        ctx.put(shared, "value", 0.0)
+        ctx.put(shared, "done", 0)
+
+        count = self.worker_count(ctx)
+        threads = self.spawn_workers(ctx, self.worker, count, workload, shared, shared)
+        yield from self.join_all(ctx, threads)
+
+        estimate = ctx.get(shared, "value")
+        return float(estimate)
+
+    # ------------------------------------------------------------------
+    def verify(self, result, workload: PiWorkload) -> bool:
+        """The midpoint rule converges fast; even tiny runs are accurate."""
+        if result is None:
+            return False
+        return math.isclose(result, math.pi, rel_tol=0, abs_tol=1e-6)

@@ -1,0 +1,44 @@
+"""Hardware model of the two clusters used in the paper.
+
+The paper evaluates Hyperion on two PC clusters:
+
+* twelve 200 MHz Pentium Pro machines connected by Myrinet using the BIP
+  protocol (page-fault cost 22 microseconds), and
+* six 450 MHz Pentium II machines connected by SCI using the SISCI protocol
+  (page-fault cost 12 microseconds).
+
+Neither the machines nor the interconnects exist any more, so this package
+models them: a :class:`~repro.cluster.node.MachineSpec` describes the CPU, a
+:class:`~repro.cluster.network.NetworkSpec` describes the interconnect, and a
+:class:`~repro.cluster.costs.CostModel` bundles the software-level constants
+(in-line check, page fault, ``mprotect``, RPC handling).  The two presets in
+:mod:`~repro.cluster.presets` mirror the paper's platforms; every constant is
+documented and overridable so the sensitivity of the conclusions to each
+constant can be explored (benchmarks ``A1``/``A2`` in DESIGN.md).
+"""
+
+from repro.cluster.costs import CostModel, SoftwareCosts
+from repro.cluster.network import NetworkSpec
+from repro.cluster.node import MachineSpec
+from repro.cluster.presets import (
+    ClusterSpec,
+    cluster_by_name,
+    list_clusters,
+    myrinet_cluster,
+    sci_cluster,
+)
+from repro.cluster.topology import CrossbarTopology, Topology
+
+__all__ = [
+    "CostModel",
+    "SoftwareCosts",
+    "NetworkSpec",
+    "MachineSpec",
+    "ClusterSpec",
+    "myrinet_cluster",
+    "sci_cluster",
+    "cluster_by_name",
+    "list_clusters",
+    "Topology",
+    "CrossbarTopology",
+]

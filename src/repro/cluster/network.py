@@ -1,0 +1,66 @@
+"""Interconnect model.
+
+The paper uses two interconnects through PM2's generic communication layer:
+BIP over Myrinet and SISCI over SCI.  Both are modelled with the classic
+LogP-style linear model: a fixed one-way latency, a per-message software
+overhead at the sender and receiver, and a bandwidth term proportional to the
+message size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Linear-cost model of a cluster interconnect.
+
+    Parameters
+    ----------
+    name:
+        Interconnect name (e.g. ``"BIP/Myrinet"``).
+    latency_seconds:
+        One-way wire + NIC latency for a minimal message.
+    bandwidth_bytes_per_second:
+        Sustained point-to-point bandwidth.
+    send_overhead_seconds / recv_overhead_seconds:
+        Host software overhead per message at the sender / receiver (the cost
+        of the PM2 communication layer, independent of size).
+    """
+
+    name: str
+    latency_seconds: float
+    bandwidth_bytes_per_second: float
+    send_overhead_seconds: float = 2e-6
+    recv_overhead_seconds: float = 2e-6
+
+    def __post_init__(self) -> None:
+        check_non_negative("latency_seconds", self.latency_seconds)
+        check_positive("bandwidth_bytes_per_second", self.bandwidth_bytes_per_second)
+        check_non_negative("send_overhead_seconds", self.send_overhead_seconds)
+        check_non_negative("recv_overhead_seconds", self.recv_overhead_seconds)
+
+    # ------------------------------------------------------------------
+    def one_way_time(self, nbytes: int = 0) -> float:
+        """Time for one message of *nbytes* payload from send call to delivery."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+        return (
+            self.send_overhead_seconds
+            + self.latency_seconds
+            + nbytes / self.bandwidth_bytes_per_second
+            + self.recv_overhead_seconds
+        )
+
+    def round_trip_time(self, request_bytes: int = 0, reply_bytes: int = 0) -> float:
+        """Request/reply time excluding any service time at the responder."""
+        return self.one_way_time(request_bytes) + self.one_way_time(reply_bytes)
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Pure bandwidth term for *nbytes* (no latency, no overheads)."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+        return nbytes / self.bandwidth_bytes_per_second

@@ -1,0 +1,86 @@
+"""CPU model for a cluster node.
+
+Execution time of compiled Java code is modelled as two components:
+
+* a *cycle* component that scales with the CPU clock (register arithmetic,
+  branches, the in-line locality checks of the ``java_ic`` protocol), and
+* a *memory* component expressed directly in seconds (cache misses, DRAM
+  accesses) that does **not** scale with the clock.
+
+Splitting the two is what lets the model reproduce the paper's observation
+that the in-line checks matter *less* on the faster 450 MHz SCI-cluster
+machines: the checks shrink with the clock while the memory-bound part of the
+applications does not (Section 4.3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of one cluster machine.
+
+    Parameters
+    ----------
+    name:
+        Human-readable CPU name (e.g. ``"Pentium Pro 200MHz"``).
+    frequency_hz:
+        CPU clock frequency.
+    memory_bytes:
+        Physical memory; only used for sanity checks on workload sizes.
+    cycles_per_flop:
+        Average cycles for a double-precision floating-point operation in
+        compiled (java2c + gcc -O6) code, including address arithmetic.
+    cycles_per_int_op:
+        Average cycles for an integer ALU operation in compiled code.
+    dram_access_seconds:
+        Time of a memory access that misses the cache hierarchy; charged by
+        applications through their memory-time component.
+    """
+
+    name: str
+    frequency_hz: float
+    memory_bytes: int = 256 * 1024 * 1024
+    cycles_per_flop: float = 3.0
+    cycles_per_int_op: float = 1.0
+    dram_access_seconds: float = 60e-9
+
+    def __post_init__(self) -> None:
+        check_positive("frequency_hz", self.frequency_hz)
+        check_positive("memory_bytes", self.memory_bytes)
+        check_positive("cycles_per_flop", self.cycles_per_flop)
+        check_positive("cycles_per_int_op", self.cycles_per_int_op)
+        check_non_negative("dram_access_seconds", self.dram_access_seconds)
+
+    # ------------------------------------------------------------------
+    @property
+    def cycle_time(self) -> float:
+        """Duration of one clock cycle in seconds."""
+        return 1.0 / self.frequency_hz
+
+    def seconds_for_cycles(self, cycles: float) -> float:
+        """Convert a cycle count into seconds on this machine."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {cycles!r}")
+        return cycles / self.frequency_hz
+
+    def seconds_for_work(self, cycles: float = 0.0, mem_seconds: float = 0.0) -> float:
+        """Combine a cycle component and a clock-independent memory component."""
+        if mem_seconds < 0:
+            raise ValueError(f"mem_seconds must be >= 0, got {mem_seconds!r}")
+        return self.seconds_for_cycles(cycles) + mem_seconds
+
+    def scaled(self, frequency_hz: float) -> "MachineSpec":
+        """Return a copy of this spec with a different clock frequency."""
+        return MachineSpec(
+            name=f"{self.name} @ {frequency_hz / 1e6:.0f}MHz",
+            frequency_hz=frequency_hz,
+            memory_bytes=self.memory_bytes,
+            cycles_per_flop=self.cycles_per_flop,
+            cycles_per_int_op=self.cycles_per_int_op,
+            dram_access_seconds=self.dram_access_seconds,
+        )

@@ -1,0 +1,187 @@
+"""Cluster presets mirroring the two platforms of the paper.
+
+``myrinet_cluster()`` and ``sci_cluster()`` return :class:`ClusterSpec`
+instances whose constants come from the paper where published (node counts,
+CPU models and clock rates, page-fault costs of 22 us / 12 us) and from
+era-appropriate published measurements otherwise (BIP and SISCI latency and
+bandwidth, ``mprotect`` cost on Linux 2.2).  ``EXPERIMENTS.md`` documents the
+sources and the ablation benchmarks sweep the estimated constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.costs import CostModel, SoftwareCosts
+from repro.cluster.network import NetworkSpec
+from repro.cluster.node import MachineSpec
+from repro.cluster.topology import CrossbarTopology, Topology
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A named cluster: machine model, network model, software costs, size."""
+
+    name: str
+    num_nodes: int
+    machine: MachineSpec
+    network: NetworkSpec
+    software: SoftwareCosts = field(default_factory=SoftwareCosts)
+    page_size: int = 4096
+    topology_factory: Callable[[int, NetworkSpec], Topology] = CrossbarTopology
+
+    def __post_init__(self) -> None:
+        check_positive("num_nodes", self.num_nodes)
+        check_positive("page_size", self.page_size)
+
+    # ------------------------------------------------------------------
+    def cost_model(self) -> CostModel:
+        """Build the :class:`CostModel` for this cluster."""
+        return CostModel(
+            machine=self.machine,
+            network=self.network,
+            software=self.software,
+            page_size=self.page_size,
+        )
+
+    def topology(self, num_nodes: Optional[int] = None) -> Topology:
+        """Build the topology for *num_nodes* nodes (default: the full cluster)."""
+        n = num_nodes if num_nodes is not None else self.num_nodes
+        check_positive("num_nodes", n)
+        if n > self.num_nodes:
+            raise ValueError(
+                f"cluster {self.name!r} has only {self.num_nodes} nodes, "
+                f"cannot build a {n}-node topology"
+            )
+        return self.topology_factory(n, self.network)
+
+    def with_nodes(self, num_nodes: int) -> "ClusterSpec":
+        """Return a copy restricted to *num_nodes* nodes."""
+        check_positive("num_nodes", num_nodes)
+        return replace(self, num_nodes=num_nodes)
+
+    def with_software(self, **overrides) -> "ClusterSpec":
+        """Return a copy with some software cost constants replaced."""
+        return replace(self, software=self.software.with_overrides(**overrides))
+
+    def node_counts(self, max_nodes: Optional[int] = None) -> List[int]:
+        """Node counts used on the figures' x-axis (1, 2, 4, ... up to size)."""
+        limit = self.num_nodes if max_nodes is None else min(max_nodes, self.num_nodes)
+        counts = [n for n in (1, 2, 3, 4, 6, 8, 10, 12, 16) if n <= limit]
+        if limit not in counts:
+            counts.append(limit)
+        return counts
+
+
+# ---------------------------------------------------------------------------
+# the two paper platforms
+# ---------------------------------------------------------------------------
+def myrinet_cluster() -> ClusterSpec:
+    """Twelve 200 MHz Pentium Pro nodes, Myrinet network, BIP protocol.
+
+    Paper-published constants: 12 nodes, 200 MHz, page fault 22 us.
+    Estimated constants: BIP one-way latency ~8 us and ~125 MB/s sustained
+    bandwidth (Prylli & Tourancheau report ~5 us / 126 MB/s for raw BIP; the
+    PM2 layer adds a couple of microseconds), ``mprotect`` ~6 us on a 200 MHz
+    Pentium Pro running Linux 2.2.
+    """
+    machine = MachineSpec(
+        name="Pentium Pro 200MHz",
+        frequency_hz=200e6,
+        memory_bytes=128 * 1024 * 1024,
+        cycles_per_flop=3.0,
+        cycles_per_int_op=1.0,
+        dram_access_seconds=180e-9,
+    )
+    network = NetworkSpec(
+        name="BIP/Myrinet",
+        latency_seconds=8e-6,
+        bandwidth_bytes_per_second=125e6,
+        send_overhead_seconds=2.5e-6,
+        recv_overhead_seconds=2.5e-6,
+    )
+    software = SoftwareCosts(
+        inline_check_cycles=8.0,
+        access_base_cycles=1.0,
+        page_fault_seconds=22e-6,
+        mprotect_seconds=6e-6,
+        rpc_service_seconds=5e-6,
+        monitor_local_cycles=60.0,
+        monitor_remote_overhead_seconds=4e-6,
+        thread_create_seconds=35e-6,
+        cache_lookup_cycles=30.0,
+        diff_per_byte_seconds=3e-9,
+    )
+    return ClusterSpec(
+        name="myrinet",
+        num_nodes=12,
+        machine=machine,
+        network=network,
+        software=software,
+    )
+
+
+def sci_cluster() -> ClusterSpec:
+    """Six 450 MHz Pentium II nodes, SCI network, SISCI protocol.
+
+    Paper-published constants: 6 nodes, 450 MHz, page fault 12 us.
+    Estimated constants: SISCI one-way latency ~4 us and ~80 MB/s sustained
+    bandwidth for the PCI-SCI adapters of the period, ``mprotect`` ~3 us on a
+    450 MHz Pentium II running Linux 2.2.
+    """
+    machine = MachineSpec(
+        name="Pentium II 450MHz",
+        frequency_hz=450e6,
+        memory_bytes=256 * 1024 * 1024,
+        cycles_per_flop=3.0,
+        cycles_per_int_op=1.0,
+        dram_access_seconds=140e-9,
+    )
+    network = NetworkSpec(
+        name="SISCI/SCI",
+        latency_seconds=4e-6,
+        bandwidth_bytes_per_second=80e6,
+        send_overhead_seconds=1.5e-6,
+        recv_overhead_seconds=1.5e-6,
+    )
+    software = SoftwareCosts(
+        inline_check_cycles=8.0,
+        access_base_cycles=1.0,
+        page_fault_seconds=12e-6,
+        mprotect_seconds=3e-6,
+        rpc_service_seconds=3e-6,
+        monitor_local_cycles=60.0,
+        monitor_remote_overhead_seconds=2.5e-6,
+        thread_create_seconds=20e-6,
+        cache_lookup_cycles=30.0,
+        diff_per_byte_seconds=2e-9,
+    )
+    return ClusterSpec(
+        name="sci",
+        num_nodes=6,
+        machine=machine,
+        network=network,
+        software=software,
+    )
+
+
+_REGISTRY: Dict[str, Callable[[], ClusterSpec]] = {
+    "myrinet": myrinet_cluster,
+    "sci": sci_cluster,
+}
+
+
+def cluster_by_name(name: str) -> ClusterSpec:
+    """Look up a preset by name (``"myrinet"`` or ``"sci"``)."""
+    try:
+        return _REGISTRY[name.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown cluster {name!r}; known presets: {known}") from None
+
+
+def list_clusters() -> List[str]:
+    """Names of the available cluster presets."""
+    return sorted(_REGISTRY)

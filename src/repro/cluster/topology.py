@@ -1,0 +1,85 @@
+"""Cluster topology.
+
+Both paper clusters are single-switch networks, so the default topology is a
+full crossbar with uniform point-to-point costs.  The abstraction exists so
+that experiments with non-uniform topologies (e.g. a two-switch Myrinet or an
+SCI ring, which has hop-dependent latency) can be plugged in without touching
+the DSM layers; :class:`RingTopology` models the latter.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.cluster.network import NetworkSpec
+from repro.util.validation import check_positive
+
+
+class Topology(ABC):
+    """Maps (source node, destination node) pairs to communication costs."""
+
+    def __init__(self, num_nodes: int, network: NetworkSpec):
+        check_positive("num_nodes", num_nodes)
+        self.num_nodes = int(num_nodes)
+        self.network = network
+
+    def _check_pair(self, src: int, dst: int) -> None:
+        if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
+            raise ValueError(
+                f"node pair ({src}, {dst}) out of range for {self.num_nodes} nodes"
+            )
+
+    @abstractmethod
+    def hops(self, src: int, dst: int) -> int:
+        """Number of network hops between *src* and *dst* (0 when equal)."""
+
+    def one_way_time(self, src: int, dst: int, nbytes: int = 0) -> float:
+        """Message time from *src* to *dst*; local messages cost nothing."""
+        self._check_pair(src, dst)
+        if src == dst:
+            return 0.0
+        hops = self.hops(src, dst)
+        return self.network.one_way_time(nbytes) + (hops - 1) * self.network.latency_seconds
+
+    def round_trip_time(self, src: int, dst: int, request_bytes: int = 0, reply_bytes: int = 0) -> float:
+        """Request/reply time between *src* and *dst*."""
+        return self.one_way_time(src, dst, request_bytes) + self.one_way_time(
+            dst, src, reply_bytes
+        )
+
+
+class CrossbarTopology(Topology):
+    """Single switch: every distinct pair of nodes is one hop apart."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check_pair(src, dst)
+        return 0 if src == dst else 1
+
+
+class RingTopology(Topology):
+    """Unidirectional ring (how SCI is physically cabled).
+
+    Latency grows with the number of intermediate nodes traversed; SISCI
+    hardware forwarding keeps the per-hop cost small, so the extra cost per
+    hop is a fraction of the base latency.
+    """
+
+    def __init__(self, num_nodes: int, network: NetworkSpec, per_hop_fraction: float = 0.15):
+        super().__init__(num_nodes, network)
+        if per_hop_fraction < 0:
+            raise ValueError("per_hop_fraction must be >= 0")
+        self.per_hop_fraction = per_hop_fraction
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check_pair(src, dst)
+        if src == dst:
+            return 0
+        return (dst - src) % self.num_nodes
+
+    def one_way_time(self, src: int, dst: int, nbytes: int = 0) -> float:
+        self._check_pair(src, dst)
+        if src == dst:
+            return 0.0
+        hops = self.hops(src, dst)
+        extra = (hops - 1) * self.per_hop_fraction * self.network.latency_seconds
+        return self.network.one_way_time(nbytes) + extra

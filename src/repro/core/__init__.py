@@ -1,0 +1,47 @@
+"""The paper's primary contribution: Java consistency on DSM-PM2.
+
+This package contains Hyperion's memory subsystem (the Table 2 primitives
+``loadIntoCache`` / ``invalidateCache`` / ``updateMainMemory`` / ``get`` /
+``put``), the per-node object cache, and the two consistency protocols whose
+remote-object-detection mechanisms the paper compares:
+
+* :class:`~repro.core.java_ic.JavaIcProtocol` — explicit in-line locality
+  checks on every access (``java_ic``), and
+* :class:`~repro.core.java_pf.JavaPfProtocol` — page-fault-based detection
+  with ``mprotect``-managed protections (``java_pf``).
+
+Both comply with the Java Memory Model: node-level caches, invalidation on
+monitor entry and a flush of field-granularity modifications to the objects'
+home nodes on monitor exit (:mod:`repro.core.jmm`).
+"""
+
+from repro.core.cache import CachedObject, ObjectCache
+from repro.core.context import AccessContext, RecordingContext
+from repro.core.java_ic import JavaIcProtocol
+from repro.core.java_pf import JavaPfProtocol
+from repro.core.jmm import HappensBeforeTracker, VectorClock
+from repro.core.memory import MemorySubsystem
+from repro.core.protocol import (
+    ConsistencyProtocol,
+    available_protocols,
+    create_protocol,
+    register_protocol,
+)
+from repro.core.stats import RunStats
+
+__all__ = [
+    "AccessContext",
+    "RecordingContext",
+    "CachedObject",
+    "ObjectCache",
+    "MemorySubsystem",
+    "ConsistencyProtocol",
+    "JavaIcProtocol",
+    "JavaPfProtocol",
+    "create_protocol",
+    "register_protocol",
+    "available_protocols",
+    "RunStats",
+    "VectorClock",
+    "HappensBeforeTracker",
+]

@@ -1,0 +1,223 @@
+"""Per-node object caches.
+
+Hyperion associates one cache with each *node* (not with each thread): at
+most one copy of an object exists on a node and all threads of that node
+share it, which avoids wasting memory (paper Section 3.1).  The cache holds a
+node-local copy of each remote object that has been loaded, records
+modifications at field granularity (the ``put`` primitive), and hands the
+modified slots to ``updateMainMemory`` when a thread exits a monitor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.interfaces import SharedEntity
+
+
+class CachedObject:
+    """A node-local copy of a shared entity plus its dirty-slot records."""
+
+    __slots__ = ("obj", "data", "_dirty_mask", "_dirty_slots", "loads")
+
+    def __init__(self, obj: SharedEntity):
+        self.obj = obj
+        self.data = obj.snapshot()
+        self.loads = 1
+        # arrays get a boolean mask (lazily allocated); scalar objects a set
+        self._dirty_mask: Optional[np.ndarray] = None
+        self._dirty_slots: Optional[set] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_array(self) -> bool:
+        """True when the cached payload is a numpy array (a Java array)."""
+        return isinstance(self.data, np.ndarray)
+
+    @property
+    def dirty(self) -> bool:
+        """True if any slot has been modified since the last flush."""
+        if self._dirty_mask is not None and bool(self._dirty_mask.any()):
+            return True
+        return bool(self._dirty_slots)
+
+    def dirty_slot_count(self) -> int:
+        """Number of modified slots."""
+        count = 0
+        if self._dirty_mask is not None:
+            count += int(self._dirty_mask.sum())
+        if self._dirty_slots:
+            count += len(self._dirty_slots)
+        return count
+
+    def dirty_bytes(self) -> int:
+        """Number of modified bytes (slot count x slot size)."""
+        return self.dirty_slot_count() * self.obj.slot_size
+
+    # ------------------------------------------------------------------
+    # reads / writes against the local copy
+    # ------------------------------------------------------------------
+    def read(self, index: int):
+        """Read slot *index* from the node-local copy."""
+        return self.data[index]
+
+    def write(self, index: int, value) -> None:
+        """Write slot *index* of the node-local copy, recording it as dirty."""
+        self.data[index] = value
+        if self.is_array:
+            self._ensure_mask()[index] = True
+        else:
+            self._ensure_slots().add(index)
+
+    def read_range(self, lo: int, hi: int) -> np.ndarray:
+        """Read slots [lo, hi) of the node-local copy (as a copy)."""
+        if self.is_array:
+            return np.array(self.data[lo:hi], copy=True)
+        return np.asarray(self.data[lo:hi])
+
+    def write_range(self, lo: int, hi: int, values: Sequence) -> None:
+        """Write slots [lo, hi) of the node-local copy, recording them dirty."""
+        self.data[lo:hi] = values
+        if self.is_array:
+            self._ensure_mask()[lo:hi] = True
+        else:
+            self._ensure_slots().update(range(lo, hi))
+
+    # ------------------------------------------------------------------
+    # flush support
+    # ------------------------------------------------------------------
+    def flush_to_main(self) -> int:
+        """Write modified slots back to the reference copy; return bytes sent."""
+        nbytes = 0
+        if self._dirty_mask is not None and self._dirty_mask.any():
+            indices = np.flatnonzero(self._dirty_mask)
+            # contiguous runs are sent as ranges, mirroring Hyperion's
+            # field-granularity diffs aggregated per message
+            start = None
+            prev = None
+            for idx in indices:
+                if start is None:
+                    start = prev = int(idx)
+                    continue
+                if idx == prev + 1:
+                    prev = int(idx)
+                    continue
+                self.obj.main_write_range(start, prev + 1, self.data[start : prev + 1])
+                start = prev = int(idx)
+            if start is not None:
+                self.obj.main_write_range(start, prev + 1, self.data[start : prev + 1])
+            nbytes += int(self._dirty_mask.sum()) * self.obj.slot_size
+            self._dirty_mask[:] = False
+        if self._dirty_slots:
+            for index in sorted(self._dirty_slots):
+                self.obj.main_write(index, self.data[index])
+            nbytes += len(self._dirty_slots) * self.obj.slot_size
+            self._dirty_slots.clear()
+        return nbytes
+
+    def refresh(self) -> None:
+        """Re-copy the reference data into the local copy (after invalidation)."""
+        self.data = self.obj.snapshot()
+        self.loads += 1
+        if self._dirty_mask is not None:
+            self._dirty_mask[:] = False
+        if self._dirty_slots:
+            self._dirty_slots.clear()
+
+    # ------------------------------------------------------------------
+    def _ensure_mask(self) -> np.ndarray:
+        if self._dirty_mask is None:
+            self._dirty_mask = np.zeros(self.obj.num_slots, dtype=bool)
+        return self._dirty_mask
+
+    def _ensure_slots(self) -> set:
+        if self._dirty_slots is None:
+            self._dirty_slots = set()
+        return self._dirty_slots
+
+
+class ObjectCache:
+    """All remote objects currently cached on one node."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self._entries: Dict[int, CachedObject] = {}
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, obj: SharedEntity) -> bool:
+        return obj.oid in self._entries
+
+    def lookup(self, obj: SharedEntity) -> Optional[CachedObject]:
+        """Return the cached copy of *obj*, or None."""
+        entry = self._entries.get(obj.oid)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def insert(self, obj: SharedEntity) -> CachedObject:
+        """Create (or refresh) the cached copy of *obj* from its home data."""
+        entry = self._entries.get(obj.oid)
+        if entry is None:
+            entry = CachedObject(obj)
+            self._entries[obj.oid] = entry
+        else:
+            entry.refresh()
+        return entry
+
+    def entries(self) -> List[CachedObject]:
+        """All cached copies on this node."""
+        return list(self._entries.values())
+
+    def dirty_entries(self) -> List[CachedObject]:
+        """Cached copies with unflushed modifications."""
+        return [e for e in self._entries.values() if e.dirty]
+
+    # ------------------------------------------------------------------
+    def flush_all(self) -> Tuple[int, Dict[int, int]]:
+        """Write every dirty slot back to the home copies.
+
+        Returns the total number of bytes flushed and a per-home-node byte
+        count (one update message is sent to each distinct home node).
+        """
+        total = 0
+        per_home: Dict[int, int] = {}
+        for entry in self._entries.values():
+            if not entry.dirty:
+                continue
+            nbytes = entry.flush_to_main()
+            total += nbytes
+            home = entry.obj.home_node
+            per_home[home] = per_home.get(home, 0) + nbytes
+        if total:
+            self.flushes += 1
+        return total, per_home
+
+    def invalidate(self) -> int:
+        """Drop every cached copy (monitor-entry semantics); return the count.
+
+        Dirty entries must have been flushed beforehand; dropping unflushed
+        modifications would violate the Java Memory Model, so this raises if
+        any remain.
+        """
+        dirty = self.dirty_entries()
+        if dirty:
+            names = ", ".join(str(e.obj.oid) for e in dirty[:5])
+            raise RuntimeError(
+                f"invalidate() with {len(dirty)} unflushed dirty object(s) "
+                f"(oids {names}, ...): updateMainMemory must run first"
+            )
+        count = len(self._entries)
+        self._entries.clear()
+        self.invalidations += 1
+        return count

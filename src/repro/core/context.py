@@ -1,0 +1,70 @@
+"""Cost-charging context passed through the memory subsystem.
+
+Every operation of the memory subsystem and of the consistency protocols
+charges virtual time to the thread that performs it.  Time comes in two
+flavours:
+
+* **CPU time** — work performed on the node's processor (in-line checks,
+  page-fault handling, ``mprotect`` calls, diff creation).  When several
+  application threads share a node this time is serialised on the node CPU.
+* **Wait time** — time spent blocked on the network (page request round
+  trips, update-message acknowledgements).  The CPU is free to run other
+  threads during it.
+
+The Hyperion thread context (:class:`repro.hyperion.threads.JavaThreadContext`)
+implements this interface by accumulating both components and flushing them at
+the next synchronisation point.  :class:`RecordingContext` is a standalone
+implementation used in unit tests and micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.util.validation import check_non_negative
+
+
+class AccessContext(ABC):
+    """Charging interface seen by the DSM and the consistency protocols."""
+
+    #: node on which the charged work executes
+    node_id: int
+
+    @abstractmethod
+    def charge_cpu(self, seconds: float) -> None:
+        """Charge *seconds* of processor time on :attr:`node_id`."""
+
+    @abstractmethod
+    def charge_wait(self, seconds: float) -> None:
+        """Charge *seconds* of blocked (communication) time."""
+
+
+class RecordingContext(AccessContext):
+    """A plain accumulator; handy for tests and primitive micro-benchmarks."""
+
+    def __init__(self, node_id: int = 0):
+        self.node_id = node_id
+        self.cpu_seconds = 0.0
+        self.wait_seconds = 0.0
+        self.charges: list[tuple[str, float]] = []
+
+    def charge_cpu(self, seconds: float) -> None:
+        check_non_negative("seconds", seconds)
+        self.cpu_seconds += seconds
+        self.charges.append(("cpu", seconds))
+
+    def charge_wait(self, seconds: float) -> None:
+        check_non_negative("seconds", seconds)
+        self.wait_seconds += seconds
+        self.charges.append(("wait", seconds))
+
+    @property
+    def total_seconds(self) -> float:
+        """CPU plus wait time charged so far."""
+        return self.cpu_seconds + self.wait_seconds
+
+    def reset(self) -> None:
+        """Clear all accumulated charges."""
+        self.cpu_seconds = 0.0
+        self.wait_seconds = 0.0
+        self.charges.clear()

@@ -1,0 +1,71 @@
+"""``java_ic``: access detection with explicit in-line locality checks.
+
+Paper Section 3.2.  Every ``get``/``put`` executes an explicit check of
+whether the object has a copy on the local node; if it does not, the page
+containing the object is brought into the local cache.  Because every access
+is mediated by the check, *no* page needs protection anywhere: shared memory
+is mapped READ/WRITE on all nodes at initialisation time and stays that way,
+so remote-object loading never involves a page fault or an ``mprotect`` call.
+The price is one check per access, local or remote.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cluster.costs import CostModel
+from repro.core.context import AccessContext
+from repro.core.protocol import ConsistencyProtocol, register_protocol
+from repro.dsm.page_manager import PageManager
+
+
+class JavaIcProtocol(ConsistencyProtocol):
+    """Java consistency with in-line-check-based remote object detection."""
+
+    name = "java_ic"
+    uses_page_faults = False
+
+    #: cycles to clear one presence-table entry during cache invalidation
+    INVALIDATE_ENTRY_CYCLES = 4.0
+
+    def detect_access(
+        self,
+        ctx: AccessContext,
+        node_id: int,
+        pages: Iterable[int],
+        count: int,
+        write: bool,
+    ) -> int:
+        pages = list(pages)
+        self._account_accesses(node_id, pages, count)
+
+        # One explicit locality check per access, whether local or remote.
+        self.stats.inline_checks += count
+        ctx.charge_cpu(self.cost_model.inline_check_seconds(count))
+
+        missing = self.page_manager.missing_pages(node_id, pages)
+        if missing:
+            # Software miss path (cache lookup + request construction), then
+            # the page request round trip.  No fault, no mprotect.
+            ctx.charge_cpu(self.cost_model.cache_miss_overhead_seconds() * len(missing))
+            self._fetch(ctx, node_id, missing)
+        return len(missing)
+
+    def on_monitor_enter(self, ctx: AccessContext, node_id: int) -> None:
+        """Invalidate the node's cache: clear the presence entries.
+
+        This is cheap for ``java_ic`` — a table walk clearing presence bits —
+        in contrast to ``java_pf`` which must re-protect each page with an
+        ``mprotect`` system call.
+        """
+        dropped = self.page_manager.drop_remote_present_pages(node_id)
+        if dropped:
+            ctx.charge_cpu(
+                self.cost_model.machine.seconds_for_cycles(
+                    self.INVALIDATE_ENTRY_CYCLES * dropped
+                )
+            )
+        self.stats.invalidations += 1
+
+
+register_protocol(JavaIcProtocol.name, JavaIcProtocol)

@@ -1,0 +1,73 @@
+"""``java_pf``: access detection with page faults.
+
+Paper Section 3.3.  Pages are READ/WRITE only on their home node; on every
+other node they are protected, and the protection is re-established on each
+monitor entry.  The first access to a non-resident (protected) page therefore
+raises a page fault, whose handler requests the page from the home node and
+re-opens access with ``mprotect``.  Local accesses — objects on their home
+node or already cached — cost nothing extra, but remote-object loading pays
+the fault, the request and the ``mprotect`` calls.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cluster.costs import CostModel
+from repro.core.context import AccessContext
+from repro.core.protocol import ConsistencyProtocol, register_protocol
+from repro.dsm.page import PageProtection
+from repro.dsm.page_manager import PageManager
+
+
+class JavaPfProtocol(ConsistencyProtocol):
+    """Java consistency with page-fault-based remote object detection."""
+
+    name = "java_pf"
+    uses_page_faults = True
+
+    def detect_access(
+        self,
+        ctx: AccessContext,
+        node_id: int,
+        pages: Iterable[int],
+        count: int,
+        write: bool,
+    ) -> int:
+        pages = list(pages)
+        self._account_accesses(node_id, pages, count)
+
+        # No per-access cost: detection only happens when the hardware traps.
+        missing = self.page_manager.missing_pages(node_id, pages)
+        if missing:
+            # One fault per protected page touched (the first access to each
+            # such page traps; subsequent accesses find it READ/WRITE).  The
+            # initial state of every non-resident page is protected (the
+            # protocol protects the whole shared region at start-up), so make
+            # the table reflect that before the fetch re-opens access.
+            for page in missing:
+                entry = self.page_manager.tables[node_id].entry(page)
+                if entry.protection is not PageProtection.NONE:
+                    entry.protection = PageProtection.NONE
+                self.page_manager.record_fault(node_id, page)
+            ctx.charge_cpu(self.cost_model.page_fault_seconds() * len(missing))
+            self._fetch(ctx, node_id, missing)
+            # The fault handler re-opens access to the arrived pages.
+            calls = self.page_manager.unprotect_after_fetch(node_id, missing)
+            ctx.charge_cpu(self.cost_model.mprotect_seconds(calls))
+        return len(missing)
+
+    def on_monitor_enter(self, ctx: AccessContext, node_id: int) -> None:
+        """Re-protect every replicated remote page (one ``mprotect`` each).
+
+        This is the cost the paper identifies as eating into ``java_pf``'s
+        advantage for Barnes at high node counts: the number of protected
+        pages (and of the faults that follow) grows with communication.
+        """
+        calls = self.page_manager.protect_remote_present_pages(node_id)
+        if calls:
+            ctx.charge_cpu(self.cost_model.mprotect_seconds(calls))
+        self.stats.invalidations += 1
+
+
+register_protocol(JavaPfProtocol.name, JavaPfProtocol)

@@ -1,0 +1,169 @@
+"""Java Memory Model helpers.
+
+Hyperion implements the JLS (1996) memory model, a variant of release
+consistency: a thread may work on cached copies of objects between
+synchronisation operations, must see up-to-date values after acquiring a
+monitor, and must make its modifications visible to main memory before the
+corresponding release completes (paper Section 3.1).
+
+This module provides the machinery the test-suite uses to verify that the
+runtime establishes the required *happens-before* edges:
+
+* :class:`VectorClock` — a standard vector clock keyed by thread id;
+* :class:`HappensBeforeTracker` — records acquire/release pairs on monitors
+  and barrier episodes and answers "is event A ordered before event B?".
+
+The production code path does not need the tracker (the protocols enforce the
+model by construction); it exists so that property-based tests can check the
+model independently of the implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+
+class VectorClock:
+    """A mapping from thread id to logical time, with component-wise merge."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, initial: Optional[Dict[Hashable, int]] = None):
+        self._clock: Dict[Hashable, int] = dict(initial or {})
+
+    def copy(self) -> "VectorClock":
+        """Independent copy of this clock."""
+        return VectorClock(self._clock)
+
+    def tick(self, tid: Hashable) -> "VectorClock":
+        """Advance *tid*'s component by one (in place) and return self."""
+        self._clock[tid] = self._clock.get(tid, 0) + 1
+        return self
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Component-wise maximum with *other* (in place) and return self."""
+        for tid, value in other._clock.items():
+            if value > self._clock.get(tid, 0):
+                self._clock[tid] = value
+        return self
+
+    def get(self, tid: Hashable) -> int:
+        """Component of *tid* (0 when absent)."""
+        return self._clock.get(tid, 0)
+
+    def __le__(self, other: "VectorClock") -> bool:
+        return all(value <= other._clock.get(tid, 0) for tid, value in self._clock.items())
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return self <= other and not self == other
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        keys = set(self._clock) | set(other._clock)
+        return all(self.get(k) == other.get(k) for k in keys)
+
+    def __hash__(self) -> int:  # pragma: no cover - clocks are not dict keys
+        return hash(tuple(sorted((k, v) for k, v in self._clock.items() if v)))
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """True when neither clock happens-before the other."""
+        return not (self <= other) and not (other <= self)
+
+    def as_dict(self) -> Dict[Hashable, int]:
+        """Plain-dict view (non-zero components only)."""
+        return {k: v for k, v in self._clock.items() if v}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VectorClock({self.as_dict()!r})"
+
+
+@dataclass
+class _MonitorState:
+    """Release clock left behind by the last holder of a monitor."""
+
+    release_clock: VectorClock = field(default_factory=VectorClock)
+    releases: int = 0
+
+
+class HappensBeforeTracker:
+    """Tracks happens-before edges induced by monitors and barriers."""
+
+    def __init__(self):
+        self._thread_clocks: Dict[Hashable, VectorClock] = {}
+        self._monitors: Dict[Hashable, _MonitorState] = {}
+        self._events: Dict[Hashable, VectorClock] = {}
+
+    # ------------------------------------------------------------------
+    def _clock(self, tid: Hashable) -> VectorClock:
+        clock = self._thread_clocks.get(tid)
+        if clock is None:
+            clock = VectorClock().tick(tid)
+            self._thread_clocks[tid] = clock
+        return clock
+
+    # ------------------------------------------------------------------
+    # program actions
+    # ------------------------------------------------------------------
+    def acquire(self, tid: Hashable, monitor: Hashable) -> None:
+        """Record that *tid* acquired *monitor* (joins the releaser's clock)."""
+        clock = self._clock(tid)
+        state = self._monitors.get(monitor)
+        if state is not None:
+            clock.merge(state.release_clock)
+        clock.tick(tid)
+
+    def release(self, tid: Hashable, monitor: Hashable) -> None:
+        """Record that *tid* released *monitor* (publishes its clock)."""
+        clock = self._clock(tid).tick(tid)
+        state = self._monitors.setdefault(monitor, _MonitorState())
+        state.release_clock = clock.copy()
+        state.releases += 1
+
+    def barrier(self, tids: List[Hashable]) -> None:
+        """Record a barrier episode among *tids* (all-to-all ordering)."""
+        merged = VectorClock()
+        for tid in tids:
+            merged.merge(self._clock(tid))
+        for tid in tids:
+            self._thread_clocks[tid] = merged.copy().tick(tid)
+
+    def mark(self, tid: Hashable, label: Hashable) -> None:
+        """Snapshot *tid*'s current clock under *label* (an "event")."""
+        self._events[label] = self._clock(tid).copy()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def happens_before(self, label_a: Hashable, label_b: Hashable) -> bool:
+        """True when the event *label_a* happens-before *label_b*."""
+        a = self._events.get(label_a)
+        b = self._events.get(label_b)
+        if a is None or b is None:
+            raise KeyError("both events must have been marked")
+        return a < b or a == b
+
+    def concurrent(self, label_a: Hashable, label_b: Hashable) -> bool:
+        """True when neither marked event is ordered before the other."""
+        a = self._events.get(label_a)
+        b = self._events.get(label_b)
+        if a is None or b is None:
+            raise KeyError("both events must have been marked")
+        return a.concurrent_with(b)
+
+    def thread_clock(self, tid: Hashable) -> VectorClock:
+        """The current clock of *tid* (copy)."""
+        return self._clock(tid).copy()
+
+
+#: The synchronisation actions the JLS defines for the (1996) memory model;
+#: kept as data so documentation and tests can enumerate them.
+JMM_SYNCHRONIZATION_ACTIONS: Tuple[str, ...] = (
+    "monitor_enter",
+    "monitor_exit",
+    "thread_start",
+    "thread_join",
+    "volatile_read",
+    "volatile_write",
+)

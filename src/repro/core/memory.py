@@ -1,0 +1,243 @@
+"""Hyperion's memory subsystem: the Table 2 primitives.
+
+The paper's Table 2 lists the key primitives through which compiled Java code
+interacts with the distributed heap:
+
+==================  ========================================================
+``loadIntoCache``   Load an object into the (node-level) cache
+``invalidateCache`` Invalidate all entries in the cache
+``updateMainMemory`` Update memory with modifications made to cached objects
+``get``             Retrieve a field from an object previously loaded
+``put``             Modify a field in an object previously loaded
+==================  ========================================================
+
+This class implements them, together with the bulk array variants the
+java2c translator emits for array-heavy loops (each bulk call still accounts
+one detection event per element — it is purely an implementation-efficiency
+device of the simulator, not a semantic change).  Detection of remote objects
+(the paper's subject) is delegated to the configured
+:class:`~repro.core.protocol.ConsistencyProtocol`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.costs import CostModel
+from repro.core.cache import CachedObject, ObjectCache
+from repro.core.context import AccessContext
+from repro.core.interfaces import SharedEntity
+from repro.core.protocol import ConsistencyProtocol
+from repro.core.stats import RunStats
+from repro.dsm.page_manager import PageManager
+
+
+class MemorySubsystem:
+    """Single shared-address-space image over the cluster nodes."""
+
+    def __init__(
+        self,
+        page_manager: PageManager,
+        cost_model: CostModel,
+        protocol: ConsistencyProtocol,
+        num_nodes: int,
+        run_stats: Optional[RunStats] = None,
+    ):
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.page_manager = page_manager
+        self.cost_model = cost_model
+        self.protocol = protocol
+        self.num_nodes = int(num_nodes)
+        self.caches: List[ObjectCache] = [ObjectCache(n) for n in range(num_nodes)]
+        self.run_stats = run_stats if run_stats is not None else RunStats()
+        # keep the DSM counters and the run-level view unified
+        self.run_stats.dsm = page_manager.stats
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _pages_of(self, obj: SharedEntity, lo: int = 0, hi: Optional[int] = None) -> List[int]:
+        """Pages backing slots [lo, hi) of *obj* (all of it by default)."""
+        if hi is None:
+            address = obj.address
+            size = obj.size_bytes
+        else:
+            address = obj.address + lo * obj.slot_size
+            size = max(1, (hi - lo) * obj.slot_size)
+        return self.page_manager.pages_for_range(address, size)
+
+    def _charge_base(self, ctx: AccessContext, count: int) -> None:
+        ctx.charge_cpu(self.cost_model.access_base_seconds(count))
+
+    def _cache_entry(self, node: int, obj: SharedEntity) -> CachedObject:
+        cache = self.caches[node]
+        entry = cache.lookup(obj)
+        if entry is None:
+            entry = cache.insert(obj)
+        return entry
+
+    def is_local(self, node: int, obj: SharedEntity) -> bool:
+        """True when *obj* is homed on *node* (accesses go to main memory)."""
+        return obj.home_node == node
+
+    # ------------------------------------------------------------------
+    # Table 2 primitives
+    # ------------------------------------------------------------------
+    def load_into_cache(self, ctx: AccessContext, node: int, obj: SharedEntity) -> CachedObject:
+        """``loadIntoCache``: ensure *obj* is usable from *node*.
+
+        For remote objects this makes the backing pages resident (through the
+        protocol, which charges its detection/fetch costs) and materialises a
+        node-local copy shared by all threads of the node.  Loading a local
+        object is a no-op returning a pass-through view.
+        """
+        pages = self._pages_of(obj)
+        self.protocol.detect_access(ctx, node, pages, count=1, write=False)
+        if self.is_local(node, obj):
+            return CachedObject(obj)
+        return self._cache_entry(node, obj)
+
+    def invalidate_cache(self, ctx: AccessContext, node: int) -> int:
+        """``invalidateCache``: drop every cached entry on *node*.
+
+        Called by the runtime when a thread of *node* enters a monitor.  The
+        protocol applies its own page-table action (clearing presence bits
+        for ``java_ic``, re-protecting pages for ``java_pf``) and the object
+        cache is emptied so subsequent accesses reload fresh copies.
+        Modifications must have been flushed first (``updateMainMemory``).
+        """
+        self.protocol.on_monitor_enter(ctx, node)
+        return self.caches[node].invalidate()
+
+    def update_main_memory(self, ctx: AccessContext, node: int) -> int:
+        """``updateMainMemory``: flush modifications to the home nodes.
+
+        Called by the runtime when a thread of *node* exits a monitor.  One
+        update message is sent per distinct home node, carrying that node's
+        modified bytes; the caller is charged the messaging cost.  Returns
+        the number of bytes flushed.
+        """
+        total, per_home = self.caches[node].flush_all()
+        for home, nbytes in per_home.items():
+            if home == node:
+                continue
+            self.run_stats.dsm.update_messages += 1
+            self.run_stats.dsm.update_bytes += nbytes
+            ctx.charge_wait(self.cost_model.update_message_seconds(nbytes))
+        self.protocol.on_monitor_exit(ctx, node)
+        return total
+
+    # -- scalar accesses ------------------------------------------------------
+    def get(self, ctx: AccessContext, node: int, obj: SharedEntity, index: int):
+        """``get``: read one field/element of *obj* from *node*."""
+        pages = self._pages_of(obj, index, index + 1)
+        self._charge_base(ctx, 1)
+        self.protocol.detect_access(ctx, node, pages, count=1, write=False)
+        if self.is_local(node, obj):
+            return obj.main_read(index)
+        return self._cache_entry(node, obj).read(index)
+
+    def put(self, ctx: AccessContext, node: int, obj: SharedEntity, index: int, value) -> None:
+        """``put``: modify one field/element of *obj* from *node*.
+
+        Local objects are updated in place (the node owns the reference
+        copy); remote objects are updated in the node cache and the
+        modification is recorded at field granularity for the next
+        ``updateMainMemory``.
+        """
+        pages = self._pages_of(obj, index, index + 1)
+        self._charge_base(ctx, 1)
+        self.protocol.detect_access(ctx, node, pages, count=1, write=True)
+        if self.is_local(node, obj):
+            obj.main_write(index, value)
+            return
+        self._cache_entry(node, obj).write(index, value)
+
+    # -- bulk accesses ---------------------------------------------------------
+    def get_range(
+        self, ctx: AccessContext, node: int, obj: SharedEntity, lo: int, hi: int
+    ) -> np.ndarray:
+        """Bulk ``get`` of slots [lo, hi); accounts one access per element."""
+        self._validate_range(obj, lo, hi)
+        count = hi - lo
+        pages = self._pages_of(obj, lo, hi)
+        self._charge_base(ctx, count)
+        self.protocol.detect_access(ctx, node, pages, count=count, write=False)
+        if self.is_local(node, obj):
+            return obj.main_read_range(lo, hi)
+        return self._cache_entry(node, obj).read_range(lo, hi)
+
+    def put_range(
+        self,
+        ctx: AccessContext,
+        node: int,
+        obj: SharedEntity,
+        lo: int,
+        hi: int,
+        values: Sequence,
+    ) -> None:
+        """Bulk ``put`` of slots [lo, hi); accounts one access per element."""
+        self._validate_range(obj, lo, hi)
+        count = hi - lo
+        if np.ndim(values) and len(values) != count:
+            raise ValueError(
+                f"put_range of {count} slots received {len(values)} values"
+            )
+        pages = self._pages_of(obj, lo, hi)
+        self._charge_base(ctx, count)
+        self.protocol.detect_access(ctx, node, pages, count=count, write=True)
+        if self.is_local(node, obj):
+            obj.main_write_range(lo, hi, values)
+            return
+        self._cache_entry(node, obj).write_range(lo, hi, values)
+
+    def account_accesses(
+        self,
+        ctx: AccessContext,
+        node: int,
+        obj: SharedEntity,
+        count: int,
+        lo: int = 0,
+        hi: Optional[int] = None,
+        write: bool = False,
+    ) -> None:
+        """Charge detection for *count* accesses without moving data.
+
+        The java2c translator emits one ``get``/``put`` per source-level
+        access; loops such as the Jacobi stencil read several elements of the
+        *same* rows per iteration.  The simulator moves each row once with a
+        bulk call and uses this primitive to account the remaining per-element
+        accesses so that check/fault counts match the per-access semantics of
+        compiled code.
+        """
+        if count <= 0:
+            return
+        pages = self._pages_of(obj, lo, hi)
+        self._charge_base(ctx, count)
+        self.protocol.detect_access(ctx, node, pages, count=count, write=write)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_range(obj: SharedEntity, lo: int, hi: int) -> None:
+        if not (0 <= lo < hi <= obj.num_slots):
+            raise IndexError(
+                f"range [{lo}, {hi}) out of bounds for entity with "
+                f"{obj.num_slots} slots"
+            )
+
+    def cache_for(self, node: int) -> ObjectCache:
+        """The object cache of *node*."""
+        return self.caches[node]
+
+    def primitive_names(self) -> Dict[str, str]:
+        """The Table 2 primitive names and their descriptions (for tests/docs)."""
+        return {
+            "loadIntoCache": "Load an object into the cache",
+            "invalidateCache": "Invalidate all entries in the cache",
+            "updateMainMemory": "Update memory with modifications made to objects in the cache",
+            "get": "Retrieve a field from an object previously loaded into the cache",
+            "put": "Modify a field in an object previously loaded into the cache",
+        }

@@ -1,0 +1,116 @@
+"""Consistency-protocol base class and registry.
+
+Both of the paper's protocols follow the same algorithmic lines — home-based
+Java consistency with node-level caches — and differ only in how accesses to
+remote objects are *detected* (paper Section 3).  The shared mechanics live
+here; :mod:`repro.core.java_ic` and :mod:`repro.core.java_pf` supply the two
+detection strategies.  A registry makes protocols selectable by name from the
+runtime and the experiment harness, and lets extensions register additional
+protocols (see :mod:`repro.core.extra`).
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.cluster.costs import CostModel
+from repro.core.context import AccessContext
+from repro.dsm.page_manager import PageManager
+from repro.dsm.protocol_api import DsmProtocolHooks
+
+
+class ConsistencyProtocol(DsmProtocolHooks):
+    """Base class for Java-consistency protocols over DSM-PM2."""
+
+    name = "abstract"
+    uses_page_faults = False
+
+    def __init__(self, page_manager: PageManager, cost_model: CostModel):
+        self.page_manager = page_manager
+        self.cost_model = cost_model
+        self.stats = page_manager.stats
+
+    # ------------------------------------------------------------------
+    # common helpers
+    # ------------------------------------------------------------------
+    def _account_accesses(self, node_id: int, pages: Sequence[int], count: int) -> None:
+        """Record access counters shared by all protocols."""
+        self.stats.accesses += count
+        if any(self.page_manager.home_node(p) != node_id for p in pages):
+            self.stats.remote_accesses += count
+
+    def _fetch(self, ctx: AccessContext, node_id: int, missing: Sequence[int]) -> float:
+        """Fetch *missing* pages to *node_id*, charging the request latency."""
+        latency = self.page_manager.fetch_pages(node_id, missing)
+        ctx.charge_wait(latency)
+        for page in missing:
+            self.on_page_received(ctx, node_id, page)
+        return latency
+
+    # ------------------------------------------------------------------
+    # interface completion
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def detect_access(
+        self,
+        ctx: AccessContext,
+        node_id: int,
+        pages: Iterable[int],
+        count: int,
+        write: bool,
+    ) -> int:
+        raise NotImplementedError
+
+    @abstractmethod
+    def on_monitor_enter(self, ctx: AccessContext, node_id: int) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        mechanism = "page faults" if self.uses_page_faults else "in-line checks"
+        return f"{self.name}: Java consistency with access detection via {mechanism}"
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+ProtocolFactory = Callable[[PageManager, CostModel], ConsistencyProtocol]
+
+_REGISTRY: Dict[str, ProtocolFactory] = {}
+
+
+def register_protocol(name: str, factory: ProtocolFactory) -> None:
+    """Register a protocol factory under *name* (lower-cased)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"protocol {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def create_protocol(
+    name: str, page_manager: PageManager, cost_model: CostModel
+) -> ConsistencyProtocol:
+    """Instantiate the protocol registered under *name*."""
+    # Importing the built-in protocols lazily avoids import cycles and makes
+    # sure they are always available even if the caller imports this module
+    # directly.
+    _ensure_builtins()
+    key = name.lower()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown protocol {name!r}; available: {known}") from None
+    return factory(page_manager, cost_model)
+
+
+def available_protocols() -> List[str]:
+    """Names of all registered protocols."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def _ensure_builtins() -> None:
+    # imported for their registration side effect
+    from repro.core import extra, java_ic, java_pf  # noqa: F401

@@ -1,0 +1,115 @@
+"""Run-level statistics aggregation.
+
+:class:`RunStats` collects everything a single simulated execution produces:
+the DSM counters (checks, faults, fetches, ``mprotect`` calls, update
+traffic), monitor and thread activity, per-node busy times and the final
+execution time.  The harness stores one :class:`RunStats` per
+(application, cluster, protocol, node-count) cell and derives the paper's
+figures and improvement tables from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dsm.page_manager import DsmStats
+
+
+@dataclass
+class MonitorStats:
+    """Monitor and synchronisation activity."""
+
+    enters: int = 0
+    remote_enters: int = 0
+    contended_enters: int = 0
+    waits: int = 0
+    notifies: int = 0
+    barriers: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat dictionary of the counters."""
+        return {
+            "monitor_enters": self.enters,
+            "monitor_remote_enters": self.remote_enters,
+            "monitor_contended_enters": self.contended_enters,
+            "monitor_waits": self.waits,
+            "monitor_notifies": self.notifies,
+            "barriers": self.barriers,
+        }
+
+
+@dataclass
+class ThreadStats:
+    """Thread-management activity."""
+
+    created: int = 0
+    remote_created: int = 0
+    joined: int = 0
+    migrations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat dictionary of the counters."""
+        return {
+            "threads_created": self.created,
+            "threads_remote_created": self.remote_created,
+            "threads_joined": self.joined,
+            "thread_migrations": self.migrations,
+        }
+
+
+@dataclass
+class RunStats:
+    """Everything measured during one simulated application run."""
+
+    dsm: DsmStats = field(default_factory=DsmStats)
+    monitors: MonitorStats = field(default_factory=MonitorStats)
+    threads: ThreadStats = field(default_factory=ThreadStats)
+    cpu_seconds_by_node: Dict[int, float] = field(default_factory=dict)
+    wait_seconds_by_node: Dict[int, float] = field(default_factory=dict)
+    execution_seconds: float = 0.0
+    result: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    def record_cpu(self, node: int, seconds: float) -> None:
+        """Accumulate CPU busy time on *node*."""
+        self.cpu_seconds_by_node[node] = self.cpu_seconds_by_node.get(node, 0.0) + seconds
+
+    def record_wait(self, node: int, seconds: float) -> None:
+        """Accumulate communication wait time attributed to *node*."""
+        self.wait_seconds_by_node[node] = (
+            self.wait_seconds_by_node.get(node, 0.0) + seconds
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_cpu_seconds(self) -> float:
+        """Sum of CPU busy time across nodes."""
+        return sum(self.cpu_seconds_by_node.values())
+
+    @property
+    def total_wait_seconds(self) -> float:
+        """Sum of communication wait time across nodes."""
+        return sum(self.wait_seconds_by_node.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flattened scalar view used by reports, JSON dumps and tests."""
+        out: Dict[str, float] = {
+            "execution_seconds": self.execution_seconds,
+            "cpu_seconds_total": self.total_cpu_seconds,
+            "wait_seconds_total": self.total_wait_seconds,
+        }
+        out.update(self.dsm.as_dict())
+        out.update(self.monitors.as_dict())
+        out.update(self.threads.as_dict())
+        return out
+
+    def summary(self) -> str:
+        """Short human-readable summary (used by examples and the CLI)."""
+        d = self.dsm
+        return (
+            f"time={self.execution_seconds:.6f}s "
+            f"checks={d.inline_checks} faults={d.page_faults} "
+            f"fetches={d.page_fetches} mprotect={d.mprotect_calls} "
+            f"updates={d.update_messages} ({d.update_bytes} B)"
+        )

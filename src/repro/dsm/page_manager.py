@@ -1,0 +1,305 @@
+"""Page tables, the home-node directory, and page transfer mechanics.
+
+The :class:`PageManager` implements the mechanisms the consistency protocols
+share (paper Section 3.1):
+
+* every page of the iso-address space has a **home node** — the node whose
+  arena the page was allocated from — which holds the reference copy;
+* any node may hold a **replica** of a page; at most one copy per node exists
+  and it is shared by all threads of that node;
+* replicas are obtained by a request/reply exchange with the home node,
+  transferring the whole page (which is what produces the pre-fetching effect
+  for other objects on the same page);
+* for fault-based protocols each node additionally tracks a simulated
+  ``mprotect`` protection state per page.
+
+Costs are charged through the :class:`~repro.core.context.AccessContext`
+passed in by the caller so the same mechanics serve both protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.cluster.costs import CostModel
+from repro.cluster.topology import Topology
+from repro.dsm.page import PageInfo, PageProtection, PageTableEntry
+from repro.pm2.isoaddr import IsoAddressAllocator
+from repro.util.validation import check_non_negative
+
+
+@dataclass
+class DsmStats:
+    """Aggregate DSM activity for one simulation run."""
+
+    page_fetches: int = 0
+    bytes_transferred: int = 0
+    page_faults: int = 0
+    mprotect_calls: int = 0
+    inline_checks: int = 0
+    accesses: int = 0
+    remote_accesses: int = 0
+    invalidations: int = 0
+    update_messages: int = 0
+    update_bytes: int = 0
+    fetches_by_node: Dict[int, int] = field(default_factory=dict)
+    faults_by_node: Dict[int, int] = field(default_factory=dict)
+
+    def record_fetch(self, node: int, pages: int, nbytes: int) -> None:
+        """Account a fetch of *pages* pages (*nbytes* total) into *node*."""
+        self.page_fetches += pages
+        self.bytes_transferred += nbytes
+        self.fetches_by_node[node] = self.fetches_by_node.get(node, 0) + pages
+
+    def record_fault(self, node: int, count: int = 1) -> None:
+        """Account *count* page faults taken on *node*."""
+        self.page_faults += count
+        self.faults_by_node[node] = self.faults_by_node.get(node, 0) + count
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary of the scalar counters (for reports and tests)."""
+        return {
+            "page_fetches": self.page_fetches,
+            "bytes_transferred": self.bytes_transferred,
+            "page_faults": self.page_faults,
+            "mprotect_calls": self.mprotect_calls,
+            "inline_checks": self.inline_checks,
+            "accesses": self.accesses,
+            "remote_accesses": self.remote_accesses,
+            "invalidations": self.invalidations,
+            "update_messages": self.update_messages,
+            "update_bytes": self.update_bytes,
+        }
+
+
+class NodePageTable:
+    """Per-node view of the page space: presence and protection."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self._entries: Dict[int, PageTableEntry] = {}
+
+    def entry(self, page: int) -> PageTableEntry:
+        """The (lazily created) table entry for *page*."""
+        entry = self._entries.get(page)
+        if entry is None:
+            entry = PageTableEntry()
+            self._entries[page] = entry
+        return entry
+
+    def known_pages(self) -> List[int]:
+        """Pages that have an entry on this node."""
+        return list(self._entries)
+
+    def present_pages(self) -> List[int]:
+        """Pages currently replicated (or homed) on this node."""
+        return [p for p, e in self._entries.items() if e.present]
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._entries
+
+
+class PageManager:
+    """Home directory plus per-node page tables and transfer accounting."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        page_size: int,
+        isoaddr: IsoAddressAllocator,
+        cost_model: CostModel,
+        topology: Topology,
+    ):
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.num_nodes = int(num_nodes)
+        self.page_size = int(page_size)
+        self.isoaddr = isoaddr
+        self.cost_model = cost_model
+        self.topology = topology
+        self.stats = DsmStats()
+        self._pages: Dict[int, PageInfo] = {}
+        self.tables: List[NodePageTable] = [NodePageTable(n) for n in range(num_nodes)]
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_range(self, address: int, size: int) -> List[int]:
+        """Register the pages backing an allocation; returns their numbers.
+
+        The home node of each page is derived from the iso-address arena the
+        address falls into; the home node's page-table entry is created
+        present and READ_WRITE (the reference copy).
+        """
+        check_non_negative("address", address)
+        if size <= 0:
+            raise ValueError(f"size must be > 0, got {size}")
+        pages = list(self.isoaddr.pages_of_range(address, size))
+        for page in pages:
+            if page not in self._pages:
+                home = self.isoaddr.home_node_of(page * self.page_size)
+                self._pages[page] = PageInfo(
+                    page_number=page, home_node=home, page_size=self.page_size
+                )
+                home_entry = self.tables[home].entry(page)
+                home_entry.present = True
+                home_entry.protection = PageProtection.READ_WRITE
+        return pages
+
+    def page_info(self, page: int) -> PageInfo:
+        """Metadata of a registered page."""
+        try:
+            return self._pages[page]
+        except KeyError:
+            raise KeyError(f"page {page} has not been registered") from None
+
+    def home_node(self, page: int) -> int:
+        """Home node of *page*."""
+        return self.page_info(page).home_node
+
+    def registered_pages(self) -> List[int]:
+        """All registered page numbers (sorted)."""
+        return sorted(self._pages)
+
+    def pages_for_range(self, address: int, size: int) -> List[int]:
+        """Page numbers spanned by [address, address+size)."""
+        return list(self.isoaddr.pages_of_range(address, size))
+
+    # ------------------------------------------------------------------
+    # per-node state queries
+    # ------------------------------------------------------------------
+    def is_present(self, node: int, page: int) -> bool:
+        """True if *node* holds a copy of *page* (home nodes always do)."""
+        info = self.page_info(page)
+        if info.home_node == node:
+            return True
+        entry = self.tables[node]._entries.get(page)
+        return entry is not None and entry.present
+
+    def protection(self, node: int, page: int) -> PageProtection:
+        """Current protection of *page* on *node* (READ_WRITE if untracked)."""
+        self.page_info(page)
+        entry = self.tables[node]._entries.get(page)
+        if entry is None:
+            return PageProtection.READ_WRITE
+        return entry.protection
+
+    def missing_pages(self, node: int, pages: Iterable[int]) -> List[int]:
+        """Subset of *pages* not present on *node*."""
+        return [p for p in pages if not self.is_present(node, p)]
+
+    # ------------------------------------------------------------------
+    # mechanics used by the protocols
+    # ------------------------------------------------------------------
+    def fetch_pages(self, node: int, pages: Sequence[int]) -> float:
+        """Bring *pages* to *node* from their home nodes; return the latency.
+
+        Pages already present cost nothing.  Pages are grouped by home node;
+        each group costs one request/reply round trip carrying the group's
+        pages (DSM-PM2 batches contiguous pages of one request).  The caller
+        charges the returned latency to the faulting/checking thread.
+        """
+        missing = self.missing_pages(node, pages)
+        if not missing:
+            return 0.0
+        latency = 0.0
+        by_home: Dict[int, List[int]] = {}
+        for page in missing:
+            by_home.setdefault(self.home_node(page), []).append(page)
+        for home, group in by_home.items():
+            payload = len(group) * self.page_size
+            latency += (
+                self.topology.round_trip_time(node, home, 64, payload)
+                + self.cost_model.software.rpc_service_seconds
+            )
+            self.stats.record_fetch(node, len(group), payload)
+            for page in group:
+                entry = self.tables[node].entry(page)
+                entry.present = True
+                entry.fetches += 1
+        return latency
+
+    def set_protection(self, node: int, page: int, protection: PageProtection) -> bool:
+        """Set *page*'s protection on *node*; returns True if it changed.
+
+        Each actual change corresponds to one ``mprotect`` system call and is
+        counted in the statistics.
+        """
+        self.page_info(page)
+        entry = self.tables[node].entry(page)
+        if entry.protection is protection:
+            return False
+        entry.protection = protection
+        self.stats.mprotect_calls += 1
+        return True
+
+    def record_fault(self, node: int, page: int) -> None:
+        """Account one page fault taken by *node* on *page*."""
+        entry = self.tables[node].entry(page)
+        entry.faults += 1
+        self.stats.record_fault(node)
+
+    def protect_remote_present_pages(self, node: int) -> int:
+        """``mprotect`` every replicated non-home page on *node* to NONE.
+
+        Used by ``java_pf`` on monitor entry so that the next access to any
+        remote object faults and re-validates the page.  Returns the number
+        of ``mprotect`` calls performed (pages whose protection changed).
+        """
+        calls = 0
+        for page, entry in self.tables[node]._entries.items():
+            if self.page_info(page).home_node == node:
+                continue
+            if entry.present and entry.protection is not PageProtection.NONE:
+                entry.protection = PageProtection.NONE
+                entry.present = False
+                calls += 1
+        if calls:
+            self.stats.mprotect_calls += calls
+        return calls
+
+    def drop_remote_present_pages(self, node: int) -> int:
+        """Forget every replicated non-home page on *node* (``java_ic``).
+
+        No ``mprotect`` is involved — the in-line check protocol keeps all
+        memory READ_WRITE forever and simply clears its presence table.
+        Returns the number of pages dropped.
+        """
+        dropped = 0
+        for page, entry in self.tables[node]._entries.items():
+            if self.page_info(page).home_node == node:
+                continue
+            if entry.present:
+                entry.present = False
+                dropped += 1
+        return dropped
+
+    def unprotect_after_fetch(self, node: int, pages: Sequence[int]) -> int:
+        """Set *pages* back to READ_WRITE on *node* after a fault-driven fetch.
+
+        Returns the number of ``mprotect`` calls (protection transitions).
+        """
+        calls = 0
+        for page in pages:
+            if self.set_protection(node, page, PageProtection.READ_WRITE):
+                calls += 1
+        return calls
+
+    # ------------------------------------------------------------------
+    def replica_count(self, page: int) -> int:
+        """Number of nodes currently holding *page* (including its home)."""
+        info = self.page_info(page)
+        count = 0
+        for node in range(self.num_nodes):
+            if node == info.home_node or self.is_present(node, page):
+                count += 1
+        return count
+
+    def resident_remote_pages(self, node: int) -> int:
+        """Number of non-home pages currently replicated on *node*."""
+        return sum(
+            1
+            for page, entry in self.tables[node]._entries.items()
+            if entry.present and self.page_info(page).home_node != node
+        )

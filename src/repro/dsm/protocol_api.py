@@ -1,0 +1,69 @@
+"""The DSM-PM2 protocol plug-in interface.
+
+DSM-PM2 exposes consistency protocols as a small set of handlers that the
+generic page-management machinery calls at well-defined points; the library
+ships several (sequential consistency, release consistency, Java consistency)
+and applications can register their own.  This module defines that hook
+interface; the concrete Java-consistency protocols of the paper implement it
+in :mod:`repro.core.java_ic` and :mod:`repro.core.java_pf`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.context import AccessContext
+    from repro.dsm.page_manager import PageManager
+
+
+class DsmProtocolHooks(ABC):
+    """Handlers a DSM-PM2 consistency protocol must provide.
+
+    The names mirror DSM-PM2's hook table: access detection (either an
+    explicit check or a fault), page reception, and the synchronisation-time
+    hooks used to implement release/Java consistency.
+    """
+
+    #: short identifier used in reports ("java_ic", "java_pf", ...)
+    name: str = "abstract"
+
+    #: True when the protocol relies on page faults (and therefore on
+    #: mprotect) for access detection.
+    uses_page_faults: bool = False
+
+    # -- access path -------------------------------------------------------
+    @abstractmethod
+    def detect_access(
+        self,
+        ctx: "AccessContext",
+        node_id: int,
+        pages: Iterable[int],
+        count: int,
+        write: bool,
+    ) -> int:
+        """Make *pages* accessible from *node_id*, charging detection costs.
+
+        ``count`` is the number of individual object-field accesses the caller
+        is about to perform against those pages (used by check-based
+        protocols, which pay per access).  Returns the number of pages that
+        had to be fetched from their home node.
+        """
+
+    # -- synchronisation hooks ----------------------------------------------
+    @abstractmethod
+    def on_monitor_enter(self, ctx: "AccessContext", node_id: int) -> None:
+        """Acquire-side consistency action (invalidate / re-protect)."""
+
+    def on_monitor_exit(self, ctx: "AccessContext", node_id: int) -> None:
+        """Release-side consistency action.
+
+        The flush of modified data (``updateMainMemory``) is performed by the
+        Hyperion memory subsystem itself; protocols only add work here if they
+        need extra actions (none of the paper's two protocols do).
+        """
+
+    # -- page arrival --------------------------------------------------------
+    def on_page_received(self, ctx: "AccessContext", node_id: int, page: int) -> None:
+        """Called after a page has been copied into *node_id*'s memory."""

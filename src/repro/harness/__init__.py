@@ -1,0 +1,57 @@
+"""Experiment harness: regenerate every figure and summary of the paper.
+
+* :mod:`~repro.harness.experiment` — run a single (application, cluster,
+  protocol, node-count) cell and grids of them;
+* :mod:`~repro.harness.figures` — Figures 1-5 of the paper (execution time
+  vs. number of nodes, four series each);
+* :mod:`~repro.harness.report` — text tables, ASCII plots and the Section 4.3
+  improvement summary;
+* :mod:`~repro.harness.calibration` — checks the cost model against the
+  constants the paper publishes and the improvements it reports;
+* :mod:`~repro.harness.sweep` — parameter sweeps for the ablation benchmarks;
+* :mod:`~repro.harness.cli` — the ``hyperion-sim`` command-line interface.
+"""
+
+from repro.harness.experiment import (
+    ExperimentCell,
+    ProtocolComparison,
+    run_cell,
+    run_comparison,
+)
+from repro.harness.figures import (
+    FIGURE_APPS,
+    FigureData,
+    FigureSeries,
+    generate_all_figures,
+    generate_figure,
+)
+from repro.harness.report import (
+    ascii_plot,
+    figure_table,
+    improvement_summary,
+    improvement_table,
+)
+from repro.harness.calibration import CalibrationReport, calibrate
+from repro.harness.sweep import sweep_balancer, sweep_check_cost, sweep_page_size, sweep_threads_per_node
+
+__all__ = [
+    "ExperimentCell",
+    "ProtocolComparison",
+    "run_cell",
+    "run_comparison",
+    "FIGURE_APPS",
+    "FigureSeries",
+    "FigureData",
+    "generate_figure",
+    "generate_all_figures",
+    "figure_table",
+    "ascii_plot",
+    "improvement_table",
+    "improvement_summary",
+    "CalibrationReport",
+    "calibrate",
+    "sweep_page_size",
+    "sweep_check_cost",
+    "sweep_threads_per_node",
+    "sweep_balancer",
+]

@@ -1,0 +1,141 @@
+"""Cost-model calibration against the numbers the paper publishes.
+
+The paper gives two kinds of anchors:
+
+* hard constants — the page-fault cost is 22 us on the Myrinet-cluster
+  machines and 12 us on the SCI-cluster machines, the node counts and CPU
+  clocks of the two platforms;
+* observed outcomes — the single-node ``java_pf`` improvement per benchmark
+  on the Myrinet cluster (38% for Jacobi ... 64% for ASP, ~46% for Barnes)
+  and the qualitative statement that SCI improvements are smaller.
+
+``calibrate()`` re-derives the observable outcomes from the current cost
+model and reports how far they are from the paper's, so any change to the
+cost constants can be judged immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.workloads import WorkloadPreset
+from repro.cluster.presets import cluster_by_name
+from repro.harness.experiment import run_comparison
+
+#: single-node improvements the paper reports (or implies) on the Myrinet
+#: cluster; TSP is only bounded by the 38-64% range given in Section 4.3
+PAPER_MYRINET_IMPROVEMENT = {
+    "pi": 0.0,
+    "jacobi": 38.0,
+    "barnes": 46.0,
+    "tsp": 50.0,
+    "asp": 64.0,
+}
+
+#: acceptable absolute deviation (percentage points) per application
+DEFAULT_TOLERANCE = {
+    "pi": 2.0,
+    "jacobi": 6.0,
+    "barnes": 8.0,
+    "tsp": 15.0,
+    "asp": 6.0,
+}
+
+
+@dataclass
+class CalibrationEntry:
+    """One benchmark's calibration outcome."""
+
+    app: str
+    paper_percent: float
+    measured_percent: float
+    tolerance: float
+
+    @property
+    def deviation(self) -> float:
+        """Absolute difference between measured and paper improvements."""
+        return abs(self.measured_percent - self.paper_percent)
+
+    @property
+    def within_tolerance(self) -> bool:
+        """True when the deviation is acceptable."""
+        return self.deviation <= self.tolerance
+
+
+@dataclass
+class CalibrationReport:
+    """Result of a calibration run."""
+
+    entries: List[CalibrationEntry] = field(default_factory=list)
+    constants_ok: bool = True
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when constants match and every entry is within tolerance."""
+        return self.constants_ok and all(e.within_tolerance for e in self.entries)
+
+    def render(self) -> str:
+        """Human-readable calibration table."""
+        lines = ["calibration against the paper (Myrinet cluster, 1 node)", ""]
+        lines.append(f"{'app':>8} {'paper %':>9} {'measured %':>11} {'tol':>6} {'ok':>4}")
+        for entry in self.entries:
+            lines.append(
+                f"{entry.app:>8} {entry.paper_percent:9.1f} "
+                f"{entry.measured_percent:11.1f} {entry.tolerance:6.1f} "
+                f"{'yes' if entry.within_tolerance else 'NO':>4}"
+            )
+        lines.append("")
+        lines.extend(self.notes)
+        lines.append(f"overall: {'OK' if self.ok else 'OUT OF CALIBRATION'}")
+        return "\n".join(lines)
+
+
+def check_published_constants() -> List[str]:
+    """Verify the constants the paper states explicitly; return notes."""
+    notes = []
+    myrinet = cluster_by_name("myrinet")
+    sci = cluster_by_name("sci")
+    checks = [
+        ("Myrinet cluster has 12 nodes", myrinet.num_nodes == 12),
+        ("SCI cluster has 6 nodes", sci.num_nodes == 6),
+        ("Myrinet CPUs run at 200 MHz", abs(myrinet.machine.frequency_hz - 200e6) < 1),
+        ("SCI CPUs run at 450 MHz", abs(sci.machine.frequency_hz - 450e6) < 1),
+        ("Myrinet page fault costs 22 us", abs(myrinet.software.page_fault_seconds - 22e-6) < 1e-9),
+        ("SCI page fault costs 12 us", abs(sci.software.page_fault_seconds - 12e-6) < 1e-9),
+    ]
+    for description, ok in checks:
+        notes.append(f"{'ok ' if ok else 'BAD'} {description}")
+    return notes
+
+
+def calibrate(
+    workload: Optional[WorkloadPreset] = None,
+    apps: Optional[List[str]] = None,
+    tolerance: Optional[Dict[str, float]] = None,
+) -> CalibrationReport:
+    """Measure single-node Myrinet improvements and compare to the paper."""
+    preset = workload or WorkloadPreset.bench()
+    tolerances = {**DEFAULT_TOLERANCE, **(tolerance or {})}
+    report = CalibrationReport()
+    report.notes = check_published_constants()
+    report.constants_ok = all(note.startswith("ok") for note in report.notes)
+
+    for app in apps or sorted(PAPER_MYRINET_IMPROVEMENT):
+        comparison = run_comparison(
+            app,
+            "myrinet",
+            node_counts=[1],
+            workload=preset.workload_for(app),
+        )
+        measured = comparison.improvement_percent(1)
+        report.entries.append(
+            CalibrationEntry(
+                app=app,
+                paper_percent=PAPER_MYRINET_IMPROVEMENT[app],
+                measured_percent=measured,
+                tolerance=tolerances.get(app, 10.0),
+            )
+        )
+    return report

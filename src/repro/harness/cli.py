@@ -1,0 +1,135 @@
+"""Command-line interface: ``hyperion-sim``.
+
+Sub-commands::
+
+    hyperion-sim figure 2                 # regenerate Figure 2 (Jacobi)
+    hyperion-sim all                      # all five figures + improvement table
+    hyperion-sim run jacobi --protocol java_pf --cluster myrinet --nodes 4
+    hyperion-sim calibrate                # check the cost model against the paper
+    hyperion-sim describe                 # show the cluster presets / protocols
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.apps.base import available_apps
+from repro.apps.workloads import WorkloadPreset
+from repro.cluster.presets import cluster_by_name, list_clusters
+from repro.core.protocol import available_protocols
+from repro.harness.calibration import calibrate
+from repro.harness.experiment import run_cell, run_comparison
+from repro.harness.figures import FIGURE_APPS, generate_all_figures, generate_figure
+from repro.harness.report import ascii_plot, figure_table, improvement_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hyperion-sim",
+        description="Reproduction of 'Remote Object Detection in Cluster-Based Java'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument("number", type=int, choices=sorted(FIGURE_APPS))
+    figure.add_argument("--scale", default="bench", choices=["testing", "bench", "paper"])
+    figure.add_argument("--plot", action="store_true", help="also print an ASCII plot")
+    figure.add_argument("--json", action="store_true", help="print JSON instead of a table")
+
+    everything = sub.add_parser("all", help="regenerate all five figures")
+    everything.add_argument("--scale", default="bench", choices=["testing", "bench", "paper"])
+    everything.add_argument("--json", action="store_true")
+
+    run = sub.add_parser("run", help="run a single experiment cell")
+    run.add_argument("app", choices=available_apps())
+    run.add_argument("--cluster", default="myrinet", choices=list_clusters())
+    run.add_argument("--protocol", default="java_pf", choices=available_protocols())
+    run.add_argument("--nodes", type=int, default=4)
+    run.add_argument("--scale", default="bench", choices=["testing", "bench", "paper"])
+    run.add_argument("--verify", action="store_true")
+
+    sub.add_parser("calibrate", help="check the cost model against the paper")
+    sub.add_parser("describe", help="list cluster presets, protocols and benchmarks")
+    return parser
+
+
+def _workload(scale: str):
+    return WorkloadPreset.by_name(scale)
+
+
+def cmd_figure(args) -> int:
+    data = generate_figure(args.number, workload=_workload(args.scale))
+    if args.json:
+        print(json.dumps(data.to_dict(), indent=2))
+    else:
+        print(figure_table(data))
+        if args.plot:
+            print()
+            print(ascii_plot(data))
+    return 0
+
+
+def cmd_all(args) -> int:
+    figures = generate_all_figures(workload=_workload(args.scale))
+    if args.json:
+        print(json.dumps({n: f.to_dict() for n, f in figures.items()}, indent=2))
+        return 0
+    for number in sorted(figures):
+        print(figure_table(figures[number]))
+        print()
+    comparisons = {}
+    for figure in figures.values():
+        for cluster, comparison in figure.comparisons.items():
+            comparisons.setdefault(cluster, {})[figure.app] = comparison
+    print(improvement_table(comparisons))
+    return 0
+
+
+def cmd_run(args) -> int:
+    workload = _workload(args.scale).workload_for(args.app)
+    report = run_cell(
+        args.app, args.cluster, args.protocol, args.nodes, workload, verify=args.verify
+    )
+    print(report)
+    for key, value in sorted(report.stats.as_dict().items()):
+        print(f"  {key:30s} {value}")
+    return 0
+
+
+def cmd_calibrate(_args) -> int:
+    report = calibrate()
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_describe(_args) -> int:
+    print("cluster presets:")
+    for name in list_clusters():
+        spec = cluster_by_name(name)
+        print(f"  {name}: {spec.num_nodes} x {spec.machine.name}, {spec.network.name}")
+        for line in spec.cost_model().describe().splitlines():
+            print(f"      {line}")
+    print("protocols:", ", ".join(available_protocols()))
+    print("benchmarks:", ", ".join(available_apps()))
+    print("figures:", ", ".join(f"{n} -> {app}" for n, app in sorted(FIGURE_APPS.items())))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``hyperion-sim`` console script."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "figure": cmd_figure,
+        "all": cmd_all,
+        "run": cmd_run,
+        "calibrate": cmd_calibrate,
+        "describe": cmd_describe,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Run individual experiment cells and protocol comparisons.
+
+An *experiment cell* is one simulated execution: an application, on a cluster
+preset, with a consistency protocol, on a given number of nodes, at a given
+workload.  A *protocol comparison* runs the same application/cluster/node
+grid under several protocols and derives the quantity the paper reports: the
+relative improvement of ``java_pf`` over ``java_ic``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.apps.base import create_app
+from repro.apps.workloads import WorkloadPreset
+from repro.cluster.presets import ClusterSpec, cluster_by_name
+from repro.hyperion.runtime import ExecutionReport, HyperionRuntime, RuntimeConfig
+
+
+def _resolve_cluster(cluster: Union[str, ClusterSpec]) -> ClusterSpec:
+    if isinstance(cluster, ClusterSpec):
+        return cluster
+    return cluster_by_name(cluster)
+
+
+def _resolve_workload(app_name: str, workload) -> object:
+    if workload is None:
+        return WorkloadPreset.bench().workload_for(app_name)
+    if isinstance(workload, str):
+        return WorkloadPreset.by_name(workload).workload_for(app_name)
+    if isinstance(workload, WorkloadPreset):
+        return workload.workload_for(app_name)
+    return workload
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """Identity of one simulated execution."""
+
+    app: str
+    cluster: str
+    protocol: str
+    num_nodes: int
+
+    def label(self) -> str:
+        """Short display label (used by reports and benchmark names)."""
+        return f"{self.app}/{self.cluster}/{self.protocol}/n{self.num_nodes}"
+
+
+def run_cell(
+    app_name: str,
+    cluster: Union[str, ClusterSpec],
+    protocol: str,
+    num_nodes: int,
+    workload=None,
+    config: Optional[RuntimeConfig] = None,
+    verify: bool = False,
+) -> ExecutionReport:
+    """Run one experiment cell and return its :class:`ExecutionReport`.
+
+    ``workload`` may be a workload object, a :class:`WorkloadPreset`, a preset
+    name (``"bench"``, ``"paper"``, ``"testing"``) or None (bench preset).
+    With ``verify=True`` the application's correctness check runs on the
+    result and a failure raises ``AssertionError``.
+    """
+    spec = _resolve_cluster(cluster)
+    resolved = _resolve_workload(app_name, workload)
+    base_config = config or RuntimeConfig()
+    runtime_config = RuntimeConfig(**{**base_config.__dict__, "protocol": protocol})
+    runtime = HyperionRuntime(spec, num_nodes=num_nodes, config=runtime_config)
+    app = create_app(app_name)
+    report = app.run(runtime, resolved)
+    if verify and not app.verify(report.result, resolved):
+        raise AssertionError(
+            f"{app_name} produced an incorrect result under "
+            f"{protocol} on {spec.name}/{num_nodes} nodes"
+        )
+    return report
+
+
+@dataclass
+class ProtocolComparison:
+    """All protocol runs of one application on one cluster."""
+
+    app: str
+    cluster: str
+    workload_name: str
+    node_counts: List[int]
+    protocols: List[str]
+    reports: Dict[Tuple[str, int], ExecutionReport] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def report(self, protocol: str, num_nodes: int) -> ExecutionReport:
+        """The report of one (protocol, node-count) cell."""
+        return self.reports[(protocol, num_nodes)]
+
+    def series(self, protocol: str) -> List[Tuple[int, float]]:
+        """Execution-time series (nodes, seconds) for *protocol*."""
+        return [
+            (n, self.reports[(protocol, n)].execution_seconds) for n in self.node_counts
+        ]
+
+    def improvement_percent(self, num_nodes: int, baseline: str = "java_ic", candidate: str = "java_pf") -> float:
+        """Relative improvement of *candidate* over *baseline* at *num_nodes*."""
+        base = self.reports[(baseline, num_nodes)].execution_seconds
+        cand = self.reports[(candidate, num_nodes)].execution_seconds
+        if base <= 0:
+            return 0.0
+        return 100.0 * (base - cand) / base
+
+    def improvements(self, baseline: str = "java_ic", candidate: str = "java_pf") -> Dict[int, float]:
+        """Improvement per node count."""
+        return {
+            n: self.improvement_percent(n, baseline, candidate) for n in self.node_counts
+        }
+
+    def mean_improvement(self, baseline: str = "java_ic", candidate: str = "java_pf") -> float:
+        """Average improvement across node counts (the paper's SCI summary)."""
+        values = list(self.improvements(baseline, candidate).values())
+        return sum(values) / len(values) if values else 0.0
+
+
+def run_comparison(
+    app_name: str,
+    cluster: Union[str, ClusterSpec],
+    node_counts: Optional[Sequence[int]] = None,
+    workload=None,
+    protocols: Iterable[str] = ("java_ic", "java_pf"),
+    config: Optional[RuntimeConfig] = None,
+    verify: bool = False,
+) -> ProtocolComparison:
+    """Run *app_name* on *cluster* for every (protocol, node-count) pair."""
+    spec = _resolve_cluster(cluster)
+    counts = list(node_counts) if node_counts is not None else spec.node_counts()
+    protocol_list = list(protocols)
+    workload_name = workload if isinstance(workload, str) else getattr(workload, "name", "custom")
+    comparison = ProtocolComparison(
+        app=app_name,
+        cluster=spec.name,
+        workload_name=str(workload_name),
+        node_counts=counts,
+        protocols=protocol_list,
+    )
+    for protocol in protocol_list:
+        for n in counts:
+            comparison.reports[(protocol, n)] = run_cell(
+                app_name, spec, protocol, n, workload=workload, config=config, verify=verify
+            )
+    return comparison

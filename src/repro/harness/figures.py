@@ -1,0 +1,170 @@
+"""Regeneration of Figures 1-5 of the paper.
+
+Each figure plots the execution time of one benchmark against the number of
+nodes, with four series: the two protocols on the Myrinet cluster (up to 12
+nodes) and on the SCI cluster (up to 6 nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.apps.workloads import WorkloadPreset
+from repro.cluster.presets import cluster_by_name
+from repro.harness.experiment import ProtocolComparison, run_comparison
+from repro.hyperion.runtime import RuntimeConfig
+
+#: figure number -> benchmark, as in the paper
+FIGURE_APPS: Dict[int, str] = {1: "pi", 2: "jacobi", 3: "barnes", 4: "tsp", 5: "asp"}
+
+#: node counts plotted in the paper's figures, per cluster
+DEFAULT_NODE_COUNTS: Dict[str, Tuple[int, ...]] = {
+    "myrinet": (1, 2, 4, 6, 8, 10, 12),
+    "sci": (1, 2, 3, 4, 5, 6),
+}
+
+
+@dataclass
+class FigureSeries:
+    """One curve of a figure: a cluster/protocol pair."""
+
+    cluster: str
+    protocol: str
+    points: List[Tuple[int, float]]
+
+    @property
+    def label(self) -> str:
+        """Legend label matching the paper's ("200MHz/Myrinet, java_pf")."""
+        platform = "200MHz/Myrinet" if self.cluster == "myrinet" else "450MHz/SCI"
+        return f"{platform}, {self.protocol}"
+
+
+@dataclass
+class FigureData:
+    """All series of one figure plus the comparisons they came from."""
+
+    number: int
+    app: str
+    workload_name: str
+    series: List[FigureSeries] = field(default_factory=list)
+    comparisons: Dict[str, ProtocolComparison] = field(default_factory=dict)
+
+    @property
+    def title(self) -> str:
+        """Paper-style caption."""
+        pretty = {"pi": "Pi", "jacobi": "Jacobi", "barnes": "Barnes Hut", "tsp": "TSP", "asp": "ASP"}
+        return f"Figure {self.number}. {pretty.get(self.app, self.app)}: java_pf vs. java_ic."
+
+    def series_for(self, cluster: str, protocol: str) -> FigureSeries:
+        """Look up one curve."""
+        for entry in self.series:
+            if entry.cluster == cluster and entry.protocol == protocol:
+                return entry
+        raise KeyError(f"no series for {cluster}/{protocol}")
+
+    def improvements(self, cluster: str) -> Dict[int, float]:
+        """java_pf improvement over java_ic per node count on *cluster*."""
+        return self.comparisons[cluster].improvements()
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation (used by the benchmark harness)."""
+        return {
+            "figure": self.number,
+            "app": self.app,
+            "workload": self.workload_name,
+            "series": [
+                {
+                    "cluster": s.cluster,
+                    "protocol": s.protocol,
+                    "label": s.label,
+                    "points": [[n, t] for n, t in s.points],
+                }
+                for s in self.series
+            ],
+            "improvements": {
+                cluster: self.improvements(cluster) for cluster in self.comparisons
+            },
+        }
+
+
+def figure_for_app(app: str) -> int:
+    """Figure number of *app* (inverse of :data:`FIGURE_APPS`)."""
+    for number, name in FIGURE_APPS.items():
+        if name == app:
+            return number
+    raise KeyError(f"application {app!r} does not correspond to a paper figure")
+
+
+def generate_figure(
+    number: int,
+    workload=None,
+    clusters: Iterable[str] = ("myrinet", "sci"),
+    node_counts: Optional[Dict[str, Sequence[int]]] = None,
+    protocols: Iterable[str] = ("java_ic", "java_pf"),
+    config: Optional[RuntimeConfig] = None,
+    verify: bool = False,
+) -> FigureData:
+    """Regenerate one of the paper's figures.
+
+    ``workload`` accepts the same forms as :func:`repro.harness.experiment.run_cell`
+    (a preset name, a :class:`WorkloadPreset`, a workload object or None for
+    the bench preset).
+    """
+    try:
+        app = FIGURE_APPS[number]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {number}; the paper has figures {sorted(FIGURE_APPS)}"
+        ) from None
+    workload_name = workload if isinstance(workload, str) else getattr(workload, "name", "bench")
+    data = FigureData(number=number, app=app, workload_name=str(workload_name))
+    protocol_list = list(protocols)
+    for cluster_name in clusters:
+        spec = cluster_by_name(cluster_name)
+        if node_counts and cluster_name in node_counts:
+            counts: Sequence[int] = node_counts[cluster_name]
+        else:
+            counts = [
+                n
+                for n in DEFAULT_NODE_COUNTS.get(cluster_name, spec.node_counts())
+                if n <= spec.num_nodes
+            ]
+        comparison = run_comparison(
+            app,
+            spec,
+            node_counts=counts,
+            workload=workload,
+            protocols=protocol_list,
+            config=config,
+            verify=verify,
+        )
+        data.comparisons[cluster_name] = comparison
+        for protocol in protocol_list:
+            data.series.append(
+                FigureSeries(
+                    cluster=cluster_name,
+                    protocol=protocol,
+                    points=comparison.series(protocol),
+                )
+            )
+    return data
+
+
+def generate_all_figures(
+    workload=None,
+    clusters: Iterable[str] = ("myrinet", "sci"),
+    node_counts: Optional[Dict[str, Sequence[int]]] = None,
+    config: Optional[RuntimeConfig] = None,
+) -> Dict[int, FigureData]:
+    """Regenerate Figures 1-5; returns them keyed by figure number."""
+    return {
+        number: generate_figure(
+            number,
+            workload=workload,
+            clusters=clusters,
+            node_counts=node_counts,
+            config=config,
+        )
+        for number in sorted(FIGURE_APPS)
+    }

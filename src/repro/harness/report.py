@@ -1,0 +1,109 @@
+"""Text rendering of figures and the Section 4.3 improvement summary."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.harness.experiment import ProtocolComparison
+from repro.harness.figures import FigureData
+
+
+def figure_table(figure: FigureData) -> str:
+    """Render one figure as a text table (rows = node counts)."""
+    lines = [figure.title, ""]
+    header = ["nodes"] + [series.label for series in figure.series]
+    widths = [max(6, len(h) + 2) for h in header]
+    lines.append("".join(h.rjust(w) for h, w in zip(header, widths)))
+    node_axis = sorted({n for series in figure.series for n, _ in series.points})
+    for n in node_axis:
+        row = [str(n)]
+        for series in figure.series:
+            value = dict(series.points).get(n)
+            row.append(f"{value:.3f}" if value is not None else "-")
+        lines.append("".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    for cluster, comparison in figure.comparisons.items():
+        improvements = ", ".join(
+            f"{n}:{pct:.0f}%" for n, pct in comparison.improvements().items()
+        )
+        lines.append(f"java_pf improvement on {cluster}: {improvements}")
+    return "\n".join(lines)
+
+
+def ascii_plot(figure: FigureData, width: int = 60, height: int = 16) -> str:
+    """Poor-man's plot of a figure (execution time vs. nodes)."""
+    points_all = [t for series in figure.series for _, t in series.points]
+    if not points_all:
+        return "(empty figure)"
+    t_max = max(points_all)
+    n_max = max(n for series in figure.series for n, _ in series.points)
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+    markers = "opxs*+"
+    for idx, series in enumerate(figure.series):
+        marker = markers[idx % len(markers)]
+        for n, t in series.points:
+            x = round(n / n_max * width)
+            y = height - round(t / t_max * height)
+            grid[y][x] = marker
+    lines = [figure.title, f"(y: 0..{t_max:.2f} s, x: 0..{n_max} nodes)"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * (width + 1))
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={series.label}" for i, series in enumerate(figure.series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def improvement_table(
+    comparisons: Dict[str, Dict[str, ProtocolComparison]],
+) -> str:
+    """Section 4.3 style summary: per-app, per-cluster java_pf improvement.
+
+    ``comparisons`` maps cluster name -> app name -> comparison.
+    """
+    lines = ["java_pf improvement over java_ic (percent)", ""]
+    for cluster, by_app in comparisons.items():
+        lines.append(f"[{cluster}]")
+        header = ["app"] + [str(n) for n in next(iter(by_app.values())).node_counts] + ["mean"]
+        widths = [10] + [7] * (len(header) - 1)
+        lines.append("".join(h.rjust(w) for h, w in zip(header, widths)))
+        for app, comparison in by_app.items():
+            improvements = comparison.improvements()
+            row = [app]
+            row += [f"{improvements[n]:.1f}" for n in comparison.node_counts]
+            row.append(f"{comparison.mean_improvement():.1f}")
+            lines.append("".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def improvement_summary(figures: Dict[int, FigureData]) -> Dict[str, Dict[str, float]]:
+    """Mean java_pf improvement per cluster and app, from generated figures."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for figure in figures.values():
+        for cluster, comparison in figure.comparisons.items():
+            summary.setdefault(cluster, {})[figure.app] = comparison.mean_improvement()
+    return summary
+
+
+def render_experiments_markdown(figures: Dict[int, FigureData]) -> str:
+    """Markdown section for EXPERIMENTS.md with measured values."""
+    lines: List[str] = []
+    for number in sorted(figures):
+        figure = figures[number]
+        lines.append(f"### Figure {number} ({figure.app})")
+        lines.append("")
+        lines.append("| cluster | protocol | " + " | ".join(
+            str(n) for n, _ in figure.series[0].points) + " |")
+        lines.append("|---" * (2 + len(figure.series[0].points)) + "|")
+        for series in figure.series:
+            values = " | ".join(f"{t:.3f}" for _, t in series.points)
+            lines.append(f"| {series.cluster} | {series.protocol} | {values} |")
+        for cluster, comparison in figure.comparisons.items():
+            improvements = ", ".join(
+                f"{n} nodes: {pct:.1f}%" for n, pct in comparison.improvements().items()
+            )
+            lines.append(f"")
+            lines.append(f"*java_pf improvement on {cluster}*: {improvements}")
+        lines.append("")
+    return "\n".join(lines)

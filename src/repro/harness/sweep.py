@@ -1,0 +1,118 @@
+"""Parameter sweeps backing the ablation experiments (A1-A4 in DESIGN.md)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cluster.presets import ClusterSpec, cluster_by_name
+from repro.harness.experiment import run_cell
+from repro.hyperion.runtime import RuntimeConfig
+
+
+@dataclass
+class SweepResult:
+    """Execution times of one sweep, per protocol and parameter value."""
+
+    parameter: str
+    values: List[object]
+    times: Dict[Tuple[str, object], float] = field(default_factory=dict)
+
+    def series(self, protocol: str) -> List[Tuple[object, float]]:
+        """(value, seconds) series for one protocol."""
+        return [(v, self.times[(protocol, v)]) for v in self.values]
+
+    def crossover(self, first: str = "java_ic", second: str = "java_pf") -> Optional[object]:
+        """First swept value at which *first* becomes faster than *second*."""
+        for value in self.values:
+            if self.times[(first, value)] < self.times[(second, value)]:
+                return value
+        return None
+
+    def render(self) -> str:
+        """Text table of the sweep."""
+        protocols = sorted({p for p, _ in self.times})
+        lines = [f"sweep over {self.parameter}", ""]
+        header = [self.parameter] + protocols
+        lines.append("".join(str(h).rjust(14) for h in header))
+        for value in self.values:
+            row = [str(value)] + [f"{self.times[(p, value)]:.4f}" for p in protocols]
+            lines.append("".join(cell.rjust(14) for cell in row))
+        return "\n".join(lines)
+
+
+def _cluster(cluster) -> ClusterSpec:
+    return cluster if isinstance(cluster, ClusterSpec) else cluster_by_name(cluster)
+
+
+def sweep_page_size(
+    app: str,
+    cluster="myrinet",
+    num_nodes: int = 4,
+    page_sizes: Sequence[int] = (1024, 2048, 4096, 8192, 16384),
+    workload=None,
+    protocols: Iterable[str] = ("java_ic", "java_pf"),
+) -> SweepResult:
+    """A1: effect of the DSM page size (granularity / pre-fetching trade-off)."""
+    result = SweepResult(parameter="page_size", values=list(page_sizes))
+    for page_size in page_sizes:
+        for protocol in protocols:
+            config = RuntimeConfig(protocol=protocol, page_size=page_size)
+            report = run_cell(app, _cluster(cluster), protocol, num_nodes, workload, config=config)
+            result.times[(protocol, page_size)] = report.execution_seconds
+    return result
+
+
+def sweep_check_cost(
+    app: str,
+    cluster="myrinet",
+    num_nodes: int = 4,
+    check_cycles: Sequence[float] = (2.0, 4.0, 8.0, 16.0, 32.0),
+    workload=None,
+    protocols: Iterable[str] = ("java_ic", "java_pf"),
+) -> SweepResult:
+    """A2: how expensive must the in-line check be for java_pf to win?"""
+    base = _cluster(cluster)
+    result = SweepResult(parameter="inline_check_cycles", values=list(check_cycles))
+    for cycles in check_cycles:
+        spec = base.with_software(inline_check_cycles=cycles)
+        for protocol in protocols:
+            report = run_cell(app, spec, protocol, num_nodes, workload)
+            result.times[(protocol, cycles)] = report.execution_seconds
+    return result
+
+
+def sweep_threads_per_node(
+    app: str,
+    cluster="myrinet",
+    num_nodes: int = 4,
+    threads_per_node: Sequence[int] = (1, 2, 4),
+    workload=None,
+    protocols: Iterable[str] = ("java_ic", "java_pf"),
+) -> SweepResult:
+    """A3: more than one application thread per node (paper future work)."""
+    result = SweepResult(parameter="threads_per_node", values=list(threads_per_node))
+    for tpn in threads_per_node:
+        for protocol in protocols:
+            config = RuntimeConfig(protocol=protocol, threads_per_node=tpn)
+            report = run_cell(app, _cluster(cluster), protocol, num_nodes, workload, config=config)
+            result.times[(protocol, tpn)] = report.execution_seconds
+    return result
+
+
+def sweep_balancer(
+    app: str,
+    cluster="myrinet",
+    num_nodes: int = 4,
+    policies: Sequence[str] = ("round_robin", "block", "random"),
+    workload=None,
+    protocols: Iterable[str] = ("java_ic", "java_pf"),
+) -> SweepResult:
+    """A4: thread-placement policy of the load balancer."""
+    result = SweepResult(parameter="balancer", values=list(policies))
+    for policy in policies:
+        for protocol in protocols:
+            config = RuntimeConfig(protocol=protocol, balancer=policy)
+            report = run_cell(app, _cluster(cluster), protocol, num_nodes, workload, config=config)
+            result.times[(protocol, policy)] = report.execution_seconds
+    return result

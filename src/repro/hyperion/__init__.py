@@ -1,0 +1,51 @@
+"""The Hyperion runtime (paper Table 1).
+
+Hyperion's run-time library is a collection of modules:
+
+* **Threads subsystem** (:mod:`repro.hyperion.threads`) — Java threads mapped
+  onto PM2/Marcel threads, plus the thread-facing programming interface the
+  java2c translator targets;
+* **Communication subsystem** (:mod:`repro.hyperion.comm`) — message handlers
+  asynchronously invoked on the receiving node, mapped onto PM2 RPCs;
+* **Memory subsystem** (:mod:`repro.core.memory`) — the single shared address
+  space respecting the Java Memory Model;
+* **Load balancer** (:mod:`repro.hyperion.loadbalancer`) — distribution of
+  newly created threads to nodes (round-robin in the paper);
+* **Java API subsystem** (:mod:`repro.hyperion.javaapi`) — the subset of JDK
+  native methods the benchmarks need.
+
+:class:`~repro.hyperion.runtime.HyperionRuntime` assembles all of them over a
+chosen cluster preset and consistency protocol and is the main entry point of
+the library.
+"""
+
+from repro.hyperion.heap import HeapAllocator
+from repro.hyperion.loadbalancer import (
+    BlockBalancer,
+    LoadBalancer,
+    RandomBalancer,
+    RoundRobinBalancer,
+    create_balancer,
+)
+from repro.hyperion.monitors import MonitorManager
+from repro.hyperion.objects import JavaArray, JavaClass, JavaObject
+from repro.hyperion.runtime import ExecutionReport, HyperionRuntime, RuntimeConfig
+from repro.hyperion.threads import JavaThread, JavaThreadContext
+
+__all__ = [
+    "JavaClass",
+    "JavaObject",
+    "JavaArray",
+    "HeapAllocator",
+    "MonitorManager",
+    "LoadBalancer",
+    "RoundRobinBalancer",
+    "BlockBalancer",
+    "RandomBalancer",
+    "create_balancer",
+    "JavaThread",
+    "JavaThreadContext",
+    "HyperionRuntime",
+    "RuntimeConfig",
+    "ExecutionReport",
+]

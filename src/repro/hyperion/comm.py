@@ -1,0 +1,65 @@
+"""Hyperion's communication subsystem.
+
+A thin layer over PM2's RPCs (paper Table 1: "The interface is based upon
+message handlers being asynchronously invoked on the receiving end").  The
+runtime registers its internal services here — remote thread creation, the
+barrier coordinator, and the DSM's control messages are counted against the
+same statistics — and applications may register their own handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List
+
+from repro.pm2.rpc import OneWayHandler, RpcHandler, RpcStats, RpcSystem
+
+
+class CommunicationSubsystem:
+    """Named message handlers on every node, invoked through PM2 RPCs."""
+
+    #: service names used internally by the runtime
+    SERVICE_SPAWN_THREAD = "hyperion.spawn_thread"
+    SERVICE_BARRIER = "hyperion.barrier"
+    SERVICE_USER_PREFIX = "user."
+
+    def __init__(self, rpc: RpcSystem):
+        self.rpc = rpc
+        self.registered_services: List[str] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> RpcStats:
+        """Communication statistics (shared with the RPC layer)."""
+        return self.rpc.stats
+
+    def register_handler(self, node: int, name: str, handler: RpcHandler) -> None:
+        """Register a request/reply handler for *name* on *node*."""
+        self.rpc.register_service(node, name, handler)
+        self.registered_services.append(name)
+
+    def register_oneway(self, node: int, name: str, handler: OneWayHandler) -> None:
+        """Register a one-way message handler for *name* on *node*."""
+        self.rpc.register_oneway(node, name, handler)
+        self.registered_services.append(name)
+
+    # ------------------------------------------------------------------
+    def invoke(
+        self, src: int, dst: int, name: str, payload: Any = None, request_bytes: int = 64
+    ) -> Generator:
+        """Invoke a request/reply handler; use through ``yield from``."""
+        reply = yield self.rpc.invoke(src, dst, name, payload, request_bytes)
+        return reply
+
+    def post(
+        self, src: int, dst: int, name: str, payload: Any = None, request_bytes: int = 64
+    ) -> None:
+        """Send a one-way message (fire and forget)."""
+        self.rpc.post(src, dst, name, payload, request_bytes)
+
+    def broadcast(
+        self, src: int, name: str, payload: Any = None, request_bytes: int = 64
+    ) -> None:
+        """Post a one-way message to every node except the sender."""
+        for dst in range(self.rpc.topology.num_nodes):
+            if dst != src:
+                self.rpc.post(src, dst, name, payload, request_bytes)

@@ -1,0 +1,108 @@
+"""Thread distribution policies.
+
+The paper's load balancer "handles the distribution of newly created threads
+to nodes" and "currently uses a round-robin thread distribution algorithm"
+(Table 1).  Round-robin is therefore the default; block and random policies
+are provided for the load-balancer ablation (A4 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+from repro.util.validation import check_positive
+
+
+class LoadBalancer(ABC):
+    """Chooses the node a newly created Java thread runs on."""
+
+    def __init__(self, num_nodes: int):
+        check_positive("num_nodes", num_nodes)
+        self.num_nodes = int(num_nodes)
+        self.assignments: List[int] = []
+
+    @abstractmethod
+    def _select(self, index: int) -> int:
+        """Node for the *index*-th thread created."""
+
+    def next_node(self) -> int:
+        """Assign the next thread and record the decision."""
+        node = self._select(len(self.assignments))
+        if not 0 <= node < self.num_nodes:
+            raise RuntimeError(f"balancer selected invalid node {node}")
+        self.assignments.append(node)
+        return node
+
+    def threads_per_node(self) -> Dict[int, int]:
+        """Histogram of the assignments made so far."""
+        counts = {n: 0 for n in range(self.num_nodes)}
+        for node in self.assignments:
+            counts[node] += 1
+        return counts
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """Thread *i* goes to node ``i % num_nodes`` (the paper's policy)."""
+
+    name = "round_robin"
+
+    def _select(self, index: int) -> int:
+        return index % self.num_nodes
+
+
+class BlockBalancer(LoadBalancer):
+    """Consecutive threads are packed onto the same node in blocks.
+
+    With ``expected_threads`` equal to the number of nodes this coincides
+    with round-robin; with more threads than nodes it keeps neighbouring
+    thread indices (which usually share data) on the same node.
+    """
+
+    name = "block"
+
+    def __init__(self, num_nodes: int, expected_threads: Optional[int] = None):
+        super().__init__(num_nodes)
+        self.expected_threads = expected_threads
+
+    def _select(self, index: int) -> int:
+        if not self.expected_threads:
+            return index % self.num_nodes
+        block = max(1, -(-self.expected_threads // self.num_nodes))
+        return min(index // block, self.num_nodes - 1)
+
+
+class RandomBalancer(LoadBalancer):
+    """Uniformly random placement with a fixed seed (for the ablation)."""
+
+    name = "random"
+
+    def __init__(self, num_nodes: int, seed: int = 0):
+        super().__init__(num_nodes)
+        self._rng = random.Random(seed)
+
+    def _select(self, index: int) -> int:
+        return self._rng.randrange(self.num_nodes)
+
+
+_POLICIES = {
+    RoundRobinBalancer.name: RoundRobinBalancer,
+    BlockBalancer.name: BlockBalancer,
+    RandomBalancer.name: RandomBalancer,
+}
+
+
+def create_balancer(name: str, num_nodes: int, **kwargs) -> LoadBalancer:
+    """Instantiate a load balancer by policy name."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise KeyError(f"unknown load-balancer policy {name!r}; known: {known}") from None
+    return cls(num_nodes, **kwargs)
+
+
+def available_policies() -> List[str]:
+    """Names of the registered load-balancer policies."""
+    return sorted(_POLICIES)

@@ -1,0 +1,221 @@
+"""The Java object model as seen by the Hyperion runtime.
+
+Compiled Java code manipulates objects through real pointers; Hyperion places
+every object at an iso-address so the pointer is valid on every node, and the
+DSM layer replicates the *pages* the object lives on.  The classes here hold
+the reference ("main memory") copy of each object's data — the copy owned by
+the object's home node — and expose the slot-level interface the memory
+subsystem requires (:class:`repro.core.interfaces.SharedEntity`).
+
+Scalar objects store their fields as a Python list (one slot per field);
+arrays store a NumPy array (one slot per element), which keeps the bulk
+operations the benchmarks rely on fast.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: bytes of object header (vtable pointer + monitor word), as in Hyperion
+HEADER_BYTES = 16
+
+#: numpy dtypes for the supported Java element types
+_ELEMENT_DTYPES: Dict[str, np.dtype] = {
+    "double": np.dtype(np.float64),
+    "float": np.dtype(np.float32),
+    "long": np.dtype(np.int64),
+    "int": np.dtype(np.int32),
+    "boolean": np.dtype(np.uint8),
+    "byte": np.dtype(np.int8),
+    "ref": np.dtype(np.int64),  # references are 64-bit iso-addresses
+}
+
+_oid_counter = itertools.count(1)
+
+
+def _next_oid() -> int:
+    return next(_oid_counter)
+
+
+class JavaClass:
+    """A Java class descriptor: ordered instance fields.
+
+    Only the information the runtime needs is kept: the class name and the
+    ordered list of instance field names (all fields occupy one 8-byte slot,
+    which is how Hyperion lays objects out for simplicity of the DSM diffs).
+    """
+
+    __slots__ = ("name", "field_names", "_index")
+
+    def __init__(self, name: str, field_names: Sequence[str]):
+        if not name:
+            raise ValueError("class name must be non-empty")
+        names = tuple(field_names)
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in class {name!r}")
+        self.name = name
+        self.field_names = names
+        self._index = {field: i for i, field in enumerate(names)}
+
+    @property
+    def num_fields(self) -> int:
+        """Number of instance fields."""
+        return len(self.field_names)
+
+    def field_index(self, field: str) -> int:
+        """Slot index of *field* (raises KeyError for unknown fields)."""
+        try:
+            return self._index[field]
+        except KeyError:
+            raise KeyError(
+                f"class {self.name!r} has no field {field!r}; "
+                f"fields are {list(self.field_names)}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JavaClass({self.name!r}, fields={list(self.field_names)})"
+
+
+class JavaObject:
+    """An instance of a :class:`JavaClass` living in the distributed heap."""
+
+    __slots__ = ("oid", "jclass", "address", "home_node", "_data")
+
+    #: every field occupies one 8-byte slot
+    slot_size = 8
+
+    def __init__(self, jclass: JavaClass, address: int, home_node: int):
+        self.oid = _next_oid()
+        self.jclass = jclass
+        self.address = address
+        self.home_node = home_node
+        self._data: list = [0] * jclass.num_fields
+
+    # -- SharedEntity interface ------------------------------------------------
+    @property
+    def num_slots(self) -> int:
+        """Number of field slots."""
+        return self.jclass.num_fields
+
+    @property
+    def size_bytes(self) -> int:
+        """Header plus field payload."""
+        return HEADER_BYTES + self.num_slots * self.slot_size
+
+    def main_read(self, index: int):
+        """Read field slot *index* from the reference copy."""
+        return self._data[index]
+
+    def main_write(self, index: int, value) -> None:
+        """Write field slot *index* of the reference copy."""
+        self._data[index] = value
+
+    def main_read_range(self, lo: int, hi: int) -> np.ndarray:
+        """Read field slots [lo, hi) as an object array."""
+        return np.asarray(self._data[lo:hi], dtype=object)
+
+    def main_write_range(self, lo: int, hi: int, values: Sequence) -> None:
+        """Write field slots [lo, hi)."""
+        values = list(values)
+        if len(values) != hi - lo:
+            raise ValueError("value count does not match the slot range")
+        self._data[lo:hi] = values
+
+    def snapshot(self) -> list:
+        """Deep copy of the field payload for node-local caching."""
+        return list(self._data)
+
+    # -- convenience -------------------------------------------------------------
+    def field_index(self, field: str) -> int:
+        """Slot index of the named field."""
+        return self.jclass.field_index(field)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<JavaObject {self.jclass.name} oid={self.oid} "
+            f"addr={self.address:#x} home={self.home_node}>"
+        )
+
+
+class JavaArray:
+    """A Java array living in the distributed heap (NumPy-backed)."""
+
+    __slots__ = ("oid", "element_type", "length", "address", "home_node", "_data")
+
+    def __init__(self, element_type: str, length: int, address: int, home_node: int):
+        if element_type not in _ELEMENT_DTYPES:
+            raise ValueError(
+                f"unsupported element type {element_type!r}; "
+                f"supported: {sorted(_ELEMENT_DTYPES)}"
+            )
+        if length < 0:
+            raise ValueError(f"array length must be >= 0, got {length}")
+        self.oid = _next_oid()
+        self.element_type = element_type
+        self.length = int(length)
+        self.address = address
+        self.home_node = home_node
+        self._data = np.zeros(self.length, dtype=_ELEMENT_DTYPES[element_type])
+
+    # -- SharedEntity interface ------------------------------------------------
+    @property
+    def slot_size(self) -> int:
+        """Size of one element in bytes."""
+        return int(self._data.dtype.itemsize)
+
+    @property
+    def num_slots(self) -> int:
+        """Number of elements."""
+        return self.length
+
+    @property
+    def size_bytes(self) -> int:
+        """Header plus element payload."""
+        return HEADER_BYTES + self.length * self.slot_size
+
+    def main_read(self, index: int):
+        """Read element *index* from the reference copy (as a Python scalar)."""
+        return self._data[index].item()
+
+    def main_write(self, index: int, value) -> None:
+        """Write element *index* of the reference copy."""
+        self._data[index] = value
+
+    def main_read_range(self, lo: int, hi: int) -> np.ndarray:
+        """Copy of elements [lo, hi) from the reference copy."""
+        return np.array(self._data[lo:hi], copy=True)
+
+    def main_write_range(self, lo: int, hi: int, values: Sequence) -> None:
+        """Write elements [lo, hi) of the reference copy."""
+        self._data[lo:hi] = values
+
+    def snapshot(self) -> np.ndarray:
+        """Deep copy of the element payload for node-local caching."""
+        return np.array(self._data, copy=True)
+
+    # -- convenience -------------------------------------------------------------
+    def as_numpy(self) -> np.ndarray:
+        """Read-only view of the reference copy (for result verification)."""
+        view = self._data.view()
+        view.setflags(write=False)
+        return view
+
+    @staticmethod
+    def element_size_of(element_type: str) -> int:
+        """Element size in bytes for *element_type*."""
+        try:
+            return int(_ELEMENT_DTYPES[element_type].itemsize)
+        except KeyError:
+            raise ValueError(f"unsupported element type {element_type!r}") from None
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<JavaArray {self.element_type}[{self.length}] oid={self.oid} "
+            f"addr={self.address:#x} home={self.home_node}>"
+        )

@@ -1,0 +1,275 @@
+"""Runtime assembly: one cluster-wide JVM image.
+
+:class:`HyperionRuntime` wires together every subsystem of the paper's
+Table 1 over a chosen cluster preset and consistency protocol:
+
+* the discrete-event engine and the Marcel thread package,
+* the PM2 RPC layer and Hyperion's communication subsystem,
+* the iso-address allocator, the DSM-PM2 page manager and the selected
+  Java-consistency protocol (``java_ic`` or ``java_pf``),
+* the memory subsystem (Table 2 primitives) with its per-node caches,
+* monitors, the load balancer and the Java API natives.
+
+A typical use::
+
+    from repro.cluster import myrinet_cluster
+    from repro.hyperion import HyperionRuntime
+
+    runtime = HyperionRuntime(myrinet_cluster(), num_nodes=4, protocol="java_pf")
+    runtime.spawn_main(my_main_body)       # a generator function (ctx) -> ...
+    report = runtime.run()
+    print(report.execution_seconds, report.stats.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.cluster.costs import CostModel
+from repro.cluster.presets import ClusterSpec
+from repro.core.memory import MemorySubsystem
+from repro.core.protocol import ConsistencyProtocol, create_protocol
+from repro.core.stats import RunStats
+from repro.dsm.page_manager import PageManager
+from repro.hyperion.comm import CommunicationSubsystem
+from repro.hyperion.heap import HeapAllocator
+from repro.hyperion.javaapi import JavaApiSubsystem
+from repro.hyperion.loadbalancer import LoadBalancer, create_balancer
+from repro.hyperion.monitors import MonitorManager
+from repro.hyperion.objects import JavaClass
+from repro.hyperion.threads import ClusterBarrier, JavaThread
+from repro.pm2.isoaddr import IsoAddressAllocator
+from repro.pm2.marcel import MarcelRuntime
+from repro.pm2.migration import MigrationManager
+from repro.pm2.rpc import RpcSystem
+from repro.simulation.engine import Engine
+from repro.simulation.trace import TraceRecorder
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Tunable runtime parameters that are not part of the cluster preset."""
+
+    #: consistency protocol name ("java_pf", "java_ic", ...)
+    protocol: str = "java_pf"
+    #: application threads per node (the paper uses 1; ablation A3 uses more)
+    threads_per_node: int = 1
+    #: load-balancer policy for newly created threads
+    balancer: str = "round_robin"
+    #: override the cluster's page size (bytes); None keeps the preset value
+    page_size: Optional[int] = None
+    #: per-node iso-address arena size in bytes
+    arena_size: int = 256 * 1024 * 1024
+    #: keep a log of every RPC (for debugging / tests)
+    keep_rpc_log: bool = False
+    #: record a TraceRecorder of every simulation event
+    trace: bool = False
+    #: random seed forwarded to applications and randomised policies
+    seed: int = 12345
+
+    def __post_init__(self) -> None:
+        check_positive("threads_per_node", self.threads_per_node)
+        check_positive("arena_size", self.arena_size)
+        if self.page_size is not None:
+            check_positive("page_size", self.page_size)
+
+
+@dataclass
+class ExecutionReport:
+    """Everything one simulated execution produced."""
+
+    cluster: str
+    protocol: str
+    num_nodes: int
+    num_threads: int
+    execution_seconds: float
+    stats: RunStats
+    console: List[str] = field(default_factory=list)
+    result: Any = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat dictionary (JSON-serialisable apart from ``result``)."""
+        out: Dict[str, Any] = {
+            "cluster": self.cluster,
+            "protocol": self.protocol,
+            "num_nodes": self.num_nodes,
+            "num_threads": self.num_threads,
+            "execution_seconds": self.execution_seconds,
+        }
+        out.update(self.stats.as_dict())
+        return out
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.cluster}/{self.protocol} n={self.num_nodes}] "
+            f"{self.execution_seconds:.6f} s ({self.stats.summary()})"
+        )
+
+
+class HyperionRuntime:
+    """A single distributed JVM image spanning ``num_nodes`` cluster nodes."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        num_nodes: Optional[int] = None,
+        protocol: Optional[str] = None,
+        config: Optional[RuntimeConfig] = None,
+    ):
+        self.config = config or RuntimeConfig()
+        if protocol is not None:
+            self.config = RuntimeConfig(
+                **{**self.config.__dict__, "protocol": protocol}
+            )
+        self.cluster = cluster
+        self.num_nodes = cluster.num_nodes if num_nodes is None else int(num_nodes)
+        check_positive("num_nodes", self.num_nodes)
+        if self.num_nodes > cluster.num_nodes:
+            raise ValueError(
+                f"cluster {cluster.name!r} has {cluster.num_nodes} nodes; "
+                f"cannot run on {self.num_nodes}"
+            )
+
+        page_size = self.config.page_size or cluster.page_size
+        self.cost_model: CostModel = CostModel(
+            machine=cluster.machine,
+            network=cluster.network,
+            software=cluster.software,
+            page_size=page_size,
+        )
+
+        trace = TraceRecorder(max_records=200_000) if self.config.trace else None
+        self.engine = Engine(trace=trace)
+        self.topology = cluster.topology_factory(self.num_nodes, cluster.network)
+        self.isoaddr = IsoAddressAllocator(
+            num_nodes=self.num_nodes,
+            arena_size=self.config.arena_size,
+            page_size=page_size,
+        )
+        self.page_manager = PageManager(
+            num_nodes=self.num_nodes,
+            page_size=page_size,
+            isoaddr=self.isoaddr,
+            cost_model=self.cost_model,
+            topology=self.topology,
+        )
+        self.protocol: ConsistencyProtocol = create_protocol(
+            self.config.protocol, self.page_manager, self.cost_model
+        )
+        self.run_stats = RunStats()
+        self.memory = MemorySubsystem(
+            page_manager=self.page_manager,
+            cost_model=self.cost_model,
+            protocol=self.protocol,
+            num_nodes=self.num_nodes,
+            run_stats=self.run_stats,
+        )
+        self.marcel = MarcelRuntime(self.engine, self.num_nodes)
+        self.rpc = RpcSystem(
+            self.engine, self.topology, self.cost_model, keep_log=self.config.keep_rpc_log
+        )
+        self.comm = CommunicationSubsystem(self.rpc)
+        self.monitors = MonitorManager(
+            self.engine, self.topology, self.cost_model, stats=self.run_stats.monitors
+        )
+        self.heap = HeapAllocator(self.isoaddr, self.page_manager)
+        self.balancer: LoadBalancer = create_balancer(self.config.balancer, self.num_nodes)
+        self.javaapi = JavaApiSubsystem()
+        self.migration = MigrationManager(self.marcel, self.topology, self.cost_model)
+
+        self.threads: List[JavaThread] = []
+        self.barriers: List[ClusterBarrier] = []
+        self._register_internal_services()
+
+    # ------------------------------------------------------------------
+    def _register_internal_services(self) -> None:
+        """Register the runtime's own message handlers on every node."""
+        for node in range(self.num_nodes):
+            self.comm.register_oneway(
+                node, CommunicationSubsystem.SERVICE_SPAWN_THREAD, lambda src, payload: None
+            )
+            self.comm.register_oneway(
+                node, CommunicationSubsystem.SERVICE_BARRIER, lambda src, payload: None
+            )
+
+    # ------------------------------------------------------------------
+    # class / thread / barrier factories
+    # ------------------------------------------------------------------
+    @staticmethod
+    def java_class(name: str, fields: Sequence[str]) -> JavaClass:
+        """Declare a Java class with the given instance fields."""
+        return JavaClass(name, fields)
+
+    def create_thread(
+        self,
+        body: Callable,
+        args: Sequence[Any] = (),
+        node: Optional[int] = None,
+        name: Optional[str] = None,
+        index: Optional[int] = None,
+    ) -> JavaThread:
+        """Create and start a Java thread (placement via the load balancer)."""
+        node_id = self.balancer.next_node() if node is None else int(node)
+        if not 0 <= node_id < self.num_nodes:
+            raise ValueError(f"node {node_id} out of range [0, {self.num_nodes})")
+        thread = JavaThread(
+            runtime=self,
+            node_id=node_id,
+            body=body,
+            args=args,
+            name=name or f"java-thread-{len(self.threads)}",
+            index=len(self.threads) if index is None else index,
+        )
+        self.threads.append(thread)
+        self.run_stats.threads.created += 1
+        return thread
+
+    def spawn_main(self, body: Callable, *args: Any, node: int = 0) -> JavaThread:
+        """Start the application's ``main`` thread (on node 0 by convention)."""
+        return self.create_thread(body, args, node=node, name="java-main", index=-1)
+
+    def create_barrier(self, parties: int, home_node: int = 0, name: str = "") -> ClusterBarrier:
+        """Create a cluster-wide barrier for *parties* threads."""
+        barrier = ClusterBarrier(
+            self, parties, home_node=home_node, name=name or f"barrier-{len(self.barriers)}"
+        )
+        self.barriers.append(barrier)
+        return barrier
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> ExecutionReport:
+        """Run the simulation to completion and assemble the report."""
+        self.engine.run(until=until)
+        self.run_stats.execution_seconds = self.engine.now
+        self.run_stats.monitors.barriers = sum(b.episodes for b in self.barriers)
+        main_result = None
+        for thread in self.threads:
+            if thread.name == "java-main":
+                main_result = thread.result
+                break
+        self.run_stats.result = main_result
+        return ExecutionReport(
+            cluster=self.cluster.name,
+            protocol=self.protocol.name,
+            num_nodes=self.num_nodes,
+            num_threads=len(self.threads),
+            execution_seconds=self.engine.now,
+            stats=self.run_stats,
+            console=list(self.javaapi.console),
+            result=main_result,
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable configuration summary."""
+        lines = [
+            f"cluster   : {self.cluster.name} ({self.num_nodes} node(s))",
+            f"protocol  : {self.protocol.describe()}",
+            f"balancer  : {self.config.balancer}",
+            self.cost_model.describe(),
+        ]
+        return "\n".join(lines)

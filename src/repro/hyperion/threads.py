@@ -1,0 +1,380 @@
+"""Java threads and the thread-facing programming interface.
+
+The java2c translator turns a Java thread's ``run()`` method into native code
+that calls into the Hyperion runtime for every object access and every
+synchronisation operation.  In this reproduction a Java thread body is a
+Python generator function ``body(ctx, *args)`` receiving a
+:class:`JavaThreadContext` — the "post-translation" form of the program (see
+DESIGN.md, substitution 2).  Object accesses are plain calls (``ctx.get``,
+``ctx.put``, ``ctx.aget_range`` ...); blocking operations (monitors, barriers,
+join, sleep) are used through ``yield from``.
+
+Time accounting: the context accumulates CPU time (compute, checks, fault
+handling) and wait time (page requests, update messages) and flushes both
+onto the simulation clock at every blocking point, holding the node CPU for
+the CPU part only.  With one application thread per node — the configuration
+used throughout the paper — this is exact; with several threads per node it
+serialises compute while allowing communication to overlap, which is what the
+paper's "future work" ablation (A3) explores.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.context import AccessContext
+from repro.hyperion.objects import JavaArray, JavaClass, JavaObject
+from repro.simulation.resources import Barrier as SimBarrier
+from repro.util.validation import check_non_negative
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hyperion.runtime import HyperionRuntime
+
+
+class ClusterBarrier:
+    """A runtime-level barrier with Java-consistency semantics.
+
+    Arriving at the barrier flushes the thread's modifications
+    (``updateMainMemory``); leaving it invalidates the node cache, exactly as
+    a monitor exit/enter pair would.  The coordinator lives on ``home_node``
+    (node 0 by default), so remote participants pay a control round trip.
+    """
+
+    def __init__(self, runtime: "HyperionRuntime", parties: int, home_node: int = 0, name: str = "barrier"):
+        if parties < 1:
+            raise ValueError(f"barrier needs at least one party, got {parties}")
+        self.runtime = runtime
+        self.parties = parties
+        self.home_node = home_node
+        self.name = name
+        self.sim_barrier = SimBarrier(runtime.engine, parties, name=name)
+
+    @property
+    def episodes(self) -> int:
+        """Number of completed barrier episodes."""
+        return self.sim_barrier.generations
+
+
+class JavaThread:
+    """A Java application thread executing on one cluster node."""
+
+    def __init__(
+        self,
+        runtime: "HyperionRuntime",
+        node_id: int,
+        body: Callable,
+        args: Sequence[Any],
+        name: str,
+        index: int = 0,
+    ):
+        self.runtime = runtime
+        self.body = body
+        self.args = tuple(args)
+        self.name = name
+        self.index = index
+        self.result: Any = None
+        self.finished = False
+        self.marcel = runtime.marcel.create_thread(node_id, name=name)
+        self.ctx = JavaThreadContext(runtime, self)
+        self.marcel.start(self._wrapper())
+
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        """Node the thread currently runs on (migration updates it)."""
+        return self.marcel.node_id
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the thread body has not completed."""
+        return self.marcel.is_alive
+
+    def _wrapper(self) -> Generator:
+        produced = self.body(self.ctx, *self.args)
+        if hasattr(produced, "send"):
+            result = yield from produced
+        else:  # a body with no blocking operations is a plain function
+            result = produced
+        # Thread termination publishes the thread's writes (JMM: the join of
+        # this thread happens-after everything it did).
+        self.runtime.memory.update_main_memory(self.ctx, self.node_id)
+        yield from self.ctx._flush()
+        self.result = result
+        self.finished = True
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<JavaThread {self.name!r} node={self.node_id} index={self.index}>"
+
+
+class JavaThreadContext(AccessContext):
+    """Everything a compiled Java thread can do, with cost accounting."""
+
+    def __init__(self, runtime: "HyperionRuntime", thread: JavaThread):
+        self.runtime = runtime
+        self.thread = thread
+        self._pending_cpu = 0.0
+        self._pending_wait = 0.0
+
+    # ------------------------------------------------------------------
+    # identity / time
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        """Node this thread currently executes on."""
+        return self.thread.node_id
+
+    @property
+    def thread_index(self) -> int:
+        """Application-level index of this thread (set at spawn time)."""
+        return self.thread.index
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, including not-yet-flushed pending time."""
+        return self.runtime.engine.now + self._pending_cpu + self._pending_wait
+
+    # ------------------------------------------------------------------
+    # AccessContext: cost charging
+    # ------------------------------------------------------------------
+    def charge_cpu(self, seconds: float) -> None:
+        check_non_negative("seconds", seconds)
+        self._pending_cpu += seconds
+
+    def charge_wait(self, seconds: float) -> None:
+        check_non_negative("seconds", seconds)
+        self._pending_wait += seconds
+
+    def compute(
+        self,
+        cycles: float = 0.0,
+        mem_seconds: float = 0.0,
+        flops: float = 0.0,
+        int_ops: float = 0.0,
+    ) -> None:
+        """Charge application compute work.
+
+        ``cycles`` are raw CPU cycles; ``flops``/``int_ops`` are converted
+        using the machine's per-operation costs; ``mem_seconds`` is the
+        clock-independent memory-hierarchy component.
+        """
+        machine = self.runtime.cost_model.machine
+        total_cycles = (
+            cycles + flops * machine.cycles_per_flop + int_ops * machine.cycles_per_int_op
+        )
+        self.charge_cpu(machine.seconds_for_work(total_cycles, mem_seconds))
+
+    def _flush(self) -> Generator:
+        """Pay accumulated CPU and wait time on the simulation clock."""
+        cpu, wait = self._pending_cpu, self._pending_wait
+        self._pending_cpu = 0.0
+        self._pending_wait = 0.0
+        if cpu > 0.0:
+            self.runtime.run_stats.record_cpu(self.node_id, cpu)
+            yield from self.runtime.marcel.occupy_cpu(self.thread.marcel, cpu)
+        if wait > 0.0:
+            self.runtime.run_stats.record_wait(self.node_id, wait)
+            yield from self.runtime.marcel.wait(self.thread.marcel, wait)
+
+    # ------------------------------------------------------------------
+    # heap allocation
+    # ------------------------------------------------------------------
+    def new_object(self, jclass: JavaClass, home_node: Optional[int] = None) -> JavaObject:
+        """Allocate an object (homed on this node unless specified)."""
+        home = self.node_id if home_node is None else home_node
+        obj = self.runtime.heap.new_object(jclass, home)
+        self.compute(cycles=100.0 + 2.0 * jclass.num_fields)
+        return obj
+
+    def new_array(
+        self,
+        element_type: str,
+        length: int,
+        home_node: Optional[int] = None,
+        page_aligned: bool = False,
+    ) -> JavaArray:
+        """Allocate an array (homed on this node unless specified)."""
+        home = self.node_id if home_node is None else home_node
+        array = self.runtime.heap.new_array(
+            element_type, length, home, page_aligned=page_aligned
+        )
+        # allocation plus Java's mandatory zero-initialisation
+        self.compute(cycles=100.0 + 0.25 * length)
+        return array
+
+    # ------------------------------------------------------------------
+    # object accesses (Table 2 primitives, routed through the protocol)
+    # ------------------------------------------------------------------
+    def _slot(self, obj: JavaObject, field) -> int:
+        return obj.field_index(field) if isinstance(field, str) else int(field)
+
+    def get(self, obj: JavaObject, field) -> Any:
+        """Read a field of a Java object."""
+        return self.runtime.memory.get(self, self.node_id, obj, self._slot(obj, field))
+
+    def put(self, obj: JavaObject, field, value: Any) -> None:
+        """Write a field of a Java object."""
+        self.runtime.memory.put(self, self.node_id, obj, self._slot(obj, field), value)
+
+    def aget(self, array: JavaArray, index: int) -> Any:
+        """Read one array element."""
+        return self.runtime.memory.get(self, self.node_id, array, index)
+
+    def aput(self, array: JavaArray, index: int, value: Any) -> None:
+        """Write one array element."""
+        self.runtime.memory.put(self, self.node_id, array, index, value)
+
+    def aget_range(self, array: JavaArray, lo: int = 0, hi: Optional[int] = None) -> np.ndarray:
+        """Bulk read of array elements [lo, hi); accounts one access each."""
+        hi = array.num_slots if hi is None else hi
+        return self.runtime.memory.get_range(self, self.node_id, array, lo, hi)
+
+    def aput_range(
+        self, array: JavaArray, lo: int, hi: int, values: Sequence
+    ) -> None:
+        """Bulk write of array elements [lo, hi); accounts one access each."""
+        self.runtime.memory.put_range(self, self.node_id, array, lo, hi, values)
+
+    def account_accesses(
+        self,
+        obj,
+        count: int,
+        lo: int = 0,
+        hi: Optional[int] = None,
+        write: bool = False,
+    ) -> None:
+        """Account extra per-element accesses without moving data (see memory)."""
+        self.runtime.memory.account_accesses(
+            self, self.node_id, obj, count, lo=lo, hi=hi, write=write
+        )
+
+    def load(self, obj) -> None:
+        """``loadIntoCache``: make *obj* resident on this node."""
+        self.runtime.memory.load_into_cache(self, self.node_id, obj)
+
+    # ------------------------------------------------------------------
+    # synchronisation (use through ``yield from``)
+    # ------------------------------------------------------------------
+    def monitor_enter(self, obj) -> Generator:
+        """Enter *obj*'s monitor (acquire + cache invalidation)."""
+        yield from self._flush()
+        yield from self.runtime.monitors.enter(self, obj)
+        yield from self._flush()
+        self.runtime.memory.invalidate_cache(self, self.node_id)
+
+    def monitor_exit(self, obj) -> Generator:
+        """Exit *obj*'s monitor (flush modifications + release)."""
+        self.runtime.memory.update_main_memory(self, self.node_id)
+        yield from self._flush()
+        self.runtime.monitors.exit(self, obj)
+
+    def synchronized(self, obj, critical_section: Callable[[], Any]) -> Generator:
+        """Run ``critical_section()`` inside *obj*'s monitor.
+
+        The critical section is a plain (non-blocking) callable; for blocking
+        critical sections use explicit enter/exit.
+        """
+        yield from self.monitor_enter(obj)
+        try:
+            result = critical_section()
+        finally:
+            yield from self.monitor_exit(obj)
+        return result
+
+    def wait(self, obj) -> Generator:
+        """``Object.wait()`` with Java-consistency side effects."""
+        self.runtime.memory.update_main_memory(self, self.node_id)
+        yield from self._flush()
+        yield from self.runtime.monitors.wait(self, obj)
+        self.runtime.memory.invalidate_cache(self, self.node_id)
+
+    def notify(self, obj) -> int:
+        """``Object.notify()``."""
+        return self.runtime.monitors.notify(self, obj)
+
+    def notify_all(self, obj) -> int:
+        """``Object.notifyAll()``."""
+        return self.runtime.monitors.notify_all(self, obj)
+
+    def barrier(self, barrier: ClusterBarrier) -> Generator:
+        """Wait at a :class:`ClusterBarrier` (flush before, invalidate after)."""
+        self.runtime.memory.update_main_memory(self, self.node_id)
+        if self.node_id != barrier.home_node:
+            self.charge_wait(self.runtime.cost_model.rpc_round_trip_seconds(32, 32))
+        else:
+            self.charge_cpu(self.runtime.cost_model.monitor_local_seconds())
+        yield from self._flush()
+        yield barrier.sim_barrier.wait()
+        self.runtime.memory.invalidate_cache(self, self.node_id)
+
+    def join(self, thread: JavaThread) -> Generator:
+        """``Thread.join()``: wait for *thread* and see its writes."""
+        yield from self._flush()
+        yield thread.marcel.completion_event
+        self.runtime.memory.invalidate_cache(self, self.node_id)
+        self.runtime.run_stats.threads.joined += 1
+        return thread.result
+
+    def sleep(self, seconds: float) -> Generator:
+        """``Thread.sleep()`` in virtual time."""
+        check_non_negative("seconds", seconds)
+        yield from self._flush()
+        yield self.runtime.engine.timeout(seconds)
+
+    # ------------------------------------------------------------------
+    # thread management
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        body: Callable,
+        *args: Any,
+        node: Optional[int] = None,
+        name: Optional[str] = None,
+        index: Optional[int] = None,
+    ) -> JavaThread:
+        """Create and start a new Java thread.
+
+        The target node is chosen by the runtime's load balancer unless
+        *node* is given.  The creation cost (including the remote-creation
+        RPC when the target is another node) is charged to the creator.
+        """
+        thread = self.runtime.create_thread(body, args, node=node, name=name, index=index)
+        remote = thread.node_id != self.node_id
+        self.charge_wait(self.runtime.cost_model.thread_create_seconds(remote=remote))
+        if remote:
+            self.runtime.comm.post(
+                self.node_id,
+                thread.node_id,
+                self.runtime.comm.SERVICE_SPAWN_THREAD,
+                payload={"name": thread.name},
+                request_bytes=256,
+            )
+            self.runtime.run_stats.threads.remote_created += 1
+        return thread
+
+    def migrate(self, destination_node: int) -> Generator:
+        """Migrate this thread to *destination_node* (PM2 thread migration)."""
+        yield from self._flush()
+        yield from self.runtime.migration.migrate(self.thread.marcel, destination_node)
+        self.runtime.run_stats.threads.migrations += 1
+
+    # ------------------------------------------------------------------
+    # Java API natives
+    # ------------------------------------------------------------------
+    def arraycopy(self, src, src_pos, dst, dst_pos, length) -> None:
+        """``System.arraycopy``."""
+        self.runtime.javaapi.arraycopy(self, src, src_pos, dst, dst_pos, length)
+
+    def math(self, name: str, *args) -> float:
+        """``java.lang.Math`` native."""
+        return self.runtime.javaapi.math(self, name, *args)
+
+    def println(self, message: str) -> None:
+        """``System.out.println``."""
+        self.runtime.javaapi.println(self, message)
+
+    def current_time_millis(self) -> int:
+        """``System.currentTimeMillis`` (virtual)."""
+        return self.runtime.javaapi.current_time_millis(self)

@@ -1,0 +1,34 @@
+"""PM2 substrate: the distributed multithreaded runtime Hyperion is built on.
+
+The real PM2 provides three things Hyperion relies on (paper Section 2.2):
+
+* **Marcel** — an efficient user-level POSIX-like thread package with thread
+  migration (:mod:`repro.pm2.marcel`, :mod:`repro.pm2.migration`);
+* **RPCs** — remote procedure calls whose handlers are invoked asynchronously
+  on the receiving node (:mod:`repro.pm2.rpc`), implemented over a generic
+  communication layer (Madeleine);
+* **iso-address allocation** — the same virtual address ranges are reserved
+  on every node, so pointers stay valid when pages or threads move between
+  nodes (:mod:`repro.pm2.isoaddr`).
+
+In this reproduction Marcel threads are discrete-event processes pinned to a
+simulated node, RPCs are messages with delivery times computed from the
+cluster's network model, and the iso-address allocator hands out addresses
+from per-node arenas of a single shared 64-bit address space.
+"""
+
+from repro.pm2.isoaddr import IsoAddressAllocator, IsoAllocation
+from repro.pm2.marcel import MarcelRuntime, MarcelThread
+from repro.pm2.migration import MigrationManager
+from repro.pm2.rpc import RpcMessage, RpcStats, RpcSystem
+
+__all__ = [
+    "IsoAddressAllocator",
+    "IsoAllocation",
+    "MarcelRuntime",
+    "MarcelThread",
+    "MigrationManager",
+    "RpcSystem",
+    "RpcMessage",
+    "RpcStats",
+]

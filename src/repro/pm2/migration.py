@@ -1,0 +1,82 @@
+"""Preemptive thread migration.
+
+PM2 can move a running thread between nodes; the paper mentions it as the
+basis for dynamic load balancing and lists "thread migration" as a mechanism
+they plan to explore for implementing Java consistency (Section 5).  The
+iso-address allocator guarantees that a migrated thread's pointers stay
+valid.  The simulation charges the cost of packing and shipping the thread's
+stack and re-activating it on the destination node, and re-pins the thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.cluster.costs import CostModel
+from repro.cluster.topology import Topology
+from repro.pm2.marcel import MarcelRuntime, MarcelThread
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass
+class MigrationStats:
+    """Counts and volume of thread migrations."""
+
+    migrations: int = 0
+    bytes_moved: int = 0
+    seconds_spent: float = 0.0
+
+
+class MigrationManager:
+    """Moves Marcel threads between nodes with realistic costs."""
+
+    #: Default size of a migrated thread: stack + descriptor (PM2 uses small
+    #: fixed-size stacks for migratable threads).
+    DEFAULT_THREAD_FOOTPRINT = 16 * 1024
+
+    def __init__(
+        self,
+        marcel: MarcelRuntime,
+        topology: Topology,
+        cost_model: CostModel,
+        thread_footprint_bytes: int = DEFAULT_THREAD_FOOTPRINT,
+    ):
+        check_positive("thread_footprint_bytes", thread_footprint_bytes)
+        self.marcel = marcel
+        self.topology = topology
+        self.cost_model = cost_model
+        self.thread_footprint_bytes = int(thread_footprint_bytes)
+        self.stats = MigrationStats()
+
+    # ------------------------------------------------------------------
+    def migration_cost_seconds(self, src: int, dst: int) -> float:
+        """Cost of moving one thread from *src* to *dst*."""
+        if src == dst:
+            return 0.0
+        pack = self.cost_model.software.thread_create_seconds
+        ship = self.topology.one_way_time(src, dst, self.thread_footprint_bytes)
+        activate = self.cost_model.software.thread_create_seconds
+        return pack + ship + activate
+
+    def migrate(self, thread: MarcelThread, dst: int) -> Generator:
+        """``yield from`` this inside the thread's body to migrate it to *dst*.
+
+        The thread blocks for the migration latency, then continues execution
+        pinned to the destination node.
+        """
+        check_non_negative("dst", dst)
+        if dst >= self.marcel.num_nodes:
+            raise ValueError(f"destination node {dst} out of range")
+        src = thread.node_id
+        if src == dst:
+            return
+        cost = self.migration_cost_seconds(src, dst)
+        yield self.marcel.engine.timeout(cost)
+        self.marcel.threads_per_node[src] -= 1
+        self.marcel.threads_per_node[dst] += 1
+        thread.node_id = dst
+        thread.migrations += 1
+        self.stats.migrations += 1
+        self.stats.bytes_moved += self.thread_footprint_bytes
+        self.stats.seconds_spent += cost

@@ -1,0 +1,196 @@
+"""PM2's RPC-style communication subsystem.
+
+PM2 threads communicate by invoking *services* — named handler functions —
+on remote nodes; the handler runs asynchronously on the receiving node (either
+in a pre-existing daemon thread or in a freshly created one) and may send a
+reply.  Hyperion's communication subsystem is a thin layer over this
+(paper Table 1), and the DSM layer uses it for page requests, diff delivery
+and monitor operations.
+
+The simulation delivers a message ``one_way_time(size)`` after the send, runs
+the registered handler at the destination at that virtual time, charges the
+destination's service cost, and (for two-way invocations) delivers the reply
+back to the caller the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.cluster.costs import CostModel
+from repro.cluster.topology import Topology
+from repro.simulation.engine import Engine
+from repro.simulation.events import SimEvent
+from repro.util.validation import check_non_negative
+
+#: Handler signature: (source node, payload) -> (reply payload, reply size in bytes)
+RpcHandler = Callable[[int, Any], Tuple[Any, int]]
+
+#: Handler signature for one-way messages: (source node, payload) -> None
+OneWayHandler = Callable[[int, Any], None]
+
+
+@dataclass(frozen=True)
+class RpcMessage:
+    """A delivered RPC, kept for tracing and tests."""
+
+    service: str
+    src: int
+    dst: int
+    size_bytes: int
+    send_time: float
+    deliver_time: float
+
+
+@dataclass
+class RpcStats:
+    """Aggregate communication statistics."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    by_service: Dict[str, int] = field(default_factory=dict)
+    service_busy_seconds: Dict[int, float] = field(default_factory=dict)
+
+    def record(self, service: str, nbytes: int, dst: int, service_seconds: float) -> None:
+        """Account one message of *nbytes* to *dst* for *service*."""
+        self.messages += 1
+        self.bytes_sent += nbytes
+        self.by_service[service] = self.by_service.get(service, 0) + 1
+        self.service_busy_seconds[dst] = (
+            self.service_busy_seconds.get(dst, 0.0) + service_seconds
+        )
+
+
+class RpcSystem:
+    """Cluster-wide RPC dispatch over the simulated interconnect."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        cost_model: CostModel,
+        keep_log: bool = False,
+    ):
+        self.engine = engine
+        self.topology = topology
+        self.cost_model = cost_model
+        self.keep_log = keep_log
+        self.stats = RpcStats()
+        self.log: list[RpcMessage] = []
+        #: services[node][name] -> handler
+        self._services: Dict[int, Dict[str, RpcHandler]] = {
+            n: {} for n in range(topology.num_nodes)
+        }
+        self._oneway: Dict[int, Dict[str, OneWayHandler]] = {
+            n: {} for n in range(topology.num_nodes)
+        }
+
+    # ------------------------------------------------------------------
+    def register_service(self, node: int, name: str, handler: RpcHandler) -> None:
+        """Register a request/reply *handler* for *name* on *node*."""
+        self._check_node(node)
+        self._services[node][name] = handler
+
+    def register_oneway(self, node: int, name: str, handler: OneWayHandler) -> None:
+        """Register a one-way message *handler* for *name* on *node*."""
+        self._check_node(node)
+        self._oneway[node][name] = handler
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.topology.num_nodes:
+            raise ValueError(
+                f"node {node} out of range [0, {self.topology.num_nodes})"
+            )
+
+    # ------------------------------------------------------------------
+    def invoke(
+        self,
+        src: int,
+        dst: int,
+        service: str,
+        payload: Any = None,
+        request_bytes: int = 64,
+    ) -> SimEvent:
+        """Invoke *service* on *dst*; the returned event fires with the reply.
+
+        Local invocations (``src == dst``) run the handler immediately with
+        only the service cost charged, mirroring Hyperion's fast path for
+        operations on locally homed objects.
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        check_non_negative("request_bytes", request_bytes)
+        handler = self._services[dst].get(service)
+        if handler is None:
+            raise KeyError(f"node {dst} has no RPC service named {service!r}")
+
+        reply_event = SimEvent(self.engine, name=f"rpc:{service}:{src}->{dst}")
+        service_cost = self.cost_model.software.rpc_service_seconds
+        send_time = self.engine.now
+
+        if src == dst:
+            reply, _reply_bytes = handler(src, payload)
+            self.stats.record(service, 0, dst, 0.0)
+            reply_event.succeed(reply)
+            return reply_event
+
+        deliver_delay = self.topology.one_way_time(src, dst, request_bytes)
+        self.stats.record(service, request_bytes, dst, service_cost)
+        if self.keep_log:
+            self.log.append(
+                RpcMessage(
+                    service=service,
+                    src=src,
+                    dst=dst,
+                    size_bytes=request_bytes,
+                    send_time=send_time,
+                    deliver_time=send_time + deliver_delay,
+                )
+            )
+
+        def _deliver() -> None:
+            reply, reply_bytes = handler(src, payload)
+            return_delay = service_cost + self.topology.one_way_time(dst, src, reply_bytes)
+            self.stats.messages += 1
+            self.stats.bytes_sent += reply_bytes
+            reply_event.succeed(reply, delay=return_delay)
+
+        self.engine.call_at(deliver_delay, _deliver, name=f"deliver:{service}")
+        return reply_event
+
+    def post(
+        self,
+        src: int,
+        dst: int,
+        service: str,
+        payload: Any = None,
+        request_bytes: int = 64,
+    ) -> None:
+        """Send a one-way message; the handler runs on delivery, no reply."""
+        self._check_node(src)
+        self._check_node(dst)
+        check_non_negative("request_bytes", request_bytes)
+        handler = self._oneway[dst].get(service)
+        if handler is None:
+            raise KeyError(f"node {dst} has no one-way service named {service!r}")
+        service_cost = self.cost_model.software.rpc_service_seconds
+        self.stats.record(service, request_bytes, dst, service_cost)
+
+        if src == dst:
+            handler(src, payload)
+            return
+
+        deliver_delay = self.topology.one_way_time(src, dst, request_bytes)
+        if self.keep_log:
+            self.log.append(
+                RpcMessage(
+                    service=service,
+                    src=src,
+                    dst=dst,
+                    size_bytes=request_bytes,
+                    send_time=self.engine.now,
+                    deliver_time=self.engine.now + deliver_delay,
+                )
+            )
+        self.engine.call_at(deliver_delay, lambda: handler(src, payload), name=f"post:{service}")

@@ -1,0 +1,54 @@
+"""Discrete-event simulation (DES) kernel.
+
+This is the foundation every other layer builds on.  It provides:
+
+* :class:`~repro.simulation.engine.Engine` — the event loop with a virtual
+  clock,
+* :class:`~repro.simulation.events.SimEvent` / :class:`~repro.simulation.events.Timeout`
+  — one-shot triggerable events and delays,
+* :class:`~repro.simulation.process.Process` — generator-based cooperative
+  processes (the substrate for PM2/Marcel threads),
+* :mod:`~repro.simulation.resources` — virtual-time synchronisation objects
+  (locks, semaphores, FIFO stores, barriers, latches),
+* :mod:`~repro.simulation.trace` — structured event tracing.
+
+The kernel is deliberately SimPy-like but self-contained: processes are
+Python generators that ``yield`` *waitables* (events, timeouts, lock
+acquisitions, other processes) and are resumed when the waitable triggers.
+"""
+
+from repro.simulation.engine import Engine
+from repro.simulation.errors import (
+    DeadlockError,
+    InterruptError,
+    SimulationError,
+)
+from repro.simulation.events import AllOf, AnyOf, SimEvent, Timeout
+from repro.simulation.process import Process
+from repro.simulation.resources import (
+    Barrier,
+    CountdownLatch,
+    FifoStore,
+    Lock,
+    Semaphore,
+)
+from repro.simulation.trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "Engine",
+    "SimulationError",
+    "DeadlockError",
+    "InterruptError",
+    "SimEvent",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "Lock",
+    "Semaphore",
+    "FifoStore",
+    "Barrier",
+    "CountdownLatch",
+    "TraceRecord",
+    "TraceRecorder",
+]

@@ -1,0 +1,34 @@
+"""Exception types raised by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for all kernel-level errors."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while processes are still waiting.
+
+    The ``waiting`` attribute lists the stuck processes, which makes monitor
+    and barrier bugs in the upper layers much easier to diagnose.
+    """
+
+    def __init__(self, waiting):
+        names = ", ".join(str(p) for p in waiting)
+        super().__init__(
+            f"simulation deadlock: event queue empty but {len(waiting)} "
+            f"process(es) still waiting: {names}"
+        )
+        self.waiting = list(waiting)
+
+
+class InterruptError(SimulationError):
+    """Thrown *into* a process generator when it is interrupted.
+
+    Carries the ``cause`` given to :meth:`repro.simulation.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause

@@ -1,0 +1,65 @@
+"""Structured tracing of simulation events.
+
+Tracing is optional (the engine takes a recorder at construction).  It is used
+by the test-suite to assert ordering properties and by the harness's
+``--trace`` flag to dump what happened during an experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One processed event: its virtual time, kind and human-readable label."""
+
+    time: float
+    kind: str
+    label: str
+
+    def __str__(self) -> str:
+        return f"[{self.time * 1e6:12.3f} us] {self.kind:<12} {self.label}"
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates :class:`TraceRecord` entries, optionally bounded."""
+
+    max_records: Optional[int] = None
+    records: List[TraceRecord] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, time: float, event) -> None:
+        """Record an engine-delivered event."""
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        kind = type(event).__name__
+        label = getattr(event, "name", "") or repr(event)
+        self.records.append(TraceRecord(time=time, kind=kind, label=label))
+
+    def annotate(self, time: float, kind: str, label: str) -> None:
+        """Record a free-form annotation (used by upper layers)."""
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time=time, kind=kind, label=label))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def filter(self, kind: str) -> List[TraceRecord]:
+        """Return records whose kind equals *kind*."""
+        return [r for r in self.records if r.kind == kind]
+
+    def dump(self) -> str:
+        """Render all records as a newline-joined string."""
+        lines = [str(r) for r in self.records]
+        if self.dropped:
+            lines.append(f"... {self.dropped} record(s) dropped ...")
+        return "\n".join(lines)

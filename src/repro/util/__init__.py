@@ -1,0 +1,46 @@
+"""Small shared utilities used across the Hyperion reproduction.
+
+The sub-modules are intentionally dependency-free (only the standard library
+and :mod:`numpy`) so they can be imported from anywhere in the package without
+creating cycles.
+"""
+
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    MICROSECOND,
+    MILLISECOND,
+    NANOSECOND,
+    SECOND,
+    bytes_to_human,
+    cycles_to_seconds,
+    seconds_to_cycles,
+    seconds_to_human,
+)
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+    require,
+)
+
+__all__ = [
+    "GIB",
+    "KIB",
+    "MIB",
+    "MICROSECOND",
+    "MILLISECOND",
+    "NANOSECOND",
+    "SECOND",
+    "bytes_to_human",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "seconds_to_human",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+    "require",
+]

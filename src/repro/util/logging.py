@@ -1,0 +1,35 @@
+"""Logging helpers.
+
+The simulator emits structured, low-volume log records; by default nothing is
+configured so library users control handlers themselves.  ``enable_console``
+is a convenience for examples and the CLI.
+"""
+
+from __future__ import annotations
+
+import logging
+
+ROOT_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger of the package root logger."""
+    if name.startswith(ROOT_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def enable_console(level: int = logging.INFO) -> logging.Logger:
+    """Attach a console handler to the package root logger.
+
+    Safe to call repeatedly; only one handler is installed.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        root.addHandler(handler)
+    return root

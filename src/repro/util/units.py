@@ -1,0 +1,75 @@
+"""Unit constants and conversion helpers.
+
+All simulated time in the package is expressed in *seconds* (floats) and all
+CPU work in *cycles* (floats, converted by a node's clock frequency).  Memory
+sizes are plain integers of bytes.  Keeping the conversions in one place
+avoids the classic microsecond/nanosecond mix-ups when calibrating cost
+models against numbers quoted in the paper (which uses microseconds).
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# time
+# --------------------------------------------------------------------------
+SECOND: float = 1.0
+MILLISECOND: float = 1e-3
+MICROSECOND: float = 1e-6
+NANOSECOND: float = 1e-9
+
+# --------------------------------------------------------------------------
+# sizes
+# --------------------------------------------------------------------------
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Convert a cycle count into seconds for a CPU running at *frequency_hz*.
+
+    Parameters
+    ----------
+    cycles:
+        Number of CPU cycles (may be fractional for averaged costs).
+    frequency_hz:
+        Clock frequency in Hz; must be positive.
+    """
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency_hz must be positive, got {frequency_hz!r}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Convert a duration in seconds into CPU cycles at *frequency_hz*."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency_hz must be positive, got {frequency_hz!r}")
+    return seconds * frequency_hz
+
+
+def seconds_to_human(seconds: float) -> str:
+    """Render a duration with an appropriate SI prefix (``"12.0 us"``)."""
+    if seconds < 0:
+        return "-" + seconds_to_human(-seconds)
+    if seconds == 0:
+        return "0 s"
+    if seconds < MICROSECOND:
+        return f"{seconds / NANOSECOND:.1f} ns"
+    if seconds < MILLISECOND:
+        return f"{seconds / MICROSECOND:.1f} us"
+    if seconds < SECOND:
+        return f"{seconds / MILLISECOND:.1f} ms"
+    return f"{seconds:.3f} s"
+
+
+def bytes_to_human(nbytes: int) -> str:
+    """Render a byte count with a binary prefix (``"4.0 KiB"``)."""
+    if nbytes < 0:
+        return "-" + bytes_to_human(-nbytes)
+    if nbytes < KIB:
+        return f"{nbytes} B"
+    if nbytes < MIB:
+        return f"{nbytes / KIB:.1f} KiB"
+    if nbytes < GIB:
+        return f"{nbytes / MIB:.1f} MiB"
+    return f"{nbytes / GIB:.1f} GiB"

@@ -1,0 +1,47 @@
+"""Argument-validation helpers.
+
+The simulator is configuration heavy (cost models, cluster presets, workload
+presets); mistyped parameters tend to surface as subtly wrong execution times
+rather than crashes.  These helpers make constructors fail fast with clear
+messages instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that *value* is strictly positive and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Validate that *value* is >= 0 and return it."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that *value* lies in [0, 1] and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_type(name: str, value: Any, expected: Type) -> Any:
+    """Validate that *value* is an instance of *expected* and return it."""
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be a {expected.__name__}, got {type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,89 @@
+"""Behavioural properties of the benchmarks: sharing patterns and stats."""
+
+import pytest
+
+from repro.apps import create_app
+from repro.apps.base import Application, available_apps
+from repro.apps.tsp import TspApplication
+from tests.conftest import make_runtime
+
+
+def test_all_five_paper_benchmarks_registered():
+    assert available_apps() == ["asp", "barnes", "jacobi", "pi", "tsp"]
+    with pytest.raises(KeyError):
+        create_app("linpack")
+
+
+def test_block_partition_covers_range_without_overlap():
+    total, parts = 103, 7
+    seen = []
+    for index in range(parts):
+        seen.extend(Application.block_partition(total, parts, index))
+    assert seen == list(range(total))
+    with pytest.raises(ValueError):
+        Application.block_partition(10, 0, 0)
+
+
+def test_pi_generates_almost_no_dsm_traffic(testing_preset):
+    runtime = make_runtime(num_nodes=4, protocol="java_ic")
+    report = create_app("pi").run(runtime, testing_preset.pi)
+    # only the shared-sum object is touched: a handful of checks, not thousands
+    assert report.stats.dsm.inline_checks < 100
+    assert report.stats.dsm.page_fetches < 10
+
+
+def test_jacobi_neighbour_exchange_traffic(testing_preset):
+    runtime = make_runtime(num_nodes=4, protocol="java_pf")
+    report = create_app("jacobi").run(runtime, testing_preset.jacobi)
+    # each step every interior block boundary is exchanged; there must be
+    # page fetches but far fewer than one per cell
+    fetches = report.stats.dsm.page_fetches
+    cells = testing_preset.jacobi.size**2 * testing_preset.jacobi.steps
+    assert 0 < fetches < cells / 10
+    assert report.stats.monitors.barriers == testing_preset.jacobi.steps
+
+
+def test_tsp_uses_central_queue_monitors(testing_preset):
+    runtime = make_runtime(num_nodes=3, protocol="java_pf")
+    report = create_app("tsp").run(runtime, testing_preset.tsp)
+    n = testing_preset.tsp.cities
+    depth = testing_preset.tsp.queue_depth
+    expected_prefixes = 1
+    for k in range(depth):
+        expected_prefixes *= (n - 1) - k
+    assert report.result["prefixes"] == expected_prefixes
+    # at least one monitor entry per queue pop plus the empty-queue checks
+    assert report.stats.monitors.enters >= expected_prefixes
+    assert report.stats.monitors.remote_enters > 0
+
+
+def test_barnes_communication_grows_with_nodes(testing_preset):
+    small = make_runtime(num_nodes=1, protocol="java_pf")
+    large = make_runtime(num_nodes=4, protocol="java_pf")
+    report_small = create_app("barnes").run(small, testing_preset.barnes)
+    report_large = create_app("barnes").run(large, testing_preset.barnes)
+    assert report_large.stats.dsm.page_fetches > report_small.stats.dsm.page_fetches
+    assert report_large.stats.dsm.mprotect_calls > report_small.stats.dsm.mprotect_calls
+
+
+def test_asp_pivot_row_is_fetched_by_non_owners(testing_preset):
+    runtime = make_runtime(num_nodes=4, protocol="java_pf")
+    report = create_app("asp").run(runtime, testing_preset.asp)
+    assert report.stats.dsm.page_fetches > 0
+    assert report.stats.monitors.barriers == testing_preset.asp.vertices
+
+
+def test_tsp_prefix_encoding_roundtrip():
+    app = TspApplication()
+    for prefix in [(0,), (0, 3, 1), (0, 5, 4, 2, 9)]:
+        assert app._decode(app._encode(prefix)) == prefix
+
+
+def test_threads_per_node_ablation_creates_more_threads(testing_preset):
+    runtime = make_runtime(num_nodes=2, threads_per_node=2)
+    report = create_app("jacobi").run(runtime, testing_preset.jacobi)
+    # 4 workers + 1 main
+    assert report.num_threads == 5
+    assert report.stats.threads.created == 5
+    app = create_app("jacobi")
+    assert app.verify(report.result, testing_preset.jacobi)

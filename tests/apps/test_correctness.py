@@ -1,0 +1,105 @@
+"""Functional correctness of the five benchmarks under the DSM.
+
+Every application must produce the same answer as its reference
+implementation, whatever protocol or node count is used — the DSM and the
+Java Memory Model must be transparent, exactly as the paper requires
+("any threaded Java program written for a shared-memory machine would run
+with zero changes in a distributed environment").
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps import create_app
+from repro.apps.asp import reference_solution as asp_reference
+from repro.apps.barnes import reference_simulation as barnes_reference
+from repro.apps.jacobi import reference_solution as jacobi_reference
+from repro.apps.tsp import reference_solution as tsp_reference
+from tests.conftest import make_runtime
+
+
+def run_app(name, workload, protocol="java_pf", num_nodes=2, **kwargs):
+    runtime = make_runtime(num_nodes=num_nodes, protocol=protocol, **kwargs)
+    app = create_app(name)
+    report = app.run(runtime, workload)
+    return app, report
+
+
+@pytest.mark.parametrize("protocol", ["java_ic", "java_pf"])
+def test_pi_estimate_accurate(testing_preset, protocol):
+    app, report = run_app("pi", testing_preset.pi, protocol=protocol, num_nodes=3)
+    assert math.isclose(report.result, math.pi, abs_tol=1e-6)
+    assert app.verify(report.result, testing_preset.pi)
+
+
+@pytest.mark.parametrize("protocol", ["java_ic", "java_pf"])
+def test_jacobi_matches_numpy_reference(testing_preset, protocol):
+    app, report = run_app("jacobi", testing_preset.jacobi, protocol=protocol, num_nodes=3)
+    reference = jacobi_reference(testing_preset.jacobi)
+    assert np.allclose(report.result["grid"], reference)
+    assert app.verify(report.result, testing_preset.jacobi)
+
+
+@pytest.mark.parametrize("protocol", ["java_ic", "java_pf"])
+def test_asp_matches_floyd_warshall(testing_preset, protocol):
+    app, report = run_app("asp", testing_preset.asp, protocol=protocol, num_nodes=3)
+    assert np.array_equal(report.result["distances"], asp_reference(testing_preset.asp))
+    assert app.verify(report.result, testing_preset.asp)
+
+
+def test_asp_agrees_with_scipy(testing_preset):
+    scipy_sparse = pytest.importorskip("scipy.sparse.csgraph")
+    from repro.apps.asp import INFINITY, random_graph
+
+    _, report = run_app("asp", testing_preset.asp, num_nodes=2)
+    graph = random_graph(testing_preset.asp).astype(np.float64)
+    graph[graph >= INFINITY] = np.inf
+    np.fill_diagonal(graph, 0.0)
+    expected = scipy_sparse.floyd_warshall(graph)
+    ours = report.result["distances"].astype(np.float64)
+    ours[ours >= INFINITY] = np.inf
+    assert np.allclose(ours, expected)
+
+
+@pytest.mark.parametrize("protocol", ["java_ic", "java_pf"])
+def test_tsp_finds_the_optimum(testing_preset, protocol):
+    app, report = run_app("tsp", testing_preset.tsp, protocol=protocol, num_nodes=3)
+    assert report.result["length"] == tsp_reference(testing_preset.tsp)
+    tour = report.result["tour"]
+    assert sorted(tour) == list(range(testing_preset.tsp.cities))
+    assert app.verify(report.result, testing_preset.tsp)
+
+
+@pytest.mark.parametrize("protocol", ["java_ic", "java_pf"])
+def test_barnes_matches_reference_simulation(testing_preset, protocol):
+    app, report = run_app("barnes", testing_preset.barnes, protocol=protocol, num_nodes=3)
+    reference = barnes_reference(testing_preset.barnes)
+    assert np.allclose(report.result["positions"], reference["positions"], atol=1e-9)
+    assert app.verify(report.result, testing_preset.barnes)
+
+
+def test_results_identical_across_node_counts(testing_preset):
+    """Distribution must not change numerical results (single-JVM illusion)."""
+    for name in ("jacobi", "barnes", "asp"):
+        workload = testing_preset.workload_for(name)
+        _, single = run_app(name, workload, num_nodes=1)
+        _, multi = run_app(name, workload, num_nodes=4, cluster=None)
+        key = {"jacobi": "grid", "barnes": "positions", "asp": "distances"}[name]
+        assert np.allclose(single.result[key], multi.result[key]), name
+
+
+def test_results_identical_across_protocols(testing_preset):
+    for name in ("jacobi", "asp"):
+        workload = testing_preset.workload_for(name)
+        _, ic = run_app(name, workload, protocol="java_ic", num_nodes=3)
+        _, pf = run_app(name, workload, protocol="java_pf", num_nodes=3)
+        key = {"jacobi": "grid", "asp": "distances"}[name]
+        assert np.allclose(ic.result[key], pf.result[key])
+
+
+def test_verify_rejects_garbage(testing_preset):
+    for name in ("pi", "jacobi", "barnes", "tsp", "asp"):
+        app = create_app(name)
+        assert not app.verify(None, testing_preset.workload_for(name))

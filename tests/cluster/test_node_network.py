@@ -1,0 +1,78 @@
+"""Tests for the machine and network cost models."""
+
+import pytest
+
+from repro.cluster.network import NetworkSpec
+from repro.cluster.node import MachineSpec
+
+
+@pytest.fixture
+def machine():
+    return MachineSpec(name="test", frequency_hz=100e6)
+
+
+@pytest.fixture
+def network():
+    return NetworkSpec(
+        name="testnet",
+        latency_seconds=10e-6,
+        bandwidth_bytes_per_second=100e6,
+        send_overhead_seconds=1e-6,
+        recv_overhead_seconds=1e-6,
+    )
+
+
+def test_cycle_conversion(machine):
+    assert machine.cycle_time == pytest.approx(10e-9)
+    assert machine.seconds_for_cycles(100) == pytest.approx(1e-6)
+
+
+def test_work_combines_cycles_and_memory(machine):
+    assert machine.seconds_for_work(cycles=100, mem_seconds=5e-7) == pytest.approx(1.5e-6)
+
+
+def test_memory_component_is_clock_independent(machine):
+    fast = machine.scaled(400e6)
+    slow_time = machine.seconds_for_work(cycles=400, mem_seconds=1e-6)
+    fast_time = fast.seconds_for_work(cycles=400, mem_seconds=1e-6)
+    # the cycle part shrinks 4x, the memory part does not
+    assert fast_time == pytest.approx(1e-6 + 1e-6)
+    assert slow_time == pytest.approx(4e-6 + 1e-6)
+
+
+def test_machine_validation():
+    with pytest.raises(ValueError):
+        MachineSpec(name="bad", frequency_hz=0)
+    with pytest.raises(ValueError):
+        MachineSpec(name="bad", frequency_hz=1e6, cycles_per_flop=-1)
+
+
+def test_negative_cycles_rejected(machine):
+    with pytest.raises(ValueError):
+        machine.seconds_for_cycles(-1)
+
+
+def test_one_way_time_linear_in_size(network):
+    empty = network.one_way_time(0)
+    big = network.one_way_time(100_000)
+    assert empty == pytest.approx(12e-6)
+    assert big == pytest.approx(12e-6 + 100_000 / 100e6)
+
+
+def test_round_trip_is_two_one_ways(network):
+    assert network.round_trip_time(64, 4096) == pytest.approx(
+        network.one_way_time(64) + network.one_way_time(4096)
+    )
+
+
+def test_transfer_seconds_pure_bandwidth(network):
+    assert network.transfer_seconds(100e6) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        network.transfer_seconds(-1)
+
+
+def test_network_validation():
+    with pytest.raises(ValueError):
+        NetworkSpec(name="bad", latency_seconds=-1, bandwidth_bytes_per_second=1)
+    with pytest.raises(ValueError):
+        NetworkSpec(name="bad", latency_seconds=1e-6, bandwidth_bytes_per_second=0)

@@ -1,0 +1,54 @@
+"""Tests for the two paper cluster presets."""
+
+import pytest
+
+from repro.cluster.presets import (
+    cluster_by_name,
+    list_clusters,
+    myrinet_cluster,
+    sci_cluster,
+)
+
+
+def test_paper_published_constants():
+    myrinet = myrinet_cluster()
+    sci = sci_cluster()
+    # Section 4.2 of the paper
+    assert myrinet.num_nodes == 12
+    assert sci.num_nodes == 6
+    assert myrinet.machine.frequency_hz == pytest.approx(200e6)
+    assert sci.machine.frequency_hz == pytest.approx(450e6)
+    assert myrinet.software.page_fault_seconds == pytest.approx(22e-6)
+    assert sci.software.page_fault_seconds == pytest.approx(12e-6)
+
+
+def test_registry_lookup():
+    assert set(list_clusters()) == {"myrinet", "sci"}
+    assert cluster_by_name("MYRINET").name == "myrinet"
+    with pytest.raises(KeyError):
+        cluster_by_name("infiniband")
+
+
+def test_with_nodes_restricts_size():
+    small = myrinet_cluster().with_nodes(4)
+    assert small.num_nodes == 4
+    with pytest.raises(ValueError):
+        small.topology(8)
+
+
+def test_with_software_overrides_only_requested_field():
+    spec = myrinet_cluster().with_software(inline_check_cycles=20.0)
+    assert spec.software.inline_check_cycles == 20.0
+    assert spec.software.page_fault_seconds == myrinet_cluster().software.page_fault_seconds
+
+
+def test_node_counts_axis():
+    counts = myrinet_cluster().node_counts()
+    assert counts[0] == 1
+    assert counts[-1] == 12
+    assert all(a < b for a, b in zip(counts, counts[1:]))
+    assert sci_cluster().node_counts() == [1, 2, 3, 4, 6]
+
+
+def test_cost_model_uses_preset_page_size():
+    assert myrinet_cluster().cost_model().page_size == 4096

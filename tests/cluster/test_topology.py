@@ -1,0 +1,55 @@
+"""Tests for the crossbar and ring topologies."""
+
+import pytest
+
+from repro.cluster.network import NetworkSpec
+from repro.cluster.topology import CrossbarTopology, RingTopology
+
+
+@pytest.fixture
+def network():
+    return NetworkSpec(name="n", latency_seconds=5e-6, bandwidth_bytes_per_second=100e6)
+
+
+def test_crossbar_local_messages_are_free(network):
+    topo = CrossbarTopology(4, network)
+    assert topo.one_way_time(2, 2, 1000) == 0.0
+    assert topo.hops(1, 1) == 0
+
+
+def test_crossbar_uniform_costs(network):
+    topo = CrossbarTopology(6, network)
+    baseline = topo.one_way_time(0, 1, 4096)
+    for src in range(6):
+        for dst in range(6):
+            if src != dst:
+                assert topo.one_way_time(src, dst, 4096) == pytest.approx(baseline)
+
+
+def test_crossbar_round_trip(network):
+    topo = CrossbarTopology(4, network)
+    assert topo.round_trip_time(0, 3, 64, 4096) == pytest.approx(
+        topo.one_way_time(0, 3, 64) + topo.one_way_time(3, 0, 4096)
+    )
+
+
+def test_out_of_range_nodes_rejected(network):
+    topo = CrossbarTopology(2, network)
+    with pytest.raises(ValueError):
+        topo.one_way_time(0, 5)
+
+
+def test_ring_hop_counts(network):
+    ring = RingTopology(4, network)
+    assert ring.hops(0, 1) == 1
+    assert ring.hops(0, 3) == 3
+    assert ring.hops(3, 0) == 1  # unidirectional wrap-around
+    assert ring.hops(2, 2) == 0
+
+
+def test_ring_latency_grows_with_hops(network):
+    ring = RingTopology(6, network, per_hop_fraction=0.2)
+    near = ring.one_way_time(0, 1, 0)
+    far = ring.one_way_time(0, 5, 0)
+    assert far > near
+    assert far - near == pytest.approx(4 * 0.2 * network.latency_seconds)

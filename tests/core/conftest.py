@@ -1,0 +1,53 @@
+"""Fixtures for the core-layer tests: a small DSM + memory subsystem rig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.costs import CostModel, SoftwareCosts
+from repro.cluster.network import NetworkSpec
+from repro.cluster.node import MachineSpec
+from repro.cluster.topology import CrossbarTopology
+from repro.core.context import RecordingContext
+from repro.core.memory import MemorySubsystem
+from repro.core.protocol import create_protocol
+from repro.dsm.page_manager import PageManager
+from repro.hyperion.heap import HeapAllocator
+from repro.hyperion.objects import JavaClass
+from repro.pm2.isoaddr import IsoAddressAllocator
+
+
+class MemoryRig:
+    """A memory subsystem over N nodes without the full runtime."""
+
+    def __init__(self, protocol: str = "java_pf", num_nodes: int = 3, page_size: int = 4096):
+        self.num_nodes = num_nodes
+        self.isoaddr = IsoAddressAllocator(num_nodes, arena_size=4 * 1024 * 1024, page_size=page_size)
+        network = NetworkSpec(name="n", latency_seconds=8e-6, bandwidth_bytes_per_second=125e6)
+        self.cost_model = CostModel(
+            machine=MachineSpec(name="m", frequency_hz=200e6),
+            network=network,
+            software=SoftwareCosts(page_fault_seconds=22e-6, mprotect_seconds=6e-6),
+            page_size=page_size,
+        )
+        self.page_manager = PageManager(
+            num_nodes, page_size, self.isoaddr, self.cost_model, CrossbarTopology(num_nodes, network)
+        )
+        self.protocol = create_protocol(protocol, self.page_manager, self.cost_model)
+        self.memory = MemorySubsystem(self.page_manager, self.cost_model, self.protocol, num_nodes)
+        self.heap = HeapAllocator(self.isoaddr, self.page_manager)
+        self.contexts = {n: RecordingContext(n) for n in range(num_nodes)}
+
+    def ctx(self, node: int) -> RecordingContext:
+        return self.contexts[node]
+
+
+@pytest.fixture
+def rig_factory():
+    """Factory for :class:`MemoryRig` instances."""
+    return MemoryRig
+
+
+@pytest.fixture
+def point_class():
+    return JavaClass("Point", ["x", "y", "z"])

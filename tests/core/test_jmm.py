@@ -1,0 +1,115 @@
+"""Tests for the Java-Memory-Model helpers (vector clocks, happens-before)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.jmm import (
+    JMM_SYNCHRONIZATION_ACTIONS,
+    HappensBeforeTracker,
+    VectorClock,
+)
+
+
+def test_synchronization_actions_enumerated():
+    assert "monitor_enter" in JMM_SYNCHRONIZATION_ACTIONS
+    assert "monitor_exit" in JMM_SYNCHRONIZATION_ACTIONS
+
+
+def test_vector_clock_ordering():
+    a = VectorClock({"t1": 1})
+    b = VectorClock({"t1": 2})
+    assert a < b and a <= b and not b <= a
+    c = VectorClock({"t2": 1})
+    assert a.concurrent_with(c)
+    assert not a.concurrent_with(b)
+
+
+def test_vector_clock_merge_and_tick():
+    a = VectorClock({"t1": 3, "t2": 1})
+    b = VectorClock({"t2": 5})
+    a.merge(b)
+    assert a.get("t2") == 5 and a.get("t1") == 3
+    a.tick("t1")
+    assert a.get("t1") == 4
+    assert a.as_dict() == {"t1": 4, "t2": 5}
+
+
+def test_monitor_induces_happens_before():
+    hb = HappensBeforeTracker()
+    hb.mark("t1", "write")
+    hb.release("t1", "lock")
+    hb.acquire("t2", "lock")
+    hb.mark("t2", "read")
+    assert hb.happens_before("write", "read")
+    assert not hb.happens_before("read", "write")
+
+
+def test_unsynchronised_threads_are_concurrent():
+    hb = HappensBeforeTracker()
+    hb.mark("t1", "a")
+    hb.mark("t2", "b")
+    assert hb.concurrent("a", "b")
+    with pytest.raises(KeyError):
+        hb.happens_before("a", "missing")
+
+
+def test_barrier_orders_all_participants():
+    hb = HappensBeforeTracker()
+    hb.mark("t1", "before1")
+    hb.mark("t2", "before2")
+    hb.barrier(["t1", "t2", "t3"])
+    hb.mark("t3", "after3")
+    assert hb.happens_before("before1", "after3")
+    assert hb.happens_before("before2", "after3")
+
+
+def test_acquire_without_prior_release_creates_no_edge():
+    hb = HappensBeforeTracker()
+    hb.mark("t1", "a")
+    hb.acquire("t2", "never-released-lock")
+    hb.mark("t2", "b")
+    assert hb.concurrent("a", "b")
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+clock_strategy = st.dictionaries(
+    st.sampled_from(["t1", "t2", "t3", "t4"]), st.integers(0, 20), max_size=4
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=clock_strategy, b=clock_strategy)
+def test_property_clock_ordering_is_antisymmetric(a, b):
+    ca, cb = VectorClock(a), VectorClock(b)
+    if ca < cb:
+        assert not cb < ca
+    if ca <= cb and cb <= ca:
+        assert ca == cb
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=clock_strategy, b=clock_strategy, c=clock_strategy)
+def test_property_merge_is_least_upper_bound(a, b, c):
+    ca, cb = VectorClock(a), VectorClock(b)
+    merged = ca.copy().merge(cb)
+    assert ca <= merged and cb <= merged
+    # any other upper bound dominates the merge
+    upper = VectorClock(c)
+    if ca <= upper and cb <= upper:
+        assert merged <= upper
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    chain=st.lists(st.sampled_from(["t1", "t2", "t3"]), min_size=2, max_size=8),
+)
+def test_property_release_acquire_chain_is_transitive(chain):
+    hb = HappensBeforeTracker()
+    hb.mark(chain[0], "start")
+    for previous, current in zip(chain, chain[1:]):
+        hb.release(previous, "lock")
+        hb.acquire(current, "lock")
+    hb.mark(chain[-1], "end")
+    assert hb.happens_before("start", "end")

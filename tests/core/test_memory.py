@@ -1,0 +1,123 @@
+"""Tests for the memory subsystem (Table 2 primitives and bulk variants)."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import RecordingContext
+
+
+def test_table2_primitive_inventory(rig_factory):
+    rig = rig_factory()
+    names = rig.memory.primitive_names()
+    assert set(names) == {"loadIntoCache", "invalidateCache", "updateMainMemory", "get", "put"}
+    assert "cache" in names["loadIntoCache"].lower()
+
+
+def test_get_put_on_home_node_touch_main_memory(rig_factory, point_class):
+    rig = rig_factory()
+    obj = rig.heap.new_object(point_class, home_node=0)
+    ctx = rig.ctx(0)
+    rig.memory.put(ctx, 0, obj, 0, 3.5)
+    assert obj.main_read(0) == 3.5
+    assert rig.memory.get(ctx, 0, obj, 0) == 3.5
+    # no cache entry is created for locally homed objects
+    assert len(rig.memory.cache_for(0)) == 0
+
+
+def test_remote_put_is_invisible_until_update_main_memory(rig_factory, point_class):
+    rig = rig_factory()
+    obj = rig.heap.new_object(point_class, home_node=1)
+    ctx = rig.ctx(0)
+    rig.memory.put(ctx, 0, obj, 1, 42)
+    # main memory (home copy) still holds the old value: Java consistency
+    # only requires the update to be visible after the monitor exit
+    assert obj.main_read(1) == 0
+    flushed = rig.memory.update_main_memory(ctx, 0)
+    assert flushed == obj.slot_size
+    assert obj.main_read(1) == 42
+    assert rig.memory.run_stats.dsm.update_messages == 1
+    assert rig.memory.run_stats.dsm.update_bytes == obj.slot_size
+
+
+def test_remote_get_can_be_stale_until_invalidate(rig_factory, point_class):
+    rig = rig_factory()
+    obj = rig.heap.new_object(point_class, home_node=1)
+    reader = rig.ctx(0)
+    # reader caches the object while the field is still 0
+    assert rig.memory.get(reader, 0, obj, 0) == 0
+    # the home node updates the reference copy directly
+    home_ctx = rig.ctx(1)
+    rig.memory.put(home_ctx, 1, obj, 0, 7)
+    # reader still sees its cached copy (allowed by the JMM)...
+    assert rig.memory.get(reader, 0, obj, 0) == 0
+    # ...until it passes an acquire point
+    rig.memory.invalidate_cache(reader, 0)
+    assert rig.memory.get(reader, 0, obj, 0) == 7
+
+
+def test_load_into_cache_prefetches_whole_page(rig_factory):
+    rig = rig_factory(protocol="java_pf")
+    # two small arrays that share a page on node 1
+    first = rig.heap.new_array("double", 8, home_node=1)
+    second = rig.heap.new_array("double", 8, home_node=1)
+    ctx = rig.ctx(0)
+    rig.memory.load_into_cache(ctx, 0, first)
+    fetches = rig.page_manager.stats.page_fetches
+    # the second object lives on the already-fetched page: no new transfer
+    rig.memory.get(ctx, 0, second, 0)
+    assert rig.page_manager.stats.page_fetches == fetches
+
+
+def test_get_range_put_range_roundtrip_remote(rig_factory):
+    rig = rig_factory()
+    array = rig.heap.new_array("int", 32, home_node=2)
+    writer = rig.ctx(0)
+    rig.memory.put_range(writer, 0, array, 0, 32, np.arange(32, dtype=np.int32))
+    rig.memory.update_main_memory(writer, 0)
+    reader = rig.ctx(1)
+    values = rig.memory.get_range(reader, 1, array, 0, 32)
+    assert np.array_equal(values, np.arange(32))
+
+
+def test_range_validation(rig_factory):
+    rig = rig_factory()
+    array = rig.heap.new_array("double", 8, home_node=0)
+    ctx = rig.ctx(0)
+    with pytest.raises(IndexError):
+        rig.memory.get_range(ctx, 0, array, 0, 9)
+    with pytest.raises(IndexError):
+        rig.memory.get_range(ctx, 0, array, 5, 5)
+    with pytest.raises(ValueError):
+        rig.memory.put_range(ctx, 0, array, 0, 4, [1.0, 2.0])
+
+
+def test_account_accesses_charges_without_moving_data(rig_factory):
+    rig = rig_factory(protocol="java_ic")
+    array = rig.heap.new_array("double", 16, home_node=0)
+    ctx = rig.ctx(0)
+    rig.memory.account_accesses(ctx, 0, array, 1000)
+    assert rig.page_manager.stats.inline_checks == 1000
+    assert rig.page_manager.stats.accesses == 1000
+    # zero/negative counts are ignored
+    rig.memory.account_accesses(ctx, 0, array, 0)
+    assert rig.page_manager.stats.accesses == 1000
+
+
+def test_update_message_not_sent_for_local_dirty_data(rig_factory, point_class):
+    rig = rig_factory()
+    ctx = rig.ctx(0)
+    obj = rig.heap.new_object(point_class, home_node=0)
+    rig.memory.put(ctx, 0, obj, 0, 1.0)
+    rig.memory.update_main_memory(ctx, 0)
+    assert rig.memory.run_stats.dsm.update_messages == 0
+
+
+def test_stats_remote_access_counter(rig_factory, point_class):
+    rig = rig_factory()
+    remote = rig.heap.new_object(point_class, home_node=1)
+    local = rig.heap.new_object(point_class, home_node=0)
+    ctx = rig.ctx(0)
+    rig.memory.get(ctx, 0, local, 0)
+    rig.memory.get(ctx, 0, remote, 0)
+    assert rig.page_manager.stats.accesses == 2
+    assert rig.page_manager.stats.remote_accesses == 1

@@ -1,0 +1,64 @@
+"""Tests for RunStats aggregation and the recording context."""
+
+import pytest
+
+from repro.core.context import RecordingContext
+from repro.core.stats import MonitorStats, RunStats, ThreadStats
+
+
+def test_recording_context_accumulates():
+    ctx = RecordingContext(node_id=2)
+    ctx.charge_cpu(1e-3)
+    ctx.charge_wait(2e-3)
+    assert ctx.cpu_seconds == pytest.approx(1e-3)
+    assert ctx.wait_seconds == pytest.approx(2e-3)
+    assert ctx.total_seconds == pytest.approx(3e-3)
+    assert ctx.charges == [("cpu", 1e-3), ("wait", 2e-3)]
+    ctx.reset()
+    assert ctx.total_seconds == 0.0
+
+
+def test_recording_context_rejects_negative_charges():
+    ctx = RecordingContext()
+    with pytest.raises(ValueError):
+        ctx.charge_cpu(-1.0)
+    with pytest.raises(ValueError):
+        ctx.charge_wait(-1.0)
+
+
+def test_run_stats_per_node_accounting():
+    stats = RunStats()
+    stats.record_cpu(0, 1.0)
+    stats.record_cpu(0, 2.0)
+    stats.record_cpu(1, 0.5)
+    stats.record_wait(1, 0.25)
+    assert stats.cpu_seconds_by_node == {0: 3.0, 1: 0.5}
+    assert stats.total_cpu_seconds == 3.5
+    assert stats.total_wait_seconds == 0.25
+
+
+def test_run_stats_as_dict_merges_all_counters():
+    stats = RunStats()
+    stats.execution_seconds = 1.25
+    stats.dsm.inline_checks = 10
+    stats.monitors.enters = 4
+    stats.threads.created = 2
+    flat = stats.as_dict()
+    assert flat["execution_seconds"] == 1.25
+    assert flat["inline_checks"] == 10
+    assert flat["monitor_enters"] == 4
+    assert flat["threads_created"] == 2
+
+
+def test_summary_mentions_key_counters():
+    stats = RunStats()
+    stats.dsm.page_faults = 7
+    text = stats.summary()
+    assert "faults=7" in text
+
+
+def test_monitor_and_thread_stats_dicts():
+    monitors = MonitorStats(enters=3, waits=1)
+    threads = ThreadStats(created=5, migrations=2)
+    assert monitors.as_dict()["monitor_enters"] == 3
+    assert threads.as_dict()["thread_migrations"] == 2

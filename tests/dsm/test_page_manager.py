@@ -1,0 +1,141 @@
+"""Tests for the DSM page manager: home directory, fetches, protections."""
+
+import pytest
+
+from repro.cluster.costs import CostModel, SoftwareCosts
+from repro.cluster.network import NetworkSpec
+from repro.cluster.node import MachineSpec
+from repro.cluster.topology import CrossbarTopology
+from repro.dsm.page import PageProtection
+from repro.dsm.page_manager import PageManager
+from repro.pm2.isoaddr import IsoAddressAllocator
+
+
+@pytest.fixture
+def manager():
+    isoaddr = IsoAddressAllocator(num_nodes=3, arena_size=1024 * 1024, page_size=4096)
+    network = NetworkSpec(name="n", latency_seconds=10e-6, bandwidth_bytes_per_second=100e6)
+    cost_model = CostModel(
+        machine=MachineSpec(name="m", frequency_hz=200e6),
+        network=network,
+        software=SoftwareCosts(),
+    )
+    return PageManager(3, 4096, isoaddr, cost_model, CrossbarTopology(3, network)), isoaddr
+
+
+def _register(manager, isoaddr, node, pages=1):
+    allocation = isoaddr.allocate_pages(node, pages)
+    registered = manager.register_range(allocation.address, allocation.size)
+    return registered
+
+
+def test_register_assigns_home_and_presence(manager):
+    pm, isoaddr = manager
+    pages = _register(pm, isoaddr, node=1, pages=2)
+    assert len(pages) == 2
+    for page in pages:
+        assert pm.home_node(page) == 1
+        assert pm.is_present(1, page)
+        assert not pm.is_present(0, page)
+
+
+def test_unregistered_page_lookup_fails(manager):
+    pm, _ = manager
+    with pytest.raises(KeyError):
+        pm.page_info(123456)
+
+
+def test_fetch_marks_present_and_counts(manager):
+    pm, isoaddr = manager
+    pages = _register(pm, isoaddr, node=2, pages=3)
+    latency = pm.fetch_pages(0, pages)
+    assert latency > 0
+    assert all(pm.is_present(0, p) for p in pages)
+    assert pm.stats.page_fetches == 3
+    assert pm.stats.bytes_transferred == 3 * 4096
+    # already-present pages cost nothing
+    assert pm.fetch_pages(0, pages) == 0.0
+    assert pm.stats.page_fetches == 3
+
+
+def test_missing_pages_filtering(manager):
+    pm, isoaddr = manager
+    pages = _register(pm, isoaddr, node=1, pages=2)
+    assert pm.missing_pages(0, pages) == pages
+    pm.fetch_pages(0, pages[:1])
+    assert pm.missing_pages(0, pages) == pages[1:]
+    assert pm.missing_pages(1, pages) == []  # home node always present
+
+
+def test_set_protection_counts_mprotect_only_on_change(manager):
+    pm, isoaddr = manager
+    (page,) = _register(pm, isoaddr, node=0, pages=1)
+    assert pm.set_protection(1, page, PageProtection.NONE) is True
+    assert pm.set_protection(1, page, PageProtection.NONE) is False
+    assert pm.stats.mprotect_calls == 1
+
+
+def test_protect_remote_present_pages(manager):
+    pm, isoaddr = manager
+    pages = _register(pm, isoaddr, node=2, pages=4)
+    pm.fetch_pages(0, pages)
+    calls = pm.protect_remote_present_pages(0)
+    assert calls == 4
+    assert pm.stats.mprotect_calls == 4
+    # pages are gone from node 0's working set and protected
+    assert pm.missing_pages(0, pages) == pages
+    for page in pages:
+        assert pm.protection(0, page) is PageProtection.NONE
+    # home node is never touched
+    assert pm.protect_remote_present_pages(2) == 0
+
+
+def test_drop_remote_present_pages_does_not_mprotect(manager):
+    pm, isoaddr = manager
+    pages = _register(pm, isoaddr, node=2, pages=4)
+    pm.fetch_pages(1, pages)
+    dropped = pm.drop_remote_present_pages(1)
+    assert dropped == 4
+    assert pm.stats.mprotect_calls == 0
+    assert pm.missing_pages(1, pages) == pages
+
+
+def test_unprotect_after_fetch_counts_transitions(manager):
+    pm, isoaddr = manager
+    (page,) = _register(pm, isoaddr, node=2, pages=1)
+    pm.tables[0].entry(page).protection = PageProtection.NONE
+    pm.fetch_pages(0, [page])
+    assert pm.unprotect_after_fetch(0, [page]) == 1
+    assert pm.protection(0, page) is PageProtection.READ_WRITE
+
+
+def test_record_fault_statistics(manager):
+    pm, isoaddr = manager
+    (page,) = _register(pm, isoaddr, node=1, pages=1)
+    pm.record_fault(0, page)
+    pm.record_fault(0, page)
+    assert pm.stats.page_faults == 2
+    assert pm.stats.faults_by_node[0] == 2
+    assert pm.tables[0].entry(page).faults == 2
+
+
+def test_replica_count_and_resident_pages(manager):
+    pm, isoaddr = manager
+    (page,) = _register(pm, isoaddr, node=0, pages=1)
+    assert pm.replica_count(page) == 1
+    pm.fetch_pages(1, [page])
+    pm.fetch_pages(2, [page])
+    assert pm.replica_count(page) == 3
+    assert pm.resident_remote_pages(1) == 1
+    assert pm.resident_remote_pages(0) == 0
+
+
+def test_fetch_groups_by_home_node(manager):
+    pm, isoaddr = manager
+    pages_a = _register(pm, isoaddr, node=1, pages=1)
+    pages_b = _register(pm, isoaddr, node=2, pages=1)
+    latency = pm.fetch_pages(0, pages_a + pages_b)
+    # two groups -> two round trips, strictly more than one group's latency
+    single = pm.cost_model.software.rpc_service_seconds
+    assert latency > 2 * single
+    assert pm.stats.fetches_by_node[0] == 2

@@ -1,0 +1,98 @@
+"""Tests for calibration, parameter sweeps and the CLI."""
+
+import json
+
+import pytest
+
+from repro.apps.workloads import WorkloadPreset
+from repro.harness.calibration import (
+    CalibrationEntry,
+    check_published_constants,
+    calibrate,
+)
+from repro.harness.cli import main as cli_main
+from repro.harness.sweep import (
+    sweep_balancer,
+    sweep_check_cost,
+    sweep_page_size,
+    sweep_threads_per_node,
+)
+
+
+def test_published_constants_check_passes():
+    notes = check_published_constants()
+    assert all(note.startswith("ok") for note in notes)
+    assert any("22 us" in note for note in notes)
+
+
+def test_calibration_entry_tolerance():
+    entry = CalibrationEntry(app="x", paper_percent=40.0, measured_percent=44.0, tolerance=5.0)
+    assert entry.within_tolerance and entry.deviation == pytest.approx(4.0)
+    bad = CalibrationEntry(app="x", paper_percent=40.0, measured_percent=10.0, tolerance=5.0)
+    assert not bad.within_tolerance
+
+
+def test_calibrate_single_app_runs():
+    report = calibrate(workload=WorkloadPreset.testing(), apps=["pi"])
+    assert report.constants_ok
+    assert report.entries[0].app == "pi"
+    assert "calibration" in report.render()
+
+
+def test_sweep_check_cost_finds_crossover(testing_preset):
+    result = sweep_check_cost(
+        "asp",
+        num_nodes=1,
+        check_cycles=(0.0001, 64.0),
+        workload=WorkloadPreset.bench().asp,
+    )
+    # with a (nearly) free check java_ic wins; with a very expensive one it loses
+    cheap_ic = result.times[("java_ic", 0.0001)]
+    cheap_pf = result.times[("java_pf", 0.0001)]
+    costly_ic = result.times[("java_ic", 64.0)]
+    costly_pf = result.times[("java_pf", 64.0)]
+    assert cheap_ic <= cheap_pf * 1.001
+    assert costly_ic > costly_pf
+    assert "inline_check_cycles" in result.render()
+
+
+def test_sweep_page_size_runs(testing_preset):
+    result = sweep_page_size(
+        "jacobi", num_nodes=2, page_sizes=(2048, 8192), workload=testing_preset.jacobi
+    )
+    assert len(result.times) == 4
+    assert all(t > 0 for t in result.times.values())
+
+
+def test_sweep_threads_per_node(testing_preset):
+    result = sweep_threads_per_node(
+        "jacobi", num_nodes=2, threads_per_node=(1, 2), workload=testing_preset.jacobi
+    )
+    assert set(v for _, v in result.times) == {1, 2}
+
+
+def test_sweep_balancer(testing_preset):
+    result = sweep_balancer(
+        "barnes", num_nodes=2, policies=("round_robin", "block"), workload=testing_preset.barnes
+    )
+    assert ("java_pf", "round_robin") in result.times
+
+
+def test_cli_describe_and_figure(capsys):
+    assert cli_main(["describe"]) == 0
+    captured = capsys.readouterr().out
+    assert "myrinet" in captured and "java_pf" in captured
+
+    assert cli_main(["figure", "1", "--scale", "testing", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["figure"] == 1
+    assert payload["app"] == "pi"
+
+
+def test_cli_run_subcommand(capsys):
+    code = cli_main(
+        ["run", "pi", "--cluster", "sci", "--protocol", "java_ic", "--nodes", "2", "--scale", "testing", "--verify"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sci/java_ic" in out

@@ -1,0 +1,204 @@
+"""Tests for Java monitors, wait/notify and the thread context."""
+
+import pytest
+
+from repro.hyperion.objects import JavaClass
+from tests.conftest import make_runtime
+
+
+COUNTER = JavaClass("Counter", ["value"])
+
+
+def test_monitor_mutual_exclusion_and_counts():
+    runtime = make_runtime(num_nodes=2)
+
+    def worker(ctx, shared):
+        for _ in range(10):
+            yield from ctx.monitor_enter(shared)
+            value = ctx.get(shared, "value")
+            ctx.compute(cycles=50)
+            ctx.put(shared, "value", value + 1)
+            yield from ctx.monitor_exit(shared)
+
+    def main(ctx):
+        shared = ctx.new_object(COUNTER, home_node=0)
+        ctx.put(shared, "value", 0)
+        threads = [ctx.spawn(worker, shared) for _ in range(4)]
+        for t in threads:
+            yield from ctx.join(t)
+        return ctx.get(shared, "value")
+
+    runtime.spawn_main(main)
+    report = runtime.run()
+    assert report.result == 40
+    assert report.stats.monitors.enters >= 40
+    assert report.stats.monitors.remote_enters > 0  # threads on node 1
+    assert report.stats.monitors.contended_enters >= 0
+
+
+def test_monitor_exit_without_enter_raises():
+    runtime = make_runtime(num_nodes=1)
+
+    def main(ctx):
+        shared = ctx.new_object(COUNTER, home_node=0)
+        yield from ctx.monitor_exit(shared)
+
+    runtime.spawn_main(main)
+    with pytest.raises(Exception):
+        runtime.run()
+
+
+def test_wait_notify_producer_consumer():
+    runtime = make_runtime(num_nodes=2)
+    log = []
+
+    def consumer(ctx, shared):
+        yield from ctx.monitor_enter(shared)
+        while ctx.get(shared, "value") == 0:
+            yield from ctx.wait(shared)
+        log.append(("consumed", ctx.get(shared, "value")))
+        yield from ctx.monitor_exit(shared)
+
+    def producer(ctx, shared):
+        yield from ctx.sleep(0.001)
+        yield from ctx.monitor_enter(shared)
+        ctx.put(shared, "value", 42)
+        ctx.notify_all(shared)
+        yield from ctx.monitor_exit(shared)
+
+    def main(ctx):
+        shared = ctx.new_object(COUNTER, home_node=0)
+        ctx.put(shared, "value", 0)
+        c = ctx.spawn(consumer, shared)
+        p = ctx.spawn(producer, shared)
+        yield from ctx.join(c)
+        yield from ctx.join(p)
+        return log
+
+    runtime.spawn_main(main)
+    report = runtime.run()
+    assert report.result == [("consumed", 42)]
+    assert report.stats.monitors.waits == 1
+    assert report.stats.monitors.notifies >= 1
+
+
+def test_barrier_synchronises_and_flushes():
+    runtime = make_runtime(num_nodes=4)
+
+    def worker(ctx, barrier, arrivals):
+        yield from ctx.sleep(0.001 * (ctx.thread_index + 1))
+        yield from ctx.barrier(barrier)
+        arrivals.append(ctx.runtime.engine.now)
+
+    def main(ctx):
+        barrier = ctx.runtime.create_barrier(4)
+        arrivals = []
+        threads = [ctx.spawn(worker, barrier, arrivals) for _ in range(4)]
+        for t in threads:
+            yield from ctx.join(t)
+        return arrivals
+
+    runtime.spawn_main(main)
+    report = runtime.run()
+    times = report.result
+    assert max(times) - min(times) < 1e-9  # all released together
+    assert report.stats.monitors.barriers == 1
+
+
+def test_thread_sleep_and_virtual_time():
+    runtime = make_runtime(num_nodes=1)
+
+    def main(ctx):
+        start = ctx.current_time_millis()
+        yield from ctx.sleep(0.5)
+        return ctx.current_time_millis() - start
+
+    runtime.spawn_main(main)
+    report = runtime.run()
+    assert report.result >= 500
+
+
+def test_spawn_respects_load_balancer_round_robin():
+    runtime = make_runtime(num_nodes=3)
+
+    def worker(ctx):
+        yield from ctx.sleep(0)
+        return ctx.node_id
+
+    def main(ctx):
+        threads = [ctx.spawn(worker) for _ in range(6)]
+        nodes = []
+        for t in threads:
+            node = yield from ctx.join(t)
+            nodes.append(node)
+        return nodes
+
+    runtime.spawn_main(main)
+    report = runtime.run()
+    assert report.result == [0, 1, 2, 0, 1, 2]
+    assert report.stats.threads.remote_created >= 4
+
+
+def test_thread_migration_moves_context():
+    runtime = make_runtime(num_nodes=3)
+
+    def main(ctx):
+        before = ctx.node_id
+        yield from ctx.migrate(2)
+        return before, ctx.node_id
+
+    runtime.spawn_main(main)
+    report = runtime.run()
+    assert report.result == (0, 2)
+    assert report.stats.threads.migrations == 1
+
+
+def test_plain_function_body_supported():
+    runtime = make_runtime(num_nodes=1)
+
+    def body(ctx):
+        ctx.compute(cycles=1000)
+        return "plain"
+
+    runtime.spawn_main(body)
+    report = runtime.run()
+    assert report.result == "plain"
+
+
+def test_compute_charges_cycles_and_memory():
+    runtime = make_runtime(num_nodes=1)
+
+    def main(ctx):
+        ctx.compute(cycles=200e6)          # one second at 200 MHz
+        ctx.compute(mem_seconds=0.5)
+        yield from ctx.sleep(0)
+        return None
+
+    runtime.spawn_main(main)
+    report = runtime.run()
+    assert report.execution_seconds == pytest.approx(1.5, rel=1e-6)
+
+
+def test_javaapi_natives():
+    runtime = make_runtime(num_nodes=1)
+
+    def main(ctx):
+        src = ctx.new_array("int", 8)
+        dst = ctx.new_array("int", 8)
+        for i in range(8):
+            ctx.aput(src, i, i * i)
+        ctx.arraycopy(src, 0, dst, 0, 8)
+        ctx.println("hello from java")
+        root = ctx.math("sqrt", 16.0)
+        yield from ctx.sleep(0)
+        return [ctx.aget(dst, i) for i in range(8)], root
+
+    runtime.spawn_main(main)
+    report = runtime.run()
+    values, root = report.result
+    assert values == [i * i for i in range(8)]
+    assert root == 4.0
+    assert report.console == ["hello from java"]
+    assert runtime.javaapi.natives_called["System.arraycopy"] == 1
+    with pytest.raises(KeyError):
+        runtime.javaapi.math(None, "not_a_native")

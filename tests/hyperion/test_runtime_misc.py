@@ -1,0 +1,113 @@
+"""Tests for runtime assembly, configuration, load balancer and comm layer."""
+
+import pytest
+
+from repro.cluster.presets import myrinet_cluster, sci_cluster
+from repro.hyperion.loadbalancer import (
+    BlockBalancer,
+    RandomBalancer,
+    RoundRobinBalancer,
+    available_policies,
+    create_balancer,
+)
+from repro.hyperion.runtime import HyperionRuntime, RuntimeConfig
+from tests.conftest import make_runtime
+
+
+def test_runtime_rejects_more_nodes_than_cluster():
+    with pytest.raises(ValueError):
+        HyperionRuntime(sci_cluster(), num_nodes=8)
+
+
+def test_runtime_protocol_argument_overrides_config():
+    runtime = HyperionRuntime(myrinet_cluster(), num_nodes=2, protocol="java_ic")
+    assert runtime.protocol.name == "java_ic"
+
+
+def test_runtime_config_validation():
+    with pytest.raises(ValueError):
+        RuntimeConfig(threads_per_node=0)
+    with pytest.raises(ValueError):
+        RuntimeConfig(page_size=-1)
+
+
+def test_runtime_page_size_override():
+    runtime = make_runtime(num_nodes=2, page_size=1024)
+    assert runtime.cost_model.page_size == 1024
+    assert runtime.isoaddr.page_size == 1024
+
+
+def test_runtime_describe_and_report():
+    runtime = make_runtime(num_nodes=2)
+
+    def main(ctx):
+        ctx.println("done")
+        yield from ctx.sleep(0)
+        return 7
+
+    runtime.spawn_main(main)
+    report = runtime.run()
+    assert report.result == 7
+    assert report.num_nodes == 2
+    assert report.cluster == "myrinet"
+    assert "cluster" in runtime.describe()
+    flat = report.to_dict()
+    assert flat["protocol"] == "java_pf"
+    assert "execution_seconds" in flat
+    assert str(report).startswith("[myrinet/java_pf")
+
+
+def test_round_robin_balancer_cycles():
+    balancer = RoundRobinBalancer(3)
+    assert [balancer.next_node() for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+    assert balancer.threads_per_node() == {0: 2, 1: 2, 2: 2}
+
+
+def test_block_balancer_packs_blocks():
+    balancer = BlockBalancer(2, expected_threads=4)
+    assert [balancer.next_node() for _ in range(4)] == [0, 0, 1, 1]
+
+
+def test_random_balancer_is_seeded_and_in_range():
+    a = RandomBalancer(4, seed=1)
+    b = RandomBalancer(4, seed=1)
+    seq_a = [a.next_node() for _ in range(20)]
+    seq_b = [b.next_node() for _ in range(20)]
+    assert seq_a == seq_b
+    assert all(0 <= n < 4 for n in seq_a)
+
+
+def test_balancer_registry():
+    assert set(available_policies()) == {"round_robin", "block", "random"}
+    assert isinstance(create_balancer("round_robin", 2), RoundRobinBalancer)
+    with pytest.raises(KeyError):
+        create_balancer("least_loaded", 2)
+
+
+def test_comm_subsystem_user_handlers():
+    runtime = make_runtime(num_nodes=2, keep_rpc_log=True)
+    received = []
+    runtime.comm.register_oneway(1, "user.ping", lambda src, payload: received.append((src, payload)))
+    runtime.comm.register_handler(1, "user.echo", lambda src, payload: (payload * 2, 8))
+
+    def main(ctx):
+        ctx.runtime.comm.post(0, 1, "user.ping", "hello")
+        reply = yield from ctx.runtime.comm.invoke(0, 1, "user.echo", 21)
+        return reply
+
+    runtime.spawn_main(main)
+    report = runtime.run()
+    assert report.result == 42
+    assert received == [(0, "hello")]
+    assert runtime.comm.stats.by_service["user.ping"] == 1
+    assert len(runtime.rpc.log) >= 1
+
+
+def test_comm_broadcast_reaches_all_other_nodes():
+    runtime = make_runtime(num_nodes=4)
+    hits = []
+    for node in range(4):
+        runtime.comm.register_oneway(node, "user.note", lambda src, payload, n=node: hits.append(n))
+    runtime.comm.broadcast(1, "user.note")
+    runtime.engine.run()
+    assert sorted(hits) == [0, 2, 3]

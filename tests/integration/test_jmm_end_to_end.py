@@ -1,0 +1,100 @@
+"""End-to-end Java-Memory-Model semantics through the full runtime."""
+
+import pytest
+
+from repro.hyperion.objects import JavaClass
+from tests.conftest import make_runtime
+
+BOX = JavaClass("Box", ["value", "flag"])
+
+
+@pytest.mark.parametrize("protocol", ["java_ic", "java_pf"])
+def test_monitor_publication_is_visible(protocol):
+    """A value written before a monitor exit is seen after the next enter."""
+    runtime = make_runtime(num_nodes=2, protocol=protocol)
+
+    def writer(ctx, box):
+        yield from ctx.monitor_enter(box)
+        ctx.put(box, "value", 123)
+        ctx.put(box, "flag", 1)
+        yield from ctx.monitor_exit(box)
+
+    def reader(ctx, box):
+        while True:
+            yield from ctx.monitor_enter(box)
+            flag = ctx.get(box, "flag")
+            value = ctx.get(box, "value")
+            yield from ctx.monitor_exit(box)
+            if flag:
+                return value
+            yield from ctx.sleep(1e-4)
+
+    def main(ctx):
+        box = ctx.new_object(BOX, home_node=0)
+        w = ctx.spawn(writer, box, node=1)
+        r = ctx.spawn(reader, box, node=0)
+        value = yield from ctx.join(r)
+        yield from ctx.join(w)
+        return value
+
+    runtime.spawn_main(main)
+    assert runtime.run().result == 123
+
+
+@pytest.mark.parametrize("protocol", ["java_ic", "java_pf"])
+def test_unsynchronised_reads_may_be_stale_but_join_publishes(protocol):
+    """Without synchronisation a remote reader may see the old value; after
+    joining the writer it must see the new one."""
+    runtime = make_runtime(num_nodes=2, protocol=protocol)
+    observations = {}
+
+    def writer(ctx, box):
+        ctx.put(box, "value", 7)  # remote write, unsynchronised
+        yield from ctx.sleep(0)
+        return None
+
+    def main(ctx):
+        box = ctx.new_object(BOX, home_node=0)
+        ctx.put(box, "value", 1)
+        w = ctx.spawn(writer, box, node=1)
+        # unsynchronised read on the home node: the writer's modification has
+        # not been flushed, so the old value is still legal (and expected)
+        observations["before_join"] = ctx.get(box, "value")
+        yield from ctx.join(w)
+        observations["after_join"] = ctx.get(box, "value")
+        return observations
+
+    runtime.spawn_main(main)
+    result = runtime.run().result
+    assert result["before_join"] == 1
+    assert result["after_join"] == 7
+
+
+@pytest.mark.parametrize("protocol", ["java_ic", "java_pf"])
+def test_barrier_publishes_writes_between_phases(protocol):
+    runtime = make_runtime(num_nodes=4, protocol=protocol)
+
+    def worker(ctx, arrays, barrier, index, count):
+        # phase 1: each thread writes its own (remote) slot
+        ctx.aput(arrays, index, index * 10)
+        yield from ctx.barrier(barrier)
+        # phase 2: every thread reads every slot and checks freshness
+        values = [ctx.aget(arrays, i) for i in range(count)]
+        return values
+
+    def main(ctx):
+        count = 4
+        arrays = ctx.new_array("int", count, home_node=0)
+        barrier = ctx.runtime.create_barrier(count)
+        threads = [ctx.spawn(worker, arrays, barrier, i, count, index=i) for i in range(count)]
+        results = []
+        for t in threads:
+            values = yield from ctx.join(t)
+            results.append(values)
+        return results
+
+    runtime.spawn_main(main)
+    report = runtime.run()
+    expected = [0, 10, 20, 30]
+    for values in report.result:
+        assert values == expected

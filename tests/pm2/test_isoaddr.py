@@ -1,0 +1,105 @@
+"""Tests for the iso-address allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pm2.isoaddr import IsoAddressAllocator
+
+
+@pytest.fixture
+def allocator():
+    return IsoAddressAllocator(num_nodes=4, arena_size=1024 * 1024, page_size=4096)
+
+
+def test_allocations_fall_in_the_right_arena(allocator):
+    for node in range(4):
+        allocation = allocator.allocate(node, 128)
+        assert allocation.home_node == node
+        assert allocator.home_node_of(allocation.address) == node
+
+
+def test_allocations_do_not_overlap(allocator):
+    blocks = [allocator.allocate(1, 100) for _ in range(50)]
+    spans = sorted((b.address, b.end) for b in blocks)
+    for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+        assert end_a <= start_b
+
+
+def test_alignment_respected(allocator):
+    allocation = allocator.allocate(0, 10, align=64)
+    assert allocation.address % 64 == 0
+    page = allocator.allocate_pages(2, 3)
+    assert page.address % 4096 == 0
+    assert page.size == 3 * 4096
+
+
+def test_free_and_reuse(allocator):
+    first = allocator.allocate(0, 256)
+    allocator.free(first)
+    second = allocator.allocate(0, 256)
+    assert second.address == first.address
+    with pytest.raises(KeyError):
+        allocator.free(first)  # double free of the original block
+
+
+def test_arena_exhaustion():
+    tiny = IsoAddressAllocator(num_nodes=1, arena_size=8192, page_size=4096)
+    tiny.allocate(0, 8000)
+    with pytest.raises(MemoryError):
+        tiny.allocate(0, 8000)
+
+
+def test_pages_of_range_spans_boundaries(allocator):
+    allocation = allocator.allocate_pages(0, 1)
+    pages = list(allocator.pages_of_range(allocation.address + 4000, 200))
+    assert len(pages) == 2
+    assert pages[1] == pages[0] + 1
+
+
+def test_allocation_at_lookup(allocator):
+    allocation = allocator.allocate(3, 512)
+    assert allocator.allocation_at(allocation.address + 100) == allocation
+    assert allocator.allocation_at(allocation.address - 1) is None
+
+
+def test_invalid_arguments(allocator):
+    with pytest.raises(ValueError):
+        allocator.allocate(99, 8)
+    with pytest.raises(ValueError):
+        allocator.allocate(0, 0)
+    with pytest.raises(ValueError):
+        allocator.allocate(0, 8, align=3)
+    with pytest.raises(ValueError):
+        allocator.home_node_of(0)
+
+
+def test_arena_usage_fraction(allocator):
+    assert allocator.arena_usage(0) == 0.0
+    allocator.allocate(0, 1024 * 512)
+    assert 0.49 < allocator.arena_usage(0) <= 0.51
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    requests=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(1, 5000), st.sampled_from([1, 2, 4, 8, 16])),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_property_allocations_unique_and_homed(requests):
+    allocator = IsoAddressAllocator(num_nodes=4, arena_size=4 * 1024 * 1024, page_size=4096)
+    blocks = []
+    for node, size, align in requests:
+        block = allocator.allocate(node, size, align=align)
+        assert block.address % align == 0
+        assert allocator.home_node_of(block.address) == node
+        assert allocator.home_node_of(block.end - 1) == node
+        blocks.append(block)
+    spans = sorted((b.address, b.end) for b in blocks)
+    for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+        assert end_a <= start_b
+    assert allocator.total_allocated == sum(size for _, size, _ in requests)

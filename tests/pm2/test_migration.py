@@ -1,0 +1,70 @@
+"""Tests for PM2 thread migration."""
+
+import pytest
+
+from repro.cluster.costs import CostModel, SoftwareCosts
+from repro.cluster.network import NetworkSpec
+from repro.cluster.node import MachineSpec
+from repro.cluster.topology import CrossbarTopology
+from repro.pm2.marcel import MarcelRuntime
+from repro.pm2.migration import MigrationManager
+from repro.simulation.engine import Engine
+
+
+@pytest.fixture
+def setup():
+    engine = Engine()
+    network = NetworkSpec(name="n", latency_seconds=10e-6, bandwidth_bytes_per_second=100e6)
+    cost_model = CostModel(
+        machine=MachineSpec(name="m", frequency_hz=200e6),
+        network=network,
+        software=SoftwareCosts(),
+    )
+    marcel = MarcelRuntime(engine, num_nodes=4)
+    migration = MigrationManager(marcel, CrossbarTopology(4, network), cost_model)
+    return engine, marcel, migration
+
+
+def test_migration_moves_thread_and_charges_time(setup):
+    engine, marcel, migration = setup
+    thread = marcel.create_thread(0, name="mover")
+
+    def body():
+        yield from migration.migrate(thread, 3)
+        return thread.node_id
+
+    thread.start(body())
+    engine.run()
+    assert thread.node_id == 3
+    assert thread.migrations == 1
+    assert marcel.threads_per_node[0] == 0
+    assert marcel.threads_per_node[3] == 1
+    assert engine.now == pytest.approx(migration.migration_cost_seconds(0, 3))
+    assert migration.stats.migrations == 1
+    assert migration.stats.bytes_moved == migration.thread_footprint_bytes
+
+
+def test_migration_to_same_node_is_free(setup):
+    engine, marcel, migration = setup
+    thread = marcel.create_thread(1)
+
+    def body():
+        yield from migration.migrate(thread, 1)
+        yield engine.timeout(0)
+
+    thread.start(body())
+    engine.run()
+    assert thread.migrations == 0
+    assert migration.migration_cost_seconds(1, 1) == 0.0
+
+
+def test_migration_to_invalid_node_rejected(setup):
+    engine, marcel, migration = setup
+    thread = marcel.create_thread(0)
+
+    def body():
+        yield from migration.migrate(thread, 9)
+
+    thread.start(body())
+    with pytest.raises(Exception):
+        engine.run()

@@ -1,0 +1,104 @@
+"""Tests for the PM2 RPC layer."""
+
+import pytest
+
+from repro.cluster.costs import CostModel, SoftwareCosts
+from repro.cluster.network import NetworkSpec
+from repro.cluster.node import MachineSpec
+from repro.cluster.topology import CrossbarTopology
+from repro.pm2.rpc import RpcSystem
+from repro.simulation.engine import Engine
+
+
+@pytest.fixture
+def setup():
+    engine = Engine()
+    network = NetworkSpec(name="n", latency_seconds=10e-6, bandwidth_bytes_per_second=100e6)
+    cost_model = CostModel(
+        machine=MachineSpec(name="m", frequency_hz=200e6),
+        network=network,
+        software=SoftwareCosts(rpc_service_seconds=5e-6),
+    )
+    topology = CrossbarTopology(4, network)
+    rpc = RpcSystem(engine, topology, cost_model, keep_log=True)
+    return engine, rpc
+
+
+def test_invoke_delivers_request_and_reply(setup):
+    engine, rpc = setup
+    seen = []
+
+    def handler(src, payload):
+        seen.append((src, payload, engine.now))
+        return payload * 2, 8
+
+    rpc.register_service(1, "double", handler)
+    results = []
+
+    def caller(env):
+        reply = yield rpc.invoke(0, 1, "double", 21, request_bytes=64)
+        results.append((reply, env.now))
+
+    engine.process(caller(engine))
+    engine.run()
+    assert seen[0][0] == 0 and seen[0][1] == 21
+    assert results[0][0] == 42
+    # reply arrives strictly after request delivery plus service and return
+    assert results[0][1] > seen[0][2]
+
+
+def test_local_invoke_is_immediate(setup):
+    engine, rpc = setup
+    rpc.register_service(2, "echo", lambda src, payload: (payload, 0))
+    results = []
+
+    def caller(env):
+        reply = yield rpc.invoke(2, 2, "echo", "hi")
+        results.append((reply, env.now))
+
+    engine.process(caller(engine))
+    engine.run()
+    assert results == [("hi", 0.0)]
+
+
+def test_unknown_service_raises(setup):
+    _engine, rpc = setup
+    with pytest.raises(KeyError):
+        rpc.invoke(0, 1, "nope")
+    with pytest.raises(KeyError):
+        rpc.post(0, 1, "nope")
+
+
+def test_oneway_post_runs_handler_after_latency(setup):
+    engine, rpc = setup
+    received = []
+    rpc.register_oneway(3, "note", lambda src, payload: received.append((src, payload, engine.now)))
+    rpc.post(0, 3, "note", {"x": 1}, request_bytes=128)
+    assert received == []  # not yet delivered
+    engine.run()
+    assert received[0][0] == 0
+    assert received[0][2] > 0.0
+
+
+def test_stats_and_log(setup):
+    engine, rpc = setup
+    rpc.register_service(1, "svc", lambda src, payload: (None, 16))
+
+    def caller(env):
+        yield rpc.invoke(0, 1, "svc", None, request_bytes=100)
+
+    engine.process(caller(engine))
+    engine.run()
+    assert rpc.stats.messages >= 2  # request + reply
+    assert rpc.stats.by_service["svc"] == 1
+    assert rpc.stats.bytes_sent >= 116
+    assert len(rpc.log) == 1
+    assert rpc.log[0].dst == 1
+
+
+def test_node_range_validation(setup):
+    _engine, rpc = setup
+    with pytest.raises(ValueError):
+        rpc.register_service(9, "x", lambda s, p: (None, 0))
+    with pytest.raises(ValueError):
+        rpc.invoke(0, 9, "x")

@@ -1,0 +1,84 @@
+"""Tests for SimEvent, Timeout and composite events."""
+
+import pytest
+
+from repro.simulation.events import AllOf, AnyOf, SimEvent, Timeout
+
+
+def test_event_lifecycle(engine):
+    event = SimEvent(engine, name="e")
+    assert not event.triggered and not event.processed
+    event.succeed(42)
+    assert event.triggered and event.ok
+    engine.run()
+    assert event.processed
+    assert event.value == 42
+
+
+def test_event_cannot_trigger_twice(engine):
+    event = SimEvent(engine)
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+    with pytest.raises(RuntimeError):
+        event.fail(ValueError("x"))
+
+
+def test_fail_requires_exception(engine):
+    event = SimEvent(engine)
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_value_before_trigger_raises(engine):
+    event = SimEvent(engine)
+    with pytest.raises(AttributeError):
+        _ = event.value
+
+
+def test_callback_after_processing_is_redelivered(engine):
+    event = SimEvent(engine)
+    event.succeed("payload")
+    engine.run()
+    received = []
+    event.add_callback(lambda e: received.append(e.value))
+    engine.run()
+    assert received == ["payload"]
+
+
+def test_timeout_value_and_delay(engine):
+    timeout = Timeout(engine, 2.0, value="done")
+    engine.run()
+    assert engine.now == pytest.approx(2.0)
+    assert timeout.value == "done"
+
+
+def test_timeout_negative_delay_rejected(engine):
+    with pytest.raises(ValueError):
+        Timeout(engine, -1.0)
+
+
+def test_all_of_waits_for_every_child(engine):
+    children = [engine.timeout(d, value=d) for d in (1.0, 2.0, 3.0)]
+    combined = AllOf(engine, children)
+    engine.run()
+    assert combined.triggered
+    assert set(combined.value.values()) == {1.0, 2.0, 3.0}
+    assert engine.now == pytest.approx(3.0)
+
+
+def test_any_of_triggers_on_first_child(engine):
+    children = [engine.timeout(d, value=d) for d in (5.0, 1.0, 3.0)]
+    combined = AnyOf(engine, children)
+    results = []
+    combined.add_callback(lambda e: results.append((engine.now, list(e.value.values()))))
+    engine.run()
+    assert results[0][0] == pytest.approx(1.0)
+    assert results[0][1] == [1.0]
+
+
+def test_all_of_empty_succeeds_immediately(engine):
+    combined = AllOf(engine, [])
+    assert combined.triggered
+    engine.run()
+    assert combined.value == {}

@@ -1,0 +1,148 @@
+"""Tests for virtual-time locks, semaphores, stores, barriers and latches."""
+
+import pytest
+
+from repro.simulation.resources import Barrier, CountdownLatch, FifoStore, Lock, Semaphore
+
+
+def test_lock_mutual_exclusion(engine):
+    lock = Lock(engine)
+    log = []
+
+    def body(env, name, hold):
+        yield lock.acquire(owner=name)
+        log.append(("acquired", name, env.now))
+        yield env.timeout(hold)
+        lock.release()
+        log.append(("released", name, env.now))
+
+    engine.process(body(engine, "a", 2.0))
+    engine.process(body(engine, "b", 1.0))
+    engine.run()
+    assert log[0] == ("acquired", "a", 0.0)
+    assert ("acquired", "b", 2.0) in log
+    assert lock.contended_acquisitions == 1
+
+
+def test_lock_release_without_holder_raises(engine):
+    lock = Lock(engine)
+    with pytest.raises(RuntimeError):
+        lock.release()
+
+
+def test_lock_fifo_order(engine):
+    lock = Lock(engine)
+    order = []
+
+    def body(env, name):
+        yield lock.acquire(owner=name)
+        order.append(name)
+        yield env.timeout(1.0)
+        lock.release()
+
+    for name in ("first", "second", "third"):
+        engine.process(body(engine, name))
+    engine.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_semaphore_limits_concurrency(engine):
+    sem = Semaphore(engine, value=2)
+    active = []
+    peak = []
+
+    def body(env):
+        yield sem.acquire()
+        active.append(1)
+        peak.append(len(active))
+        yield env.timeout(1.0)
+        active.pop()
+        sem.release()
+
+    for _ in range(5):
+        engine.process(body(engine))
+    engine.run()
+    assert max(peak) == 2
+
+
+def test_semaphore_negative_value_rejected(engine):
+    with pytest.raises(ValueError):
+        Semaphore(engine, value=-1)
+
+
+def test_fifo_store_orders_items(engine):
+    store = FifoStore(engine)
+    received = []
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            received.append((env.now, item))
+
+    def producer(env):
+        for i in range(3):
+            yield env.timeout(1.0)
+            store.put(i)
+
+    engine.process(consumer(engine))
+    engine.process(producer(engine))
+    engine.run()
+    assert [item for _, item in received] == [0, 1, 2]
+    assert store.try_get() is None
+
+
+def test_barrier_releases_all_parties_together(engine):
+    barrier = Barrier(engine, parties=3)
+    times = []
+
+    def body(env, delay):
+        yield env.timeout(delay)
+        yield barrier.wait()
+        times.append(env.now)
+
+    for delay in (1.0, 2.0, 5.0):
+        engine.process(body(engine, delay))
+    engine.run()
+    assert times == [5.0, 5.0, 5.0]
+    assert barrier.generations == 1
+
+
+def test_barrier_is_reusable(engine):
+    barrier = Barrier(engine, parties=2)
+
+    def body(env):
+        for _ in range(3):
+            yield env.timeout(1.0)
+            yield barrier.wait()
+
+    engine.process(body(engine))
+    engine.process(body(engine))
+    engine.run()
+    assert barrier.generations == 3
+
+
+def test_barrier_requires_positive_parties(engine):
+    with pytest.raises(ValueError):
+        Barrier(engine, parties=0)
+
+
+def test_countdown_latch(engine):
+    latch = CountdownLatch(engine, count=2)
+    released_at = []
+
+    def waiter(env):
+        yield latch.wait()
+        released_at.append(env.now)
+
+    def worker(env, delay):
+        yield env.timeout(delay)
+        latch.count_down()
+
+    engine.process(waiter(engine))
+    engine.process(worker(engine, 1.0))
+    engine.process(worker(engine, 4.0))
+    engine.run()
+    assert released_at == [4.0]
+    assert latch.count == 0
+    latch.count_down()  # further decrements are no-ops
+    assert latch.count == 0

@@ -1,0 +1,34 @@
+"""Tests for the trace recorder."""
+
+from repro.simulation.engine import Engine
+from repro.simulation.trace import TraceRecorder
+
+
+def test_trace_records_processed_events():
+    trace = TraceRecorder()
+    engine = Engine(trace=trace)
+    engine.timeout(1.0, name="first")
+    engine.timeout(2.0, name="second")
+    engine.run()
+    assert len(trace) == 2
+    labels = [record.label for record in trace]
+    assert labels == ["first", "second"]
+    assert trace.records[0].time == 1.0
+
+
+def test_trace_max_records_and_dropped_counter():
+    trace = TraceRecorder(max_records=2)
+    engine = Engine(trace=trace)
+    for i in range(5):
+        engine.timeout(float(i + 1), name=f"t{i}")
+    engine.run()
+    assert len(trace) == 2
+    assert trace.dropped == 3
+    assert "dropped" in trace.dump()
+
+
+def test_trace_filter_and_annotate():
+    trace = TraceRecorder()
+    trace.annotate(0.5, "custom", "hello")
+    assert trace.filter("custom")[0].label == "hello"
+    assert "hello" in trace.dump()

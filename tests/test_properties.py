@@ -1,0 +1,147 @@
+"""Property-based tests on core data structures and invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.base import Application
+from repro.core.cache import CachedObject
+from repro.hyperion.loadbalancer import RoundRobinBalancer
+from repro.hyperion.objects import JavaArray
+from repro.simulation.engine import Engine
+from repro.simulation.resources import Barrier, Lock
+from repro.util.units import bytes_to_human, seconds_to_human
+
+
+# ---------------------------------------------------------------------------
+# block partitioning (used by every benchmark's data decomposition)
+# ---------------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(total=st.integers(0, 5000), parts=st.integers(1, 64))
+def test_block_partition_is_a_partition(total, parts):
+    pieces = [Application.block_partition(total, parts, i) for i in range(parts)]
+    covered = [i for piece in pieces for i in piece]
+    assert covered == list(range(total))
+    sizes = [len(piece) for piece in pieces]
+    assert max(sizes) - min(sizes) <= 1  # balanced
+
+
+# ---------------------------------------------------------------------------
+# cached-object dirty tracking and flush
+# ---------------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 63), st.floats(-1e6, 1e6, allow_nan=False)),
+        min_size=0,
+        max_size=40,
+    )
+)
+def test_cached_object_flush_reproduces_all_writes(writes):
+    array = JavaArray("double", 64, address=0, home_node=1)
+    cached = CachedObject(array)
+    expected = np.zeros(64)
+    for index, value in writes:
+        cached.write(index, value)
+        expected[index] = value
+    dirty_slots = len({index for index, _ in writes})
+    assert cached.dirty_slot_count() == dirty_slots
+    flushed = cached.flush_to_main()
+    assert flushed == dirty_slots * 8
+    assert np.array_equal(array.as_numpy(), expected)
+    assert not cached.dirty
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ranges=st.lists(
+        st.tuples(st.integers(0, 60), st.integers(1, 4)), min_size=1, max_size=10
+    )
+)
+def test_cached_object_range_writes_flush_correctly(ranges):
+    array = JavaArray("int", 64, address=0, home_node=1)
+    cached = CachedObject(array)
+    expected = np.zeros(64, dtype=np.int32)
+    for start, length in ranges:
+        stop = min(64, start + length)
+        values = np.arange(start, stop, dtype=np.int32)
+        cached.write_range(start, stop, values)
+        expected[start:stop] = values
+    cached.flush_to_main()
+    assert np.array_equal(array.as_numpy(), expected)
+
+
+# ---------------------------------------------------------------------------
+# load balancer fairness
+# ---------------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(nodes=st.integers(1, 16), threads=st.integers(0, 200))
+def test_round_robin_is_maximally_balanced(nodes, threads):
+    balancer = RoundRobinBalancer(nodes)
+    for _ in range(threads):
+        balancer.next_node()
+    counts = balancer.threads_per_node().values()
+    assert max(counts) - min(counts) <= 1
+    assert sum(counts) == threads
+
+
+# ---------------------------------------------------------------------------
+# simulation resources under arbitrary schedules
+# ---------------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(holds=st.lists(st.floats(0.001, 1.0), min_size=1, max_size=10))
+def test_lock_serialises_total_hold_time(holds):
+    engine = Engine()
+    lock = Lock(engine)
+
+    def body(env, duration):
+        yield lock.acquire()
+        yield env.timeout(duration)
+        lock.release()
+
+    for duration in holds:
+        engine.process(body(engine, duration))
+    engine.run()
+    assert engine.now == pytest.approx(sum(holds))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    parties=st.integers(1, 8),
+    delays=st.lists(st.floats(0.0, 5.0), min_size=8, max_size=8),
+)
+def test_barrier_release_time_is_last_arrival(parties, delays):
+    engine = Engine()
+    barrier = Barrier(engine, parties)
+    release_times = []
+
+    def body(env, delay):
+        yield env.timeout(delay)
+        yield barrier.wait()
+        release_times.append(env.now)
+
+    used = delays[:parties]
+    for delay in used:
+        engine.process(body(engine, delay))
+    engine.run()
+    assert all(t == pytest.approx(max(used)) for t in release_times)
+
+
+# ---------------------------------------------------------------------------
+# unit rendering helpers never crash and round-trip magnitudes
+# ---------------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(value=st.floats(0, 1e6, allow_nan=False, allow_infinity=False))
+def test_seconds_to_human_total(value):
+    text = seconds_to_human(value)
+    assert isinstance(text, str) and text
+    assert any(unit in text for unit in ("ns", "us", "ms", "s"))
+
+
+@settings(max_examples=200, deadline=None)
+@given(value=st.integers(0, 2**40))
+def test_bytes_to_human_total(value):
+    text = bytes_to_human(value)
+    assert isinstance(text, str) and text.split()[-1] in {"B", "KiB", "MiB", "GiB"}

@@ -1,0 +1,71 @@
+"""Tests for the utility helpers."""
+
+import logging
+
+import pytest
+
+from repro.util import (
+    bytes_to_human,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+    cycles_to_seconds,
+    require,
+    seconds_to_cycles,
+    seconds_to_human,
+)
+from repro.util.logging import enable_console, get_logger
+
+
+def test_cycle_conversions_roundtrip():
+    assert cycles_to_seconds(200, 200e6) == pytest.approx(1e-6)
+    assert seconds_to_cycles(1e-6, 200e6) == pytest.approx(200)
+    with pytest.raises(ValueError):
+        cycles_to_seconds(1, 0)
+    with pytest.raises(ValueError):
+        seconds_to_cycles(1, -5)
+
+
+def test_seconds_to_human_ranges():
+    assert seconds_to_human(0) == "0 s"
+    assert seconds_to_human(5e-9).endswith("ns")
+    assert seconds_to_human(5e-6).endswith("us")
+    assert seconds_to_human(5e-3).endswith("ms")
+    assert seconds_to_human(5).endswith("s")
+    assert seconds_to_human(-5e-6).startswith("-")
+
+
+def test_bytes_to_human_ranges():
+    assert bytes_to_human(12) == "12 B"
+    assert bytes_to_human(4096) == "4.0 KiB"
+    assert bytes_to_human(3 * 1024 * 1024).endswith("MiB")
+    assert bytes_to_human(-2048).startswith("-")
+
+
+def test_validation_helpers():
+    assert check_positive("x", 3) == 3
+    assert check_non_negative("x", 0) == 0
+    assert check_probability("p", 0.5) == 0.5
+    assert check_type("s", "abc", str) == "abc"
+    require(True, "fine")
+    with pytest.raises(ValueError):
+        check_positive("x", 0)
+    with pytest.raises(ValueError):
+        check_non_negative("x", -1)
+    with pytest.raises(ValueError):
+        check_probability("p", 1.5)
+    with pytest.raises(TypeError):
+        check_type("s", 5, str)
+    with pytest.raises(ValueError):
+        require(False, "boom")
+
+
+def test_logging_helpers():
+    logger = get_logger("subsystem")
+    assert logger.name == "repro.subsystem"
+    assert get_logger("repro.direct").name == "repro.direct"
+    root = enable_console(logging.DEBUG)
+    handlers_before = len(root.handlers)
+    enable_console(logging.DEBUG)  # idempotent
+    assert len(root.handlers) == handlers_before
