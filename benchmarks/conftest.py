@@ -4,16 +4,30 @@ Every benchmark regenerates one of the paper's tables/figures (or an
 ablation) at the ``bench`` workload scale and records the reproduced series
 in ``benchmark.extra_info`` so that ``pytest --benchmark-json`` dumps carry
 the actual figure data, not just the simulator's wall-clock time.
+
+All simulations route through a shared :class:`repro.harness.session.Session`
+(the ``bench_session`` fixture).  Two environment variables configure it:
+``HYPERION_BENCH_JOBS`` fans cells out over that many worker processes, and
+``HYPERION_BENCH_CACHE`` points at a result-store directory so repeated
+benchmark runs reuse earlier simulations.  Both default to off, keeping the
+timed numbers comparable across machines.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.apps.workloads import WorkloadPreset
+from repro.harness.session import Session
+
+try:  # the whole directory depends on the pytest-benchmark plugin
+    import pytest_benchmark  # noqa: F401
+except ImportError:  # pragma: no cover - exercised only in minimal installs
+    collect_ignore_glob = ["test_*.py"]
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -22,10 +36,23 @@ RESULTS_DIR = Path(__file__).parent / "results"
 FIGURE_NODE_COUNTS = {"myrinet": (1, 2, 4, 8, 12), "sci": (1, 2, 4, 6)}
 
 
+def _session_from_env() -> Session:
+    return Session.from_options(
+        jobs=int(os.environ.get("HYPERION_BENCH_JOBS", "1")),
+        cache_dir=os.environ.get("HYPERION_BENCH_CACHE"),
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_preset() -> WorkloadPreset:
     """The bench workload preset (scaled sizes, paper-equivalent multipliers)."""
     return WorkloadPreset.bench()
+
+
+@pytest.fixture(scope="session")
+def bench_session() -> Session:
+    """The session every benchmark's simulations route through."""
+    return _session_from_env()
 
 
 @pytest.fixture(scope="session")

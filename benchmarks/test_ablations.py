@@ -22,7 +22,7 @@ from repro.harness.sweep import (
 
 
 @pytest.mark.benchmark(group="ablations")
-def test_ablation_pagesize(benchmark, bench_preset, results_dir):
+def test_ablation_pagesize(benchmark, bench_preset, bench_session, results_dir):
     """A1: Jacobi under page sizes from 1 KiB to 16 KiB."""
     result = benchmark.pedantic(
         sweep_page_size,
@@ -31,6 +31,7 @@ def test_ablation_pagesize(benchmark, bench_preset, results_dir):
             "num_nodes": 8,
             "page_sizes": (1024, 4096, 16384),
             "workload": bench_preset.jacobi,
+            "session": bench_session,
         },
         rounds=1,
         iterations=1,
@@ -52,7 +53,7 @@ def test_ablation_pagesize(benchmark, bench_preset, results_dir):
 
 
 @pytest.mark.benchmark(group="ablations")
-def test_ablation_checkcost(benchmark, bench_preset, results_dir):
+def test_ablation_checkcost(benchmark, bench_preset, bench_session, results_dir):
     """A2: sweep the in-line check cost; java_ic only wins when checks are ~free."""
     result = benchmark.pedantic(
         sweep_check_cost,
@@ -61,6 +62,7 @@ def test_ablation_checkcost(benchmark, bench_preset, results_dir):
             "num_nodes": 4,
             "check_cycles": (0.5, 2.0, 8.0, 32.0),
             "workload": bench_preset.asp,
+            "session": bench_session,
         },
         rounds=1,
         iterations=1,
@@ -76,7 +78,7 @@ def test_ablation_checkcost(benchmark, bench_preset, results_dir):
 
 
 @pytest.mark.benchmark(group="ablations")
-def test_ablation_threads_per_node(benchmark, bench_preset, results_dir):
+def test_ablation_threads_per_node(benchmark, bench_preset, bench_session, results_dir):
     """A3: several application threads per node (paper future work)."""
     result = benchmark.pedantic(
         sweep_threads_per_node,
@@ -85,6 +87,7 @@ def test_ablation_threads_per_node(benchmark, bench_preset, results_dir):
             "num_nodes": 4,
             "threads_per_node": (1, 2, 4),
             "workload": bench_preset.jacobi,
+            "session": bench_session,
         },
         rounds=1,
         iterations=1,
@@ -98,7 +101,7 @@ def test_ablation_threads_per_node(benchmark, bench_preset, results_dir):
 
 
 @pytest.mark.benchmark(group="ablations")
-def test_ablation_loadbalancer(benchmark, bench_preset, results_dir):
+def test_ablation_loadbalancer(benchmark, bench_preset, bench_session, results_dir):
     """A4: thread-placement policy for the Barnes benchmark."""
     result = benchmark.pedantic(
         sweep_balancer,
@@ -107,6 +110,7 @@ def test_ablation_loadbalancer(benchmark, bench_preset, results_dir):
             "num_nodes": 4,
             "policies": ("round_robin", "block", "random"),
             "workload": bench_preset.barnes,
+            "session": bench_session,
         },
         rounds=1,
         iterations=1,

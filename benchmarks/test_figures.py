@@ -14,18 +14,21 @@ from repro.harness.figures import generate_figure
 from repro.harness.report import figure_table
 
 
-def _generate(number, bench_preset):
+def _generate(number, bench_preset, session=None):
     return generate_figure(
         number,
         workload=bench_preset,
         node_counts={k: list(v) for k, v in FIGURE_NODE_COUNTS.items()},
+        session=session,
     )
 
 
 @pytest.mark.benchmark(group="figures")
-def test_fig1_pi(benchmark, bench_preset, results_dir):
+def test_fig1_pi(benchmark, bench_preset, bench_session, results_dir):
     """Figure 1 (Pi): the two protocols perform essentially identically."""
-    figure = benchmark.pedantic(_generate, args=(1, bench_preset), rounds=1, iterations=1)
+    figure = benchmark.pedantic(
+        _generate, args=(1, bench_preset, bench_session), rounds=1, iterations=1
+    )
     record_figure(benchmark, figure, results_dir)
     print(figure_table(figure))
     for cluster in ("myrinet", "sci"):
@@ -34,9 +37,11 @@ def test_fig1_pi(benchmark, bench_preset, results_dir):
 
 
 @pytest.mark.benchmark(group="figures")
-def test_fig2_jacobi(benchmark, bench_preset, results_dir):
+def test_fig2_jacobi(benchmark, bench_preset, bench_session, results_dir):
     """Figure 2 (Jacobi): java_pf wins by ~38% on Myrinet, roughly constant."""
-    figure = benchmark.pedantic(_generate, args=(2, bench_preset), rounds=1, iterations=1)
+    figure = benchmark.pedantic(
+        _generate, args=(2, bench_preset, bench_session), rounds=1, iterations=1
+    )
     record_figure(benchmark, figure, results_dir)
     print(figure_table(figure))
     myrinet = figure.improvements("myrinet")
@@ -46,9 +51,11 @@ def test_fig2_jacobi(benchmark, bench_preset, results_dir):
 
 
 @pytest.mark.benchmark(group="figures")
-def test_fig3_barnes(benchmark, bench_preset, results_dir):
+def test_fig3_barnes(benchmark, bench_preset, bench_session, results_dir):
     """Figure 3 (Barnes): improvement shrinks with node count but stays positive."""
-    figure = benchmark.pedantic(_generate, args=(3, bench_preset), rounds=1, iterations=1)
+    figure = benchmark.pedantic(
+        _generate, args=(3, bench_preset, bench_session), rounds=1, iterations=1
+    )
     record_figure(benchmark, figure, results_dir)
     print(figure_table(figure))
     myrinet = figure.improvements("myrinet")
@@ -59,9 +66,11 @@ def test_fig3_barnes(benchmark, bench_preset, results_dir):
 
 
 @pytest.mark.benchmark(group="figures")
-def test_fig4_tsp(benchmark, bench_preset, results_dir):
+def test_fig4_tsp(benchmark, bench_preset, bench_session, results_dir):
     """Figure 4 (TSP): java_pf wins, improvement between Jacobi's and ASP's."""
-    figure = benchmark.pedantic(_generate, args=(4, bench_preset), rounds=1, iterations=1)
+    figure = benchmark.pedantic(
+        _generate, args=(4, bench_preset, bench_session), rounds=1, iterations=1
+    )
     record_figure(benchmark, figure, results_dir)
     print(figure_table(figure))
     myrinet = figure.improvements("myrinet")
@@ -69,9 +78,11 @@ def test_fig4_tsp(benchmark, bench_preset, results_dir):
 
 
 @pytest.mark.benchmark(group="figures")
-def test_fig5_asp(benchmark, bench_preset, results_dir):
+def test_fig5_asp(benchmark, bench_preset, bench_session, results_dir):
     """Figure 5 (ASP): the largest improvement of all benchmarks (~64%)."""
-    figure = benchmark.pedantic(_generate, args=(5, bench_preset), rounds=1, iterations=1)
+    figure = benchmark.pedantic(
+        _generate, args=(5, bench_preset, bench_session), rounds=1, iterations=1
+    )
     record_figure(benchmark, figure, results_dir)
     print(figure_table(figure))
     myrinet = figure.improvements("myrinet")

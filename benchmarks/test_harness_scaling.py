@@ -1,0 +1,59 @@
+"""E7: harness scaling — serial vs. parallel ``Session.run``.
+
+Times the same testing-scale figure grid under the :class:`SerialExecutor`
+and a two-worker :class:`ParallelExecutor`, so the ``BENCH_*.json`` dumps
+track the experiment layer's parallel speed-up (and its process-pool
+overhead floor) over time.  The grid is the five figure apps on the Myrinet
+preset — independent cells, the executor is the only variable — and the two
+runs must agree cell-for-cell (``ExecutionReport.to_dict()``), which is the
+determinism contract the executors guarantee.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.workloads import WorkloadPreset
+from repro.harness.executor import ParallelExecutor, SerialExecutor
+from repro.harness.figures import FIGURE_APPS
+from repro.harness.matrix import ExperimentMatrix
+from repro.harness.session import Session
+
+PARALLEL_JOBS = 2
+
+
+def _grid() -> ExperimentMatrix:
+    return (
+        ExperimentMatrix()
+        .apps(*FIGURE_APPS.values())
+        .clusters("myrinet")
+        .protocols("java_ic", "java_pf")
+        .nodes(1, 2, 4)
+        .workload(WorkloadPreset.testing())
+    )
+
+
+def _run(executor) -> dict:
+    matrix = _grid()
+    result = Session(executor=executor).run(matrix)
+    return {spec.label(): report.to_dict() for spec, report in result.items()}
+
+
+@pytest.mark.benchmark(group="harness-scaling")
+def test_session_serial(benchmark):
+    """Baseline: the whole grid on one process."""
+    payload = benchmark.pedantic(_run, args=(SerialExecutor(),), rounds=1, iterations=1)
+    benchmark.extra_info["cells"] = len(payload)
+    assert len(payload) == len(FIGURE_APPS) * 2 * 3
+
+
+@pytest.mark.benchmark(group="harness-scaling")
+def test_session_parallel(benchmark):
+    """The same grid fanned out over a small process pool."""
+    payload = benchmark.pedantic(
+        _run, args=(ParallelExecutor(jobs=PARALLEL_JOBS),), rounds=1, iterations=1
+    )
+    benchmark.extra_info["cells"] = len(payload)
+    benchmark.extra_info["jobs"] = PARALLEL_JOBS
+    # determinism contract: the executor must not change any result
+    assert payload == _run(SerialExecutor())

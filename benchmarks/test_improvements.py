@@ -11,20 +11,26 @@ from repro.harness.experiment import run_comparison
 from repro.harness.report import improvement_table
 
 
-def _summary(bench_preset):
+def _summary(bench_preset, session=None):
     comparisons = {}
     for cluster, counts in (("myrinet", [1, 4, 12]), ("sci", [1, 3, 6])):
         comparisons[cluster] = {}
         for app in available_apps():
             comparisons[cluster][app] = run_comparison(
-                app, cluster, node_counts=counts, workload=bench_preset.workload_for(app)
+                app,
+                cluster,
+                node_counts=counts,
+                workload=bench_preset.workload_for(app),
+                session=session,
             )
     return comparisons
 
 
 @pytest.mark.benchmark(group="summary")
-def test_improvement_summary(benchmark, bench_preset, results_dir):
-    comparisons = benchmark.pedantic(_summary, args=(bench_preset,), rounds=1, iterations=1)
+def test_improvement_summary(benchmark, bench_preset, bench_session, results_dir):
+    comparisons = benchmark.pedantic(
+        _summary, args=(bench_preset, bench_session), rounds=1, iterations=1
+    )
     table = improvement_table(comparisons)
     print(table)
     summary = {

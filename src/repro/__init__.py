@@ -16,6 +16,21 @@ Quick start::
     report = runtime.run()
     print(report)
 
+Grids of experiments go through the session API — a spec matrix, an executor
+(serial or process-pool) and an optional on-disk result cache::
+
+    from repro import ExperimentMatrix, ParallelExecutor, ResultStore, Session
+
+    matrix = (
+        ExperimentMatrix()
+        .apps("pi", "jacobi")
+        .clusters("myrinet", "sci")
+        .workload("testing")
+    )
+    session = Session(executor=ParallelExecutor(jobs=4), store=ResultStore(".cache"))
+    for spec, report in session.run(matrix).items():
+        print(spec.label(), report.execution_seconds)
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured results.
 """
@@ -29,6 +44,16 @@ from repro.cluster import (
     sci_cluster,
 )
 from repro.core import available_protocols
+from repro.harness import (
+    ExperimentMatrix,
+    ExperimentSpec,
+    Executor,
+    ParallelExecutor,
+    ResultStore,
+    SerialExecutor,
+    Session,
+    SessionResult,
+)
 from repro.hyperion import (
     ExecutionReport,
     HyperionRuntime,
@@ -52,4 +77,12 @@ __all__ = [
     "cluster_by_name",
     "list_clusters",
     "available_protocols",
+    "ExperimentSpec",
+    "ExperimentMatrix",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ResultStore",
+    "Session",
+    "SessionResult",
 ]

@@ -26,6 +26,7 @@ from repro.core.protocol import (
     available_protocols,
     create_protocol,
     register_protocol,
+    unregister_protocol,
 )
 from repro.core.stats import RunStats
 
@@ -40,6 +41,7 @@ __all__ = [
     "JavaPfProtocol",
     "create_protocol",
     "register_protocol",
+    "unregister_protocol",
     "available_protocols",
     "RunStats",
     "VectorClock",

@@ -80,12 +80,29 @@ ProtocolFactory = Callable[[PageManager, CostModel], ConsistencyProtocol]
 _REGISTRY: Dict[str, ProtocolFactory] = {}
 
 
-def register_protocol(name: str, factory: ProtocolFactory) -> None:
-    """Register a protocol factory under *name* (lower-cased)."""
+def register_protocol(
+    name: str, factory: ProtocolFactory, allow_override: bool = False
+) -> None:
+    """Register a protocol factory under *name* (lower-cased).
+
+    Re-registering an existing name raises ``ValueError`` unless
+    ``allow_override=True``, which lets tests and extension modules that may
+    be imported more than once replace their own registration instead of
+    tripping on it.
+    """
     key = name.lower()
-    if key in _REGISTRY:
+    if key in _REGISTRY and not allow_override:
         raise ValueError(f"protocol {name!r} is already registered")
     _REGISTRY[key] = factory
+
+
+def unregister_protocol(name: str) -> bool:
+    """Remove *name* from the registry; returns False if it was not there.
+
+    Counterpart of :func:`register_protocol` for tests and extensions that
+    register experimental protocols and want to clean up after themselves.
+    """
+    return _REGISTRY.pop(name.lower(), None) is not None
 
 
 def create_protocol(

@@ -1,7 +1,24 @@
 """Experiment harness: regenerate every figure and summary of the paper.
 
-* :mod:`~repro.harness.experiment` — run a single (application, cluster,
-  protocol, node-count) cell and grids of them;
+The execution layer is organised around five abstractions (DESIGN.md has the
+full architecture):
+
+* :class:`~repro.harness.spec.ExperimentSpec` — a frozen, hashable
+  description of one experiment cell with a canonical :meth:`cache_key`;
+* :class:`~repro.harness.matrix.ExperimentMatrix` — a fluent builder that
+  expands cartesian grids of specs;
+* :class:`~repro.harness.executor.Executor` implementations —
+  :class:`~repro.harness.executor.SerialExecutor` and the process-pool
+  :class:`~repro.harness.executor.ParallelExecutor`;
+* :class:`~repro.harness.store.ResultStore` — a content-addressed JSON cache
+  of per-cell results;
+* :class:`~repro.harness.session.Session` — the facade every experiment
+  routes through, combining an executor with an optional store.
+
+On top of that sit the paper-specific entry points:
+
+* :mod:`~repro.harness.experiment` — single cells and protocol comparisons
+  (``run_cell`` / ``run_comparison`` remain as thin wrappers);
 * :mod:`~repro.harness.figures` — Figures 1-5 of the paper (execution time
   vs. number of nodes, four series each);
 * :mod:`~repro.harness.report` — text tables, ASCII plots and the Section 4.3
@@ -12,6 +29,11 @@
 * :mod:`~repro.harness.cli` — the ``hyperion-sim`` command-line interface.
 """
 
+from repro.harness.spec import ExperimentSpec, run_spec
+from repro.harness.matrix import ExperimentMatrix
+from repro.harness.executor import Executor, ParallelExecutor, SerialExecutor
+from repro.harness.store import ResultStore
+from repro.harness.session import Session, SessionResult
 from repro.harness.experiment import (
     ExperimentCell,
     ProtocolComparison,
@@ -30,11 +52,28 @@ from repro.harness.report import (
     figure_table,
     improvement_summary,
     improvement_table,
+    render_experiments_document,
 )
 from repro.harness.calibration import CalibrationReport, calibrate
-from repro.harness.sweep import sweep_balancer, sweep_check_cost, sweep_page_size, sweep_threads_per_node
+from repro.harness.sweep import (
+    SweepResult,
+    run_sweep,
+    sweep_balancer,
+    sweep_check_cost,
+    sweep_page_size,
+    sweep_threads_per_node,
+)
 
 __all__ = [
+    "ExperimentSpec",
+    "ExperimentMatrix",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ResultStore",
+    "Session",
+    "SessionResult",
+    "run_spec",
     "ExperimentCell",
     "ProtocolComparison",
     "run_cell",
@@ -48,8 +87,11 @@ __all__ = [
     "ascii_plot",
     "improvement_table",
     "improvement_summary",
+    "render_experiments_document",
     "CalibrationReport",
     "calibrate",
+    "SweepResult",
+    "run_sweep",
     "sweep_page_size",
     "sweep_check_cost",
     "sweep_threads_per_node",

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.apps.workloads import WorkloadPreset
 from repro.cluster.presets import cluster_by_name
 from repro.harness.experiment import run_comparison
+from repro.harness.session import Session
 
 #: single-node improvements the paper reports (or implies) on the Myrinet
 #: cluster; TSP is only bounded by the 38-64% range given in Section 4.3
@@ -114,6 +115,7 @@ def calibrate(
     workload: Optional[WorkloadPreset] = None,
     apps: Optional[List[str]] = None,
     tolerance: Optional[Dict[str, float]] = None,
+    session: Optional[Session] = None,
 ) -> CalibrationReport:
     """Measure single-node Myrinet improvements and compare to the paper."""
     preset = workload or WorkloadPreset.bench()
@@ -128,6 +130,7 @@ def calibrate(
             "myrinet",
             node_counts=[1],
             workload=preset.workload_for(app),
+            session=session,
         )
         measured = comparison.improvement_percent(1)
         report.entries.append(

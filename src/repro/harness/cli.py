@@ -4,9 +4,18 @@ Sub-commands::
 
     hyperion-sim figure 2                 # regenerate Figure 2 (Jacobi)
     hyperion-sim all                      # all five figures + improvement table
+    hyperion-sim all --jobs 4 --cache-dir .hyperion-cache
     hyperion-sim run jacobi --protocol java_pf --cluster myrinet --nodes 4
+    hyperion-sim sweep check_cost --app asp --nodes 4
     hyperion-sim calibrate                # check the cost model against the paper
+    hyperion-sim experiments -o EXPERIMENTS.md
     hyperion-sim describe                 # show the cluster presets / protocols
+
+``--jobs N`` fans the experiment cells out over N worker processes;
+``--cache-dir PATH`` persists every cell's result so a repeated invocation
+re-runs nothing.  Both flags configure the underlying
+:class:`~repro.harness.session.Session` and are accepted by the ``figure``,
+``all``, ``sweep``, ``calibrate`` and ``experiments`` subcommands.
 """
 
 from __future__ import annotations
@@ -21,9 +30,39 @@ from repro.apps.workloads import WorkloadPreset
 from repro.cluster.presets import cluster_by_name, list_clusters
 from repro.core.protocol import available_protocols
 from repro.harness.calibration import calibrate
-from repro.harness.experiment import run_cell, run_comparison
+from repro.harness.experiment import run_cell
 from repro.harness.figures import FIGURE_APPS, generate_all_figures, generate_figure
-from repro.harness.report import ascii_plot, figure_table, improvement_table
+from repro.harness.report import (
+    ascii_plot,
+    figure_table,
+    improvement_table,
+    render_experiments_document,
+)
+from repro.harness.session import Session
+from repro.harness.sweep import SWEEPS
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {raw}")
+    return value
+
+
+def _add_session_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="run experiment cells on N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persist per-cell results under PATH and reuse them on re-runs",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -38,10 +77,12 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale", default="bench", choices=["testing", "bench", "paper"])
     figure.add_argument("--plot", action="store_true", help="also print an ASCII plot")
     figure.add_argument("--json", action="store_true", help="print JSON instead of a table")
+    _add_session_flags(figure)
 
     everything = sub.add_parser("all", help="regenerate all five figures")
     everything.add_argument("--scale", default="bench", choices=["testing", "bench", "paper"])
     everything.add_argument("--json", action="store_true")
+    _add_session_flags(everything)
 
     run = sub.add_parser("run", help="run a single experiment cell")
     run.add_argument("app", choices=available_apps())
@@ -51,7 +92,32 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", default="bench", choices=["testing", "bench", "paper"])
     run.add_argument("--verify", action="store_true")
 
-    sub.add_parser("calibrate", help="check the cost model against the paper")
+    sweep = sub.add_parser("sweep", help="run one of the ablation sweeps (A1-A4)")
+    sweep.add_argument("kind", choices=sorted(SWEEPS))
+    sweep.add_argument("--app", required=True, choices=available_apps())
+    sweep.add_argument("--cluster", default="myrinet", choices=list_clusters())
+    sweep.add_argument("--nodes", type=int, default=4)
+    sweep.add_argument("--scale", default="bench", choices=["testing", "bench", "paper"])
+    sweep.add_argument(
+        "--values",
+        default=None,
+        help="comma-separated swept values (default: the sweep's own grid)",
+    )
+    _add_session_flags(sweep)
+
+    calibrate_cmd = sub.add_parser("calibrate", help="check the cost model against the paper")
+    _add_session_flags(calibrate_cmd)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate EXPERIMENTS.md from measured figures"
+    )
+    experiments.add_argument("--scale", default="bench", choices=["testing", "bench", "paper"])
+    experiments.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="write the markdown here instead of stdout",
+    )
+    _add_session_flags(experiments)
+
     sub.add_parser("describe", help="list cluster presets, protocols and benchmarks")
     return parser
 
@@ -60,8 +126,24 @@ def _workload(scale: str):
     return WorkloadPreset.by_name(scale)
 
 
+class CliError(Exception):
+    """A user-facing CLI failure (printed without a traceback, exit 2)."""
+
+
+def _session(args) -> Session:
+    """Build the Session the subcommand's --jobs/--cache-dir flags describe."""
+    jobs = getattr(args, "jobs", 1)
+    cache_dir = getattr(args, "cache_dir", None)
+    try:
+        return Session.from_options(jobs=jobs, cache_dir=cache_dir)
+    except OSError as exc:
+        raise CliError(f"--cache-dir {cache_dir!r} is not a usable directory: {exc}")
+
+
 def cmd_figure(args) -> int:
-    data = generate_figure(args.number, workload=_workload(args.scale))
+    data = generate_figure(
+        args.number, workload=_workload(args.scale), session=_session(args)
+    )
     if args.json:
         print(json.dumps(data.to_dict(), indent=2))
     else:
@@ -73,7 +155,7 @@ def cmd_figure(args) -> int:
 
 
 def cmd_all(args) -> int:
-    figures = generate_all_figures(workload=_workload(args.scale))
+    figures = generate_all_figures(workload=_workload(args.scale), session=_session(args))
     if args.json:
         print(json.dumps({n: f.to_dict() for n, f in figures.items()}, indent=2))
         return 0
@@ -99,10 +181,58 @@ def cmd_run(args) -> int:
     return 0
 
 
-def cmd_calibrate(_args) -> int:
-    report = calibrate()
+def _sweep_values(kind: str, raw: Optional[str]):
+    if raw is None:
+        return None
+    parse = {"page_size": int, "threads": int, "check_cost": float}.get(kind, str)
+    try:
+        return tuple(parse(item) for item in raw.split(",") if item)
+    except ValueError:
+        raise CliError(
+            f"--values for {kind!r} must be comma-separated "
+            f"{parse.__name__} values, got {raw!r}"
+        )
+
+
+def cmd_sweep(args) -> int:
+    sweep_fn = SWEEPS[args.kind]
+    kwargs = {
+        "cluster": args.cluster,
+        "num_nodes": args.nodes,
+        "workload": _workload(args.scale).workload_for(args.app),
+        "session": _session(args),
+    }
+    values = _sweep_values(args.kind, args.values)
+    if values is not None:
+        value_param = {
+            "page_size": "page_sizes",
+            "check_cost": "check_cycles",
+            "threads": "threads_per_node",
+            "balancer": "policies",
+        }[args.kind]
+        kwargs[value_param] = values
+    result = sweep_fn(args.app, **kwargs)
+    print(result.render())
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    report = calibrate(session=_session(args))
     print(report.render())
     return 0 if report.ok else 1
+
+
+def cmd_experiments(args) -> int:
+    document = render_experiments_document(
+        workload=_workload(args.scale), session=_session(args)
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(document)
+        print(f"wrote {args.output}")
+    else:
+        print(document)
+    return 0
 
 
 def cmd_describe(_args) -> int:
@@ -125,10 +255,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": cmd_figure,
         "all": cmd_all,
         "run": cmd_run,
+        "sweep": cmd_sweep,
         "calibrate": cmd_calibrate,
+        "experiments": cmd_experiments,
         "describe": cmd_describe,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except CliError as exc:
+        print(f"hyperion-sim: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,71 @@
+"""Executors: strategies for running batches of experiment cells.
+
+Cells are pure functions of their :class:`~repro.harness.spec.ExperimentSpec`
+(:func:`~repro.harness.spec.run_spec`), so the only degree of freedom is *how*
+a batch is scheduled:
+
+* :class:`SerialExecutor` runs cells one after another in-process;
+* :class:`ParallelExecutor` fans them out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` with ``jobs`` workers.
+
+Both return reports in the order of the submitted specs, and because cells
+are deterministic the reports are identical whichever executor produced them
+(``ExecutionReport.to_dict()`` byte-for-byte).  Custom executors only need an
+``execute(specs)`` method with the same order-preserving contract — the test
+suite's counting stub and any future remote/batch executors plug in that way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence, runtime_checkable
+
+from repro.harness.spec import ExperimentSpec, run_spec
+from repro.hyperion.runtime import ExecutionReport
+from repro.util.validation import check_positive
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Anything that can run a batch of specs, preserving order."""
+
+    def execute(self, specs: Sequence[ExperimentSpec]) -> List[ExecutionReport]:
+        """Run every spec and return the reports in submission order."""
+        ...  # pragma: no cover
+
+
+class SerialExecutor:
+    """Run cells one after another in the calling process."""
+
+    def execute(self, specs: Sequence[ExperimentSpec]) -> List[ExecutionReport]:
+        """Run every spec and return the reports in submission order."""
+        return [run_spec(spec) for spec in specs]
+
+
+class ParallelExecutor:
+    """Fan cells out across ``jobs`` worker processes.
+
+    The grid's cells are independent, so the figure-regeneration path scales
+    near-linearly with cores.  Reports come back in submission order
+    (``ProcessPoolExecutor.map`` preserves it); with one job, or one spec, the
+    pool is skipped entirely to avoid process start-up for nothing.
+    """
+
+    def __init__(self, jobs: int = 2):
+        check_positive("jobs", jobs)
+        self.jobs = int(jobs)
+
+    def execute(self, specs: Sequence[ExperimentSpec]) -> List[ExecutionReport]:
+        """Run every spec and return the reports in submission order."""
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.jobs == 1 or len(specs) == 1:
+            return SerialExecutor().execute(specs)
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_spec, specs))
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(jobs={self.jobs})"

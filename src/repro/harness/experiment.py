@@ -5,6 +5,14 @@ preset, with a consistency protocol, on a given number of nodes, at a given
 workload.  A *protocol comparison* runs the same application/cluster/node
 grid under several protocols and derives the quantity the paper reports: the
 relative improvement of ``java_pf`` over ``java_ic``.
+
+Cells are described by :class:`~repro.harness.spec.ExperimentSpec` (of which
+:data:`ExperimentCell` is the historical alias) and executed through a
+:class:`~repro.harness.session.Session`; :func:`run_cell` and
+:func:`run_comparison` are thin wrappers that build the specs and route them
+through a session — pass ``session=`` to get parallel execution or a result
+cache, or use :class:`~repro.harness.matrix.ExperimentMatrix` directly for
+anything grid-shaped.
 """
 
 from __future__ import annotations
@@ -12,40 +20,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.apps.base import create_app
-from repro.apps.workloads import WorkloadPreset
-from repro.cluster.presets import ClusterSpec, cluster_by_name
-from repro.hyperion.runtime import ExecutionReport, HyperionRuntime, RuntimeConfig
+from repro.cluster.presets import ClusterSpec
+from repro.harness.session import Session, SessionResult, default_session
+from repro.harness.spec import (
+    ExperimentSpec,
+    resolve_cluster,
+    resolve_workload,
+    run_spec,
+)
+from repro.hyperion.runtime import ExecutionReport, RuntimeConfig
 
+#: backward-compatible name: the cell identity is now the (richer) spec
+ExperimentCell = ExperimentSpec
 
-def _resolve_cluster(cluster: Union[str, ClusterSpec]) -> ClusterSpec:
-    if isinstance(cluster, ClusterSpec):
-        return cluster
-    return cluster_by_name(cluster)
+# re-exported for callers that used the private helpers
+_resolve_cluster = resolve_cluster
 
 
 def _resolve_workload(app_name: str, workload) -> object:
-    if workload is None:
-        return WorkloadPreset.bench().workload_for(app_name)
-    if isinstance(workload, str):
-        return WorkloadPreset.by_name(workload).workload_for(app_name)
-    if isinstance(workload, WorkloadPreset):
-        return workload.workload_for(app_name)
-    return workload
-
-
-@dataclass(frozen=True)
-class ExperimentCell:
-    """Identity of one simulated execution."""
-
-    app: str
-    cluster: str
-    protocol: str
-    num_nodes: int
-
-    def label(self) -> str:
-        """Short display label (used by reports and benchmark names)."""
-        return f"{self.app}/{self.cluster}/{self.protocol}/n{self.num_nodes}"
+    return resolve_workload(app_name, workload)
 
 
 def run_cell(
@@ -56,6 +49,7 @@ def run_cell(
     workload=None,
     config: Optional[RuntimeConfig] = None,
     verify: bool = False,
+    session: Optional[Session] = None,
 ) -> ExecutionReport:
     """Run one experiment cell and return its :class:`ExecutionReport`.
 
@@ -64,19 +58,18 @@ def run_cell(
     With ``verify=True`` the application's correctness check runs on the
     result and a failure raises ``AssertionError``.
     """
-    spec = _resolve_cluster(cluster)
-    resolved = _resolve_workload(app_name, workload)
-    base_config = config or RuntimeConfig()
-    runtime_config = RuntimeConfig(**{**base_config.__dict__, "protocol": protocol})
-    runtime = HyperionRuntime(spec, num_nodes=num_nodes, config=runtime_config)
-    app = create_app(app_name)
-    report = app.run(runtime, resolved)
-    if verify and not app.verify(report.result, resolved):
-        raise AssertionError(
-            f"{app_name} produced an incorrect result under "
-            f"{protocol} on {spec.name}/{num_nodes} nodes"
-        )
-    return report
+    spec = ExperimentSpec(
+        app=app_name,
+        cluster=cluster,
+        protocol=protocol,
+        num_nodes=num_nodes,
+        workload=workload,
+        config=config,
+        verify=verify,
+    )
+    if session is None:
+        return run_spec(spec)
+    return session.run_one(spec)
 
 
 @dataclass
@@ -121,7 +114,7 @@ class ProtocolComparison:
         return sum(values) / len(values) if values else 0.0
 
 
-def run_comparison(
+def comparison_specs(
     app_name: str,
     cluster: Union[str, ClusterSpec],
     node_counts: Optional[Sequence[int]] = None,
@@ -129,9 +122,14 @@ def run_comparison(
     protocols: Iterable[str] = ("java_ic", "java_pf"),
     config: Optional[RuntimeConfig] = None,
     verify: bool = False,
-) -> ProtocolComparison:
-    """Run *app_name* on *cluster* for every (protocol, node-count) pair."""
-    spec = _resolve_cluster(cluster)
+) -> Tuple[ProtocolComparison, List[ExperimentSpec]]:
+    """Empty :class:`ProtocolComparison` plus the specs that will fill it.
+
+    Splitting spec construction from execution lets callers batch the specs
+    of *many* comparisons into one ``Session.run`` (the all-figures path does
+    exactly that to parallelise across figures, not just within one).
+    """
+    spec = resolve_cluster(cluster)
     counts = list(node_counts) if node_counts is not None else spec.node_counts()
     protocol_list = list(protocols)
     workload_name = workload if isinstance(workload, str) else getattr(workload, "name", "custom")
@@ -142,9 +140,52 @@ def run_comparison(
         node_counts=counts,
         protocols=protocol_list,
     )
-    for protocol in protocol_list:
-        for n in counts:
-            comparison.reports[(protocol, n)] = run_cell(
-                app_name, spec, protocol, n, workload=workload, config=config, verify=verify
-            )
+    specs = [
+        ExperimentSpec(
+            app=app_name,
+            cluster=spec,
+            protocol=protocol,
+            num_nodes=n,
+            workload=workload,
+            config=config,
+            verify=verify,
+        )
+        for protocol in protocol_list
+        for n in counts
+    ]
+    return comparison, specs
+
+
+def fill_comparison(
+    comparison: ProtocolComparison,
+    specs: Sequence[ExperimentSpec],
+    result: SessionResult,
+) -> ProtocolComparison:
+    """Populate *comparison* with the reports *result* holds for *specs*."""
+    for spec in specs:
+        comparison.reports[(spec.protocol, spec.num_nodes)] = result[spec]
     return comparison
+
+
+def run_comparison(
+    app_name: str,
+    cluster: Union[str, ClusterSpec],
+    node_counts: Optional[Sequence[int]] = None,
+    workload=None,
+    protocols: Iterable[str] = ("java_ic", "java_pf"),
+    config: Optional[RuntimeConfig] = None,
+    verify: bool = False,
+    session: Optional[Session] = None,
+) -> ProtocolComparison:
+    """Run *app_name* on *cluster* for every (protocol, node-count) pair."""
+    comparison, specs = comparison_specs(
+        app_name,
+        cluster,
+        node_counts=node_counts,
+        workload=workload,
+        protocols=protocols,
+        config=config,
+        verify=verify,
+    )
+    result = (session or default_session()).run(specs)
+    return fill_comparison(comparison, specs, result)

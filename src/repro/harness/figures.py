@@ -12,7 +12,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.apps.workloads import WorkloadPreset
 from repro.cluster.presets import cluster_by_name
-from repro.harness.experiment import ProtocolComparison, run_comparison
+from repro.harness.experiment import (
+    ProtocolComparison,
+    comparison_specs,
+    fill_comparison,
+)
+from repro.harness.session import Session, default_session
+from repro.harness.spec import ExperimentSpec
 from repro.hyperion.runtime import RuntimeConfig
 
 #: figure number -> benchmark, as in the paper
@@ -96,21 +102,16 @@ def figure_for_app(app: str) -> int:
     raise KeyError(f"application {app!r} does not correspond to a paper figure")
 
 
-def generate_figure(
+def _figure_plan(
     number: int,
-    workload=None,
-    clusters: Iterable[str] = ("myrinet", "sci"),
-    node_counts: Optional[Dict[str, Sequence[int]]] = None,
-    protocols: Iterable[str] = ("java_ic", "java_pf"),
-    config: Optional[RuntimeConfig] = None,
-    verify: bool = False,
-) -> FigureData:
-    """Regenerate one of the paper's figures.
-
-    ``workload`` accepts the same forms as :func:`repro.harness.experiment.run_cell`
-    (a preset name, a :class:`WorkloadPreset`, a workload object or None for
-    the bench preset).
-    """
+    workload,
+    clusters: Iterable[str],
+    node_counts: Optional[Dict[str, Sequence[int]]],
+    protocols: Iterable[str],
+    config: Optional[RuntimeConfig],
+    verify: bool,
+) -> Tuple[FigureData, List[Tuple[str, ProtocolComparison, List[ExperimentSpec]]]]:
+    """A figure skeleton plus, per cluster, the comparison and its specs."""
     try:
         app = FIGURE_APPS[number]
     except KeyError:
@@ -119,7 +120,7 @@ def generate_figure(
         ) from None
     workload_name = workload if isinstance(workload, str) else getattr(workload, "name", "bench")
     data = FigureData(number=number, app=app, workload_name=str(workload_name))
-    protocol_list = list(protocols)
+    plan = []
     for cluster_name in clusters:
         spec = cluster_by_name(cluster_name)
         if node_counts and cluster_name in node_counts:
@@ -130,17 +131,25 @@ def generate_figure(
                 for n in DEFAULT_NODE_COUNTS.get(cluster_name, spec.node_counts())
                 if n <= spec.num_nodes
             ]
-        comparison = run_comparison(
+        comparison, specs = comparison_specs(
             app,
             spec,
             node_counts=counts,
             workload=workload,
-            protocols=protocol_list,
+            protocols=protocols,
             config=config,
             verify=verify,
         )
+        plan.append((cluster_name, comparison, specs))
+    return data, plan
+
+
+def _assemble_figure(data, plan, result, protocols) -> FigureData:
+    """Fill a figure skeleton from a finished :class:`SessionResult`."""
+    for cluster_name, comparison, specs in plan:
+        fill_comparison(comparison, specs, result)
         data.comparisons[cluster_name] = comparison
-        for protocol in protocol_list:
+        for protocol in protocols:
             data.series.append(
                 FigureSeries(
                     cluster=cluster_name,
@@ -151,20 +160,57 @@ def generate_figure(
     return data
 
 
+def generate_figure(
+    number: int,
+    workload=None,
+    clusters: Iterable[str] = ("myrinet", "sci"),
+    node_counts: Optional[Dict[str, Sequence[int]]] = None,
+    protocols: Iterable[str] = ("java_ic", "java_pf"),
+    config: Optional[RuntimeConfig] = None,
+    verify: bool = False,
+    session: Optional[Session] = None,
+) -> FigureData:
+    """Regenerate one of the paper's figures.
+
+    ``workload`` accepts the same forms as :func:`repro.harness.experiment.run_cell`
+    (a preset name, a :class:`WorkloadPreset`, a workload object or None for
+    the bench preset).  ``session`` selects the executor and result cache;
+    the default is serial and storeless.
+    """
+    protocol_list = list(protocols)
+    data, plan = _figure_plan(
+        number, workload, clusters, node_counts, protocol_list, config, verify
+    )
+    all_specs = [spec for _, _, specs in plan for spec in specs]
+    result = (session or default_session()).run(all_specs)
+    return _assemble_figure(data, plan, result, protocol_list)
+
+
 def generate_all_figures(
     workload=None,
     clusters: Iterable[str] = ("myrinet", "sci"),
     node_counts: Optional[Dict[str, Sequence[int]]] = None,
     config: Optional[RuntimeConfig] = None,
+    session: Optional[Session] = None,
 ) -> Dict[int, FigureData]:
-    """Regenerate Figures 1-5; returns them keyed by figure number."""
-    return {
-        number: generate_figure(
-            number,
-            workload=workload,
-            clusters=clusters,
-            node_counts=node_counts,
-            config=config,
+    """Regenerate Figures 1-5; returns them keyed by figure number.
+
+    All five figures' cells are batched into a *single* ``Session.run``, so a
+    parallel executor spreads the whole grid — not one figure at a time —
+    across its workers.
+    """
+    protocols = ("java_ic", "java_pf")
+    plans = {}
+    for number in sorted(FIGURE_APPS):
+        data, plan = _figure_plan(
+            number, workload, clusters, node_counts, protocols, config, False
         )
-        for number in sorted(FIGURE_APPS)
+        plans[number] = (data, plan)
+    all_specs = [
+        spec for data, plan in plans.values() for _, _, specs in plan for spec in specs
+    ]
+    result = (session or default_session()).run(all_specs)
+    return {
+        number: _assemble_figure(data, plan, result, list(protocols))
+        for number, (data, plan) in plans.items()
     }

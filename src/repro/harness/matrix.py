@@ -1,0 +1,148 @@
+"""Fluent builder for cartesian grids of :class:`ExperimentSpec`.
+
+The paper's evaluation is a grid — {5 apps} x {2 clusters} x {2 protocols} x
+{node counts} — and every sweep or scenario is another grid.  Instead of
+hand-written nested loops, :class:`ExperimentMatrix` expands the cartesian
+product of its axes into a spec list::
+
+    matrix = (
+        ExperimentMatrix()
+        .apps("pi", "jacobi")
+        .clusters("myrinet", "sci")
+        .protocols("java_ic", "java_pf")
+        .nodes_per_cluster({"myrinet": [1, 2, 4], "sci": [1, 2]})
+        .workload("testing")
+    )
+    reports = Session().run(matrix)
+
+Axes left unset fall back to sensible defaults (all protocols of the paper,
+the cluster's own node counts, the bench workload).  ``filter`` predicates
+prune the product, and node counts exceeding a cluster's size are dropped
+automatically so a single grid can span clusters of different sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.cluster.presets import ClusterSpec
+from repro.harness.spec import ExperimentSpec, resolve_cluster
+from repro.hyperion.runtime import RuntimeConfig
+
+#: the two protocols every figure of the paper compares
+DEFAULT_PROTOCOLS = ("java_ic", "java_pf")
+
+
+class ExperimentMatrix:
+    """Cartesian grid of experiment cells, built fluently."""
+
+    def __init__(self) -> None:
+        self._apps: List[str] = []
+        self._clusters: List[Union[str, ClusterSpec]] = []
+        self._protocols: List[str] = list(DEFAULT_PROTOCOLS)
+        self._nodes: Optional[List[int]] = None
+        self._nodes_per_cluster: Dict[str, List[int]] = {}
+        self._workload = None
+        self._configs: List[Optional[RuntimeConfig]] = [None]
+        self._filters: List[Callable[[ExperimentSpec], bool]] = []
+        self._verify = False
+
+    # ------------------------------------------------------------------
+    # axes
+    # ------------------------------------------------------------------
+    def apps(self, *names: str) -> "ExperimentMatrix":
+        """Application axis (at least one app is required to build)."""
+        self._apps = list(names)
+        return self
+
+    def clusters(self, *clusters: Union[str, ClusterSpec]) -> "ExperimentMatrix":
+        """Cluster axis: preset names or :class:`ClusterSpec` objects."""
+        self._clusters = list(clusters)
+        return self
+
+    def protocols(self, *names: str) -> "ExperimentMatrix":
+        """Protocol axis (defaults to ``java_ic`` and ``java_pf``)."""
+        self._protocols = list(names)
+        return self
+
+    def nodes(self, *counts: int) -> "ExperimentMatrix":
+        """Node-count axis shared by all clusters."""
+        self._nodes = [int(n) for n in counts]
+        return self
+
+    def nodes_per_cluster(
+        self, mapping: Dict[str, Sequence[int]]
+    ) -> "ExperimentMatrix":
+        """Per-cluster node counts (clusters absent from *mapping* use
+        :meth:`nodes`, or their own :meth:`ClusterSpec.node_counts`)."""
+        self._nodes_per_cluster = {k: [int(n) for n in v] for k, v in mapping.items()}
+        return self
+
+    def workload(self, workload) -> "ExperimentMatrix":
+        """Workload for every cell (preset name, preset, or workload object)."""
+        self._workload = workload
+        return self
+
+    def config(self, config: Optional[RuntimeConfig]) -> "ExperimentMatrix":
+        """Single runtime-config override for every cell."""
+        self._configs = [config]
+        return self
+
+    def configs(self, *configs: Optional[RuntimeConfig]) -> "ExperimentMatrix":
+        """Config axis — one cell per config per grid point (used by sweeps)."""
+        self._configs = list(configs)
+        return self
+
+    def filter(self, predicate: Callable[[ExperimentSpec], bool]) -> "ExperimentMatrix":
+        """Keep only cells for which *predicate* returns True (chainable)."""
+        self._filters.append(predicate)
+        return self
+
+    def verify(self, flag: bool = True) -> "ExperimentMatrix":
+        """Run each app's correctness check on its result."""
+        self._verify = flag
+        return self
+
+    # ------------------------------------------------------------------
+    # expansion
+    # ------------------------------------------------------------------
+    def _counts_for(self, cluster: Union[str, ClusterSpec]) -> List[int]:
+        spec = resolve_cluster(cluster)
+        counts = self._nodes_per_cluster.get(spec.name, self._nodes)
+        if counts is None:
+            counts = spec.node_counts()
+        return [n for n in counts if n <= spec.num_nodes]
+
+    def build(self) -> List[ExperimentSpec]:
+        """Expand the grid into a spec list (apps x clusters x protocols x
+        nodes x configs, in that nesting order)."""
+        if not self._apps:
+            raise ValueError("ExperimentMatrix needs at least one app; call .apps(...)")
+        if not self._clusters:
+            raise ValueError(
+                "ExperimentMatrix needs at least one cluster; call .clusters(...)"
+            )
+        specs: List[ExperimentSpec] = []
+        for app in self._apps:
+            for cluster in self._clusters:
+                for protocol in self._protocols:
+                    for num_nodes in self._counts_for(cluster):
+                        for config in self._configs:
+                            spec = ExperimentSpec(
+                                app=app,
+                                cluster=cluster,
+                                protocol=protocol,
+                                num_nodes=num_nodes,
+                                workload=self._workload,
+                                config=config,
+                                verify=self._verify,
+                            )
+                            if all(f(spec) for f in self._filters):
+                                specs.append(spec)
+        return specs
+
+    def __iter__(self) -> Iterator[ExperimentSpec]:
+        return iter(self.build())
+
+    def __len__(self) -> int:
+        return len(self.build())

@@ -1,0 +1,155 @@
+"""The Session facade: every experiment in the harness routes through here.
+
+A :class:`Session` combines an executor (how cells run: serially or across a
+process pool) with an optional :class:`~repro.harness.store.ResultStore`
+(whether results persist between runs).  ``Session.run`` takes anything that
+yields :class:`~repro.harness.spec.ExperimentSpec` objects — typically an
+:class:`~repro.harness.matrix.ExperimentMatrix` — deduplicates them, serves
+what it can from the store, fans the rest out through the executor, and
+returns a :class:`SessionResult` mapping each spec to its report::
+
+    session = Session(executor=ParallelExecutor(jobs=4), store=ResultStore(".cache"))
+    result = session.run(matrix)
+    result[spec].execution_seconds
+
+The figure, comparison, sweep and calibration entry points all accept a
+``session=`` argument and fall back to a private serial, storeless session,
+so legacy call sites keep working unchanged while the CLI's ``--jobs`` and
+``--cache-dir`` flags reach every code path through a single object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.harness.executor import Executor, SerialExecutor
+from repro.harness.spec import ExperimentSpec
+from repro.harness.store import ResultStore
+from repro.hyperion.runtime import ExecutionReport
+
+
+@dataclass
+class SessionResult:
+    """Reports of one ``Session.run``, keyed by spec, plus cache accounting."""
+
+    reports: Dict[ExperimentSpec, ExecutionReport] = field(default_factory=dict)
+    #: cells served from the result store
+    cache_hits: int = 0
+    #: cells actually simulated by the executor
+    executed: int = 0
+
+    def __getitem__(self, spec: ExperimentSpec) -> ExecutionReport:
+        return self.reports[spec]
+
+    def __iter__(self) -> Iterator[ExperimentSpec]:
+        return iter(self.reports)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def items(self) -> Iterable[Tuple[ExperimentSpec, ExecutionReport]]:
+        """(spec, report) pairs in submission order."""
+        return self.reports.items()
+
+    def execution_seconds(self, spec: ExperimentSpec) -> float:
+        """Simulated execution time of one cell."""
+        return self.reports[spec].execution_seconds
+
+    def to_dict(self) -> Dict[str, Dict]:
+        """JSON-friendly view keyed by cell label."""
+        return {spec.label(): report.to_dict() for spec, report in self.reports.items()}
+
+
+class Session:
+    """Facade tying an executor and an optional result store together."""
+
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        store: Optional[ResultStore] = None,
+    ):
+        self.executor: Executor = executor if executor is not None else SerialExecutor()
+        self.store = store
+
+    @classmethod
+    def from_options(
+        cls, jobs: int = 1, cache_dir: Optional[str] = None
+    ) -> "Session":
+        """Session described by the common knobs (CLI flags, env vars):
+        ``jobs`` worker processes and an optional cache directory."""
+        from repro.harness.executor import ParallelExecutor
+
+        executor = ParallelExecutor(jobs=jobs) if jobs > 1 else SerialExecutor()
+        store = ResultStore(cache_dir) if cache_dir else None
+        return cls(executor=executor, store=store)
+
+    # ------------------------------------------------------------------
+    def run(self, experiments: Iterable[ExperimentSpec]) -> SessionResult:
+        """Run every spec (duplicates run once) and collect the reports.
+
+        Specs already present in the store are never handed to the executor,
+        so a warm cache performs zero simulations.  The exception is
+        ``verify=True`` specs: verification only happens while a cell
+        executes (cached payloads do not keep rich result objects), so they
+        bypass the cache read — and a verifying duplicate upgrades its
+        non-verifying twin — and are always simulated.
+        """
+        specs = list(experiments)
+        result = SessionResult()
+        cached_specs = set()
+        pending: Dict[ExperimentSpec, ExperimentSpec] = {}
+        for spec in specs:
+            if spec in pending:
+                if spec.verify and not pending[spec].verify:
+                    pending[spec] = spec
+                continue
+            if spec in result.reports:
+                if not (spec.verify and spec in cached_specs):
+                    continue
+                # a verifying duplicate of a cache-served cell: re-run it
+                del result.reports[spec]
+                cached_specs.discard(spec)
+                result.cache_hits -= 1
+            cached = (
+                self.store.get(spec)
+                if self.store is not None and not spec.verify
+                else None
+            )
+            if cached is not None:
+                result.reports[spec] = cached
+                result.cache_hits += 1
+                cached_specs.add(spec)
+            else:
+                result.reports[spec] = None  # type: ignore[assignment]  # placeholder keeps order
+                pending[spec] = spec
+        to_run = list(pending.values())
+        fresh = self.executor.execute(to_run) if to_run else []
+        if len(fresh) != len(to_run):
+            raise RuntimeError(
+                f"executor {self.executor!r} returned {len(fresh)} reports "
+                f"for {len(to_run)} specs; Executor.execute must preserve "
+                "the submitted batch one-to-one"
+            )
+        for spec, report in zip(to_run, fresh):
+            result.reports[spec] = report
+            result.executed += 1
+            if self.store is not None:
+                self.store.put(spec, report)
+        return result
+
+    def run_one(self, spec: ExperimentSpec) -> ExecutionReport:
+        """Run a single cell through the session."""
+        return self.run([spec])[spec]
+
+    def __repr__(self) -> str:
+        return f"Session(executor={self.executor!r}, store={self.store!r})"
+
+
+#: default session used by the thin backward-compatible wrappers
+_DEFAULT_SESSION = Session()
+
+
+def default_session() -> Session:
+    """The serial, storeless session the legacy entry points fall back to."""
+    return _DEFAULT_SESSION

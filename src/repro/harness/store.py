@@ -1,0 +1,154 @@
+"""Content-addressed on-disk cache of experiment results.
+
+:class:`ResultStore` persists one JSON file per experiment cell, named by the
+spec's :meth:`~repro.harness.spec.ExperimentSpec.cache_key` — a hash of the
+cell's fully resolved identity (cluster constants, workload parameters,
+runtime config).  Because the simulator is deterministic, a cached report is
+exactly what re-running the cell would produce, so regenerating figures on a
+warm cache performs zero simulations.
+
+Reports round-trip losslessly at the level the harness consumes them:
+:func:`report_from_payload` rebuilds an :class:`ExecutionReport` whose
+``to_dict()`` is byte-identical to the original's.  The application-level
+``result`` object is kept only when it is JSON-serialisable (scalars, lists);
+rich results (e.g. numpy meshes) are dropped on the way to disk, which only
+matters to ``verify=True`` re-runs — verification happens at execution time,
+before the report enters the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.core.stats import MonitorStats, RunStats, ThreadStats
+from repro.dsm.page_manager import DsmStats
+from repro.harness.spec import CACHE_SCHEMA_VERSION, ExperimentSpec
+from repro.hyperion.runtime import ExecutionReport
+
+
+def _int_keys(mapping: Dict[str, Any]) -> Dict[int, Any]:
+    """JSON objects stringify integer keys; turn them back."""
+    return {int(k): v for k, v in mapping.items()}
+
+
+def report_to_payload(report: ExecutionReport) -> Dict[str, Any]:
+    """JSON-friendly structured form of *report* (inverse of
+    :func:`report_from_payload`)."""
+    stats = report.stats
+    try:
+        result: Any = json.loads(json.dumps(report.result))
+    except (TypeError, ValueError):
+        result = None
+    return {
+        "cluster": report.cluster,
+        "protocol": report.protocol,
+        "num_nodes": report.num_nodes,
+        "num_threads": report.num_threads,
+        "execution_seconds": report.execution_seconds,
+        "console": list(report.console),
+        "result": result,
+        "stats": {
+            "execution_seconds": stats.execution_seconds,
+            "dsm": asdict(stats.dsm),
+            "monitors": asdict(stats.monitors),
+            "threads": asdict(stats.threads),
+            "cpu_seconds_by_node": stats.cpu_seconds_by_node,
+            "wait_seconds_by_node": stats.wait_seconds_by_node,
+        },
+    }
+
+
+def report_from_payload(payload: Dict[str, Any]) -> ExecutionReport:
+    """Rebuild an :class:`ExecutionReport` from :func:`report_to_payload`."""
+    raw = payload["stats"]
+    dsm_fields = dict(raw["dsm"])
+    dsm_fields["fetches_by_node"] = _int_keys(dsm_fields.get("fetches_by_node", {}))
+    dsm_fields["faults_by_node"] = _int_keys(dsm_fields.get("faults_by_node", {}))
+    stats = RunStats(
+        dsm=DsmStats(**dsm_fields),
+        monitors=MonitorStats(**raw["monitors"]),
+        threads=ThreadStats(**raw["threads"]),
+        cpu_seconds_by_node=_int_keys(raw["cpu_seconds_by_node"]),
+        wait_seconds_by_node=_int_keys(raw["wait_seconds_by_node"]),
+        execution_seconds=raw["execution_seconds"],
+        result=payload.get("result"),
+    )
+    return ExecutionReport(
+        cluster=payload["cluster"],
+        protocol=payload["protocol"],
+        num_nodes=payload["num_nodes"],
+        num_threads=payload["num_threads"],
+        execution_seconds=payload["execution_seconds"],
+        stats=stats,
+        console=list(payload.get("console", [])),
+        result=payload.get("result"),
+    )
+
+
+class ResultStore:
+    """JSON-on-disk experiment cache keyed by spec content hash."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """File that holds (or would hold) the result hashed to *key*."""
+        return self.root / f"{key}.json"
+
+    def __contains__(self, spec: ExperimentSpec) -> bool:
+        return self.path_for(spec.cache_key()).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    # ------------------------------------------------------------------
+    def get(self, spec: ExperimentSpec) -> Optional[ExecutionReport]:
+        """The cached report of *spec*, or None on a miss (or a stale/corrupt
+        entry, which is treated as a miss)."""
+        path = self.path_for(spec.cache_key())
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                return None
+            return report_from_payload(payload["report"])
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            # unreadable, unparseable or structurally wrong: re-simulate
+            return None
+
+    def put(self, spec: ExperimentSpec, report: ExecutionReport) -> Path:
+        """Persist *report* under *spec*'s cache key (atomic rename)."""
+        key = spec.cache_key()
+        path = self.path_for(key)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "spec": spec.describe(),
+            "report": report_to_payload(report),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=2)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"

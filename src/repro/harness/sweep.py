@@ -1,12 +1,21 @@
-"""Parameter sweeps backing the ablation experiments (A1-A4 in DESIGN.md)."""
+"""Parameter sweeps backing the ablation experiments (A1-A4 in DESIGN.md).
+
+Each sweep is a small experiment grid — {swept values} x {protocols} — built
+as :class:`~repro.harness.spec.ExperimentSpec` lists and executed through a
+:class:`~repro.harness.session.Session`, so sweeps share the executor
+parallelism and the result cache with the figure pipeline.  Adding a new
+ablation is one ``sweep_*`` function describing how the swept value maps onto
+a config or cluster override.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.cluster.presets import ClusterSpec, cluster_by_name
-from repro.harness.experiment import run_cell
+from repro.cluster.presets import ClusterSpec
+from repro.harness.session import Session, default_session
+from repro.harness.spec import ExperimentSpec, resolve_cluster
 from repro.hyperion.runtime import RuntimeConfig
 
 
@@ -42,7 +51,34 @@ class SweepResult:
 
 
 def _cluster(cluster) -> ClusterSpec:
-    return cluster if isinstance(cluster, ClusterSpec) else cluster_by_name(cluster)
+    return resolve_cluster(cluster)
+
+
+def run_sweep(
+    parameter: str,
+    values: Sequence[object],
+    make_spec: Callable[[object, str], ExperimentSpec],
+    protocols: Iterable[str] = ("java_ic", "java_pf"),
+    session: Optional[Session] = None,
+) -> SweepResult:
+    """Generic sweep driver: one cell per (value, protocol), via a session.
+
+    *make_spec* maps a swept value and a protocol name onto the
+    :class:`ExperimentSpec` to run; the whole grid goes through a single
+    ``Session.run`` so parallel executors see every cell at once.
+    """
+    value_list = list(values)
+    protocol_list = list(protocols)
+    grid = [
+        (value, protocol, make_spec(value, protocol))
+        for value in value_list
+        for protocol in protocol_list
+    ]
+    result = (session or default_session()).run(spec for _, _, spec in grid)
+    sweep = SweepResult(parameter=parameter, values=value_list)
+    for value, protocol, spec in grid:
+        sweep.times[(protocol, value)] = result[spec].execution_seconds
+    return sweep
 
 
 def sweep_page_size(
@@ -52,15 +88,22 @@ def sweep_page_size(
     page_sizes: Sequence[int] = (1024, 2048, 4096, 8192, 16384),
     workload=None,
     protocols: Iterable[str] = ("java_ic", "java_pf"),
+    session: Optional[Session] = None,
 ) -> SweepResult:
     """A1: effect of the DSM page size (granularity / pre-fetching trade-off)."""
-    result = SweepResult(parameter="page_size", values=list(page_sizes))
-    for page_size in page_sizes:
-        for protocol in protocols:
-            config = RuntimeConfig(protocol=protocol, page_size=page_size)
-            report = run_cell(app, _cluster(cluster), protocol, num_nodes, workload, config=config)
-            result.times[(protocol, page_size)] = report.execution_seconds
-    return result
+    spec = _cluster(cluster)
+
+    def make_spec(page_size, protocol) -> ExperimentSpec:
+        return ExperimentSpec(
+            app=app,
+            cluster=spec,
+            protocol=protocol,
+            num_nodes=num_nodes,
+            workload=workload,
+            config=RuntimeConfig(protocol=protocol, page_size=page_size),
+        )
+
+    return run_sweep("page_size", page_sizes, make_spec, protocols, session)
 
 
 def sweep_check_cost(
@@ -70,16 +113,21 @@ def sweep_check_cost(
     check_cycles: Sequence[float] = (2.0, 4.0, 8.0, 16.0, 32.0),
     workload=None,
     protocols: Iterable[str] = ("java_ic", "java_pf"),
+    session: Optional[Session] = None,
 ) -> SweepResult:
     """A2: how expensive must the in-line check be for java_pf to win?"""
     base = _cluster(cluster)
-    result = SweepResult(parameter="inline_check_cycles", values=list(check_cycles))
-    for cycles in check_cycles:
-        spec = base.with_software(inline_check_cycles=cycles)
-        for protocol in protocols:
-            report = run_cell(app, spec, protocol, num_nodes, workload)
-            result.times[(protocol, cycles)] = report.execution_seconds
-    return result
+
+    def make_spec(cycles, protocol) -> ExperimentSpec:
+        return ExperimentSpec(
+            app=app,
+            cluster=base.with_software(inline_check_cycles=cycles),
+            protocol=protocol,
+            num_nodes=num_nodes,
+            workload=workload,
+        )
+
+    return run_sweep("inline_check_cycles", check_cycles, make_spec, protocols, session)
 
 
 def sweep_threads_per_node(
@@ -89,15 +137,22 @@ def sweep_threads_per_node(
     threads_per_node: Sequence[int] = (1, 2, 4),
     workload=None,
     protocols: Iterable[str] = ("java_ic", "java_pf"),
+    session: Optional[Session] = None,
 ) -> SweepResult:
     """A3: more than one application thread per node (paper future work)."""
-    result = SweepResult(parameter="threads_per_node", values=list(threads_per_node))
-    for tpn in threads_per_node:
-        for protocol in protocols:
-            config = RuntimeConfig(protocol=protocol, threads_per_node=tpn)
-            report = run_cell(app, _cluster(cluster), protocol, num_nodes, workload, config=config)
-            result.times[(protocol, tpn)] = report.execution_seconds
-    return result
+    spec = _cluster(cluster)
+
+    def make_spec(tpn, protocol) -> ExperimentSpec:
+        return ExperimentSpec(
+            app=app,
+            cluster=spec,
+            protocol=protocol,
+            num_nodes=num_nodes,
+            workload=workload,
+            config=RuntimeConfig(protocol=protocol, threads_per_node=tpn),
+        )
+
+    return run_sweep("threads_per_node", threads_per_node, make_spec, protocols, session)
 
 
 def sweep_balancer(
@@ -107,12 +162,28 @@ def sweep_balancer(
     policies: Sequence[str] = ("round_robin", "block", "random"),
     workload=None,
     protocols: Iterable[str] = ("java_ic", "java_pf"),
+    session: Optional[Session] = None,
 ) -> SweepResult:
     """A4: thread-placement policy of the load balancer."""
-    result = SweepResult(parameter="balancer", values=list(policies))
-    for policy in policies:
-        for protocol in protocols:
-            config = RuntimeConfig(protocol=protocol, balancer=policy)
-            report = run_cell(app, _cluster(cluster), protocol, num_nodes, workload, config=config)
-            result.times[(protocol, policy)] = report.execution_seconds
-    return result
+    spec = _cluster(cluster)
+
+    def make_spec(policy, protocol) -> ExperimentSpec:
+        return ExperimentSpec(
+            app=app,
+            cluster=spec,
+            protocol=protocol,
+            num_nodes=num_nodes,
+            workload=workload,
+            config=RuntimeConfig(protocol=protocol, balancer=policy),
+        )
+
+    return run_sweep("balancer", policies, make_spec, protocols, session)
+
+
+#: name -> sweep function, as exposed by the ``hyperion-sim sweep`` subcommand
+SWEEPS: Dict[str, Callable[..., SweepResult]] = {
+    "page_size": sweep_page_size,
+    "check_cost": sweep_check_cost,
+    "threads": sweep_threads_per_node,
+    "balancer": sweep_balancer,
+}

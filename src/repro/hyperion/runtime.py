@@ -23,7 +23,7 @@ A typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.costs import CostModel
@@ -75,6 +75,10 @@ class RuntimeConfig:
         if self.page_size is not None:
             check_positive("page_size", self.page_size)
 
+    def with_overrides(self, **kwargs) -> "RuntimeConfig":
+        """Return a copy with some parameters replaced (validation re-runs)."""
+        return replace(self, **kwargs)
+
 
 @dataclass
 class ExecutionReport:
@@ -120,9 +124,7 @@ class HyperionRuntime:
     ):
         self.config = config or RuntimeConfig()
         if protocol is not None:
-            self.config = RuntimeConfig(
-                **{**self.config.__dict__, "protocol": protocol}
-            )
+            self.config = self.config.with_overrides(protocol=protocol)
         self.cluster = cluster
         self.num_nodes = cluster.num_nodes if num_nodes is None else int(num_nodes)
         check_positive("num_nodes", self.num_nodes)

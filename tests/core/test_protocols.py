@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core.protocol import available_protocols, create_protocol, register_protocol
+from repro.core.protocol import (
+    available_protocols,
+    create_protocol,
+    register_protocol,
+    unregister_protocol,
+)
 
 
 def test_registry_contains_paper_protocols():
@@ -18,6 +23,26 @@ def test_registry_rejects_unknown_and_duplicates(rig_factory):
         create_protocol("java_xyz", rig.page_manager, rig.cost_model)
     with pytest.raises(ValueError):
         register_protocol("java_ic", lambda pm, cm: None)
+
+
+def test_registry_override_and_unregister(rig_factory):
+    rig = rig_factory()
+
+    def experimental(pm, cm):
+        protocol = create_protocol("java_ic", pm, cm)
+        protocol.name = "java_exp"
+        return protocol
+
+    register_protocol("java_exp", experimental)
+    # re-registration (e.g. a module re-import) is fine when opted in
+    register_protocol("java_exp", experimental, allow_override=True)
+    with pytest.raises(ValueError):
+        register_protocol("java_exp", experimental)
+    assert create_protocol("java_exp", rig.page_manager, rig.cost_model).name == "java_exp"
+
+    assert unregister_protocol("java_exp") is True
+    assert unregister_protocol("java_exp") is False
+    assert "java_exp" not in available_protocols()
 
 
 # ---------------------------------------------------------------------------

@@ -96,3 +96,41 @@ def test_cli_run_subcommand(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "sci/java_ic" in out
+
+
+def test_cli_jobs_flag_changes_nothing(capsys):
+    assert cli_main(["figure", "1", "--scale", "testing", "--json"]) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert cli_main(["figure", "1", "--scale", "testing", "--json", "--jobs", "2"]) == 0
+    parallel = json.loads(capsys.readouterr().out)
+    assert serial == parallel
+
+
+def test_cli_cache_dir_reuses_results(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    args = ["figure", "2", "--scale", "testing", "--json", "--cache-dir", cache]
+    assert cli_main(args) == 0
+    cold = capsys.readouterr().out
+    cached_files = list((tmp_path / "cache").glob("*.json"))
+    assert cached_files  # one file per simulated cell
+    assert cli_main(args) == 0
+    assert capsys.readouterr().out == cold
+
+
+def test_cli_sweep_subcommand(capsys):
+    code = cli_main(
+        ["sweep", "check_cost", "--app", "asp", "--nodes", "1", "--scale", "testing",
+         "--values", "0.5,32"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "inline_check_cycles" in out and "java_pf" in out
+
+
+def test_cli_experiments_subcommand(tmp_path, capsys):
+    output = tmp_path / "EXPERIMENTS.md"
+    code = cli_main(["experiments", "--scale", "testing", "-o", str(output)])
+    assert code == 0
+    document = output.read_text()
+    assert "# EXPERIMENTS" in document
+    assert "Figure 1" in document and "calibration" in document

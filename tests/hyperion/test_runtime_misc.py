@@ -31,6 +31,17 @@ def test_runtime_config_validation():
         RuntimeConfig(page_size=-1)
 
 
+def test_runtime_config_with_overrides():
+    base = RuntimeConfig(protocol="java_ic", seed=99)
+    derived = base.with_overrides(protocol="java_pf", page_size=1024)
+    assert derived.protocol == "java_pf"
+    assert derived.page_size == 1024
+    assert derived.seed == 99  # untouched fields carry over
+    assert base.protocol == "java_ic"  # original unchanged
+    with pytest.raises(ValueError):
+        base.with_overrides(threads_per_node=0)  # validation re-runs
+
+
 def test_runtime_page_size_override():
     runtime = make_runtime(num_nodes=2, page_size=1024)
     assert runtime.cost_model.page_size == 1024
