@@ -80,12 +80,17 @@ class AspApplication(Application):
         extra_per_row = max(0.0, 3.0 * n * scale - 2.0 * n)
 
         for k in range(n):
-            # fetch the pivot row (remote for every thread but its owner)
-            row_k = ctx.aget_range(rows[k], 0, n).astype(np.int64)
+            # fetch the pivot row (remote for every thread but its owner).
+            # int32 arithmetic is exact here: entries never exceed INFINITY,
+            # so the relaxation sum stays far below the int32 maximum — the
+            # module constant's "fits comfortably even when two are added"
+            # invariant — and skipping the int64 up-conversion avoids two
+            # array copies per relaxed row.
+            row_k = ctx.aget_range(rows[k], 0, n)
             for i in my_rows:
                 if i == k:
                     continue
-                row_i = ctx.aget_range(rows[i], 0, n).astype(np.int64)
+                row_i = ctx.aget_range(rows[i], 0, n)
                 d_ik = row_i[k]
                 if d_ik >= INFINITY:
                     # no path through k; the compiled code still walks the row

@@ -179,14 +179,44 @@ def build_octree(positions: np.ndarray, masses: np.ndarray) -> FlatTree:
     return flat
 
 
+def make_walk_cache(flat: FlatTree) -> Tuple:
+    """Python-native views of a flat tree for the per-body traversal.
+
+    One traversal visits hundreds of cells and runs once per body per step;
+    reading cell scalars out of plain lists instead of 0-d NumPy indexing is
+    several times faster and yields bit-identical doubles (``tolist`` is an
+    exact conversion).  Build this once per published tree and pass it to
+    :func:`compute_acceleration` for every body.
+    """
+    children_rows = flat.children.tolist()
+    return (
+        flat.mass.tolist(),
+        flat.half.tolist(),
+        flat.leaf_body.tolist(),
+        children_rows,
+        [any(c >= 0 for c in row) for row in children_rows],
+    )
+
+
 def compute_acceleration(
     flat: FlatTree,
     positions: np.ndarray,
     masses: np.ndarray,
     body: int,
     theta: float,
+    walk: Optional[Tuple] = None,
 ) -> Tuple[np.ndarray, int]:
-    """Acceleration on *body* from a tree traversal; returns (acc, interactions)."""
+    """Acceleration on *body* from a tree traversal; returns (acc, interactions).
+
+    ``walk`` is an optional :func:`make_walk_cache` result; passing it avoids
+    rebuilding the native views for every body of a step.  The traversal
+    order and every floating-point expression match the original ndarray
+    formulation, so accelerations are bit-identical either way.
+    """
+    if walk is None:
+        walk = make_walk_cache(flat)
+    mass_l, half_l, leaf_l, children_l, has_kids = walk
+    com = flat.com
     acc = np.zeros(3)
     pos = positions[body]
     interactions = 0
@@ -194,11 +224,11 @@ def compute_acceleration(
     stack = [0]
     while stack:
         cell = stack.pop()
-        if flat.mass[cell] <= 0.0:
+        mass = mass_l[cell]
+        if mass <= 0.0:
             continue
-        has_children = flat.children[cell, 0] >= 0 or (flat.children[cell] >= 0).any()
-        if not has_children:
-            other = int(flat.leaf_body[cell])
+        if not has_kids[cell]:
+            other = leaf_l[cell]
             if other < 0 or other == body:
                 continue
             delta = positions[other] - pos
@@ -206,16 +236,16 @@ def compute_acceleration(
             acc += G * masses[other] * delta / (dist_sq * np.sqrt(dist_sq))
             interactions += 1
             continue
-        delta = flat.com[cell] - pos
+        delta = com[cell] - pos
         dist_sq = float(delta @ delta) + SOFTENING**2
-        size = 2.0 * flat.half[cell]
+        size = 2.0 * half_l[cell]
         if size * size < theta_sq * dist_sq:
-            acc += G * flat.mass[cell] * delta / (dist_sq * np.sqrt(dist_sq))
+            acc += G * mass * delta / (dist_sq * np.sqrt(dist_sq))
             interactions += 1
         else:
-            for child in flat.children[cell]:
+            for child in children_l[cell]:
                 if child >= 0:
-                    stack.append(int(child))
+                    stack.append(child)
     return acc, interactions
 
 
@@ -228,9 +258,12 @@ def reference_simulation(workload: BarnesWorkload) -> Dict[str, np.ndarray]:
     n = workload.bodies
     for _ in range(workload.steps):
         flat = build_octree(positions, masses)
+        walk = make_walk_cache(flat)
         acc = np.zeros((n, 3))
         for body in range(n):
-            acc[body], _ = compute_acceleration(flat, positions, masses, body, workload.theta)
+            acc[body], _ = compute_acceleration(
+                flat, positions, masses, body, workload.theta, walk=walk
+            )
         velocities = velocities + workload.dt * acc
         positions = positions + workload.dt * velocities
     return {"positions": positions, "velocities": velocities}
@@ -336,10 +369,11 @@ class BarnesApplication(Application):
             positions, masses = self._read_positions(ctx, shared, n)
             assignment = ctx.aget_range(shared["assign"], 0, n)
             my_bodies = np.flatnonzero(assignment == index)
+            walk = make_walk_cache(flat)
             total_interactions = 0
             for body in my_bodies:
                 acc, interactions = compute_acceleration(
-                    flat, positions, masses, int(body), workload.theta
+                    flat, positions, masses, int(body), workload.theta, walk=walk
                 )
                 total_interactions += interactions
                 ctx.aput(shared["ax"], int(body), acc[0])

@@ -10,7 +10,7 @@ and assembles the result.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Type
+from typing import Any, Callable, Dict, Generator, List, Sequence, Type
 
 from repro.hyperion.runtime import ExecutionReport, HyperionRuntime
 from repro.hyperion.threads import JavaThread

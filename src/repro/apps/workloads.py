@@ -23,7 +23,7 @@ EXPERIMENTS.md for the derivation and the sensitivity ablation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 from repro.util.validation import check_positive
 

@@ -10,7 +10,7 @@ modified slots to ``updateMainMemory`` when a thread exits a monitor.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 

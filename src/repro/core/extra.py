@@ -37,11 +37,55 @@ class JavaIcHoistedProtocol(JavaIcProtocol):
         count: int,
         write: bool,
     ) -> int:
-        pages = list(pages)
-        self._account_accesses(node_id, pages, count)
+        # Fast path mirroring JavaIcProtocol's, with the hoisted per-page
+        # (instead of per-access) check count.  The classification loop is
+        # open-coded on purpose (hot path — see the note in java_ic.py);
+        # siblings live in java_ic.py and java_pf.py.
+        stats = self.stats
+        home = self._home_by_page
+        present = self._tables[node_id]._present
+        remote = False
+        missing = None
+        n_pages = 0
+        try:
+            for page in pages:
+                n_pages += 1
+                if home[page] != node_id:
+                    remote = True
+                    if page not in present:
+                        if missing is None:
+                            missing = [page]
+                        else:
+                            missing.append(page)
+        except KeyError:
+            raise KeyError(f"page {page} has not been registered") from None
+        stats.accesses += count
+        if remote:
+            stats.remote_accesses += count
 
         # One hoisted check per bulk access (per page touched, to stay safe
         # across page boundaries), instead of one per element.
+        checks = n_pages if n_pages > 1 else 1
+        stats.inline_checks += checks
+        ctx.charge_cpu((self._check_cycles * checks) / self._freq)
+
+        if missing:
+            ctx.charge_cpu(self._miss_overhead_s * len(missing))
+            self._fetch(ctx, node_id, missing)
+            return len(missing)
+        return 0
+
+    def detect_access_reference(
+        self,
+        ctx: AccessContext,
+        node_id: int,
+        pages: Iterable[int],
+        count: int,
+        write: bool,
+    ) -> int:
+        pages = list(pages)
+        self._account_accesses(node_id, pages, count)
+
         checks = max(1, len(pages))
         self.stats.inline_checks += checks
         ctx.charge_cpu(self.cost_model.inline_check_seconds(checks))

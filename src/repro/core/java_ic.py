@@ -13,10 +13,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.cluster.costs import CostModel
 from repro.core.context import AccessContext
 from repro.core.protocol import ConsistencyProtocol, register_protocol
-from repro.dsm.page_manager import PageManager
 
 
 class JavaIcProtocol(ConsistencyProtocol):
@@ -36,6 +34,54 @@ class JavaIcProtocol(ConsistencyProtocol):
         count: int,
         write: bool,
     ) -> int:
+        # Fast path: one pass over the (usually single-page) access, using
+        # the precomputed page→home map and the node's presence set.  The
+        # counters and charges are identical — in value and in order — to
+        # detect_access_reference below.  The classification loop is
+        # deliberately open-coded (not a shared helper: this is the hottest
+        # call of a simulation and an extra call per access is measurable);
+        # the same loop lives in java_pf.py and extra.py — change all three
+        # together, the determinism tests pin each against its reference.
+        stats = self.stats
+        home = self._home_by_page
+        present = self._tables[node_id]._present
+        remote = False
+        missing = None
+        try:
+            for page in pages:
+                if home[page] != node_id:
+                    remote = True
+                    if page not in present:
+                        if missing is None:
+                            missing = [page]
+                        else:
+                            missing.append(page)
+        except KeyError:
+            raise KeyError(f"page {page} has not been registered") from None
+        stats.accesses += count
+        if remote:
+            stats.remote_accesses += count
+
+        # One explicit locality check per access, whether local or remote.
+        stats.inline_checks += count
+        ctx.charge_cpu((self._check_cycles * count) / self._freq)
+
+        if missing:
+            # Software miss path (cache lookup + request construction), then
+            # the page request round trip.  No fault, no mprotect.
+            ctx.charge_cpu(self._miss_overhead_s * len(missing))
+            self._fetch(ctx, node_id, missing)
+            return len(missing)
+        return 0
+
+    def detect_access_reference(
+        self,
+        ctx: AccessContext,
+        node_id: int,
+        pages: Iterable[int],
+        count: int,
+        write: bool,
+    ) -> int:
         pages = list(pages)
         self._account_accesses(node_id, pages, count)
 
@@ -45,8 +91,6 @@ class JavaIcProtocol(ConsistencyProtocol):
 
         missing = self.page_manager.missing_pages(node_id, pages)
         if missing:
-            # Software miss path (cache lookup + request construction), then
-            # the page request round trip.  No fault, no mprotect.
             ctx.charge_cpu(self.cost_model.cache_miss_overhead_seconds() * len(missing))
             self._fetch(ctx, node_id, missing)
         return len(missing)

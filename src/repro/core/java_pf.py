@@ -13,11 +13,9 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.cluster.costs import CostModel
 from repro.core.context import AccessContext
 from repro.core.protocol import ConsistencyProtocol, register_protocol
 from repro.dsm.page import PageProtection
-from repro.dsm.page_manager import PageManager
 
 
 class JavaPfProtocol(ConsistencyProtocol):
@@ -34,17 +32,77 @@ class JavaPfProtocol(ConsistencyProtocol):
         count: int,
         write: bool,
     ) -> int:
+        # Fast path: single pass over the (usually single-page) access using
+        # the precomputed page→home map and the node's presence set; counters
+        # and charges match detect_access_reference value-for-value.  The
+        # classification loop is open-coded on purpose (hot path — see the
+        # note in java_ic.py); siblings live in java_ic.py and extra.py.
+        stats = self.stats
+        home = self._home_by_page
+        table = self._tables[node_id]
+        present = table._present
+        remote = False
+        missing = None
+        try:
+            for page in pages:
+                if home[page] != node_id:
+                    remote = True
+                    if page not in present:
+                        if missing is None:
+                            missing = [page]
+                        else:
+                            missing.append(page)
+        except KeyError:
+            raise KeyError(f"page {page} has not been registered") from None
+        stats.accesses += count
+        if remote:
+            stats.remote_accesses += count
+
+        # No per-access cost: detection only happens when the hardware traps.
+        if not missing:
+            return 0
+        # One fault per protected page touched (the first access to each
+        # such page traps; subsequent accesses find it READ/WRITE).  The
+        # initial state of every non-resident page is protected (the
+        # protocol protects the whole shared region at start-up), so make
+        # the table reflect that before the fetch re-opens access.
+        n_missing = len(missing)
+        faults_by_node = stats.faults_by_node
+        for page in missing:
+            entry = table.entry(page)
+            if entry.protection is not PageProtection.NONE:
+                entry.protection = PageProtection.NONE
+            entry.faults += 1
+        stats.page_faults += n_missing
+        faults_by_node[node_id] = faults_by_node.get(node_id, 0) + n_missing
+        ctx.charge_cpu(self._page_fault_s * n_missing)
+        self._fetch(ctx, node_id, missing)
+        # The fault handler re-opens access to the arrived pages.
+        entries = table._entries
+        calls = 0
+        for page in missing:
+            entry = entries[page]
+            if entry.protection is not PageProtection.READ_WRITE:
+                entry.protection = PageProtection.READ_WRITE
+                calls += 1
+        stats.mprotect_calls += calls
+        ctx.charge_cpu(self._mprotect_s * calls)
+        return n_missing
+
+    def detect_access_reference(
+        self,
+        ctx: AccessContext,
+        node_id: int,
+        pages: Iterable[int],
+        count: int,
+        write: bool,
+    ) -> int:
         pages = list(pages)
         self._account_accesses(node_id, pages, count)
 
         # No per-access cost: detection only happens when the hardware traps.
         missing = self.page_manager.missing_pages(node_id, pages)
         if missing:
-            # One fault per protected page touched (the first access to each
-            # such page traps; subsequent accesses find it READ/WRITE).  The
-            # initial state of every non-resident page is protected (the
-            # protocol protects the whole shared region at start-up), so make
-            # the table reflect that before the fetch re-opens access.
             for page in missing:
                 entry = self.page_manager.tables[node_id].entry(page)
                 if entry.protection is not PageProtection.NONE:
@@ -52,7 +110,6 @@ class JavaPfProtocol(ConsistencyProtocol):
                 self.page_manager.record_fault(node_id, page)
             ctx.charge_cpu(self.cost_model.page_fault_seconds() * len(missing))
             self._fetch(ctx, node_id, missing)
-            # The fault handler re-opens access to the arrived pages.
             calls = self.page_manager.unprotect_after_fetch(node_id, missing)
             ctx.charge_cpu(self.cost_model.mprotect_seconds(calls))
         return len(missing)

@@ -55,6 +55,12 @@ class MemorySubsystem:
         self.run_stats = run_stats if run_stats is not None else RunStats()
         # keep the DSM counters and the run-level view unified
         self.run_stats.dsm = page_manager.stats
+        # -- hot-path handles: every get/put goes through these, so resolve
+        # them once instead of chasing attribute chains per access
+        self._page_size = page_manager.page_size
+        self._freq = cost_model.machine.frequency_hz
+        self._base_cycles = cost_model.software.access_base_cycles
+        self._detect = protocol.detect_access
 
     # ------------------------------------------------------------------
     # helpers
@@ -133,10 +139,15 @@ class MemorySubsystem:
     # -- scalar accesses ------------------------------------------------------
     def get(self, ctx: AccessContext, node: int, obj: SharedEntity, index: int):
         """``get``: read one field/element of *obj* from *node*."""
-        pages = self._pages_of(obj, index, index + 1)
-        self._charge_base(ctx, 1)
-        self.protocol.detect_access(ctx, node, pages, count=1, write=False)
-        if self.is_local(node, obj):
+        slot_size = obj.slot_size
+        address = obj.address + index * slot_size
+        page_size = self._page_size
+        first = address // page_size
+        last = (address + slot_size - 1) // page_size
+        pages = (first,) if first == last else (first, last)
+        ctx.charge_cpu(self._base_cycles / self._freq)
+        self._detect(ctx, node, pages, 1, False)
+        if obj.home_node == node:
             return obj.main_read(index)
         return self._cache_entry(node, obj).read(index)
 
@@ -148,10 +159,15 @@ class MemorySubsystem:
         modification is recorded at field granularity for the next
         ``updateMainMemory``.
         """
-        pages = self._pages_of(obj, index, index + 1)
-        self._charge_base(ctx, 1)
-        self.protocol.detect_access(ctx, node, pages, count=1, write=True)
-        if self.is_local(node, obj):
+        slot_size = obj.slot_size
+        address = obj.address + index * slot_size
+        page_size = self._page_size
+        first = address // page_size
+        last = (address + slot_size - 1) // page_size
+        pages = (first,) if first == last else (first, last)
+        ctx.charge_cpu(self._base_cycles / self._freq)
+        self._detect(ctx, node, pages, 1, True)
+        if obj.home_node == node:
             obj.main_write(index, value)
             return
         self._cache_entry(node, obj).write(index, value)
@@ -161,12 +177,18 @@ class MemorySubsystem:
         self, ctx: AccessContext, node: int, obj: SharedEntity, lo: int, hi: int
     ) -> np.ndarray:
         """Bulk ``get`` of slots [lo, hi); accounts one access per element."""
-        self._validate_range(obj, lo, hi)
+        if not (0 <= lo < hi <= obj.num_slots):
+            self._validate_range(obj, lo, hi)
         count = hi - lo
-        pages = self._pages_of(obj, lo, hi)
-        self._charge_base(ctx, count)
-        self.protocol.detect_access(ctx, node, pages, count=count, write=False)
-        if self.is_local(node, obj):
+        slot_size = obj.slot_size
+        address = obj.address + lo * slot_size
+        page_size = self._page_size
+        first = address // page_size
+        last = (address + count * slot_size - 1) // page_size
+        pages = (first,) if first == last else range(first, last + 1)
+        ctx.charge_cpu((self._base_cycles * count) / self._freq)
+        self._detect(ctx, node, pages, count, False)
+        if obj.home_node == node:
             return obj.main_read_range(lo, hi)
         return self._cache_entry(node, obj).read_range(lo, hi)
 
@@ -180,16 +202,27 @@ class MemorySubsystem:
         values: Sequence,
     ) -> None:
         """Bulk ``put`` of slots [lo, hi); accounts one access per element."""
-        self._validate_range(obj, lo, hi)
+        if not (0 <= lo < hi <= obj.num_slots):
+            self._validate_range(obj, lo, hi)
         count = hi - lo
-        if np.ndim(values) and len(values) != count:
+        if isinstance(values, np.ndarray):
+            if values.ndim and len(values) != count:
+                raise ValueError(
+                    f"put_range of {count} slots received {len(values)} values"
+                )
+        elif np.ndim(values) and len(values) != count:
             raise ValueError(
                 f"put_range of {count} slots received {len(values)} values"
             )
-        pages = self._pages_of(obj, lo, hi)
-        self._charge_base(ctx, count)
-        self.protocol.detect_access(ctx, node, pages, count=count, write=True)
-        if self.is_local(node, obj):
+        slot_size = obj.slot_size
+        address = obj.address + lo * slot_size
+        page_size = self._page_size
+        first = address // page_size
+        last = (address + count * slot_size - 1) // page_size
+        pages = (first,) if first == last else range(first, last + 1)
+        ctx.charge_cpu((self._base_cycles * count) / self._freq)
+        self._detect(ctx, node, pages, count, True)
+        if obj.home_node == node:
             obj.main_write_range(lo, hi, values)
             return
         self._cache_entry(node, obj).write_range(lo, hi, values)
@@ -215,9 +248,21 @@ class MemorySubsystem:
         """
         if count <= 0:
             return
-        pages = self._pages_of(obj, lo, hi)
-        self._charge_base(ctx, count)
-        self.protocol.detect_access(ctx, node, pages, count=count, write=write)
+        page_size = self._page_size
+        if hi is None:
+            address = obj.address
+            size = obj.size_bytes
+        else:
+            slot_size = obj.slot_size
+            address = obj.address + lo * slot_size
+            size = (hi - lo) * slot_size
+            if size < 1:
+                size = 1
+        first = address // page_size
+        last = (address + size - 1) // page_size
+        pages = (first,) if first == last else range(first, last + 1)
+        ctx.charge_cpu((self._base_cycles * count) / self._freq)
+        self._detect(ctx, node, pages, count, write)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -12,7 +12,8 @@ protocols (see :mod:`repro.core.extra`).
 from __future__ import annotations
 
 from abc import abstractmethod
-from typing import Callable, Dict, Iterable, List, Sequence
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence
 
 from repro.cluster.costs import CostModel
 from repro.core.context import AccessContext
@@ -21,7 +22,18 @@ from repro.dsm.protocol_api import DsmProtocolHooks
 
 
 class ConsistencyProtocol(DsmProtocolHooks):
-    """Base class for Java-consistency protocols over DSM-PM2."""
+    """Base class for Java-consistency protocols over DSM-PM2.
+
+    ``detect_access`` is the single hottest call of a simulation (one call
+    per ``get``/``put``/bulk access), so the constructor precomputes the flat
+    handles the fast path needs — the page→home map, the per-node presence
+    sets and the cost constants — instead of chasing them through
+    ``self.page_manager.…`` / ``self.cost_model.…`` attribute chains on
+    every access.  Each concrete protocol also keeps its original, readable
+    implementation as ``detect_access_reference``; the two are semantically
+    identical (same counters, same charges in the same order) and the test
+    suite pins them against each other via :func:`reference_detection`.
+    """
 
     name = "abstract"
     uses_page_faults = False
@@ -30,15 +42,34 @@ class ConsistencyProtocol(DsmProtocolHooks):
         self.page_manager = page_manager
         self.cost_model = cost_model
         self.stats = page_manager.stats
+        # -- precomputed fast-path handles (see class docstring) --
+        self._home_by_page = page_manager._home_by_page
+        self._tables = page_manager.tables
+        #: CPU frequency; fast paths compute seconds as ``cycles / _freq``,
+        #: the exact arithmetic of ``MachineSpec.seconds_for_cycles``
+        self._freq = cost_model.machine.frequency_hz
+        self._check_cycles = cost_model.software.inline_check_cycles
+        #: constant per-miss software overhead (same float the cost model
+        #: produces: it is the identical expression, evaluated once)
+        self._miss_overhead_s = cost_model.cache_miss_overhead_seconds()
+        self._page_fault_s = cost_model.software.page_fault_seconds
+        self._mprotect_s = cost_model.software.mprotect_seconds
 
     # ------------------------------------------------------------------
     # common helpers
     # ------------------------------------------------------------------
     def _account_accesses(self, node_id: int, pages: Sequence[int], count: int) -> None:
         """Record access counters shared by all protocols."""
-        self.stats.accesses += count
-        if any(self.page_manager.home_node(p) != node_id for p in pages):
-            self.stats.remote_accesses += count
+        stats = self.stats
+        stats.accesses += count
+        home = self._home_by_page
+        try:
+            for page in pages:
+                if home[page] != node_id:
+                    stats.remote_accesses += count
+                    break
+        except KeyError:
+            raise KeyError(f"page {page} has not been registered") from None
 
     def _fetch(self, ctx: AccessContext, node_id: int, missing: Sequence[int]) -> float:
         """Fetch *missing* pages to *node_id*, charging the request latency."""
@@ -66,10 +97,64 @@ class ConsistencyProtocol(DsmProtocolHooks):
     def on_monitor_enter(self, ctx: AccessContext, node_id: int) -> None:
         raise NotImplementedError
 
+    def detect_access_reference(
+        self,
+        ctx: AccessContext,
+        node_id: int,
+        pages: Iterable[int],
+        count: int,
+        write: bool,
+    ) -> int:
+        """Unoptimized twin of :meth:`detect_access` (same counters/charges).
+
+        Concrete protocols override this with their original, readable
+        implementation; the base class falls back to ``detect_access`` so
+        protocols without a dedicated reference path still work under
+        :func:`reference_detection`.
+        """
+        return self.detect_access(ctx, node_id, pages, count, write)
+
     def describe(self) -> str:
         """One-line description used in reports."""
         mechanism = "page faults" if self.uses_page_faults else "in-line checks"
         return f"{self.name}: Java consistency with access detection via {mechanism}"
+
+
+@contextmanager
+def reference_detection() -> Iterator[None]:
+    """Swap every registered protocol onto its reference detection path.
+
+    Within the context, newly created protocol instances (and runtimes built
+    around them) use ``detect_access_reference`` — the original per-access
+    implementation — instead of the precomputed fast path.  The determinism
+    test suite runs one cell per application under both paths and asserts
+    byte-identical :meth:`~repro.hyperion.runtime.ExecutionReport.to_dict`
+    output, which is the regression oracle for every fast-path change.
+    """
+    _ensure_builtins()
+    patched: List[tuple] = []
+    seen = set()
+    for factory in _REGISTRY.values():
+        if not (isinstance(factory, type) and issubclass(factory, ConsistencyProtocol)):
+            continue
+        for klass in factory.__mro__:
+            if klass in seen or klass is ConsistencyProtocol:
+                continue
+            seen.add(klass)
+            if "detect_access_reference" in klass.__dict__:
+                patched.append((klass, klass.__dict__.get("detect_access")))
+                klass.detect_access = klass.__dict__["detect_access_reference"]
+    try:
+        yield
+    finally:
+        for klass, original in patched:
+            if original is None:
+                try:
+                    del klass.detect_access
+                except AttributeError:  # pragma: no cover - defensive
+                    pass
+            else:
+                klass.detect_access = original
 
 
 # ---------------------------------------------------------------------------

@@ -16,7 +16,7 @@ from typing import Dict, Optional
 from repro.dsm.page_manager import DsmStats
 
 
-@dataclass
+@dataclass(slots=True)
 class MonitorStats:
     """Monitor and synchronisation activity."""
 
@@ -39,7 +39,7 @@ class MonitorStats:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadStats:
     """Thread-management activity."""
 
@@ -58,9 +58,15 @@ class ThreadStats:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class RunStats:
-    """Everything measured during one simulated application run."""
+    """Everything measured during one simulated application run.
+
+    The counters are mutated in place on the hot path (plain attribute
+    adds on ``__slots__`` dataclasses, no per-update allocation); the
+    dictionary views (:meth:`as_dict`) are built only when a report is
+    rendered or persisted.
+    """
 
     dsm: DsmStats = field(default_factory=DsmStats)
     monitors: MonitorStats = field(default_factory=MonitorStats)
@@ -73,13 +79,13 @@ class RunStats:
     # ------------------------------------------------------------------
     def record_cpu(self, node: int, seconds: float) -> None:
         """Accumulate CPU busy time on *node*."""
-        self.cpu_seconds_by_node[node] = self.cpu_seconds_by_node.get(node, 0.0) + seconds
+        by_node = self.cpu_seconds_by_node
+        by_node[node] = by_node.get(node, 0.0) + seconds
 
     def record_wait(self, node: int, seconds: float) -> None:
         """Accumulate communication wait time attributed to *node*."""
-        self.wait_seconds_by_node[node] = (
-            self.wait_seconds_by_node.get(node, 0.0) + seconds
-        )
+        by_node = self.wait_seconds_by_node
+        by_node[node] = by_node.get(node, 0.0) + seconds
 
     # ------------------------------------------------------------------
     @property

@@ -52,9 +52,13 @@ class PageInfo:
         return self.base_address <= address < self.end_address
 
 
-@dataclass
 class PageTableEntry:
     """Mutable per-node state of one page mapping.
+
+    A plain ``__slots__`` class rather than a dataclass: page-table entries
+    are the most numerous mutable objects of a simulation (one per node per
+    touched page) and sit on the per-access hot path, so the smaller memory
+    footprint and faster attribute access matter.
 
     Attributes
     ----------
@@ -70,7 +74,32 @@ class PageTableEntry:
         Number of page faults this node has taken on the page.
     """
 
-    present: bool = False
-    protection: PageProtection = PageProtection.READ_WRITE
-    fetches: int = 0
-    faults: int = 0
+    __slots__ = ("present", "protection", "fetches", "faults")
+
+    def __init__(
+        self,
+        present: bool = False,
+        protection: PageProtection = PageProtection.READ_WRITE,
+        fetches: int = 0,
+        faults: int = 0,
+    ):
+        self.present = present
+        self.protection = protection
+        self.fetches = fetches
+        self.faults = faults
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PageTableEntry):
+            return NotImplemented
+        return (
+            self.present == other.present
+            and self.protection == other.protection
+            and self.fetches == other.fetches
+            and self.faults == other.faults
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PageTableEntry(present={self.present}, protection={self.protection}, "
+            f"fetches={self.fetches}, faults={self.faults})"
+        )

@@ -15,12 +15,21 @@ share (paper Section 3.1):
 
 Costs are charged through the :class:`~repro.core.context.AccessContext`
 passed in by the caller so the same mechanics serve both protocols.
+
+Hot-path layout: the manager keeps a flat ``page -> home node`` dictionary
+(``_home_by_page``) beside the :class:`~repro.dsm.page.PageInfo` directory,
+and each :class:`NodePageTable` mirrors its entries' ``present`` bits in a
+set, so the per-access questions — "is this page remote?" and "is it
+resident here?" — are single dict/set probes instead of dataclass attribute
+chains.  All presence transitions must go through
+:meth:`NodePageTable.mark_present` / :meth:`NodePageTable.mark_absent` to
+keep the mirror consistent.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from repro.cluster.costs import CostModel
 from repro.cluster.topology import Topology
@@ -29,7 +38,7 @@ from repro.pm2.isoaddr import IsoAddressAllocator
 from repro.util.validation import check_non_negative
 
 
-@dataclass
+@dataclass(slots=True)
 class DsmStats:
     """Aggregate DSM activity for one simulation run."""
 
@@ -50,12 +59,14 @@ class DsmStats:
         """Account a fetch of *pages* pages (*nbytes* total) into *node*."""
         self.page_fetches += pages
         self.bytes_transferred += nbytes
-        self.fetches_by_node[node] = self.fetches_by_node.get(node, 0) + pages
+        by_node = self.fetches_by_node
+        by_node[node] = by_node.get(node, 0) + pages
 
     def record_fault(self, node: int, count: int = 1) -> None:
         """Account *count* page faults taken on *node*."""
         self.page_faults += count
-        self.faults_by_node[node] = self.faults_by_node.get(node, 0) + count
+        by_node = self.faults_by_node
+        by_node[node] = by_node.get(node, 0) + count
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dictionary of the scalar counters (for reports and tests)."""
@@ -74,11 +85,21 @@ class DsmStats:
 
 
 class NodePageTable:
-    """Per-node view of the page space: presence and protection."""
+    """Per-node view of the page space: presence and protection.
+
+    The ``present`` bits of the entries are mirrored in :attr:`_present` so
+    the access fast path can answer membership with one set probe.  Presence
+    must therefore only change through :meth:`mark_present` /
+    :meth:`mark_absent`; writing ``entry.present`` directly desynchronises
+    the mirror.
+    """
+
+    __slots__ = ("node_id", "_entries", "_present")
 
     def __init__(self, node_id: int):
         self.node_id = node_id
         self._entries: Dict[int, PageTableEntry] = {}
+        self._present: set = set()
 
     def entry(self, page: int) -> PageTableEntry:
         """The (lazily created) table entry for *page*."""
@@ -87,6 +108,21 @@ class NodePageTable:
             entry = PageTableEntry()
             self._entries[page] = entry
         return entry
+
+    def mark_present(self, page: int) -> PageTableEntry:
+        """Set *page* present on this node (creating the entry if needed)."""
+        entry = self.entry(page)
+        if not entry.present:
+            entry.present = True
+            self._present.add(page)
+        return entry
+
+    def mark_absent(self, page: int) -> None:
+        """Clear *page*'s presence on this node (no-op for unknown pages)."""
+        entry = self._entries.get(page)
+        if entry is not None and entry.present:
+            entry.present = False
+            self._present.discard(page)
 
     def known_pages(self) -> List[int]:
         """Pages that have an entry on this node."""
@@ -120,6 +156,9 @@ class PageManager:
         self.topology = topology
         self.stats = DsmStats()
         self._pages: Dict[int, PageInfo] = {}
+        #: flat page -> home-node map; the access fast path reads this
+        #: instead of chasing PageInfo attributes
+        self._home_by_page: Dict[int, int] = {}
         self.tables: List[NodePageTable] = [NodePageTable(n) for n in range(num_nodes)]
 
     # ------------------------------------------------------------------
@@ -142,8 +181,8 @@ class PageManager:
                 self._pages[page] = PageInfo(
                     page_number=page, home_node=home, page_size=self.page_size
                 )
-                home_entry = self.tables[home].entry(page)
-                home_entry.present = True
+                self._home_by_page[page] = home
+                home_entry = self.tables[home].mark_present(page)
                 home_entry.protection = PageProtection.READ_WRITE
         return pages
 
@@ -156,7 +195,10 @@ class PageManager:
 
     def home_node(self, page: int) -> int:
         """Home node of *page*."""
-        return self.page_info(page).home_node
+        try:
+            return self._home_by_page[page]
+        except KeyError:
+            raise KeyError(f"page {page} has not been registered") from None
 
     def registered_pages(self) -> List[int]:
         """All registered page numbers (sorted)."""
@@ -171,11 +213,12 @@ class PageManager:
     # ------------------------------------------------------------------
     def is_present(self, node: int, page: int) -> bool:
         """True if *node* holds a copy of *page* (home nodes always do)."""
-        info = self.page_info(page)
-        if info.home_node == node:
+        if page in self.tables[node]._present:
             return True
-        entry = self.tables[node]._entries.get(page)
-        return entry is not None and entry.present
+        home = self._home_by_page.get(page)
+        if home is None:
+            raise KeyError(f"page {page} has not been registered")
+        return home == node
 
     def protection(self, node: int, page: int) -> PageProtection:
         """Current protection of *page* on *node* (READ_WRITE if untracked)."""
@@ -187,7 +230,18 @@ class PageManager:
 
     def missing_pages(self, node: int, pages: Iterable[int]) -> List[int]:
         """Subset of *pages* not present on *node*."""
-        return [p for p in pages if not self.is_present(node, p)]
+        present = self.tables[node]._present
+        home = self._home_by_page
+        missing: List[int] = []
+        for page in pages:
+            if page in present:
+                continue
+            owner = home.get(page)
+            if owner is None:
+                raise KeyError(f"page {page} has not been registered")
+            if owner != node:
+                missing.append(page)
+        return missing
 
     # ------------------------------------------------------------------
     # mechanics used by the protocols
@@ -204,19 +258,20 @@ class PageManager:
         if not missing:
             return 0.0
         latency = 0.0
+        home_map = self._home_by_page
         by_home: Dict[int, List[int]] = {}
         for page in missing:
-            by_home.setdefault(self.home_node(page), []).append(page)
+            by_home.setdefault(home_map[page], []).append(page)
+        table = self.tables[node]
+        rpc_service = self.cost_model.software.rpc_service_seconds
+        round_trip = self.topology.round_trip_time
+        record_fetch = self.stats.record_fetch
         for home, group in by_home.items():
             payload = len(group) * self.page_size
-            latency += (
-                self.topology.round_trip_time(node, home, 64, payload)
-                + self.cost_model.software.rpc_service_seconds
-            )
-            self.stats.record_fetch(node, len(group), payload)
+            latency += round_trip(node, home, 64, payload) + rpc_service
+            record_fetch(node, len(group), payload)
             for page in group:
-                entry = self.tables[node].entry(page)
-                entry.present = True
+                entry = table.mark_present(page)
                 entry.fetches += 1
         return latency
 
@@ -226,7 +281,8 @@ class PageManager:
         Each actual change corresponds to one ``mprotect`` system call and is
         counted in the statistics.
         """
-        self.page_info(page)
+        if page not in self._pages:
+            raise KeyError(f"page {page} has not been registered")
         entry = self.tables[node].entry(page)
         if entry.protection is protection:
             return False
@@ -247,13 +303,18 @@ class PageManager:
         remote object faults and re-validates the page.  Returns the number
         of ``mprotect`` calls performed (pages whose protection changed).
         """
+        table = self.tables[node]
+        home_map = self._home_by_page
+        entries = table._entries
         calls = 0
-        for page, entry in self.tables[node]._entries.items():
-            if self.page_info(page).home_node == node:
+        for page in list(table._present):
+            if home_map[page] == node:
                 continue
-            if entry.present and entry.protection is not PageProtection.NONE:
+            entry = entries[page]
+            if entry.protection is not PageProtection.NONE:
                 entry.protection = PageProtection.NONE
                 entry.present = False
+                table._present.discard(page)
                 calls += 1
         if calls:
             self.stats.mprotect_calls += calls
@@ -266,13 +327,16 @@ class PageManager:
         memory READ_WRITE forever and simply clears its presence table.
         Returns the number of pages dropped.
         """
+        table = self.tables[node]
+        home_map = self._home_by_page
+        entries = table._entries
         dropped = 0
-        for page, entry in self.tables[node]._entries.items():
-            if self.page_info(page).home_node == node:
+        for page in list(table._present):
+            if home_map[page] == node:
                 continue
-            if entry.present:
-                entry.present = False
-                dropped += 1
+            entries[page].present = False
+            table._present.discard(page)
+            dropped += 1
         return dropped
 
     def unprotect_after_fetch(self, node: int, pages: Sequence[int]) -> int:
@@ -292,14 +356,11 @@ class PageManager:
         info = self.page_info(page)
         count = 0
         for node in range(self.num_nodes):
-            if node == info.home_node or self.is_present(node, page):
+            if node == info.home_node or page in self.tables[node]._present:
                 count += 1
         return count
 
     def resident_remote_pages(self, node: int) -> int:
         """Number of non-home pages currently replicated on *node*."""
-        return sum(
-            1
-            for page, entry in self.tables[node]._entries.items()
-            if entry.present and self.page_info(page).home_node != node
-        )
+        home_map = self._home_by_page
+        return sum(1 for page in self.tables[node]._present if home_map[page] != node)

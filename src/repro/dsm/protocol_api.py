@@ -15,7 +15,6 @@ from typing import Iterable, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.context import AccessContext
-    from repro.dsm.page_manager import PageManager
 
 
 class DsmProtocolHooks(ABC):

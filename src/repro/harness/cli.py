@@ -7,6 +7,7 @@ Sub-commands::
     hyperion-sim all --jobs 4 --cache-dir .hyperion-cache
     hyperion-sim run jacobi --protocol java_pf --cluster myrinet --nodes 4
     hyperion-sim sweep check_cost --app asp --nodes 4
+    hyperion-sim profile asp --nodes 4   # host-side profiling (repro.perf)
     hyperion-sim calibrate                # check the cost model against the paper
     hyperion-sim experiments -o EXPERIMENTS.md
     hyperion-sim describe                 # show the cluster presets / protocols
@@ -39,7 +40,10 @@ from repro.harness.report import (
     render_experiments_document,
 )
 from repro.harness.session import Session
+from repro.harness.spec import ExperimentSpec
 from repro.harness.sweep import SWEEPS
+from repro.perf import Profiler, perf_report, perf_report_dict
+from repro.perf.profiler import SORT_KEYS as PROFILE_SORT_KEYS
 
 
 def _positive_int(raw: str) -> int:
@@ -104,6 +108,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated swept values (default: the sweep's own grid)",
     )
     _add_session_flags(sweep)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile the simulator itself (host wall time, events/sec, cProfile)",
+    )
+    profile.add_argument(
+        "app",
+        nargs="?",
+        default=None,
+        choices=available_apps(),
+        help="profile one cell of this app (default: one cell per app)",
+    )
+    profile.add_argument("--cluster", default="myrinet", choices=list_clusters())
+    profile.add_argument("--protocol", default="java_pf", choices=available_protocols())
+    profile.add_argument("--nodes", type=int, default=4)
+    profile.add_argument("--scale", default="bench", choices=["testing", "bench", "paper"])
+    profile.add_argument(
+        "--sort", default="cumulative", choices=sorted(PROFILE_SORT_KEYS),
+        help="cProfile sort key for the per-cell tables",
+    )
+    profile.add_argument(
+        "--limit", type=_positive_int, default=15,
+        help="rows kept per cProfile table (default: 15)",
+    )
+    profile.add_argument(
+        "--no-cprofile", action="store_true",
+        help="skip cProfile capture (pure wall-clock/throughput numbers)",
+    )
+    profile.add_argument(
+        "--json", action="store_true", help="print the aggregate as JSON"
+    )
 
     calibrate_cmd = sub.add_parser("calibrate", help="check the cost model against the paper")
     _add_session_flags(calibrate_cmd)
@@ -216,6 +251,35 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    apps = [args.app] if args.app else available_apps()
+    workload = _workload(args.scale)
+    specs = [
+        ExperimentSpec(
+            app=app,
+            cluster=args.cluster,
+            protocol=args.protocol,
+            num_nodes=args.nodes,
+            workload=workload,
+        )
+        for app in apps
+    ]
+    profiler = Profiler(
+        with_cprofile=not args.no_cprofile, sort=args.sort, limit=args.limit
+    )
+    profiles = profiler.profile_many(specs)
+    if args.json:
+        print(json.dumps(perf_report_dict(profiles), indent=2))
+        return 0
+    print(perf_report(profiles, top=0 if args.no_cprofile else args.limit))
+    if not args.no_cprofile:
+        for profile in profiles:
+            print()
+            print(f"== {profile.label} ==")
+            print(profile.profile_text.rstrip())
+    return 0
+
+
 def cmd_calibrate(args) -> int:
     report = calibrate(session=_session(args))
     print(report.render())
@@ -256,6 +320,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "all": cmd_all,
         "run": cmd_run,
         "sweep": cmd_sweep,
+        "profile": cmd_profile,
         "calibrate": cmd_calibrate,
         "experiments": cmd_experiments,
         "describe": cmd_describe,

@@ -10,7 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.apps.workloads import WorkloadPreset
 from repro.cluster.presets import cluster_by_name
 from repro.harness.experiment import (
     ProtocolComparison,

@@ -21,7 +21,7 @@ so legacy call sites keep working unchanged while the CLI's ``--jobs`` and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.harness.executor import Executor, SerialExecutor
 from repro.harness.spec import ExperimentSpec

@@ -9,7 +9,7 @@ same statistics — and applications may register their own handlers.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List
+from typing import Any, Generator, List
 
 from repro.pm2.rpc import OneWayHandler, RpcHandler, RpcStats, RpcSystem
 

@@ -15,7 +15,7 @@ operations the benchmarks rely on fast.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 
@@ -80,9 +80,14 @@ class JavaClass:
 
 
 class JavaObject:
-    """An instance of a :class:`JavaClass` living in the distributed heap."""
+    """An instance of a :class:`JavaClass` living in the distributed heap.
 
-    __slots__ = ("oid", "jclass", "address", "home_node", "_data")
+    ``num_slots`` and ``size_bytes`` are fixed at allocation time and read on
+    every simulated access, so they are plain instance attributes rather than
+    properties.
+    """
+
+    __slots__ = ("oid", "jclass", "address", "home_node", "num_slots", "size_bytes", "_data")
 
     #: every field occupies one 8-byte slot
     slot_size = 8
@@ -92,18 +97,11 @@ class JavaObject:
         self.jclass = jclass
         self.address = address
         self.home_node = home_node
+        #: number of field slots
+        self.num_slots = jclass.num_fields
+        #: header plus field payload
+        self.size_bytes = HEADER_BYTES + self.num_slots * self.slot_size
         self._data: list = [0] * jclass.num_fields
-
-    # -- SharedEntity interface ------------------------------------------------
-    @property
-    def num_slots(self) -> int:
-        """Number of field slots."""
-        return self.jclass.num_fields
-
-    @property
-    def size_bytes(self) -> int:
-        """Header plus field payload."""
-        return HEADER_BYTES + self.num_slots * self.slot_size
 
     def main_read(self, index: int):
         """Read field slot *index* from the reference copy."""
@@ -141,9 +139,24 @@ class JavaObject:
 
 
 class JavaArray:
-    """A Java array living in the distributed heap (NumPy-backed)."""
+    """A Java array living in the distributed heap (NumPy-backed).
 
-    __slots__ = ("oid", "element_type", "length", "address", "home_node", "_data")
+    ``slot_size``, ``num_slots`` and ``size_bytes`` are fixed at allocation
+    time and read on every simulated access, so they are plain instance
+    attributes rather than properties.
+    """
+
+    __slots__ = (
+        "oid",
+        "element_type",
+        "length",
+        "address",
+        "home_node",
+        "slot_size",
+        "num_slots",
+        "size_bytes",
+        "_data",
+    )
 
     def __init__(self, element_type: str, length: int, address: int, home_node: int):
         if element_type not in _ELEMENT_DTYPES:
@@ -159,22 +172,12 @@ class JavaArray:
         self.address = address
         self.home_node = home_node
         self._data = np.zeros(self.length, dtype=_ELEMENT_DTYPES[element_type])
-
-    # -- SharedEntity interface ------------------------------------------------
-    @property
-    def slot_size(self) -> int:
-        """Size of one element in bytes."""
-        return int(self._data.dtype.itemsize)
-
-    @property
-    def num_slots(self) -> int:
-        """Number of elements."""
-        return self.length
-
-    @property
-    def size_bytes(self) -> int:
-        """Header plus element payload."""
-        return HEADER_BYTES + self.length * self.slot_size
+        #: size of one element in bytes
+        self.slot_size = int(self._data.dtype.itemsize)
+        #: number of elements
+        self.num_slots = self.length
+        #: header plus element payload
+        self.size_bytes = HEADER_BYTES + self.length * self.slot_size
 
     def main_read(self, index: int):
         """Read element *index* from the reference copy (as a Python scalar)."""

@@ -92,6 +92,13 @@ class ExecutionReport:
     stats: RunStats
     console: List[str] = field(default_factory=list)
     result: Any = None
+    #: host-side diagnostic: simulation events the engine dispatched to
+    #: produce this report.  Deliberately NOT part of :meth:`to_dict` — the
+    #: dictionary is the determinism contract (byte-identical across
+    #: executors, cache round trips and fast-path changes), and event counts
+    #: are an implementation detail of the kernel, not of the simulated
+    #: machine.  Consumed by :mod:`repro.perf` for throughput reporting.
+    events_processed: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """Flat dictionary (JSON-serialisable apart from ``result``)."""
@@ -263,6 +270,7 @@ class HyperionRuntime:
             stats=self.run_stats,
             console=list(self.javaapi.console),
             result=main_result,
+            events_processed=self.engine.events_processed,
         )
 
     # ------------------------------------------------------------------

@@ -20,7 +20,7 @@ paper's "future work" ablation (A3) explores.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, List, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Callable, Generator, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -117,14 +117,22 @@ class JavaThreadContext(AccessContext):
         self.thread = thread
         self._pending_cpu = 0.0
         self._pending_wait = 0.0
+        # hot-path constants, resolved once: the machine spec is immutable
+        # and the Marcel thread handle never changes (only its node does)
+        machine = runtime.cost_model.machine
+        self._freq = machine.frequency_hz
+        self._cycles_per_flop = machine.cycles_per_flop
+        self._cycles_per_int_op = machine.cycles_per_int_op
+        self._marcel = thread.marcel
+        self._memory = runtime.memory
 
     # ------------------------------------------------------------------
     # identity / time
     # ------------------------------------------------------------------
     @property
     def node_id(self) -> int:
-        """Node this thread currently executes on."""
-        return self.thread.node_id
+        """Node this thread currently executes on (migration updates it)."""
+        return self._marcel.node_id
 
     @property
     def thread_index(self) -> int:
@@ -140,11 +148,14 @@ class JavaThreadContext(AccessContext):
     # AccessContext: cost charging
     # ------------------------------------------------------------------
     def charge_cpu(self, seconds: float) -> None:
-        check_non_negative("seconds", seconds)
+        # validation inlined: this is called for every simulated access
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds!r}")
         self._pending_cpu += seconds
 
     def charge_wait(self, seconds: float) -> None:
-        check_non_negative("seconds", seconds)
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds!r}")
         self._pending_wait += seconds
 
     def compute(
@@ -158,13 +169,19 @@ class JavaThreadContext(AccessContext):
 
         ``cycles`` are raw CPU cycles; ``flops``/``int_ops`` are converted
         using the machine's per-operation costs; ``mem_seconds`` is the
-        clock-independent memory-hierarchy component.
+        clock-independent memory-hierarchy component.  The arithmetic is the
+        inlined equivalent of ``machine.seconds_for_work`` — identical
+        expressions in identical order, so the charged floats match the
+        cost-model methods bit for bit.
         """
-        machine = self.runtime.cost_model.machine
+        if mem_seconds < 0:
+            raise ValueError(f"mem_seconds must be >= 0, got {mem_seconds!r}")
         total_cycles = (
-            cycles + flops * machine.cycles_per_flop + int_ops * machine.cycles_per_int_op
+            cycles + flops * self._cycles_per_flop + int_ops * self._cycles_per_int_op
         )
-        self.charge_cpu(machine.seconds_for_work(total_cycles, mem_seconds))
+        if total_cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {total_cycles!r}")
+        self.charge_cpu(total_cycles / self._freq + mem_seconds)
 
     def _flush(self) -> Generator:
         """Pay accumulated CPU and wait time on the simulation clock."""
@@ -212,30 +229,30 @@ class JavaThreadContext(AccessContext):
 
     def get(self, obj: JavaObject, field) -> Any:
         """Read a field of a Java object."""
-        return self.runtime.memory.get(self, self.node_id, obj, self._slot(obj, field))
+        return self._memory.get(self, self._marcel.node_id, obj, self._slot(obj, field))
 
     def put(self, obj: JavaObject, field, value: Any) -> None:
         """Write a field of a Java object."""
-        self.runtime.memory.put(self, self.node_id, obj, self._slot(obj, field), value)
+        self._memory.put(self, self._marcel.node_id, obj, self._slot(obj, field), value)
 
     def aget(self, array: JavaArray, index: int) -> Any:
         """Read one array element."""
-        return self.runtime.memory.get(self, self.node_id, array, index)
+        return self._memory.get(self, self._marcel.node_id, array, index)
 
     def aput(self, array: JavaArray, index: int, value: Any) -> None:
         """Write one array element."""
-        self.runtime.memory.put(self, self.node_id, array, index, value)
+        self._memory.put(self, self._marcel.node_id, array, index, value)
 
     def aget_range(self, array: JavaArray, lo: int = 0, hi: Optional[int] = None) -> np.ndarray:
         """Bulk read of array elements [lo, hi); accounts one access each."""
         hi = array.num_slots if hi is None else hi
-        return self.runtime.memory.get_range(self, self.node_id, array, lo, hi)
+        return self._memory.get_range(self, self._marcel.node_id, array, lo, hi)
 
     def aput_range(
         self, array: JavaArray, lo: int, hi: int, values: Sequence
     ) -> None:
         """Bulk write of array elements [lo, hi); accounts one access each."""
-        self.runtime.memory.put_range(self, self.node_id, array, lo, hi, values)
+        self._memory.put_range(self, self._marcel.node_id, array, lo, hi, values)
 
     def account_accesses(
         self,
@@ -246,8 +263,8 @@ class JavaThreadContext(AccessContext):
         write: bool = False,
     ) -> None:
         """Account extra per-element accesses without moving data (see memory)."""
-        self.runtime.memory.account_accesses(
-            self, self.node_id, obj, count, lo=lo, hi=hi, write=write
+        self._memory.account_accesses(
+            self, self._marcel.node_id, obj, count, lo=lo, hi=hi, write=write
         )
 
     def load(self, obj) -> None:

@@ -1,0 +1,28 @@
+"""Performance instrumentation for the simulator itself.
+
+Everything else in this repository measures *virtual* time — the seconds the
+simulated cluster would have taken.  This package measures *host* time: how
+fast the simulator chews through its event queue, where the hot functions
+are, and how event throughput evolves as the code changes.  It exists
+because the paper's argument is quantitative (crossover points between
+``java_ic`` and ``java_pf`` detection costs), so the reproduction is only as
+useful as the number of cells it can simulate per second.
+
+* :class:`~repro.perf.profiler.Profiler` runs experiment cells under
+  ``cProfile`` (optionally) and captures wall-clock time, engine event
+  counts and events/second per :class:`~repro.harness.spec.ExperimentSpec`.
+* :func:`~repro.perf.report.perf_report` aggregates a batch of profiles
+  into a text table plus a JSON-friendly dictionary.
+* ``hyperion-sim profile`` exposes both from the command line.
+"""
+
+from repro.perf.profiler import CellProfile, Profiler, profile_specs
+from repro.perf.report import perf_report, perf_report_dict
+
+__all__ = [
+    "CellProfile",
+    "Profiler",
+    "profile_specs",
+    "perf_report",
+    "perf_report_dict",
+]

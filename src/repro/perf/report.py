@@ -1,0 +1,65 @@
+"""Aggregation of :class:`~repro.perf.profiler.CellProfile` batches."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.perf.profiler import CellProfile
+
+
+def perf_report_dict(profiles: Sequence[CellProfile]) -> Dict[str, Any]:
+    """JSON-friendly aggregate of a batch of cell profiles.
+
+    The shape matches what the benchmark-smoke CI job uploads as an
+    artifact: per-cell rows plus totals, so successive runs of the pipeline
+    form an events/second trajectory that can be diffed across commits.
+    """
+    cells = [profile.as_dict() for profile in profiles]
+    total_wall = sum(profile.wall_seconds for profile in profiles)
+    total_events = sum(profile.events for profile in profiles)
+    return {
+        "cells": cells,
+        "total_wall_seconds": total_wall,
+        "total_events": total_events,
+        "events_per_second": (total_events / total_wall) if total_wall > 0 else 0.0,
+    }
+
+
+def perf_report(profiles: Sequence[CellProfile], top: int = 0) -> str:
+    """Text table of a batch of cell profiles.
+
+    ``top`` > 0 additionally appends the hottest functions aggregated across
+    all cells (requires the profiles to have been captured with cProfile).
+    """
+    if not profiles:
+        return "(no cells profiled)"
+    header = f"{'cell':<38}{'wall s':>9}{'events':>12}{'events/s':>12}{'virtual s':>12}"
+    lines = [header, "-" * len(header)]
+    for profile in profiles:
+        lines.append(
+            f"{profile.label:<38}"
+            f"{profile.wall_seconds:>9.3f}"
+            f"{profile.events:>12d}"
+            f"{profile.events_per_second:>12.0f}"
+            f"{profile.execution_seconds:>12.6f}"
+        )
+    aggregate = perf_report_dict(profiles)
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total':<38}"
+        f"{aggregate['total_wall_seconds']:>9.3f}"
+        f"{aggregate['total_events']:>12d}"
+        f"{aggregate['events_per_second']:>12.0f}"
+    )
+    if top > 0:
+        merged: Dict[str, float] = {}
+        for profile in profiles:
+            for name, seconds in profile.hot_functions:
+                merged[name] = merged.get(name, 0.0) + seconds
+        if merged:
+            lines.append("")
+            lines.append("hottest functions (cumulative seconds, all cells):")
+            ranked: List = sorted(merged.items(), key=lambda item: -item[1])[:top]
+            for name, seconds in ranked:
+                lines.append(f"  {seconds:>9.3f}  {name}")
+    return "\n".join(lines)

@@ -12,8 +12,8 @@ application threads per node").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
 
 from repro.simulation.engine import Engine
 from repro.simulation.events import SimEvent

@@ -16,7 +16,7 @@ back to the caller the same way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Tuple
 
 from repro.cluster.costs import CostModel
 from repro.cluster.topology import Topology

@@ -110,6 +110,12 @@ class Engine:
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains (or until virtual time *until*).
 
+        The loop is inlined rather than delegating to :meth:`step`: event
+        dispatch is the innermost loop of every simulation, so the queue, the
+        heap-pop and the failure list are resolved once, and the trace /
+        deadline branches are hoisted out of the common (untraced, unbounded)
+        configuration entirely.
+
         Raises
         ------
         DeadlockError
@@ -119,23 +125,59 @@ class Engine:
             If any process terminated with an unhandled exception; the
             original exception is chained as ``__cause__``.
         """
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self._now = until
-                break
-            self.step()
-            if self._failures:
-                process, exc = self._failures[0]
-                raise SimulationError(
-                    f"process {process.name!r} failed with "
-                    f"{type(exc).__name__}: {exc}"
-                ) from exc
-        else:
-            if self.strict_deadlock and self._processes:
-                waiting = [p for p in self._processes if p.is_alive]
-                if waiting:
-                    raise DeadlockError(waiting)
+        queue = self._queue
+        pop = heapq.heappop
+        trace = self.trace
+        failures = self._failures
+        processed = self._events_processed
+        exhausted = False
+        try:
+            if until is None and trace is None:
+                # the hot configuration: no deadline, no tracing
+                while queue:
+                    time, _seq, event = pop(queue)
+                    self._now = time
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    processed += 1
+                    for callback in callbacks:
+                        callback(event)
+                    if failures:
+                        self._raise_failure()
+                exhausted = True
+            else:
+                while queue:
+                    if until is not None and queue[0][0] > until:
+                        self._now = until
+                        break
+                    time, _seq, event = pop(queue)
+                    self._now = time
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    processed += 1
+                    if trace is not None:
+                        trace.record(time, event)
+                    for callback in callbacks:
+                        callback(event)
+                    if failures:
+                        self._raise_failure()
+                else:
+                    exhausted = True
+        finally:
+            self._events_processed = processed
+        if exhausted and self.strict_deadlock and self._processes:
+            waiting = [p for p in self._processes if p.is_alive]
+            if waiting:
+                raise DeadlockError(waiting)
         return self._now
+
+    def _raise_failure(self) -> None:
+        """Raise the first recorded process failure (chained)."""
+        process, exc = self._failures[0]
+        raise SimulationError(
+            f"process {process.name!r} failed with "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
 
     # ------------------------------------------------------------------
     # process bookkeeping (used by Process)

@@ -10,17 +10,34 @@ class SimulationError(RuntimeError):
 class DeadlockError(SimulationError):
     """Raised when the event queue drains while processes are still waiting.
 
-    The ``waiting`` attribute lists the stuck processes, which makes monitor
-    and barrier bugs in the upper layers much easier to diagnose.
+    The error names every blocked process and, where known, the waitable it
+    is blocked on, which makes monitor and barrier bugs in the upper layers
+    diagnosable from the message alone.  Attributes:
+
+    ``waiting``
+        The stuck :class:`~repro.simulation.process.Process` objects.
+    ``process_names``
+        Their names, sorted, for programmatic matching in harness code.
     """
 
     def __init__(self, waiting):
-        names = ", ".join(str(p) for p in waiting)
-        super().__init__(
-            f"simulation deadlock: event queue empty but {len(waiting)} "
-            f"process(es) still waiting: {names}"
-        )
         self.waiting = list(waiting)
+        self.process_names = sorted(getattr(p, "name", str(p)) for p in self.waiting)
+        details = []
+        for process in sorted(
+            self.waiting, key=lambda p: getattr(p, "name", str(p))
+        ):
+            name = getattr(process, "name", None) or str(process)
+            target = getattr(process, "waiting_on", None)
+            if target is not None:
+                label = getattr(target, "name", "") or type(target).__name__
+                details.append(f"{name!r} (blocked on {label!r})")
+            else:
+                details.append(f"{name!r} (not yet started or blocked externally)")
+        super().__init__(
+            f"simulation deadlock: event queue empty but {len(self.waiting)} "
+            f"process(es) still waiting: {', '.join(details)}"
+        )
 
 
 class InterruptError(SimulationError):

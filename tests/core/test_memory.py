@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.context import RecordingContext
 
 
 def test_table2_primitive_inventory(rig_factory):

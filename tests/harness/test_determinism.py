@@ -1,0 +1,89 @@
+"""Determinism under optimization: the fast path must not change results.
+
+The fast-path work (precomputed protocol handlers, presence sets, the
+inlined engine loop, trace skipping) is only admissible because
+``ExecutionReport.to_dict()`` stays byte-identical.  These tests pin that
+contract per application:
+
+* tracing on vs. off (the engine's traced and untraced loops);
+* the precomputed ("new") detection handlers vs. the original reference
+  ("old") implementations, selected via
+  :func:`repro.core.protocol.reference_detection`.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.workloads import WorkloadPreset
+from repro.core.protocol import reference_detection
+from repro.harness.figures import FIGURE_APPS
+from repro.harness.spec import ExperimentSpec, run_spec
+from repro.hyperion.runtime import RuntimeConfig
+
+APPS = sorted(FIGURE_APPS.values())
+PROTOCOLS = ("java_ic", "java_pf")
+
+
+def _spec(app: str, protocol: str, trace: bool = False) -> ExperimentSpec:
+    return ExperimentSpec(
+        app=app,
+        cluster="myrinet",
+        protocol=protocol,
+        num_nodes=4,
+        workload=WorkloadPreset.testing(),
+        config=RuntimeConfig(trace=trace),
+    )
+
+
+def _payload(report) -> str:
+    """Canonical byte form of a report (the contract is byte identity)."""
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("app", APPS)
+def test_trace_on_off_identical(app, protocol):
+    """The traced engine loop must charge exactly like the untraced one."""
+    plain = run_spec(_spec(app, protocol, trace=False))
+    traced = run_spec(_spec(app, protocol, trace=True))
+    assert _payload(plain) == _payload(traced)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("app", APPS)
+def test_fast_vs_reference_detection_identical(app, protocol):
+    """Old (reference) and new (fast) detection produce identical reports."""
+    fast = run_spec(_spec(app, protocol))
+    with reference_detection():
+        reference = run_spec(_spec(app, protocol))
+    assert _payload(fast) == _payload(reference)
+
+
+def test_reference_detection_restores_fast_path():
+    """The context manager must put the optimized methods back."""
+    from repro.core.java_ic import JavaIcProtocol
+
+    original = JavaIcProtocol.__dict__["detect_access"]
+    with reference_detection():
+        assert JavaIcProtocol.__dict__["detect_access"] is not original
+    assert JavaIcProtocol.__dict__["detect_access"] is original
+
+
+def test_hoisted_protocol_fast_vs_reference():
+    """The extension protocol honours the same contract as the paper's two."""
+    fast = run_spec(_spec("jacobi", "java_ic_hoisted"))
+    with reference_detection():
+        reference = run_spec(_spec("jacobi", "java_ic_hoisted"))
+    assert _payload(fast) == _payload(reference)
+
+
+def test_run_spec_is_reproducible():
+    """Two runs of the same spec agree byte for byte (seeded, pure)."""
+    first = run_spec(_spec("asp", "java_pf"))
+    second = run_spec(_spec("asp", "java_pf"))
+    assert _payload(first) == _payload(second)
+    assert first.events_processed == second.events_processed
+    assert first.events_processed > 0

@@ -4,7 +4,7 @@ import pytest
 
 from repro.simulation.engine import Engine
 from repro.simulation.errors import DeadlockError, SimulationError
-from repro.simulation.events import SimEvent, Timeout
+from repro.simulation.events import SimEvent
 
 
 def test_time_starts_at_zero(engine):
@@ -72,6 +72,26 @@ def test_deadlock_detection():
     engine.process(stuck(engine))
     with pytest.raises(DeadlockError):
         engine.run()
+
+
+def test_deadlock_error_names_blocked_processes():
+    engine = Engine()
+
+    def stuck(env, event):
+        yield event
+
+    blocker = SimEvent(engine, name="never-triggered")
+    engine.process(stuck(engine, blocker), name="worker-a")
+    engine.process(stuck(engine, blocker), name="worker-b")
+    with pytest.raises(DeadlockError) as excinfo:
+        engine.run()
+    error = excinfo.value
+    assert error.process_names == ["worker-a", "worker-b"]
+    message = str(error)
+    assert "worker-a" in message and "worker-b" in message
+    # the waitable each process is blocked on is named too
+    assert "never-triggered" in message
+    assert len(error.waiting) == 2
 
 
 def test_deadlock_detection_can_be_disabled():
