@@ -6,8 +6,8 @@ import json
 
 import pytest
 
-from repro.apps.base import available_apps
 from repro.harness.experiment import run_comparison
+from repro.harness.figures import FIGURE_APPS
 from repro.harness.report import improvement_table
 
 
@@ -15,7 +15,7 @@ def _summary(bench_preset, session=None):
     comparisons = {}
     for cluster, counts in (("myrinet", [1, 4, 12]), ("sci", [1, 3, 6])):
         comparisons[cluster] = {}
-        for app in available_apps():
+        for app in sorted(FIGURE_APPS.values()):
             comparisons[cluster][app] = run_comparison(
                 app,
                 cluster,

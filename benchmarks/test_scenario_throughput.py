@@ -1,0 +1,88 @@
+"""Synthetic-scenario throughput and the protocol comparison grid.
+
+Two recorded artifacts accompany the engine-throughput trajectory in
+``benchmarks/results/``:
+
+* ``scenario_throughput.json`` — events/second per registered pattern (one
+  bench-scale cell each, captured with the same :class:`repro.perf.Profiler`
+  that ``hyperion-sim profile`` uses), so the scenario interpreter's host
+  cost is tracked over time exactly like the paper apps';
+* ``scenario_grid.json`` — the ``java_ic`` vs ``java_pf`` comparison grid
+  over all patterns, whose recorded per-cell ``page_faults`` expose the
+  page-fault gap the false-sharing and migratory scenarios were built to
+  produce (``java_ic`` detects remote accesses in-line and never faults on
+  them; ``java_pf`` pays one fault per invalidated page per epoch).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.figures import generate_scenario_grid
+from repro.harness.spec import ExperimentSpec
+from repro.perf import Profiler, perf_report_dict
+from repro.scenarios.registry import available_scenarios
+
+#: node counts of the recorded comparison grid
+GRID_NODE_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.mark.benchmark(group="scenario-throughput")
+def test_scenario_cell_throughput(benchmark, results_dir):
+    """Events/second of one bench-scale cell per registered pattern."""
+    specs = [
+        ExperimentSpec(
+            app=name,
+            cluster="myrinet",
+            protocol="java_pf",
+            num_nodes=4,
+            workload="bench",
+        )
+        for name in available_scenarios()
+    ]
+    profiler = Profiler(with_cprofile=False)
+
+    def run_cells():
+        profiles = profiler.profile_many(specs)
+        payload = perf_report_dict(profiles)
+        payload["per_scenario"] = {p.label: p.as_dict() for p in profiles}
+        return payload
+
+    aggregate = benchmark.pedantic(run_cells, rounds=1, iterations=1)
+    benchmark.extra_info["throughput"] = aggregate
+    (results_dir / "scenario_throughput.json").write_text(
+        json.dumps(aggregate, indent=2, sort_keys=True)
+    )
+    assert len(aggregate["per_scenario"]) == len(available_scenarios())
+    assert aggregate["total_events"] > 0
+    assert aggregate["events_per_second"] > 0
+
+
+@pytest.mark.benchmark(group="scenario-grid")
+def test_scenario_comparison_grid(benchmark, bench_session, results_dir):
+    """Record the protocol grid and pin the java_ic vs java_pf fault gap."""
+
+    def run_grid():
+        return generate_scenario_grid(
+            node_counts=GRID_NODE_COUNTS, workload="bench", session=bench_session
+        )
+
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    payload = grid.to_dict()
+    benchmark.extra_info["grid"] = payload
+    (results_dir / "scenario_grid.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True)
+    )
+    # the acceptance gap: on every multi-node cell the page-granularity
+    # protocol faults measurably more than the in-line-check protocol
+    for scenario in ("syn-false-sharing", "syn-migratory"):
+        for nodes in GRID_NODE_COUNTS:
+            if nodes == 1:
+                continue
+            gap = grid.page_fault_gap(scenario, nodes)
+            assert gap > 0, f"{scenario} at {nodes} nodes: no page-fault gap"
+    # java_ic's detection work shows up as inline checks instead
+    assert grid.stat("syn-false-sharing", "java_ic", 4, "inline_checks") > 0
+    assert grid.stat("syn-false-sharing", "java_ic", 4, "page_faults") == 0

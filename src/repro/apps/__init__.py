@@ -22,10 +22,17 @@ Workload sizes are configured through :class:`~repro.apps.workloads.WorkloadPres
 
 from repro.apps.asp import AspApplication
 from repro.apps.barnes import BarnesApplication
-from repro.apps.base import Application, available_apps, create_app
+from repro.apps.base import Application, app_class, available_apps, create_app
 from repro.apps.jacobi import JacobiApplication
 from repro.apps.pi import PiApplication
 from repro.apps.tsp import TspApplication
+
+# Importing the scenario registry publishes the generated ``syn-*``
+# applications alongside the paper benchmarks; every entry point that can
+# name an application (specs, CLI, figures, worker processes) imports this
+# package first, so the registry is always complete.
+import repro.scenarios.registry  # noqa: E402,F401  (registration side effect)
+
 from repro.apps.workloads import (
     AspWorkload,
     BarnesWorkload,
@@ -37,6 +44,7 @@ from repro.apps.workloads import (
 
 __all__ = [
     "Application",
+    "app_class",
     "available_apps",
     "create_app",
     "PiApplication",

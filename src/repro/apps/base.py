@@ -45,6 +45,16 @@ class Application(ABC):
         """Check that *result* is numerically correct for *workload*."""
         return result is not None
 
+    @classmethod
+    def workload_from_preset(cls, preset) -> Any:
+        """This application's workload within a :class:`WorkloadPreset`.
+
+        Paper benchmarks are fields of the preset bundle; applications that
+        are not (e.g. the generated ``syn-*`` scenarios) override this to map
+        the preset's scale name onto their own workload presets.
+        """
+        return preset.workload_for(cls.name)
+
     # ------------------------------------------------------------------
     @staticmethod
     def worker_count(ctx) -> int:
@@ -96,15 +106,20 @@ def register_app(cls: Type[Application]) -> Type[Application]:
     return cls
 
 
-def create_app(name: str) -> Application:
-    """Instantiate the application registered under *name*."""
+def app_class(name: str) -> Type[Application]:
+    """The application class registered under *name*."""
     try:
-        return _APPS[name.lower()]()
+        return _APPS[name.lower()]
     except KeyError:
         known = ", ".join(sorted(_APPS))
         raise KeyError(f"unknown application {name!r}; known: {known}") from None
 
 
+def create_app(name: str) -> Application:
+    """Instantiate the application registered under *name*."""
+    return app_class(name)()
+
+
 def available_apps() -> List[str]:
-    """Names of all registered applications (the five paper benchmarks)."""
+    """Names of all registered applications (paper benchmarks + scenarios)."""
     return sorted(_APPS)

@@ -6,22 +6,29 @@ Sub-commands::
     hyperion-sim all                      # all five figures + improvement table
     hyperion-sim all --jobs 4 --cache-dir .hyperion-cache
     hyperion-sim run jacobi --protocol java_pf --cluster myrinet --nodes 4
+    hyperion-sim run asp --trace-out asp.jsonl   # dump the event trace
+    hyperion-sim scenario list            # the registered syn-* scenarios
+    hyperion-sim scenario run syn-false-sharing --seed 7
+    hyperion-sim scenario run syn-uniform --pattern-arg write_fraction=0.5
+    hyperion-sim scenario sweep --nodes 1,2,4,8 --jobs 4
     hyperion-sim sweep check_cost --app asp --nodes 4
     hyperion-sim profile asp --nodes 4   # host-side profiling (repro.perf)
     hyperion-sim calibrate                # check the cost model against the paper
     hyperion-sim experiments -o EXPERIMENTS.md
-    hyperion-sim describe                 # show the cluster presets / protocols
+    hyperion-sim describe [section]       # presets / protocols / scenarios ...
 
 ``--jobs N`` fans the experiment cells out over N worker processes;
 ``--cache-dir PATH`` persists every cell's result so a repeated invocation
 re-runs nothing.  Both flags configure the underlying
 :class:`~repro.harness.session.Session` and are accepted by the ``figure``,
-``all``, ``sweep``, ``calibrate`` and ``experiments`` subcommands.
+``all``, ``sweep``, ``scenario run``/``scenario sweep``, ``calibrate`` and
+``experiments`` subcommands.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import List, Optional
@@ -32,7 +39,12 @@ from repro.cluster.presets import cluster_by_name, list_clusters
 from repro.core.protocol import available_protocols
 from repro.harness.calibration import calibrate
 from repro.harness.experiment import run_cell
-from repro.harness.figures import FIGURE_APPS, generate_all_figures, generate_figure
+from repro.harness.figures import (
+    FIGURE_APPS,
+    generate_all_figures,
+    generate_figure,
+    generate_scenario_grid,
+)
 from repro.harness.report import (
     ascii_plot,
     figure_table,
@@ -40,8 +52,15 @@ from repro.harness.report import (
     render_experiments_document,
 )
 from repro.harness.session import Session
-from repro.harness.spec import ExperimentSpec
+from repro.harness.spec import ExperimentSpec, resolve_workload, run_spec_runtime
 from repro.harness.sweep import SWEEPS
+from repro.hyperion.runtime import RuntimeConfig
+from repro.scenarios.registry import (
+    available_scenarios,
+    get_pattern,
+    scenario_parameters,
+    scenario_workload,
+)
 from repro.perf import Profiler, perf_report, perf_report_dict
 from repro.perf.profiler import SORT_KEYS as PROFILE_SORT_KEYS
 
@@ -95,6 +114,84 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--nodes", type=int, default=4)
     run.add_argument("--scale", default="bench", choices=["testing", "bench", "paper"])
     run.add_argument("--verify", action="store_true")
+    run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record the simulation event trace and write it to PATH as JSONL",
+    )
+
+    scenario = sub.add_parser(
+        "scenario", help="generated synthetic scenarios (list / run / sweep)"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_sub.add_parser(
+        "list", help="list registered scenarios and their pattern parameters"
+    )
+
+    scenario_run = scenario_sub.add_parser("run", help="run one scenario cell")
+    scenario_run.add_argument("name", choices=available_scenarios())
+    scenario_run.add_argument("--cluster", default="myrinet", choices=list_clusters())
+    scenario_run.add_argument(
+        "--protocol", default="java_pf", choices=available_protocols()
+    )
+    scenario_run.add_argument("--nodes", type=int, default=4)
+    scenario_run.add_argument(
+        "--scale", default="bench", choices=["testing", "bench", "paper"]
+    )
+    scenario_run.add_argument(
+        "--seed", type=int, default=None, help="override the pattern's RNG seed"
+    )
+    scenario_run.add_argument(
+        "--pattern-arg",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override one pattern parameter (repeatable); see `scenario list`",
+    )
+    scenario_run.add_argument("--verify", action="store_true")
+    scenario_run.add_argument("--json", action="store_true")
+    scenario_run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record the simulation event trace and write it to PATH as JSONL",
+    )
+    _add_session_flags(scenario_run)
+
+    scenario_sweep = scenario_sub.add_parser(
+        "sweep", help="the scenario comparison grid (protocols x node counts)"
+    )
+    scenario_sweep.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        choices=available_scenarios(),
+        help="sweep one scenario (default: all registered scenarios)",
+    )
+    scenario_sweep.add_argument("--cluster", default="myrinet", choices=list_clusters())
+    scenario_sweep.add_argument(
+        "--nodes",
+        default="1,2,4,8",
+        metavar="N,N,...",
+        help="comma-separated node counts (default: 1,2,4,8)",
+    )
+    scenario_sweep.add_argument(
+        "--scale", default="bench", choices=["testing", "bench", "paper"]
+    )
+    scenario_sweep.add_argument(
+        "--seed", type=int, default=None, help="override every pattern's RNG seed"
+    )
+    scenario_sweep.add_argument("--json", action="store_true")
+    scenario_sweep.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the grid JSON to PATH",
+    )
+    _add_session_flags(scenario_sweep)
 
     sweep = sub.add_parser("sweep", help="run one of the ablation sweeps (A1-A4)")
     sweep.add_argument("kind", choices=sorted(SWEEPS))
@@ -153,7 +250,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_session_flags(experiments)
 
-    sub.add_parser("describe", help="list cluster presets, protocols and benchmarks")
+    describe = sub.add_parser(
+        "describe", help="list cluster presets, protocols, benchmarks and scenarios"
+    )
+    describe.add_argument(
+        "section",
+        nargs="?",
+        default=None,
+        choices=sorted(DESCRIBE_SECTIONS),
+        help="print only this section (default: all)",
+    )
     return parser
 
 
@@ -205,14 +311,151 @@ def cmd_all(args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
-    workload = _workload(args.scale).workload_for(args.app)
-    report = run_cell(
-        args.app, args.cluster, args.protocol, args.nodes, workload, verify=args.verify
-    )
+def _print_report(report) -> None:
     print(report)
     for key, value in sorted(report.stats.as_dict().items()):
         print(f"  {key:30s} {value}")
+
+
+def _run_with_trace(spec: ExperimentSpec, trace_out: str):
+    """Run *spec* with tracing forced on and export the trace as JSONL."""
+    base = spec.config or RuntimeConfig()
+    traced = dataclasses.replace(spec, config=base.with_overrides(trace=True))
+    report, runtime = run_spec_runtime(traced)
+    try:
+        lines = runtime.engine.trace.write_jsonl(trace_out)
+    except OSError as exc:
+        raise CliError(f"cannot write --trace-out {trace_out!r}: {exc}")
+    print(f"wrote {lines} trace record(s) to {trace_out}")
+    return report
+
+
+def cmd_run(args) -> int:
+    # the scale name resolves through the app's own preset hook, so this
+    # works for the paper benchmarks and the generated syn-* scenarios alike
+    if args.trace_out:
+        spec = ExperimentSpec(
+            app=args.app,
+            cluster=args.cluster,
+            protocol=args.protocol,
+            num_nodes=args.nodes,
+            workload=args.scale,
+            verify=args.verify,
+        )
+        report = _run_with_trace(spec, args.trace_out)
+    else:
+        report = run_cell(
+            args.app, args.cluster, args.protocol, args.nodes, args.scale,
+            verify=args.verify,
+        )
+    _print_report(report)
+    return 0
+
+
+def _pattern_overrides(name: str, raw_args: List[str], seed: Optional[int]) -> dict:
+    """Parse repeated ``--pattern-arg KEY=VALUE`` flags into typed overrides."""
+    defaults = scenario_parameters(name)
+    overrides: dict = {}
+    for item in raw_args:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise CliError(f"--pattern-arg must look like KEY=VALUE, got {item!r}")
+        if key not in defaults:
+            known = ", ".join(sorted(defaults))
+            raise CliError(
+                f"scenario {name!r} has no parameter {key!r}; known: {known}"
+            )
+        target = type(defaults[key])
+        try:
+            if target is bool:
+                lowered = raw.lower()
+                if lowered not in ("true", "false", "0", "1"):
+                    raise ValueError(raw)
+                overrides[key] = lowered in ("true", "1")
+            else:
+                overrides[key] = target(raw)
+        except ValueError:
+            raise CliError(
+                f"--pattern-arg {key}: expected a {target.__name__} value, got {raw!r}"
+            )
+    if seed is not None:
+        overrides["seed"] = seed
+    return overrides
+
+
+def cmd_scenario(args) -> int:
+    if args.scenario_command == "list":
+        print("registered scenarios (hyperion-sim scenario run <name>):")
+        _print_scenario_entries()
+        return 0
+
+    if args.scenario_command == "run":
+        try:
+            workload = scenario_workload(
+                args.name,
+                scale=args.scale,
+                **_pattern_overrides(args.name, args.pattern_arg, args.seed),
+            )
+        except (KeyError, ValueError) as exc:
+            raise CliError(str(exc))
+        spec = ExperimentSpec(
+            app=args.name,
+            cluster=args.cluster,
+            protocol=args.protocol,
+            num_nodes=args.nodes,
+            workload=workload,
+            verify=args.verify,
+        )
+        if args.trace_out:
+            if args.jobs != 1 or args.cache_dir:
+                print(
+                    "hyperion-sim: note: --trace-out runs the cell directly; "
+                    "--jobs/--cache-dir are ignored",
+                    file=sys.stderr,
+                )
+            report = _run_with_trace(spec, args.trace_out)
+        else:
+            report = _session(args).run_one(spec)
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            _print_report(report)
+        return 0
+
+    # sweep: the scenario comparison grid
+    try:
+        node_counts = tuple(int(n) for n in args.nodes.split(",") if n)
+    except ValueError:
+        raise CliError(f"--nodes must be comma-separated integers, got {args.nodes!r}")
+    if not node_counts:
+        raise CliError("--nodes selected no node counts")
+    try:
+        grid = generate_scenario_grid(
+            scenarios=[args.name] if args.name else None,
+            cluster=args.cluster,
+            node_counts=node_counts,
+            workload=args.scale,
+            seed=args.seed,
+            session=_session(args),
+        )
+    except ValueError as exc:
+        raise CliError(str(exc))
+    dropped = [n for n in node_counts if n not in grid.node_counts]
+    if dropped:
+        print(
+            f"hyperion-sim: note: node count(s) {dropped} exceed cluster "
+            f"{grid.cluster!r}'s size and were skipped",
+            file=sys.stderr,
+        )
+    payload = grid.to_dict()
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(grid.render())
     return 0
 
 
@@ -234,7 +477,8 @@ def cmd_sweep(args) -> int:
     kwargs = {
         "cluster": args.cluster,
         "num_nodes": args.nodes,
-        "workload": _workload(args.scale).workload_for(args.app),
+        # resolve through the app's preset hook so syn-* scenarios sweep too
+        "workload": resolve_workload(args.app, args.scale),
         "session": _session(args),
     }
     values = _sweep_values(args.kind, args.values)
@@ -299,16 +543,59 @@ def cmd_experiments(args) -> int:
     return 0
 
 
-def cmd_describe(_args) -> int:
+def _describe_clusters() -> None:
     print("cluster presets:")
     for name in list_clusters():
         spec = cluster_by_name(name)
         print(f"  {name}: {spec.num_nodes} x {spec.machine.name}, {spec.network.name}")
         for line in spec.cost_model().describe().splitlines():
             print(f"      {line}")
+
+
+def _describe_protocols() -> None:
     print("protocols:", ", ".join(available_protocols()))
-    print("benchmarks:", ", ".join(available_apps()))
+
+
+def _describe_benchmarks() -> None:
+    paper_apps = [app for app in available_apps() if not app.startswith("syn-")]
+    print("benchmarks:", ", ".join(paper_apps))
+
+
+def _print_scenario_entries() -> None:
+    for name in available_scenarios():
+        pattern = get_pattern(name)
+        print(f"  {name}: {pattern.description}")
+        parameters = ", ".join(
+            f"{key}={value}" for key, value in scenario_parameters(name).items()
+        )
+        print(f"      parameters: {parameters}")
+
+
+def _describe_scenarios() -> None:
+    print("scenarios:")
+    _print_scenario_entries()
+
+
+def _describe_figures() -> None:
     print("figures:", ", ".join(f"{n} -> {app}" for n, app in sorted(FIGURE_APPS.items())))
+
+
+DESCRIBE_SECTIONS = {
+    "clusters": _describe_clusters,
+    "protocols": _describe_protocols,
+    "benchmarks": _describe_benchmarks,
+    "scenarios": _describe_scenarios,
+    "figures": _describe_figures,
+}
+
+
+def cmd_describe(args) -> int:
+    section = getattr(args, "section", None)
+    if section:
+        DESCRIBE_SECTIONS[section]()
+        return 0
+    for printer in DESCRIBE_SECTIONS.values():
+        printer()
     return 0
 
 
@@ -319,6 +606,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": cmd_figure,
         "all": cmd_all,
         "run": cmd_run,
+        "scenario": cmd_scenario,
         "sweep": cmd_sweep,
         "profile": cmd_profile,
         "calibrate": cmd_calibrate,

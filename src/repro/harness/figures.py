@@ -185,6 +185,172 @@ def generate_figure(
     return _assemble_figure(data, plan, result, protocol_list)
 
 
+@dataclass
+class ScenarioGridData:
+    """The synthetic-scenario comparison grid: scenarios x protocols x nodes.
+
+    The synthetic counterpart of the paper's figure grid.  For every
+    registered ``syn-*`` scenario it holds one
+    :class:`~repro.harness.experiment.ProtocolComparison`, and — because the
+    scenarios were built to separate the two detection mechanisms — it also
+    records the *page-fault gap*: how many more page faults ``java_pf`` takes
+    than ``java_ic`` on the same cell (``java_ic`` detects remote accesses
+    with in-line checks and faults only on genuinely absent pages).
+    """
+
+    cluster: str
+    workload_name: str
+    node_counts: List[int]
+    protocols: List[str]
+    comparisons: Dict[str, ProtocolComparison] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def stat(self, scenario: str, protocol: str, num_nodes: int, key: str):
+        """One stats-dictionary entry of one cell."""
+        report = self.comparisons[scenario].report(protocol, num_nodes)
+        return report.to_dict()[key]
+
+    def page_fault_gap(
+        self,
+        scenario: str,
+        num_nodes: int,
+        baseline: str = "java_ic",
+        candidate: str = "java_pf",
+    ) -> int:
+        """Extra page faults *candidate* takes over *baseline* at *num_nodes*."""
+        return int(
+            self.stat(scenario, candidate, num_nodes, "page_faults")
+            - self.stat(scenario, baseline, num_nodes, "page_faults")
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly grid (recorded by the scenario benchmarks)."""
+        out: Dict = {
+            "cluster": self.cluster,
+            "workload": self.workload_name,
+            "node_counts": list(self.node_counts),
+            "protocols": list(self.protocols),
+            "scenarios": {},
+        }
+        for name, comparison in self.comparisons.items():
+            entry = {
+                "series": {
+                    protocol: [[n, t] for n, t in comparison.series(protocol)]
+                    for protocol in self.protocols
+                },
+                "improvements": comparison.improvements(),
+                "page_faults": {
+                    protocol: {
+                        n: int(self.stat(name, protocol, n, "page_faults"))
+                        for n in self.node_counts
+                    }
+                    for protocol in self.protocols
+                },
+                "inline_checks": {
+                    protocol: {
+                        n: int(self.stat(name, protocol, n, "inline_checks"))
+                        for n in self.node_counts
+                    }
+                    for protocol in self.protocols
+                },
+            }
+            if "java_ic" in self.protocols and "java_pf" in self.protocols:
+                entry["page_fault_gap"] = {
+                    n: self.page_fault_gap(name, n) for n in self.node_counts
+                }
+            out["scenarios"][name] = entry
+        return out
+
+    def render(self) -> str:
+        """Text table: per scenario, execution time per protocol and the gap."""
+        lines = [
+            f"Synthetic scenario grid on {self.cluster} "
+            f"({self.workload_name} scale)",
+            "",
+        ]
+        header = ["scenario", "nodes"] + [f"{p} [s]" for p in self.protocols]
+        gap = "java_ic" in self.protocols and "java_pf" in self.protocols
+        if gap:
+            header.append("fault gap")
+        widths = [max(24, len(header[0]) + 2), 7] + [14] * (len(header) - 2)
+        lines.append("".join(h.rjust(w) for h, w in zip(header, widths)))
+        for name in sorted(self.comparisons):
+            comparison = self.comparisons[name]
+            for n in self.node_counts:
+                row = [name, str(n)]
+                for protocol in self.protocols:
+                    row.append(f"{comparison.report(protocol, n).execution_seconds:.6f}")
+                if gap:
+                    row.append(str(self.page_fault_gap(name, n)))
+                lines.append("".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def generate_scenario_grid(
+    scenarios: Optional[Iterable[str]] = None,
+    cluster: str = "myrinet",
+    node_counts: Sequence[int] = (1, 2, 4, 8),
+    protocols: Iterable[str] = ("java_ic", "java_pf"),
+    workload="bench",
+    seed: Optional[int] = None,
+    config: Optional[RuntimeConfig] = None,
+    session: Optional[Session] = None,
+) -> ScenarioGridData:
+    """Run the synthetic-scenario comparison grid (all ``syn-*`` by default).
+
+    ``workload`` is a scale name / preset / workload object, resolved per
+    scenario through the usual spec machinery; ``seed`` (with a scale-name
+    workload) overrides every pattern's RNG seed.  All cells are batched
+    into a single ``Session.run`` so ``--jobs`` parallelises across the
+    whole grid and ``--cache-dir`` reuses earlier cells.
+    """
+    from repro.scenarios.registry import available_scenarios, scenario_workload
+
+    scenario_list = list(scenarios) if scenarios is not None else available_scenarios()
+    protocol_list = list(protocols)
+    cluster_spec = cluster_by_name(cluster)
+    counts = [n for n in node_counts if n <= cluster_spec.num_nodes]
+    if not counts:
+        raise ValueError(
+            f"no usable node counts: {list(node_counts)} all exceed "
+            f"cluster {cluster_spec.name!r}'s {cluster_spec.num_nodes} node(s)"
+        )
+    workload_name = (
+        workload if isinstance(workload, str) else getattr(workload, "name", "custom")
+    )
+    grid = ScenarioGridData(
+        cluster=cluster_spec.name,
+        workload_name=str(workload_name),
+        node_counts=counts,
+        protocols=protocol_list,
+    )
+    plan = []
+    for name in scenario_list:
+        cell_workload = workload
+        if seed is not None:
+            if not isinstance(workload, str):
+                raise ValueError(
+                    "seed overrides need a scale-name workload "
+                    "(per-scenario workloads carry their own seed)"
+                )
+            cell_workload = scenario_workload(name, workload, seed=seed)
+        comparison, specs = comparison_specs(
+            name,
+            cluster_spec,
+            node_counts=counts,
+            workload=cell_workload,
+            protocols=protocol_list,
+            config=config,
+        )
+        plan.append((name, comparison, specs))
+    all_specs = [spec for _, _, specs in plan for spec in specs]
+    result = (session or default_session()).run(all_specs)
+    for name, comparison, specs in plan:
+        fill_comparison(comparison, specs, result)
+        grid.comparisons[name] = comparison
+    return grid
+
+
 def generate_all_figures(
     workload=None,
     clusters: Iterable[str] = ("myrinet", "sci"),

@@ -86,6 +86,31 @@ def improvement_summary(figures: Dict[int, FigureData]) -> Dict[str, Dict[str, f
     return summary
 
 
+def render_scenario_grid_markdown(grid) -> str:
+    """Markdown section for the synthetic-scenario comparison grid."""
+    lines: List[str] = []
+    for name in sorted(grid.comparisons):
+        comparison = grid.comparisons[name]
+        lines.append(f"### {name}")
+        lines.append("")
+        lines.append(
+            "| protocol | " + " | ".join(str(n) for n in grid.node_counts) + " |"
+        )
+        lines.append("|---" * (1 + len(grid.node_counts)) + "|")
+        for protocol in grid.protocols:
+            by_node = dict(comparison.series(protocol))
+            values = " | ".join(f"{by_node[n]:.6f}" for n in grid.node_counts)
+            lines.append(f"| {protocol} | {values} |")
+        if "java_ic" in grid.protocols and "java_pf" in grid.protocols:
+            gaps = ", ".join(
+                f"{n} nodes: {grid.page_fault_gap(name, n)}" for n in grid.node_counts
+            )
+            lines.append("")
+            lines.append(f"*java_pf page faults over java_ic*: {gaps}")
+        lines.append("")
+    return "\n".join(lines)
+
+
 def render_experiments_document(
     workload=None,
     session=None,
@@ -93,19 +118,22 @@ def render_experiments_document(
 ) -> str:
     """The full EXPERIMENTS.md document: measured figures vs. the paper.
 
-    Regenerates the five figures and the calibration table (through
-    *session*, so ``--jobs`` / ``--cache-dir`` apply) and assembles them with
-    :func:`render_experiments_markdown`.  Pass pre-computed *figures* to skip
-    the simulations.
+    Regenerates the five figures, the calibration table and the synthetic
+    scenario grid (through *session*, so ``--jobs`` / ``--cache-dir`` apply)
+    and assembles them with :func:`render_experiments_markdown`.  Pass
+    pre-computed *figures* to skip the figure simulations.
     """
     from repro.apps.workloads import WorkloadPreset
     from repro.harness.calibration import calibrate
-    from repro.harness.figures import generate_all_figures
+    from repro.harness.figures import generate_all_figures, generate_scenario_grid
 
     if isinstance(workload, str):
         workload = WorkloadPreset.by_name(workload)
     if figures is None:
         figures = generate_all_figures(workload=workload, session=session)
+    scenario_grid = generate_scenario_grid(
+        workload=workload if workload is not None else "bench", session=session
+    )
     calibration = calibrate(workload=workload, session=session)
     workload_name = getattr(workload, "name", "bench") if workload is not None else "bench"
     lines: List[str] = [
@@ -137,7 +165,20 @@ def render_experiments_document(
     for cluster, by_app in summary.items():
         row = " | ".join(f"{by_app[f.app]:.1f}%" for f in figures.values())
         lines.append(f"| {cluster} | {row} |")
-    lines.append("")
+    lines += [
+        "",
+        "## Synthetic scenario grid",
+        "",
+        "Seeded sharing-pattern generators (`repro.scenarios`, run with",
+        "`hyperion-sim scenario`) probing access patterns the paper apps never",
+        f"produce, on {scenario_grid.cluster} at the `{scenario_grid.workload_name}`",
+        "scale.  Execution seconds per protocol and node count; the *page-fault*",
+        "*gap* lines show how many more page faults `java_pf` takes than",
+        "`java_ic` on the same cell (`java_ic` detects remote accesses with",
+        "in-line checks instead of faulting).",
+        "",
+        render_scenario_grid_markdown(scenario_grid),
+    ]
     return "\n".join(lines)
 
 

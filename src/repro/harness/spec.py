@@ -23,7 +23,7 @@ import json
 from dataclasses import asdict, dataclass, field, is_dataclass
 from typing import Any, Dict, Optional, Union
 
-from repro.apps.base import create_app
+from repro.apps.base import app_class, create_app
 from repro.apps.workloads import WorkloadPreset
 from repro.cluster.presets import ClusterSpec, cluster_by_name
 from repro.hyperion.runtime import ExecutionReport, HyperionRuntime, RuntimeConfig
@@ -44,14 +44,24 @@ def resolve_workload(app_name: str, workload) -> object:
 
     ``workload`` may be a workload object, a :class:`WorkloadPreset`, a preset
     name (``"bench"``, ``"paper"``, ``"testing"``) or None (bench preset).
+    Preset forms are resolved through the application's
+    ``workload_from_preset`` hook, so applications outside the preset bundle
+    (the generated ``syn-*`` scenarios) scale with the same three names.
     """
     if workload is None:
-        return WorkloadPreset.bench().workload_for(app_name)
-    if isinstance(workload, str):
-        return WorkloadPreset.by_name(workload).workload_for(app_name)
-    if isinstance(workload, WorkloadPreset):
-        return workload.workload_for(app_name)
-    return workload
+        preset = WorkloadPreset.bench()
+    elif isinstance(workload, str):
+        preset = WorkloadPreset.by_name(workload)
+    elif isinstance(workload, WorkloadPreset):
+        preset = workload
+    else:
+        return workload
+    try:
+        cls = app_class(app_name)
+    except KeyError:
+        # unregistered names keep the preset's own lookup error behaviour
+        return preset.workload_for(app_name)
+    return cls.workload_from_preset(preset)
 
 
 def _dataclass_dict(value) -> Dict[str, Any]:
@@ -206,6 +216,17 @@ def run_spec(spec: ExperimentSpec) -> ExecutionReport:
     cells in any order or process and lets :class:`~repro.harness.store.ResultStore`
     reuse results across runs.
     """
+    report, _ = run_spec_runtime(spec)
+    return report
+
+
+def run_spec_runtime(spec: ExperimentSpec) -> "tuple[ExecutionReport, HyperionRuntime]":
+    """Like :func:`run_spec`, but also return the finished runtime.
+
+    The runtime gives callers access to post-run state the report does not
+    carry — most notably ``runtime.engine.trace`` for the CLI's
+    ``--trace-out`` export.  The report is identical to :func:`run_spec`'s.
+    """
     cluster = spec.resolved_cluster()
     workload = spec.resolved_workload()
     runtime = HyperionRuntime(
@@ -218,4 +239,4 @@ def run_spec(spec: ExperimentSpec) -> ExecutionReport:
             f"{spec.app} produced an incorrect result under "
             f"{spec.protocol} on {cluster.name}/{spec.num_nodes} nodes"
         )
-    return report
+    return report, runtime

@@ -1,0 +1,69 @@
+"""Synthetic scenario subsystem: seeded DSM sharing-pattern generators.
+
+The five paper benchmarks freeze the workload space to five access
+patterns.  This package opens it up: parameterised, seeded generators
+(:mod:`~repro.scenarios.patterns`) emit deterministic access scripts
+(:mod:`~repro.scenarios.script`) that a generic
+:class:`~repro.scenarios.runner.SyntheticApplication` replays through the
+Hyperion runtime, and the registry (:mod:`~repro.scenarios.registry`)
+publishes each pattern as a normal ``syn-*`` application so the whole
+harness — specs, matrices, sessions, caches, executors, figures, the CLI —
+treats generated scenarios as peers of the paper apps.
+
+Determinism contract (inherited from the harness): a scenario cell is a
+pure function of its :class:`~repro.harness.spec.ExperimentSpec` — the same
+workload seed produces the same script and therefore a byte-identical
+``ExecutionReport.to_dict()``, serial or parallel, cached or fresh.
+"""
+
+from repro.scenarios.patterns import (
+    FalseSharingWorkload,
+    HotLockWorkload,
+    MigratoryWorkload,
+    ProducerConsumerWorkload,
+    ReadMostlyWorkload,
+    ScenarioWorkload,
+    UniformWorkload,
+)
+from repro.scenarios.registry import (
+    SCENARIO_PREFIX,
+    ScenarioPattern,
+    available_scenarios,
+    get_pattern,
+    register_pattern,
+    scenario_parameters,
+    scenario_patterns,
+    scenario_workload,
+)
+from repro.scenarios.runner import SyntheticApplication
+from repro.scenarios.script import (
+    AccessScript,
+    ObjectDecl,
+    ScriptBuilder,
+    materialise_layout,
+    replay_thread,
+)
+
+__all__ = [
+    "AccessScript",
+    "ObjectDecl",
+    "ScriptBuilder",
+    "ScenarioPattern",
+    "ScenarioWorkload",
+    "ReadMostlyWorkload",
+    "ProducerConsumerWorkload",
+    "MigratoryWorkload",
+    "FalseSharingWorkload",
+    "HotLockWorkload",
+    "UniformWorkload",
+    "SyntheticApplication",
+    "SCENARIO_PREFIX",
+    "available_scenarios",
+    "get_pattern",
+    "register_pattern",
+    "scenario_parameters",
+    "scenario_patterns",
+    "scenario_workload",
+    "materialise_layout",
+    "replay_thread",
+]

@@ -1,0 +1,327 @@
+"""The access-script IR and its interpreter.
+
+A *scenario* is not hand-written application code but a deterministic,
+seeded **access script**: a declared object layout plus one compact
+operation sequence per thread.  The generators in
+:mod:`repro.scenarios.patterns` emit scripts; the interpreter here replays
+them through the Hyperion runtime exactly like a translated Java program —
+every ``get``/``put`` goes through the Table 2 memory primitives (and
+therefore through the configured consistency protocol), monitors and
+barriers carry their usual Java-consistency side effects.
+
+Operations are plain tuples, keyed by their first element:
+
+==================  =========================================================
+``("get", o, s)``    read slot *s* of layout object *o*
+``("put", o, s, v)`` write value *v* to slot *s* of layout object *o*
+``("lock", o)``      enter the monitor of layout object *o*
+``("unlock", o)``    exit the monitor of layout object *o*
+``("barrier",)``     wait at the scenario-wide barrier (all workers)
+``("compute", c)``   charge *c* CPU cycles of application compute
+==================  =========================================================
+
+Keeping the IR this small is deliberate: a script is pure data (hashable
+tuples of tuples), so the same seed always produces the same script, and a
+script can be inspected, counted and serialised without running it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Sequence, Tuple
+
+from repro.util.validation import check_non_negative
+
+#: operation tags understood by the interpreter
+OP_GET = "get"
+OP_PUT = "put"
+OP_LOCK = "lock"
+OP_UNLOCK = "unlock"
+OP_BARRIER = "barrier"
+OP_COMPUTE = "compute"
+
+#: tag -> expected tuple arity (including the tag itself)
+_OP_ARITY: Dict[str, int] = {
+    OP_GET: 3,
+    OP_PUT: 4,
+    OP_LOCK: 2,
+    OP_UNLOCK: 2,
+    OP_BARRIER: 1,
+    OP_COMPUTE: 2,
+}
+
+#: one IR operation (see module docstring for the forms)
+Op = Tuple
+
+
+@dataclass(frozen=True)
+class ObjectDecl:
+    """Declaration of one shared entity in a scenario's object layout.
+
+    ``kind`` is ``"object"`` (a scalar :class:`~repro.hyperion.objects.JavaObject`
+    with ``num_fields`` 8-byte field slots) or ``"array"`` (a
+    :class:`~repro.hyperion.objects.JavaArray` of ``length`` elements).
+    ``home_node`` is taken modulo the runtime's node count at materialisation
+    time, so one layout works on any cluster size.
+    """
+
+    name: str
+    kind: str = "object"
+    home_node: int = 0
+    #: number of field slots ("object" kind)
+    num_fields: int = 1
+    #: element type and length ("array" kind)
+    element_type: str = "long"
+    length: int = 0
+    #: allocate on a page boundary (avoids incidental page sharing)
+    page_aligned: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("object declaration needs a non-empty name")
+        if self.kind not in ("object", "array"):
+            raise ValueError(f"unknown layout kind {self.kind!r}")
+        check_non_negative("home_node", self.home_node)
+        if self.kind == "object" and self.num_fields < 1:
+            raise ValueError(f"object {self.name!r} needs at least one field")
+        if self.kind == "array" and self.length < 1:
+            raise ValueError(f"array {self.name!r} needs at least one element")
+
+    @property
+    def num_slots(self) -> int:
+        """Addressable slots of the declared entity."""
+        return self.num_fields if self.kind == "object" else self.length
+
+
+@dataclass(frozen=True)
+class AccessScript:
+    """A deterministic shared-memory scenario: layout plus per-thread ops."""
+
+    layout: Tuple[ObjectDecl, ...]
+    #: one operation sequence per worker thread
+    threads: Tuple[Tuple[Op, ...], ...]
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "AccessScript":
+        """Check every op refers to a declared object and an in-range slot."""
+        if not self.layout:
+            raise ValueError("a script needs at least one declared object")
+        if not self.threads:
+            raise ValueError("a script needs at least one thread")
+        for tid, ops in enumerate(self.threads):
+            depth = 0
+            for op in ops:
+                tag = op[0]
+                arity = _OP_ARITY.get(tag)
+                if arity is None:
+                    raise ValueError(f"thread {tid}: unknown op tag {tag!r}")
+                if len(op) != arity:
+                    raise ValueError(
+                        f"thread {tid}: op {op!r} has {len(op)} elements, "
+                        f"expected {arity}"
+                    )
+                if tag in (OP_GET, OP_PUT, OP_LOCK, OP_UNLOCK):
+                    obj = op[1]
+                    if not 0 <= obj < len(self.layout):
+                        raise ValueError(
+                            f"thread {tid}: op {op!r} references object {obj}, "
+                            f"layout has {len(self.layout)}"
+                        )
+                if tag in (OP_GET, OP_PUT):
+                    slot = op[2]
+                    decl = self.layout[op[1]]
+                    if not 0 <= slot < decl.num_slots:
+                        raise ValueError(
+                            f"thread {tid}: op {op!r} addresses slot {slot} of "
+                            f"{decl.name!r} ({decl.num_slots} slots)"
+                        )
+                if tag == OP_COMPUTE and op[1] < 0:
+                    raise ValueError(f"thread {tid}: negative compute {op!r}")
+                if tag == OP_LOCK:
+                    depth += 1
+                elif tag == OP_UNLOCK:
+                    depth -= 1
+                    if depth < 0:
+                        raise ValueError(f"thread {tid}: unlock without a lock")
+            if depth != 0:
+                raise ValueError(f"thread {tid}: {depth} unmatched lock(s)")
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def num_threads(self) -> int:
+        """Worker threads the script drives."""
+        return len(self.threads)
+
+    @property
+    def uses_barrier(self) -> bool:
+        """True when any thread waits at the scenario barrier."""
+        return any(op[0] == OP_BARRIER for ops in self.threads for op in ops)
+
+    def op_count(self) -> int:
+        """Total operations across all threads."""
+        return sum(len(ops) for ops in self.threads)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Histogram of op tags (inspection / tests / `scenario list`)."""
+        counts: Dict[str, int] = {}
+        for ops in self.threads:
+            for op in ops:
+                counts[op[0]] = counts.get(op[0], 0) + 1
+        return counts
+
+
+# ---------------------------------------------------------------------------
+# builder
+# ---------------------------------------------------------------------------
+@dataclass
+class ScriptBuilder:
+    """Mutable accumulator the pattern generators write into."""
+
+    num_threads: int
+    layout: List[ObjectDecl] = field(default_factory=list)
+    _ops: List[List[Op]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ValueError(f"num_threads must be >= 1, got {self.num_threads}")
+        self._ops = [[] for _ in range(self.num_threads)]
+
+    # -- layout ---------------------------------------------------------------
+    def declare(self, decl: ObjectDecl) -> int:
+        """Add *decl* to the layout and return its object index."""
+        self.layout.append(decl)
+        return len(self.layout) - 1
+
+    def shared_object(self, name: str, num_fields: int = 1, home_node: int = 0) -> int:
+        """Declare a scalar object (monitor target / field container)."""
+        return self.declare(
+            ObjectDecl(name=name, kind="object", num_fields=num_fields, home_node=home_node)
+        )
+
+    def shared_array(
+        self,
+        name: str,
+        length: int,
+        home_node: int = 0,
+        element_type: str = "long",
+        page_aligned: bool = True,
+    ) -> int:
+        """Declare an array (page-aligned by default, like the benchmarks)."""
+        return self.declare(
+            ObjectDecl(
+                name=name,
+                kind="array",
+                home_node=home_node,
+                element_type=element_type,
+                length=length,
+                page_aligned=page_aligned,
+            )
+        )
+
+    # -- per-thread ops ---------------------------------------------------------
+    def get(self, thread: int, obj: int, slot: int) -> None:
+        self._ops[thread].append((OP_GET, obj, slot))
+
+    def put(self, thread: int, obj: int, slot: int, value) -> None:
+        self._ops[thread].append((OP_PUT, obj, slot, value))
+
+    def lock(self, thread: int, obj: int) -> None:
+        self._ops[thread].append((OP_LOCK, obj))
+
+    def unlock(self, thread: int, obj: int) -> None:
+        self._ops[thread].append((OP_UNLOCK, obj))
+
+    def compute(self, thread: int, cycles: float) -> None:
+        self._ops[thread].append((OP_COMPUTE, float(cycles)))
+
+    def barrier_all(self) -> None:
+        """Append a barrier op to *every* thread (all must participate)."""
+        for ops in self._ops:
+            ops.append((OP_BARRIER,))
+
+    # ------------------------------------------------------------------
+    def build(self) -> AccessScript:
+        """Freeze into a validated :class:`AccessScript`."""
+        script = AccessScript(
+            layout=tuple(self.layout),
+            threads=tuple(tuple(ops) for ops in self._ops),
+        )
+        return script.validate()
+
+
+# ---------------------------------------------------------------------------
+# interpreter
+# ---------------------------------------------------------------------------
+def materialise_layout(ctx, script: AccessScript) -> List:
+    """Allocate the script's declared objects through the runtime heap.
+
+    Home nodes are taken modulo the runtime's node count so the same script
+    runs on any cluster size.  Returns the entities in declaration order.
+    """
+    num_nodes = ctx.runtime.num_nodes
+    entities = []
+    for decl in script.layout:
+        home = decl.home_node % num_nodes
+        if decl.kind == "array":
+            entities.append(
+                ctx.new_array(
+                    decl.element_type,
+                    decl.length,
+                    home_node=home,
+                    page_aligned=decl.page_aligned,
+                )
+            )
+        else:
+            jclass = ctx.runtime.java_class(
+                decl.name, [f"f{i}" for i in range(decl.num_fields)]
+            )
+            entities.append(ctx.new_object(jclass, home_node=home))
+    return entities
+
+
+def replay_thread(
+    ctx,
+    script: AccessScript,
+    thread_index: int,
+    entities: Sequence,
+    barrier,
+    work_multiplier: float = 1.0,
+) -> Generator:
+    """Replay one thread's op sequence against materialised *entities*.
+
+    ``work_multiplier`` mirrors the paper-app workloads: compute cycles are
+    scaled by it, and each scripted access additionally accounts
+    ``round(work_multiplier) - 1`` detection-only accesses
+    (:meth:`~repro.hyperion.threads.JavaThreadContext.account_accesses`), so
+    a scaled-down script keeps the paper-scale check/fault balance without
+    moving more data.  Returns the number of ops executed.
+    """
+    extra = max(0, int(round(work_multiplier)) - 1)
+    executed = 0
+    for op in script.threads[thread_index]:
+        tag = op[0]
+        if tag == OP_GET:
+            ctx.get(entities[op[1]], op[2])
+            if extra:
+                ctx.account_accesses(
+                    entities[op[1]], extra, lo=op[2], hi=op[2] + 1, write=False
+                )
+        elif tag == OP_PUT:
+            ctx.put(entities[op[1]], op[2], op[3])
+            if extra:
+                ctx.account_accesses(
+                    entities[op[1]], extra, lo=op[2], hi=op[2] + 1, write=True
+                )
+        elif tag == OP_COMPUTE:
+            ctx.compute(cycles=op[1] * work_multiplier)
+        elif tag == OP_LOCK:
+            yield from ctx.monitor_enter(entities[op[1]])
+        elif tag == OP_UNLOCK:
+            yield from ctx.monitor_exit(entities[op[1]])
+        elif tag == OP_BARRIER:
+            yield from ctx.barrier(barrier)
+        else:  # pragma: no cover - build() validates tags
+            raise ValueError(f"unknown op tag {tag!r}")
+        executed += 1
+    return executed

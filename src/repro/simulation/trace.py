@@ -7,8 +7,9 @@ by the test-suite to assert ordering properties and by the harness's
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -21,6 +22,10 @@ class TraceRecord:
 
     def __str__(self) -> str:
         return f"[{self.time * 1e6:12.3f} us] {self.kind:<12} {self.label}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (one JSONL line of :meth:`TraceRecorder.write_jsonl`)."""
+        return {"time": self.time, "kind": self.kind, "label": self.label}
 
 
 @dataclass
@@ -63,3 +68,36 @@ class TraceRecorder:
         if self.dropped:
             lines.append(f"... {self.dropped} record(s) dropped ...")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # offline export
+    # ------------------------------------------------------------------
+    def iter_jsonl(self) -> Iterator[str]:
+        """One compact JSON line per record, in dispatch order.
+
+        When the recorder overflowed, a final ``{"kind": "__meta__", ...}``
+        line reports how many records were dropped, so consumers can tell a
+        complete trace from a truncated one.
+        """
+        for record in self.records:
+            yield json.dumps(record.to_dict(), sort_keys=True, separators=(",", ":"))
+        if self.dropped:
+            yield json.dumps(
+                {"kind": "__meta__", "dropped": self.dropped},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+
+    def write_jsonl(self, path) -> int:
+        """Write the trace to *path* as JSON Lines; returns lines written.
+
+        This is what the CLI's ``--trace-out`` flag uses so generated-scenario
+        (and paper-app) traces can be inspected offline with standard tools
+        (``jq``, pandas, grep).
+        """
+        count = 0
+        with open(path, "w") as handle:
+            for line in self.iter_jsonl():
+                handle.write(line + "\n")
+                count += 1
+        return count

@@ -25,6 +25,10 @@ from repro.hyperion.runtime import RuntimeConfig
 
 APPS = sorted(FIGURE_APPS.values())
 PROTOCOLS = ("java_ic", "java_pf")
+#: generated scenarios pinned to the same contract as the paper apps
+#: (the full set is covered by tests/scenarios/; these two exercise the
+#: barrier-heavy and monitor-heavy interpreter paths here)
+SCENARIO_APPS = ("syn-false-sharing", "syn-hot-lock")
 
 
 def _spec(app: str, protocol: str, trace: bool = False) -> ExperimentSpec:
@@ -56,6 +60,25 @@ def test_trace_on_off_identical(app, protocol):
 @pytest.mark.parametrize("app", APPS)
 def test_fast_vs_reference_detection_identical(app, protocol):
     """Old (reference) and new (fast) detection produce identical reports."""
+    fast = run_spec(_spec(app, protocol))
+    with reference_detection():
+        reference = run_spec(_spec(app, protocol))
+    assert _payload(fast) == _payload(reference)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("app", SCENARIO_APPS)
+def test_scenario_trace_on_off_identical(app, protocol):
+    """Generated scenarios honour the traced-vs-untraced contract too."""
+    plain = run_spec(_spec(app, protocol, trace=False))
+    traced = run_spec(_spec(app, protocol, trace=True))
+    assert _payload(plain) == _payload(traced)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("app", SCENARIO_APPS)
+def test_scenario_fast_vs_reference_detection_identical(app, protocol):
+    """Old (reference) and new (fast) detection agree on scenario cells."""
     fast = run_spec(_spec(app, protocol))
     with reference_detection():
         reference = run_spec(_spec(app, protocol))

@@ -1,0 +1,124 @@
+"""Scenario determinism: the PR 2 contract extended to generated workloads.
+
+Three layers of pinning:
+
+* same seed, same spec ⇒ byte-identical ``ExecutionReport.to_dict()``;
+* serial and parallel sessions agree byte for byte over a scenario grid;
+* one golden cell per pattern (``tests/scenarios/golden_cells.json``)
+  pins the exact report payload — any change to a generator, the
+  interpreter, the cost model or the runtime that shifts a scenario result
+  must consciously regenerate the goldens.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.executor import ParallelExecutor, SerialExecutor
+from repro.harness.matrix import ExperimentMatrix
+from repro.harness.session import Session
+from repro.harness.spec import ExperimentSpec, run_spec
+from repro.scenarios.registry import available_scenarios, scenario_workload
+
+GOLDEN_PATH = Path(__file__).parent / "golden_cells.json"
+
+
+def _payload(report) -> str:
+    """Canonical byte form of a report (the contract is byte identity)."""
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+def _spec(name: str, protocol: str = "java_pf", num_nodes: int = 2, **overrides):
+    workload = (
+        scenario_workload(name, "testing", **overrides) if overrides else "testing"
+    )
+    return ExperimentSpec(
+        app=name,
+        cluster="myrinet",
+        protocol=protocol,
+        num_nodes=num_nodes,
+        workload=workload,
+    )
+
+
+# ---------------------------------------------------------------------------
+# same seed, same bytes
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", available_scenarios())
+def test_same_seed_is_byte_identical(name):
+    first = run_spec(_spec(name))
+    second = run_spec(_spec(name))
+    assert _payload(first) == _payload(second)
+
+
+def test_different_seed_changes_the_report():
+    """The seed must actually reach the generator (not be decorative)."""
+    base = run_spec(_spec("syn-uniform"))
+    reseeded = run_spec(_spec("syn-uniform", seed=99))
+    assert _payload(base) != _payload(reseeded)
+
+
+def test_seed_is_part_of_the_cache_key():
+    assert _spec("syn-uniform").cache_key() != _spec("syn-uniform", seed=99).cache_key()
+    assert _spec("syn-uniform").cache_key() == _spec("syn-uniform").cache_key()
+
+
+# ---------------------------------------------------------------------------
+# serial == parallel through the Session
+# ---------------------------------------------------------------------------
+def test_serial_and_parallel_sessions_agree_on_scenarios():
+    matrix = (
+        ExperimentMatrix()
+        .apps("syn-false-sharing", "syn-migratory")
+        .clusters("myrinet")
+        .protocols("java_ic", "java_pf")
+        .nodes(1, 2)
+        .workload("testing")
+    )
+    specs = matrix.build()
+    serial = Session(executor=SerialExecutor()).run(specs)
+    parallel = Session(executor=ParallelExecutor(jobs=2)).run(specs)
+    assert len(serial) == len(parallel) == len(specs)
+    for spec in specs:
+        assert _payload(serial[spec]) == _payload(parallel[spec]), spec.label()
+
+
+def test_warm_cache_serves_scenario_cells(tmp_path):
+    from repro.harness.store import ResultStore
+
+    spec = _spec("syn-hot-lock")
+    store = ResultStore(tmp_path)
+    first = Session(store=store).run([spec])
+    second = Session(store=store).run([spec])
+    assert first.executed == 1 and first.cache_hits == 0
+    assert second.executed == 0 and second.cache_hits == 1
+    assert _payload(first[spec]) == _payload(second[spec])
+
+
+# ---------------------------------------------------------------------------
+# golden cells
+# ---------------------------------------------------------------------------
+def test_golden_file_covers_every_registered_scenario():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert sorted(golden) == available_scenarios()
+
+
+@pytest.mark.parametrize("name", available_scenarios())
+def test_golden_cell_payload_is_pinned(name):
+    """Regenerate with:
+    PYTHONPATH=src python -c "
+    import json
+    from repro.harness.spec import ExperimentSpec, run_spec
+    from repro.scenarios.registry import available_scenarios
+    golden = {n: run_spec(ExperimentSpec(app=n, cluster='myrinet',
+              protocol='java_pf', num_nodes=2, workload='testing')).to_dict()
+              for n in available_scenarios()}
+    json.dump(golden, open('tests/scenarios/golden_cells.json', 'w'),
+              indent=2, sort_keys=True)"
+    """
+    golden = json.loads(GOLDEN_PATH.read_text())
+    report = run_spec(_spec(name))
+    assert json.dumps(golden[name], sort_keys=True) == _payload(report)

@@ -1,0 +1,143 @@
+"""The access-script IR: declarations, validation, builder and interpreter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.base import create_app
+from repro.scenarios.script import (
+    AccessScript,
+    ObjectDecl,
+    ScriptBuilder,
+    materialise_layout,
+)
+from tests.conftest import make_runtime
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+def test_object_decl_validates():
+    with pytest.raises(ValueError):
+        ObjectDecl(name="", kind="object")
+    with pytest.raises(ValueError):
+        ObjectDecl(name="x", kind="page")
+    with pytest.raises(ValueError):
+        ObjectDecl(name="x", kind="object", num_fields=0)
+    with pytest.raises(ValueError):
+        ObjectDecl(name="x", kind="array", length=0)
+    decl = ObjectDecl(name="arr", kind="array", length=8)
+    assert decl.num_slots == 8
+    assert ObjectDecl(name="obj", num_fields=3).num_slots == 3
+
+
+# ---------------------------------------------------------------------------
+# script validation
+# ---------------------------------------------------------------------------
+def _one_object_layout():
+    return (ObjectDecl(name="o", kind="object", num_fields=2),)
+
+
+def test_validate_rejects_unknown_tag():
+    script = AccessScript(layout=_one_object_layout(), threads=((("frob", 0),),))
+    with pytest.raises(ValueError, match="unknown op tag"):
+        script.validate()
+
+
+def test_validate_rejects_bad_object_and_slot():
+    with pytest.raises(ValueError, match="references object"):
+        AccessScript(layout=_one_object_layout(), threads=((("get", 3, 0),),)).validate()
+    with pytest.raises(ValueError, match="addresses slot"):
+        AccessScript(layout=_one_object_layout(), threads=((("get", 0, 7),),)).validate()
+
+
+def test_validate_rejects_unbalanced_locks():
+    with pytest.raises(ValueError, match="unlock without a lock"):
+        AccessScript(
+            layout=_one_object_layout(), threads=((("unlock", 0),),)
+        ).validate()
+    with pytest.raises(ValueError, match="unmatched lock"):
+        AccessScript(layout=_one_object_layout(), threads=((("lock", 0),),)).validate()
+
+
+def test_validate_rejects_empty_layout_and_threads():
+    with pytest.raises(ValueError, match="at least one declared object"):
+        AccessScript(layout=(), threads=(((("barrier",)),),)).validate()
+    with pytest.raises(ValueError, match="at least one thread"):
+        AccessScript(layout=_one_object_layout(), threads=()).validate()
+
+
+# ---------------------------------------------------------------------------
+# builder
+# ---------------------------------------------------------------------------
+def test_builder_builds_a_valid_script():
+    builder = ScriptBuilder(num_threads=2)
+    counters = builder.shared_object("counters", num_fields=4)
+    table = builder.shared_array("table", length=16, home_node=1)
+    for t in range(2):
+        builder.lock(t, counters)
+        builder.get(t, counters, t)
+        builder.put(t, counters, t, t + 1)
+        builder.unlock(t, counters)
+        builder.get(t, table, 2 * t)
+        builder.compute(t, 100.0)
+    builder.barrier_all()
+    script = builder.build()
+    assert script.num_threads == 2
+    assert script.uses_barrier
+    assert script.op_count() == 2 * 6 + 2
+    counts = script.counts_by_kind()
+    assert counts == {
+        "lock": 2,
+        "unlock": 2,
+        "get": 4,
+        "put": 2,
+        "compute": 2,
+        "barrier": 2,
+    }
+
+
+def test_builder_rejects_zero_threads():
+    with pytest.raises(ValueError):
+        ScriptBuilder(num_threads=0)
+
+
+# ---------------------------------------------------------------------------
+# interpreter (through a real runtime)
+# ---------------------------------------------------------------------------
+def test_materialise_layout_wraps_home_nodes():
+    runtime = make_runtime(num_nodes=2)
+    builder = ScriptBuilder(num_threads=1)
+    builder.shared_object("a", home_node=0)
+    builder.shared_object("b", home_node=5)  # 5 % 2 == 1
+    builder.shared_array("c", length=4, home_node=3)  # 3 % 2 == 1
+    builder.get(0, 0, 0)
+    script = builder.build()
+
+    captured = {}
+
+    def main(ctx):
+        captured["entities"] = materialise_layout(ctx, script)
+        return None
+
+    runtime.spawn_main(main)
+    runtime.run()
+    a, b, c = captured["entities"]
+    assert (a.home_node, b.home_node, c.home_node) == (0, 1, 1)
+    assert c.num_slots == 4
+
+
+def test_replay_executes_every_op_and_respects_the_protocol():
+    """A registered scenario replays its whole script and verifies."""
+    from repro.scenarios.registry import scenario_workload
+
+    app = create_app("syn-migratory")
+    workload = scenario_workload("syn-migratory", "testing")
+    runtime = make_runtime(num_nodes=2, protocol="java_ic")
+    report = app.run(runtime, workload)
+    assert app.verify(report.result, workload)
+    assert report.result["ops_executed"] == report.result["ops_expected"]
+    # java_ic detects remote accesses with inline checks, never page faults
+    stats = report.to_dict()
+    assert stats["inline_checks"] > 0
+    assert stats["page_faults"] == 0

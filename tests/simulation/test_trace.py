@@ -32,3 +32,32 @@ def test_trace_filter_and_annotate():
     trace.annotate(0.5, "custom", "hello")
     assert trace.filter("custom")[0].label == "hello"
     assert "hello" in trace.dump()
+
+
+def test_trace_jsonl_roundtrip(tmp_path):
+    import json
+
+    trace = TraceRecorder()
+    engine = Engine(trace=trace)
+    engine.timeout(1.0, name="first")
+    engine.timeout(2.0, name="second")
+    engine.run()
+    path = tmp_path / "trace.jsonl"
+    assert trace.write_jsonl(path) == 2
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert records == [r.to_dict() for r in trace.records]
+    assert records[0] == {"time": 1.0, "kind": "Timeout", "label": "first"}
+
+
+def test_trace_jsonl_reports_truncation(tmp_path):
+    import json
+
+    trace = TraceRecorder(max_records=1)
+    engine = Engine(trace=trace)
+    engine.timeout(1.0, name="only")
+    engine.timeout(2.0, name="lost")
+    engine.run()
+    lines = list(trace.iter_jsonl())
+    assert len(lines) == 2
+    meta = json.loads(lines[-1])
+    assert meta == {"kind": "__meta__", "dropped": 1}
