@@ -2,29 +2,43 @@
 
 This package contains Hyperion's memory subsystem (the Table 2 primitives
 ``loadIntoCache`` / ``invalidateCache`` / ``updateMainMemory`` / ``get`` /
-``put``), the per-node object cache, and the two consistency protocols whose
-remote-object-detection mechanisms the paper compares:
+``put``), the per-node object cache, and the consistency-protocol family.
+A protocol is the composition of two orthogonal layers:
 
-* :class:`~repro.core.java_ic.JavaIcProtocol` — explicit in-line locality
-  checks on every access (``java_ic``), and
-* :class:`~repro.core.java_pf.JavaPfProtocol` — page-fault-based detection
-  with ``mprotect``-managed protections (``java_pf``).
+* a :mod:`~repro.core.detection` strategy — how accesses to non-resident
+  objects are noticed and charged (in-line checks, page faults, hoisted
+  checks, the adaptive per-page hybrid), and
+* a :mod:`~repro.core.home_policy` — where a page's reference copy lives
+  (fixed at allocation, or migrating toward an exclusive writer).
 
-Both comply with the Java Memory Model: node-level caches, invalidation on
-monitor entry and a flush of field-granularity modifications to the objects'
-home nodes on monitor exit (:mod:`repro.core.jmm`).
+The paper's two protocols are the compositions ``java_ic`` =
+inline-check × fixed and ``java_pf`` = page-fault × fixed; the extension
+family (``java_ic_hoisted``, ``java_hybrid``, ``java_ic_mig``) lives in
+:mod:`repro.core.extra`.  All comply with the Java Memory Model: node-level
+caches, invalidation on monitor entry and a flush of field-granularity
+modifications to the objects' home nodes on monitor exit
+(:mod:`repro.core.jmm`).
 """
 
 from repro.core.cache import CachedObject, ObjectCache
 from repro.core.context import AccessContext, RecordingContext
-from repro.core.java_ic import JavaIcProtocol
-from repro.core.java_pf import JavaPfProtocol
+from repro.core.detection import (
+    DetectionStrategy,
+    HoistedCheckDetection,
+    HybridDetection,
+    InlineCheckDetection,
+    PageFaultDetection,
+)
+from repro.core.home_policy import FixedHomePolicy, HomePolicy, MigratoryHomePolicy
 from repro.core.jmm import HappensBeforeTracker, VectorClock
 from repro.core.memory import MemorySubsystem
 from repro.core.protocol import (
+    ComposedProtocol,
     ConsistencyProtocol,
     available_protocols,
     create_protocol,
+    protocol_composition,
+    register_composed,
     register_protocol,
     unregister_protocol,
 )
@@ -37,10 +51,19 @@ __all__ = [
     "ObjectCache",
     "MemorySubsystem",
     "ConsistencyProtocol",
-    "JavaIcProtocol",
-    "JavaPfProtocol",
+    "ComposedProtocol",
+    "DetectionStrategy",
+    "InlineCheckDetection",
+    "PageFaultDetection",
+    "HoistedCheckDetection",
+    "HybridDetection",
+    "HomePolicy",
+    "FixedHomePolicy",
+    "MigratoryHomePolicy",
     "create_protocol",
     "register_protocol",
+    "register_composed",
+    "protocol_composition",
     "unregister_protocol",
     "available_protocols",
     "RunStats",

@@ -1,8 +1,10 @@
 """Extended protocols beyond the two compared in the paper.
 
 The paper's conclusion stresses that DSM-PM2's customisability makes it cheap
-to experiment with further mechanisms.  This module adds one such variant
-used by the ablation benchmarks:
+to experiment with further mechanisms.  With the detection × home-policy
+decomposition each extension is one :func:`~repro.core.protocol.register_composed`
+line pairing a :mod:`~repro.core.detection` strategy with a
+:mod:`~repro.core.home_policy`:
 
 ``java_ic_hoisted``
     The in-line-check protocol with compiler-style *check hoisting*: when the
@@ -12,89 +14,32 @@ used by the ablation benchmarks:
     ``java_ic`` and ``java_pf`` quantifies how much of ``java_pf``'s win
     could have been recovered by a smarter compiler instead of a different
     detection mechanism.
+
+``java_hybrid``
+    Adaptive per-page detection: every (node, page) starts under in-line
+    checks and is promoted to fault-based handling once the node has
+    observed enough accesses to it (see
+    :class:`~repro.core.detection.HybridDetection`).  Dense pages stop
+    paying the per-access check, sparse pages never pay fault setup —
+    the mechanism the paper's Section 6 speculates a customisable DSM
+    would make cheap to try.
+
+``java_ic_mig``
+    In-line checks over *migratory homes*: a page written exclusively and
+    repeatedly by one remote node is re-homed to it (see
+    :class:`~repro.core.home_policy.MigratoryHomePolicy`), after which that
+    node's accesses are local and its replica survives invalidations.
+    Exercises the PM2 migration machinery the paper lists as future work.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from repro.core.detection import HoistedCheckDetection, HybridDetection, InlineCheckDetection
+from repro.core.home_policy import FixedHomePolicy, MigratoryHomePolicy
+from repro.core.protocol import register_composed
 
-from repro.core.context import AccessContext
-from repro.core.java_ic import JavaIcProtocol
-from repro.core.protocol import register_protocol
-
-
-class JavaIcHoistedProtocol(JavaIcProtocol):
-    """In-line checks with per-bulk-access hoisting."""
-
-    name = "java_ic_hoisted"
-    uses_page_faults = False
-
-    def detect_access(
-        self,
-        ctx: AccessContext,
-        node_id: int,
-        pages: Iterable[int],
-        count: int,
-        write: bool,
-    ) -> int:
-        # Fast path mirroring JavaIcProtocol's, with the hoisted per-page
-        # (instead of per-access) check count.  The classification loop is
-        # open-coded on purpose (hot path — see the note in java_ic.py);
-        # siblings live in java_ic.py and java_pf.py.
-        stats = self.stats
-        home = self._home_by_page
-        present = self._tables[node_id]._present
-        remote = False
-        missing = None
-        n_pages = 0
-        try:
-            for page in pages:
-                n_pages += 1
-                if home[page] != node_id:
-                    remote = True
-                    if page not in present:
-                        if missing is None:
-                            missing = [page]
-                        else:
-                            missing.append(page)
-        except KeyError:
-            raise KeyError(f"page {page} has not been registered") from None
-        stats.accesses += count
-        if remote:
-            stats.remote_accesses += count
-
-        # One hoisted check per bulk access (per page touched, to stay safe
-        # across page boundaries), instead of one per element.
-        checks = n_pages if n_pages > 1 else 1
-        stats.inline_checks += checks
-        ctx.charge_cpu((self._check_cycles * checks) / self._freq)
-
-        if missing:
-            ctx.charge_cpu(self._miss_overhead_s * len(missing))
-            self._fetch(ctx, node_id, missing)
-            return len(missing)
-        return 0
-
-    def detect_access_reference(
-        self,
-        ctx: AccessContext,
-        node_id: int,
-        pages: Iterable[int],
-        count: int,
-        write: bool,
-    ) -> int:
-        pages = list(pages)
-        self._account_accesses(node_id, pages, count)
-
-        checks = max(1, len(pages))
-        self.stats.inline_checks += checks
-        ctx.charge_cpu(self.cost_model.inline_check_seconds(checks))
-
-        missing = self.page_manager.missing_pages(node_id, pages)
-        if missing:
-            ctx.charge_cpu(self.cost_model.cache_miss_overhead_seconds() * len(missing))
-            self._fetch(ctx, node_id, missing)
-        return len(missing)
-
-
-register_protocol(JavaIcHoistedProtocol.name, JavaIcHoistedProtocol)
+JAVA_IC_HOISTED = register_composed(
+    "java_ic_hoisted", HoistedCheckDetection, FixedHomePolicy
+)
+JAVA_HYBRID = register_composed("java_hybrid", HybridDetection, FixedHomePolicy)
+JAVA_IC_MIG = register_composed("java_ic_mig", InlineCheckDetection, MigratoryHomePolicy)

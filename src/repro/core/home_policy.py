@@ -1,0 +1,169 @@
+"""Home policies: the *where-does-the-reference-copy-live* protocol layer.
+
+Every page of the iso-address space has a **home node** holding its
+reference copy (paper Section 3.1).  The paper's protocols pin the home to
+the allocating node forever; its Section 5/6 outlook names re-homing (via
+PM2's migration machinery) as one of the mechanisms DSM-PM2 makes cheap to
+try.  This module isolates that axis into :class:`HomePolicy` objects so a
+:class:`~repro.core.protocol.ConsistencyProtocol` composes one of them with
+a :mod:`~repro.core.detection` strategy:
+
+``fixed``
+    The paper's placement: the home never moves.  Contributes *zero* code to
+    the access hot path, which is what keeps the composed ``java_ic`` /
+    ``java_pf`` byte-identical with their former monolithic selves.
+``migratory``
+    Directory-level page re-homing: when one remote node performs
+    :data:`MigratoryHomePolicy.REHOME_THRESHOLD` *consecutive exclusive*
+    writes to a page (no other node writing it in between), the page's home
+    moves to that writer.  The transfer is priced through the PM2 migration
+    machinery (:meth:`repro.pm2.migration.MigrationManager.page_rehome_cost_seconds`)
+    when the runtime attaches it, and charged as communication wait to the
+    writing thread.  Re-homing is a *directory* operation: the page-table
+    home map moves, so subsequent accesses by the new home are local and its
+    replica survives invalidations, while Hyperion's object-level main
+    memory (and therefore update-message traffic) stays with the allocating
+    node.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Type
+
+from repro.core.context import AccessContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.protocol import ConsistencyProtocol
+    from repro.pm2.migration import MigrationManager
+
+
+class HomePolicy:
+    """Placement (and re-placement) of page reference copies."""
+
+    #: short layer identifier ("fixed", "migratory")
+    name = "abstract"
+    #: True when the composed protocol must report write accesses to the
+    #: policy (:meth:`note_write`).  Policies that leave this False add no
+    #: code whatsoever to the access hot path.
+    observes_writes = False
+    #: human fragment appended to ``ConsistencyProtocol.describe()``; the
+    #: empty string (fixed homes) leaves the description untouched
+    mechanism = ""
+
+    def __init__(self, protocol: "ConsistencyProtocol"):
+        self.protocol = protocol
+        self.page_manager = protocol.page_manager
+        self.cost_model = protocol.cost_model
+        self.stats = protocol.stats
+
+    def attach_migration(self, migration: "MigrationManager") -> None:
+        """Receive the runtime's migration manager (no-op by default)."""
+
+    def note_write(self, ctx: AccessContext, node_id: int, pages) -> None:
+        """Observe one (possibly bulk) write access after its detection ran."""
+
+
+class FixedHomePolicy(HomePolicy):
+    """The paper's placement: a page's home is fixed at allocation time."""
+
+    name = "fixed"
+    observes_writes = False
+    mechanism = ""
+
+
+class MigratoryHomePolicy(HomePolicy):
+    """Re-home a page to a node that keeps writing it exclusively.
+
+    The policy tracks, per page, the last writing node and the length of its
+    uninterrupted write streak.  A write by the current home (or by any other
+    node) resets the streak; once a single remote node accumulates
+    :data:`REHOME_THRESHOLD` consecutive writes, the page is re-homed to it
+    through :meth:`repro.dsm.page_manager.PageManager.rehome_page` and the
+    directory-transfer latency is charged to the writing thread as wait
+    time.  State is a pure function of the simulated access sequence, so
+    runs stay deterministic.
+    """
+
+    name = "migratory"
+    observes_writes = True
+
+    #: consecutive exclusive writes by one remote node before its page is
+    #: re-homed to it
+    REHOME_THRESHOLD = 3
+
+    def __init__(self, protocol: "ConsistencyProtocol", threshold: Optional[int] = None):
+        super().__init__(protocol)
+        if threshold is not None:
+            if threshold < 1:
+                raise ValueError(f"threshold must be >= 1, got {threshold}")
+            self.threshold = int(threshold)
+        else:
+            self.threshold = self.REHOME_THRESHOLD
+        self._home_by_page = protocol._home_by_page
+        #: page -> (last writer node, current streak length)
+        self._streaks: Dict[int, Tuple[int, int]] = {}
+        self._migration: Optional["MigrationManager"] = None
+
+    @property
+    def mechanism(self) -> str:  # type: ignore[override]
+        return f"migratory homes (re-home after {self.threshold} exclusive writes)"
+
+    def attach_migration(self, migration: "MigrationManager") -> None:
+        """Price re-homes through the runtime's PM2 migration machinery."""
+        self._migration = migration
+
+    # ------------------------------------------------------------------
+    def note_write(self, ctx: AccessContext, node_id: int, pages) -> None:
+        home = self._home_by_page
+        streaks = self._streaks
+        threshold = self.threshold
+        for page in pages:
+            if home[page] == node_id:
+                # The home wrote its own page: nobody is writing exclusively.
+                streaks.pop(page, None)
+                continue
+            writer, streak = streaks.get(page, (node_id, 0))
+            streak = streak + 1 if writer == node_id else 1
+            if streak >= threshold:
+                streaks.pop(page, None)
+                self._rehome(ctx, page, node_id)
+            else:
+                streaks[page] = (node_id, streak)
+
+    def _rehome(self, ctx: AccessContext, page: int, new_home: int) -> None:
+        old_home = self.page_manager.rehome_page(page, new_home)
+        if old_home == new_home:  # pragma: no cover - guarded by note_write
+            return
+        if self._migration is not None:
+            self._migration.record_page_rehome()
+        ctx.charge_wait(self._rehome_cost_seconds(old_home, new_home))
+
+    def _rehome_cost_seconds(self, old_home: int, new_home: int) -> float:
+        page_size = self.page_manager.page_size
+        if self._migration is not None:
+            return self._migration.page_rehome_cost_seconds(
+                old_home, new_home, page_size
+            )
+        # Standalone rigs (no runtime, hence no MigrationManager): the same
+        # directory-transfer formula, computed from the page manager's own
+        # topology and cost model.
+        return (
+            self.cost_model.software.rpc_service_seconds
+            + self.page_manager.topology.one_way_time(old_home, new_home, page_size)
+        )
+
+
+#: name -> policy class, what ``register_composed`` resolves strings with
+HOME_POLICIES: Dict[str, Type[HomePolicy]] = {
+    FixedHomePolicy.name: FixedHomePolicy,
+    MigratoryHomePolicy.name: MigratoryHomePolicy,
+}
+
+
+def home_policy_by_name(name: str) -> Type[HomePolicy]:
+    """Look up a home-policy class by its layer name."""
+    try:
+        return HOME_POLICIES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(HOME_POLICIES))
+        raise KeyError(f"unknown home policy {name!r}; available: {known}") from None

@@ -1,4 +1,4 @@
-"""``java_ic``: access detection with explicit in-line locality checks.
+"""``java_ic``: Java consistency with in-line-check access detection.
 
 Paper Section 3.2.  Every ``get``/``put`` executes an explicit check of
 whether the object has a copy on the local node; if it does not, the page
@@ -7,109 +7,17 @@ is mediated by the check, *no* page needs protection anywhere: shared memory
 is mapped READ/WRITE on all nodes at initialisation time and stays that way,
 so remote-object loading never involves a page fault or an ``mprotect`` call.
 The price is one check per access, local or remote.
+
+Since the detection × home-policy decomposition the protocol is just this
+composition — the detection mechanics live in
+:class:`repro.core.detection.InlineCheckDetection`, the (fixed) placement in
+:class:`repro.core.home_policy.FixedHomePolicy`.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from repro.core.detection import InlineCheckDetection
+from repro.core.home_policy import FixedHomePolicy
+from repro.core.protocol import register_composed
 
-from repro.core.context import AccessContext
-from repro.core.protocol import ConsistencyProtocol, register_protocol
-
-
-class JavaIcProtocol(ConsistencyProtocol):
-    """Java consistency with in-line-check-based remote object detection."""
-
-    name = "java_ic"
-    uses_page_faults = False
-
-    #: cycles to clear one presence-table entry during cache invalidation
-    INVALIDATE_ENTRY_CYCLES = 4.0
-
-    def detect_access(
-        self,
-        ctx: AccessContext,
-        node_id: int,
-        pages: Iterable[int],
-        count: int,
-        write: bool,
-    ) -> int:
-        # Fast path: one pass over the (usually single-page) access, using
-        # the precomputed page→home map and the node's presence set.  The
-        # counters and charges are identical — in value and in order — to
-        # detect_access_reference below.  The classification loop is
-        # deliberately open-coded (not a shared helper: this is the hottest
-        # call of a simulation and an extra call per access is measurable);
-        # the same loop lives in java_pf.py and extra.py — change all three
-        # together, the determinism tests pin each against its reference.
-        stats = self.stats
-        home = self._home_by_page
-        present = self._tables[node_id]._present
-        remote = False
-        missing = None
-        try:
-            for page in pages:
-                if home[page] != node_id:
-                    remote = True
-                    if page not in present:
-                        if missing is None:
-                            missing = [page]
-                        else:
-                            missing.append(page)
-        except KeyError:
-            raise KeyError(f"page {page} has not been registered") from None
-        stats.accesses += count
-        if remote:
-            stats.remote_accesses += count
-
-        # One explicit locality check per access, whether local or remote.
-        stats.inline_checks += count
-        ctx.charge_cpu((self._check_cycles * count) / self._freq)
-
-        if missing:
-            # Software miss path (cache lookup + request construction), then
-            # the page request round trip.  No fault, no mprotect.
-            ctx.charge_cpu(self._miss_overhead_s * len(missing))
-            self._fetch(ctx, node_id, missing)
-            return len(missing)
-        return 0
-
-    def detect_access_reference(
-        self,
-        ctx: AccessContext,
-        node_id: int,
-        pages: Iterable[int],
-        count: int,
-        write: bool,
-    ) -> int:
-        pages = list(pages)
-        self._account_accesses(node_id, pages, count)
-
-        # One explicit locality check per access, whether local or remote.
-        self.stats.inline_checks += count
-        ctx.charge_cpu(self.cost_model.inline_check_seconds(count))
-
-        missing = self.page_manager.missing_pages(node_id, pages)
-        if missing:
-            ctx.charge_cpu(self.cost_model.cache_miss_overhead_seconds() * len(missing))
-            self._fetch(ctx, node_id, missing)
-        return len(missing)
-
-    def on_monitor_enter(self, ctx: AccessContext, node_id: int) -> None:
-        """Invalidate the node's cache: clear the presence entries.
-
-        This is cheap for ``java_ic`` — a table walk clearing presence bits —
-        in contrast to ``java_pf`` which must re-protect each page with an
-        ``mprotect`` system call.
-        """
-        dropped = self.page_manager.drop_remote_present_pages(node_id)
-        if dropped:
-            ctx.charge_cpu(
-                self.cost_model.machine.seconds_for_cycles(
-                    self.INVALIDATE_ENTRY_CYCLES * dropped
-                )
-            )
-        self.stats.invalidations += 1
-
-
-register_protocol(JavaIcProtocol.name, JavaIcProtocol)
+JAVA_IC = register_composed("java_ic", InlineCheckDetection, FixedHomePolicy)

@@ -1,4 +1,4 @@
-"""``java_pf``: access detection with page faults.
+"""``java_pf``: Java consistency with page-fault access detection.
 
 Paper Section 3.3.  Pages are READ/WRITE only on their home node; on every
 other node they are protected, and the protection is re-established on each
@@ -7,124 +7,17 @@ raises a page fault, whose handler requests the page from the home node and
 re-opens access with ``mprotect``.  Local accesses — objects on their home
 node or already cached — cost nothing extra, but remote-object loading pays
 the fault, the request and the ``mprotect`` calls.
+
+Since the detection × home-policy decomposition the protocol is just this
+composition — the detection mechanics live in
+:class:`repro.core.detection.PageFaultDetection`, the (fixed) placement in
+:class:`repro.core.home_policy.FixedHomePolicy`.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from repro.core.detection import PageFaultDetection
+from repro.core.home_policy import FixedHomePolicy
+from repro.core.protocol import register_composed
 
-from repro.core.context import AccessContext
-from repro.core.protocol import ConsistencyProtocol, register_protocol
-from repro.dsm.page import PageProtection
-
-
-class JavaPfProtocol(ConsistencyProtocol):
-    """Java consistency with page-fault-based remote object detection."""
-
-    name = "java_pf"
-    uses_page_faults = True
-
-    def detect_access(
-        self,
-        ctx: AccessContext,
-        node_id: int,
-        pages: Iterable[int],
-        count: int,
-        write: bool,
-    ) -> int:
-        # Fast path: single pass over the (usually single-page) access using
-        # the precomputed page→home map and the node's presence set; counters
-        # and charges match detect_access_reference value-for-value.  The
-        # classification loop is open-coded on purpose (hot path — see the
-        # note in java_ic.py); siblings live in java_ic.py and extra.py.
-        stats = self.stats
-        home = self._home_by_page
-        table = self._tables[node_id]
-        present = table._present
-        remote = False
-        missing = None
-        try:
-            for page in pages:
-                if home[page] != node_id:
-                    remote = True
-                    if page not in present:
-                        if missing is None:
-                            missing = [page]
-                        else:
-                            missing.append(page)
-        except KeyError:
-            raise KeyError(f"page {page} has not been registered") from None
-        stats.accesses += count
-        if remote:
-            stats.remote_accesses += count
-
-        # No per-access cost: detection only happens when the hardware traps.
-        if not missing:
-            return 0
-        # One fault per protected page touched (the first access to each
-        # such page traps; subsequent accesses find it READ/WRITE).  The
-        # initial state of every non-resident page is protected (the
-        # protocol protects the whole shared region at start-up), so make
-        # the table reflect that before the fetch re-opens access.
-        n_missing = len(missing)
-        faults_by_node = stats.faults_by_node
-        for page in missing:
-            entry = table.entry(page)
-            if entry.protection is not PageProtection.NONE:
-                entry.protection = PageProtection.NONE
-            entry.faults += 1
-        stats.page_faults += n_missing
-        faults_by_node[node_id] = faults_by_node.get(node_id, 0) + n_missing
-        ctx.charge_cpu(self._page_fault_s * n_missing)
-        self._fetch(ctx, node_id, missing)
-        # The fault handler re-opens access to the arrived pages.
-        entries = table._entries
-        calls = 0
-        for page in missing:
-            entry = entries[page]
-            if entry.protection is not PageProtection.READ_WRITE:
-                entry.protection = PageProtection.READ_WRITE
-                calls += 1
-        stats.mprotect_calls += calls
-        ctx.charge_cpu(self._mprotect_s * calls)
-        return n_missing
-
-    def detect_access_reference(
-        self,
-        ctx: AccessContext,
-        node_id: int,
-        pages: Iterable[int],
-        count: int,
-        write: bool,
-    ) -> int:
-        pages = list(pages)
-        self._account_accesses(node_id, pages, count)
-
-        # No per-access cost: detection only happens when the hardware traps.
-        missing = self.page_manager.missing_pages(node_id, pages)
-        if missing:
-            for page in missing:
-                entry = self.page_manager.tables[node_id].entry(page)
-                if entry.protection is not PageProtection.NONE:
-                    entry.protection = PageProtection.NONE
-                self.page_manager.record_fault(node_id, page)
-            ctx.charge_cpu(self.cost_model.page_fault_seconds() * len(missing))
-            self._fetch(ctx, node_id, missing)
-            calls = self.page_manager.unprotect_after_fetch(node_id, missing)
-            ctx.charge_cpu(self.cost_model.mprotect_seconds(calls))
-        return len(missing)
-
-    def on_monitor_enter(self, ctx: AccessContext, node_id: int) -> None:
-        """Re-protect every replicated remote page (one ``mprotect`` each).
-
-        This is the cost the paper identifies as eating into ``java_pf``'s
-        advantage for Barnes at high node counts: the number of protected
-        pages (and of the faults that follow) grows with communication.
-        """
-        calls = self.page_manager.protect_remote_present_pages(node_id)
-        if calls:
-            ctx.charge_cpu(self.cost_model.mprotect_seconds(calls))
-        self.stats.invalidations += 1
-
-
-register_protocol(JavaPfProtocol.name, JavaPfProtocol)
+JAVA_PF = register_composed("java_pf", PageFaultDetection, FixedHomePolicy)

@@ -52,6 +52,12 @@ class DsmStats:
     invalidations: int = 0
     update_messages: int = 0
     update_bytes: int = 0
+    #: home re-assignments performed by migratory home policies.  Kept OUT of
+    #: :meth:`as_dict` on purpose: the dictionary is the byte-identity /
+    #: golden-cell contract shared by every protocol, and fixed-home runs
+    #: must not grow a new key.  Exposed host-side through
+    #: :attr:`repro.hyperion.runtime.ExecutionReport.page_rehomes`.
+    page_rehomes: int = 0
     fetches_by_node: Dict[int, int] = field(default_factory=dict)
     faults_by_node: Dict[int, int] = field(default_factory=dict)
 
@@ -338,6 +344,71 @@ class PageManager:
             table._present.discard(page)
             dropped += 1
         return dropped
+
+    def invalidate_remote_present_pages(
+        self, node: int, protect_pages
+    ) -> "tuple[int, int]":
+        """Drop or re-protect every replicated non-home page on *node*.
+
+        The hybrid detection strategy's invalidation: pages in
+        *protect_pages* (a set of fault-managed page numbers) are
+        ``mprotect``'ed to NONE like :meth:`protect_remote_present_pages`
+        does, every other replica is simply forgotten like
+        :meth:`drop_remote_present_pages` does.  Returns
+        ``(mprotect_calls, dropped)``.
+        """
+        table = self.tables[node]
+        home_map = self._home_by_page
+        entries = table._entries
+        calls = 0
+        dropped = 0
+        for page in list(table._present):
+            if home_map[page] == node:
+                continue
+            entry = entries[page]
+            entry.present = False
+            table._present.discard(page)
+            if page in protect_pages:
+                if entry.protection is not PageProtection.NONE:
+                    entry.protection = PageProtection.NONE
+                    calls += 1
+            else:
+                dropped += 1
+        if calls:
+            self.stats.mprotect_calls += calls
+        return calls, dropped
+
+    # ------------------------------------------------------------------
+    # home re-assignment (migratory home policies)
+    # ------------------------------------------------------------------
+    def rehome_page(self, page: int, new_home: int) -> int:
+        """Move *page*'s home (its reference copy) to *new_home*.
+
+        The directory hook behind
+        :class:`~repro.core.home_policy.MigratoryHomePolicy`: the page→home
+        map and the :class:`~repro.dsm.page.PageInfo` entry are updated, the
+        new home's table entry becomes a present READ/WRITE reference copy,
+        and the old home's copy is left as an ordinary replica (to be
+        dropped or re-protected at its next invalidation like any other).
+        Callers charge the transfer latency themselves — the manager only
+        mutates the directory and counts the event.  Returns the previous
+        home node (equal to *new_home* when the page already lived there, in
+        which case nothing changes).
+        """
+        info = self.page_info(page)
+        if not 0 <= new_home < self.num_nodes:
+            raise ValueError(f"node {new_home} out of range [0, {self.num_nodes})")
+        old_home = info.home_node
+        if old_home == new_home:
+            return old_home
+        self._pages[page] = PageInfo(
+            page_number=page, home_node=new_home, page_size=self.page_size
+        )
+        self._home_by_page[page] = new_home
+        entry = self.tables[new_home].mark_present(page)
+        entry.protection = PageProtection.READ_WRITE
+        self.stats.page_rehomes += 1
+        return old_home
 
     def unprotect_after_fetch(self, node: int, pages: Sequence[int]) -> int:
         """Set *pages* back to READ_WRITE on *node* after a fault-driven fetch.

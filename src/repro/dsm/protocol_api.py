@@ -4,8 +4,14 @@ DSM-PM2 exposes consistency protocols as a small set of handlers that the
 generic page-management machinery calls at well-defined points; the library
 ships several (sequential consistency, release consistency, Java consistency)
 and applications can register their own.  This module defines that hook
-interface; the concrete Java-consistency protocols of the paper implement it
-in :mod:`repro.core.java_ic` and :mod:`repro.core.java_pf`.
+interface; the Java-consistency protocol family implements it in
+:mod:`repro.core.protocol` as compositions of a detection strategy
+(:mod:`repro.core.detection`) with a home policy
+(:mod:`repro.core.home_policy`).
+
+The ``pages`` argument every access-path hook receives is a re-iterable
+sequence (tuple, list or range) — strategies and policies may traverse it
+more than once.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import Iterable, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.context import AccessContext
+    from repro.pm2.migration import MigrationManager
 
 
 class DsmProtocolHooks(ABC):
@@ -29,8 +36,21 @@ class DsmProtocolHooks(ABC):
     name: str = "abstract"
 
     #: True when the protocol relies on page faults (and therefore on
-    #: mprotect) for access detection.
+    #: mprotect) for access detection.  Diagnostic only — hybrid mechanisms
+    #: use faults for *some* pages, so descriptions must not be derived
+    #: from this flag (see ``ConsistencyProtocol.describe``).
     uses_page_faults: bool = False
+
+    # -- runtime services ---------------------------------------------------
+    def attach_migration(self, migration: "MigrationManager") -> None:
+        """Receive the runtime's PM2 migration manager after assembly.
+
+        Called once by :class:`~repro.hyperion.runtime.HyperionRuntime` so
+        protocols whose home policy re-homes pages can price the transfer
+        through the migration machinery.  The default is a no-op; protocols
+        built outside a full runtime (unit-test rigs) simply never get the
+        call and must cope without it.
+        """
 
     # -- access path -------------------------------------------------------
     @abstractmethod

@@ -7,6 +7,8 @@ Sub-commands::
     hyperion-sim all --jobs 4 --cache-dir .hyperion-cache
     hyperion-sim run jacobi --protocol java_pf --cluster myrinet --nodes 4
     hyperion-sim run asp --trace-out asp.jsonl   # dump the event trace
+    hyperion-sim protocols                # the protocol family + its layers
+    hyperion-sim figure 2 --protocols java_ic,java_pf,java_hybrid
     hyperion-sim scenario list            # the registered syn-* scenarios
     hyperion-sim scenario run syn-false-sharing --seed 7
     hyperion-sim scenario run syn-uniform --pattern-arg write_fraction=0.5
@@ -36,11 +38,19 @@ from typing import List, Optional
 from repro.apps.base import available_apps
 from repro.apps.workloads import WorkloadPreset
 from repro.cluster.presets import cluster_by_name, list_clusters
-from repro.core.protocol import available_protocols
+from repro.core.protocol import (
+    available_protocols,
+    create_protocol,
+    protocol_composition,
+)
+from repro.dsm.page_manager import PageManager
+from repro.pm2.isoaddr import IsoAddressAllocator
 from repro.harness.calibration import calibrate
 from repro.harness.experiment import run_cell
 from repro.harness.figures import (
     FIGURE_APPS,
+    PAPER_PROTOCOLS,
+    PROTOCOL_FAMILY,
     generate_all_figures,
     generate_figure,
     generate_scenario_grid,
@@ -72,6 +82,15 @@ def _positive_int(raw: str) -> int:
     return value
 
 
+def _add_protocols_flag(parser: argparse.ArgumentParser, default: str) -> None:
+    parser.add_argument(
+        "--protocols",
+        default=default,
+        metavar="P,P,...",
+        help=f"comma-separated protocol columns (default: {default})",
+    )
+
+
 def _add_session_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -100,12 +119,20 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale", default="bench", choices=["testing", "bench", "paper"])
     figure.add_argument("--plot", action="store_true", help="also print an ASCII plot")
     figure.add_argument("--json", action="store_true", help="print JSON instead of a table")
+    _add_protocols_flag(figure, ",".join(PAPER_PROTOCOLS))
     _add_session_flags(figure)
 
     everything = sub.add_parser("all", help="regenerate all five figures")
     everything.add_argument("--scale", default="bench", choices=["testing", "bench", "paper"])
     everything.add_argument("--json", action="store_true")
+    _add_protocols_flag(everything, ",".join(PAPER_PROTOCOLS))
     _add_session_flags(everything)
+
+    protocols_cmd = sub.add_parser(
+        "protocols",
+        help="list registered protocols with their description and layers",
+    )
+    protocols_cmd.add_argument("--json", action="store_true")
 
     run = sub.add_parser("run", help="run a single experiment cell")
     run.add_argument("app", choices=available_apps())
@@ -183,6 +210,7 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario_sweep.add_argument(
         "--seed", type=int, default=None, help="override every pattern's RNG seed"
     )
+    _add_protocols_flag(scenario_sweep, ",".join(PROTOCOL_FAMILY))
     scenario_sweep.add_argument("--json", action="store_true")
     scenario_sweep.add_argument(
         "-o",
@@ -248,6 +276,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default=None, metavar="PATH",
         help="write the markdown here instead of stdout",
     )
+    _add_protocols_flag(experiments, ",".join(PROTOCOL_FAMILY))
     _add_session_flags(experiments)
 
     describe = sub.add_parser(
@@ -281,9 +310,27 @@ def _session(args) -> Session:
         raise CliError(f"--cache-dir {cache_dir!r} is not a usable directory: {exc}")
 
 
+def _protocol_columns(args) -> tuple:
+    """Parse and validate a ``--protocols`` comma list."""
+    names = tuple(p for p in args.protocols.split(",") if p)
+    if not names:
+        raise CliError("--protocols selected no protocols")
+    known = available_protocols()
+    unknown = [p for p in names if p not in known]
+    if unknown:
+        raise CliError(
+            f"unknown protocol(s) {', '.join(unknown)}; "
+            f"available: {', '.join(known)}"
+        )
+    return names
+
+
 def cmd_figure(args) -> int:
     data = generate_figure(
-        args.number, workload=_workload(args.scale), session=_session(args)
+        args.number,
+        workload=_workload(args.scale),
+        protocols=_protocol_columns(args),
+        session=_session(args),
     )
     if args.json:
         print(json.dumps(data.to_dict(), indent=2))
@@ -296,7 +343,11 @@ def cmd_figure(args) -> int:
 
 
 def cmd_all(args) -> int:
-    figures = generate_all_figures(workload=_workload(args.scale), session=_session(args))
+    figures = generate_all_figures(
+        workload=_workload(args.scale),
+        protocols=_protocol_columns(args),
+        session=_session(args),
+    )
     if args.json:
         print(json.dumps({n: f.to_dict() for n, f in figures.items()}, indent=2))
         return 0
@@ -308,6 +359,61 @@ def cmd_all(args) -> int:
         for cluster, comparison in figure.comparisons.items():
             comparisons.setdefault(cluster, {})[figure.app] = comparison
     print(improvement_table(comparisons))
+    return 0
+
+
+def _probe_protocol(name: str):
+    """Instantiate *name* over a tiny two-node rig (for ``describe()`` only)."""
+    cluster = cluster_by_name("myrinet")
+    cost_model = cluster.cost_model()
+    isoaddr = IsoAddressAllocator(
+        num_nodes=2, arena_size=1 << 20, page_size=cluster.page_size
+    )
+    page_manager = PageManager(
+        num_nodes=2,
+        page_size=cluster.page_size,
+        isoaddr=isoaddr,
+        cost_model=cost_model,
+        topology=cluster.topology_factory(2, cluster.network),
+    )
+    return create_protocol(name, page_manager, cost_model)
+
+
+def _protocol_entries() -> List[dict]:
+    """One row per registered protocol: description plus layer composition."""
+    entries = []
+    for name in available_protocols():
+        protocol = _probe_protocol(name)
+        layers = protocol_composition(name)
+        entries.append(
+            {
+                "name": name,
+                "description": protocol.describe(),
+                "uses_page_faults": bool(protocol.uses_page_faults),
+                "detection": layers["detection"] if layers else None,
+                "home_policy": layers["home_policy"] if layers else None,
+            }
+        )
+    return entries
+
+
+def _print_protocol_entries() -> None:
+    for entry in _protocol_entries():
+        # describe() lines already lead with the protocol name
+        print(f"  {entry['description']}")
+        if entry["detection"]:
+            print(
+                f"      layers: detection={entry['detection']}, "
+                f"home_policy={entry['home_policy']}"
+            )
+
+
+def cmd_protocols(args) -> int:
+    if args.json:
+        print(json.dumps(_protocol_entries(), indent=2, sort_keys=True))
+        return 0
+    print("registered protocols (hyperion-sim run --protocol <name>):")
+    _print_protocol_entries()
     return 0
 
 
@@ -434,6 +540,7 @@ def cmd_scenario(args) -> int:
             scenarios=[args.name] if args.name else None,
             cluster=args.cluster,
             node_counts=node_counts,
+            protocols=_protocol_columns(args),
             workload=args.scale,
             seed=args.seed,
             session=_session(args),
@@ -532,7 +639,9 @@ def cmd_calibrate(args) -> int:
 
 def cmd_experiments(args) -> int:
     document = render_experiments_document(
-        workload=_workload(args.scale), session=_session(args)
+        workload=_workload(args.scale),
+        session=_session(args),
+        protocols=_protocol_columns(args),
     )
     if args.output:
         with open(args.output, "w") as handle:
@@ -553,7 +662,8 @@ def _describe_clusters() -> None:
 
 
 def _describe_protocols() -> None:
-    print("protocols:", ", ".join(available_protocols()))
+    print("protocols:")
+    _print_protocol_entries()
 
 
 def _describe_benchmarks() -> None:
@@ -605,6 +715,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "figure": cmd_figure,
         "all": cmd_all,
+        "protocols": cmd_protocols,
         "run": cmd_run,
         "scenario": cmd_scenario,
         "sweep": cmd_sweep,

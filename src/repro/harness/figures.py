@@ -23,6 +23,14 @@ from repro.hyperion.runtime import RuntimeConfig
 #: figure number -> benchmark, as in the paper
 FIGURE_APPS: Dict[int, str] = {1: "pi", 2: "jacobi", 3: "barnes", 4: "tsp", 5: "asp"}
 
+#: the paper's two protocols — the series of Figures 1-5 as published
+PAPER_PROTOCOLS: Tuple[str, ...] = ("java_ic", "java_pf")
+
+#: the grown protocol family plotted by the widened grids: the paper's two
+#: plus the composed extensions (adaptive per-page detection and migratory
+#: homes; ``java_ic_hoisted`` stays an ablation-only variant)
+PROTOCOL_FAMILY: Tuple[str, ...] = ("java_ic", "java_pf", "java_hybrid", "java_ic_mig")
+
 #: node counts plotted in the paper's figures, per cluster
 DEFAULT_NODE_COUNTS: Dict[str, Tuple[int, ...]] = {
     "myrinet": (1, 2, 4, 6, 8, 10, 12),
@@ -68,6 +76,11 @@ class FigureData:
                 return entry
         raise KeyError(f"no series for {cluster}/{protocol}")
 
+    def has_paper_pair(self) -> bool:
+        """True when both paper protocols are among the plotted series."""
+        protocols = {series.protocol for series in self.series}
+        return {"java_ic", "java_pf"} <= protocols
+
     def improvements(self, cluster: str) -> Dict[int, float]:
         """java_pf improvement over java_ic per node count on *cluster*."""
         return self.comparisons[cluster].improvements()
@@ -87,9 +100,11 @@ class FigureData:
                 }
                 for s in self.series
             ],
-            "improvements": {
-                cluster: self.improvements(cluster) for cluster in self.comparisons
-            },
+            "improvements": (
+                {cluster: self.improvements(cluster) for cluster in self.comparisons}
+                if self.has_paper_pair()
+                else {}
+            ),
         }
 
 
@@ -253,6 +268,15 @@ class ScenarioGridData:
                     }
                     for protocol in self.protocols
                 },
+                # host-side report attribute (deliberately outside to_dict —
+                # see ExecutionReport.page_rehomes); zero for fixed homes
+                "page_rehomes": {
+                    protocol: {
+                        n: int(comparison.report(protocol, n).page_rehomes)
+                        for n in self.node_counts
+                    }
+                    for protocol in self.protocols
+                },
             }
             if "java_ic" in self.protocols and "java_pf" in self.protocols:
                 entry["page_fault_gap"] = {
@@ -290,7 +314,7 @@ def generate_scenario_grid(
     scenarios: Optional[Iterable[str]] = None,
     cluster: str = "myrinet",
     node_counts: Sequence[int] = (1, 2, 4, 8),
-    protocols: Iterable[str] = ("java_ic", "java_pf"),
+    protocols: Iterable[str] = PROTOCOL_FAMILY,
     workload="bench",
     seed: Optional[int] = None,
     config: Optional[RuntimeConfig] = None,
@@ -357,14 +381,17 @@ def generate_all_figures(
     node_counts: Optional[Dict[str, Sequence[int]]] = None,
     config: Optional[RuntimeConfig] = None,
     session: Optional[Session] = None,
+    protocols: Iterable[str] = PAPER_PROTOCOLS,
 ) -> Dict[int, FigureData]:
     """Regenerate Figures 1-5; returns them keyed by figure number.
 
     All five figures' cells are batched into a *single* ``Session.run``, so a
     parallel executor spreads the whole grid — not one figure at a time —
-    across its workers.
+    across its workers.  ``protocols`` defaults to the paper's two series;
+    pass :data:`PROTOCOL_FAMILY` to widen every figure with the composed
+    extension protocols as additional columns.
     """
-    protocols = ("java_ic", "java_pf")
+    protocols = tuple(protocols)
     plans = {}
     for number in sorted(FIGURE_APPS):
         data, plan = _figure_plan(

@@ -21,11 +21,12 @@ def figure_table(figure: FigureData) -> str:
             value = dict(series.points).get(n)
             row.append(f"{value:.3f}" if value is not None else "-")
         lines.append("".join(cell.rjust(w) for cell, w in zip(row, widths)))
-    for cluster, comparison in figure.comparisons.items():
-        improvements = ", ".join(
-            f"{n}:{pct:.0f}%" for n, pct in comparison.improvements().items()
-        )
-        lines.append(f"java_pf improvement on {cluster}: {improvements}")
+    if figure.has_paper_pair():
+        for cluster, comparison in figure.comparisons.items():
+            improvements = ", ".join(
+                f"{n}:{pct:.0f}%" for n, pct in comparison.improvements().items()
+            )
+            lines.append(f"java_pf improvement on {cluster}: {improvements}")
     return "\n".join(lines)
 
 
@@ -115,24 +116,38 @@ def render_experiments_document(
     workload=None,
     session=None,
     figures: Optional[Dict[int, FigureData]] = None,
+    protocols=None,
 ) -> str:
     """The full EXPERIMENTS.md document: measured figures vs. the paper.
 
     Regenerates the five figures, the calibration table and the synthetic
     scenario grid (through *session*, so ``--jobs`` / ``--cache-dir`` apply)
     and assembles them with :func:`render_experiments_markdown`.  Pass
-    pre-computed *figures* to skip the figure simulations.
+    pre-computed *figures* to skip the figure simulations.  ``protocols``
+    selects the plotted columns; the default is the full
+    :data:`~repro.harness.figures.PROTOCOL_FAMILY`, so the document shows
+    the paper's two series *and* the composed extension protocols.
     """
     from repro.apps.workloads import WorkloadPreset
     from repro.harness.calibration import calibrate
-    from repro.harness.figures import generate_all_figures, generate_scenario_grid
+    from repro.harness.figures import (
+        PROTOCOL_FAMILY,
+        generate_all_figures,
+        generate_scenario_grid,
+    )
 
+    if protocols is None:
+        protocols = PROTOCOL_FAMILY
     if isinstance(workload, str):
         workload = WorkloadPreset.by_name(workload)
     if figures is None:
-        figures = generate_all_figures(workload=workload, session=session)
+        figures = generate_all_figures(
+            workload=workload, session=session, protocols=protocols
+        )
     scenario_grid = generate_scenario_grid(
-        workload=workload if workload is not None else "bench", session=session
+        workload=workload if workload is not None else "bench",
+        session=session,
+        protocols=protocols,
     )
     calibration = calibrate(workload=workload, session=session)
     workload_name = getattr(workload, "name", "bench") if workload is not None else "bench"
@@ -155,16 +170,19 @@ def render_experiments_document(
         "## Figures",
         "",
         render_experiments_markdown(figures),
-        "",
-        "## Improvement summary (Section 4.3)",
-        "",
-        "| cluster | " + " | ".join(f.app for f in figures.values()) + " |",
-        "|---" * (1 + len(figures)) + "|",
     ]
-    summary = improvement_summary(figures)
-    for cluster, by_app in summary.items():
-        row = " | ".join(f"{by_app[f.app]:.1f}%" for f in figures.values())
-        lines.append(f"| {cluster} | {row} |")
+    if all(figure.has_paper_pair() for figure in figures.values()):
+        lines += [
+            "",
+            "## Improvement summary (Section 4.3)",
+            "",
+            "| cluster | " + " | ".join(f.app for f in figures.values()) + " |",
+            "|---" * (1 + len(figures)) + "|",
+        ]
+        summary = improvement_summary(figures)
+        for cluster, by_app in summary.items():
+            row = " | ".join(f"{by_app[f.app]:.1f}%" for f in figures.values())
+            lines.append(f"| {cluster} | {row} |")
     lines += [
         "",
         "## Synthetic scenario grid",
@@ -199,11 +217,13 @@ def render_experiments_markdown(figures: Dict[int, FigureData]) -> str:
                 f"{by_node[n]:.3f}" if n in by_node else "-" for n in node_axis
             )
             lines.append(f"| {series.cluster} | {series.protocol} | {values} |")
-        for cluster, comparison in figure.comparisons.items():
-            improvements = ", ".join(
-                f"{n} nodes: {pct:.1f}%" for n, pct in comparison.improvements().items()
-            )
-            lines.append("")
-            lines.append(f"*java_pf improvement on {cluster}*: {improvements}")
+        if figure.has_paper_pair():
+            for cluster, comparison in figure.comparisons.items():
+                improvements = ", ".join(
+                    f"{n} nodes: {pct:.1f}%"
+                    for n, pct in comparison.improvements().items()
+                )
+                lines.append("")
+                lines.append(f"*java_pf improvement on {cluster}*: {improvements}")
         lines.append("")
     return "\n".join(lines)

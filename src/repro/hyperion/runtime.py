@@ -100,6 +100,20 @@ class ExecutionReport:
     #: machine.  Consumed by :mod:`repro.perf` for throughput reporting.
     events_processed: int = 0
 
+    @property
+    def page_rehomes(self) -> int:
+        """Page home transfers performed by a migratory home policy.
+
+        Derived from the run's DSM counters, and — like
+        ``events_processed`` — deliberately NOT part of :meth:`to_dict`:
+        the dictionary schema is shared by every protocol and pinned
+        byte-for-byte by the determinism suite and the golden cells, so
+        fixed-home protocols must not grow a key for a mechanism they
+        never exercise.  Being derived, it also survives the result
+        store's JSON round trip with the rest of the stats.
+        """
+        return self.stats.dsm.page_rehomes
+
     def to_dict(self) -> Dict[str, Any]:
         """Flat dictionary (JSON-serialisable apart from ``result``)."""
         out: Dict[str, Any] = {
@@ -187,6 +201,9 @@ class HyperionRuntime:
         self.balancer: LoadBalancer = create_balancer(self.config.balancer, self.num_nodes)
         self.javaapi = JavaApiSubsystem()
         self.migration = MigrationManager(self.marcel, self.topology, self.cost_model)
+        # protocols whose home policy re-homes pages price the transfer
+        # through the PM2 migration machinery (no-op for everyone else)
+        self.protocol.attach_migration(self.migration)
 
         self.threads: List[JavaThread] = []
         self.barriers: List[ClusterBarrier] = []

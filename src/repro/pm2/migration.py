@@ -21,11 +21,14 @@ from repro.util.validation import check_non_negative, check_positive
 
 @dataclass
 class MigrationStats:
-    """Counts and volume of thread migrations."""
+    """Counts and volume of thread migrations and page re-homes."""
 
     migrations: int = 0
     bytes_moved: int = 0
     seconds_spent: float = 0.0
+    #: page home transfers priced through this manager (migratory home
+    #: policies; see :meth:`MigrationManager.page_rehome_cost_seconds`)
+    page_rehomes: int = 0
 
 
 class MigrationManager:
@@ -58,6 +61,30 @@ class MigrationManager:
         ship = self.topology.one_way_time(src, dst, self.thread_footprint_bytes)
         activate = self.cost_model.software.thread_create_seconds
         return pack + ship + activate
+
+    def page_rehome_cost_seconds(self, src: int, dst: int, nbytes: int) -> float:
+        """Cost of transferring home ownership of one page from *src* to *dst*.
+
+        The same machinery that prices a thread migration prices a page
+        re-home (the paper's Section 5 lists both as PM2 mechanisms to build
+        Java consistency from): one RPC service slot to update the directory
+        plus shipping the page's *nbytes* to the new home.  Pure pricing,
+        like :meth:`migration_cost_seconds` — callers that perform the
+        re-home account it with :meth:`record_page_rehome`.
+        """
+        check_non_negative("src", src)
+        check_non_negative("dst", dst)
+        check_positive("nbytes", nbytes)
+        if src == dst:
+            return 0.0
+        return (
+            self.cost_model.software.rpc_service_seconds
+            + self.topology.one_way_time(src, dst, nbytes)
+        )
+
+    def record_page_rehome(self) -> None:
+        """Account one performed page re-home in :attr:`MigrationStats`."""
+        self.stats.page_rehomes += 1
 
     def migrate(self, thread: MarcelThread, dst: int) -> Generator:
         """``yield from`` this inside the thread's body to migrate it to *dst*.

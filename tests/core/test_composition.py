@@ -1,0 +1,350 @@
+"""Tests for the detection × home-policy protocol composition layer."""
+
+import pytest
+
+from repro.core.detection import (
+    DETECTION_STRATEGIES,
+    InlineCheckDetection,
+    PageFaultDetection,
+    detection_by_name,
+)
+from repro.core.home_policy import (
+    HOME_POLICIES,
+    FixedHomePolicy,
+    MigratoryHomePolicy,
+    home_policy_by_name,
+)
+from repro.core.protocol import (
+    ConsistencyProtocol,
+    available_protocols,
+    create_protocol,
+    protocol_composition,
+    reference_detection,
+    register_composed,
+    register_protocol,
+    unregister_protocol,
+)
+
+
+# ---------------------------------------------------------------------------
+# registry: compositions are first-class entries
+# ---------------------------------------------------------------------------
+def test_builtin_family_is_composed():
+    assert protocol_composition("java_ic") == {
+        "detection": "inline_check",
+        "home_policy": "fixed",
+    }
+    assert protocol_composition("java_pf") == {
+        "detection": "page_fault",
+        "home_policy": "fixed",
+    }
+    assert protocol_composition("java_ic_hoisted") == {
+        "detection": "hoisted",
+        "home_policy": "fixed",
+    }
+    assert protocol_composition("java_hybrid") == {
+        "detection": "hybrid",
+        "home_policy": "fixed",
+    }
+    assert protocol_composition("java_ic_mig") == {
+        "detection": "inline_check",
+        "home_policy": "migratory",
+    }
+
+
+def test_plain_factory_has_no_composition(rig_factory):
+    register_protocol("java_plain_tmp", lambda pm, cm: create_protocol("java_ic", pm, cm))
+    try:
+        assert protocol_composition("java_plain_tmp") is None
+    finally:
+        assert unregister_protocol("java_plain_tmp")
+
+
+def test_layer_name_lookup():
+    assert detection_by_name("page_fault") is PageFaultDetection
+    assert home_policy_by_name("migratory") is MigratoryHomePolicy
+    with pytest.raises(KeyError):
+        detection_by_name("telepathy")
+    with pytest.raises(KeyError):
+        home_policy_by_name("nomadic")
+    assert set(DETECTION_STRATEGIES) == {"inline_check", "page_fault", "hoisted", "hybrid"}
+    assert set(HOME_POLICIES) == {"fixed", "migratory"}
+
+
+def test_register_composed_ten_liner(rig_factory):
+    """The paper's promise: a new protocol is one composition line."""
+    register_composed("java_pf_mig_tmp", "page_fault", "migratory")
+    try:
+        rig = rig_factory(protocol="java_pf_mig_tmp")
+        array = rig.heap.new_array("double", 16, home_node=1)
+        ctx = rig.ctx(0)
+        for _ in range(MigratoryHomePolicy.REHOME_THRESHOLD):
+            rig.memory.put(ctx, 0, array, 0, 1.0)
+        assert rig.page_manager.stats.page_faults > 0  # page_fault detection
+        assert rig.page_manager.stats.page_rehomes > 0  # migratory homes
+    finally:
+        assert unregister_protocol("java_pf_mig_tmp")
+
+
+def test_unregister_composed_name(rig_factory):
+    register_composed("java_tmp_composed", InlineCheckDetection, FixedHomePolicy)
+    assert "java_tmp_composed" in available_protocols()
+    assert unregister_protocol("java_tmp_composed") is True
+    assert unregister_protocol("java_tmp_composed") is False
+    assert "java_tmp_composed" not in available_protocols()
+    rig = rig_factory()
+    with pytest.raises(KeyError):
+        create_protocol("java_tmp_composed", rig.page_manager, rig.cost_model)
+
+
+def test_register_composed_allow_override(rig_factory):
+    register_composed("java_tmp_override", InlineCheckDetection, FixedHomePolicy)
+    try:
+        with pytest.raises(ValueError):
+            register_composed("java_tmp_override", InlineCheckDetection, FixedHomePolicy)
+        # a module re-import may re-register its own composition when opted in
+        factory = register_composed(
+            "java_tmp_override", PageFaultDetection, "migratory", allow_override=True
+        )
+        assert factory.detection_class is PageFaultDetection
+        assert protocol_composition("java_tmp_override") == {
+            "detection": "page_fault",
+            "home_policy": "migratory",
+        }
+    finally:
+        assert unregister_protocol("java_tmp_override")
+
+
+def test_register_composed_rejects_bad_layers():
+    with pytest.raises(KeyError):
+        register_composed("java_tmp_bad", "telepathy", "fixed")
+    with pytest.raises(TypeError):
+        register_composed("java_tmp_bad", object, "fixed")
+    with pytest.raises(TypeError):
+        register_composed("java_tmp_bad", InlineCheckDetection, object)
+    assert "java_tmp_bad" not in available_protocols()
+
+
+def test_reference_detection_restores_when_body_raises():
+    original = InlineCheckDetection.__dict__["detect_access"]
+    with pytest.raises(RuntimeError):
+        with reference_detection():
+            assert InlineCheckDetection.__dict__["detect_access"] is not original
+            raise RuntimeError("boom")
+    assert InlineCheckDetection.__dict__["detect_access"] is original
+
+
+# ---------------------------------------------------------------------------
+# describe(): the mechanism comes from the detection layer
+# ---------------------------------------------------------------------------
+def test_describe_comes_from_detection_layer(rig_factory):
+    rig = rig_factory(protocol="java_hybrid")
+    description = rig.protocol.describe()
+    # a bool-derived description would claim plain "page faults"; the hybrid
+    # strategy contributes its own wording instead
+    assert "hybrid" in description
+    assert rig.protocol.uses_page_faults  # the flag alone would mislead
+
+    mig = rig_factory(protocol="java_ic_mig").protocol.describe()
+    assert "in-line checks" in mig and "migratory homes" in mig
+
+    assert rig_factory(protocol="java_ic").protocol.describe() == (
+        "java_ic: Java consistency with access detection via in-line checks"
+    )
+    assert rig_factory(protocol="java_pf").protocol.describe() == (
+        "java_pf: Java consistency with access detection via page faults"
+    )
+
+
+def test_describe_legacy_fallback_uses_flag(rig_factory):
+    class LegacyProtocol(ConsistencyProtocol):
+        name = "legacy_tmp"
+        uses_page_faults = True
+
+        def detect_access(self, ctx, node_id, pages, count, write):
+            return 0
+
+        def on_monitor_enter(self, ctx, node_id):
+            pass
+
+    rig = rig_factory()
+    legacy = LegacyProtocol(rig.page_manager, rig.cost_model)
+    assert "page faults" in legacy.describe()
+
+
+# ---------------------------------------------------------------------------
+# hybrid detection: per-page promotion by observed access density
+# ---------------------------------------------------------------------------
+def test_hybrid_promotes_dense_pages_and_stops_checking(rig_factory):
+    rig = rig_factory(protocol="java_hybrid")
+    detection = rig.protocol.detection
+    detection.DENSITY_THRESHOLD = 64  # instance override for a fast test
+    array = rig.heap.new_array("double", 64, home_node=0, page_aligned=True)
+    ctx = rig.ctx(0)
+
+    rig.memory.get_range(ctx, 0, array, 0, 64)  # 64 accesses -> promoted
+    checks_after_first = rig.page_manager.stats.inline_checks
+    assert checks_after_first == 64
+
+    pages = rig.page_manager.pages_for_range(array.address, 64 * array.slot_size)
+    assert set(pages) <= detection.promoted_pages(0)
+
+    rig.memory.get_range(ctx, 0, array, 0, 64)  # promoted: no checks anymore
+    assert rig.page_manager.stats.inline_checks == checks_after_first
+
+
+def test_hybrid_faults_on_promoted_misses_and_checks_sparse_ones(rig_factory):
+    rig = rig_factory(protocol="java_hybrid")
+    detection = rig.protocol.detection
+    detection.DENSITY_THRESHOLD = 64
+    dense = rig.heap.new_array("double", 64, home_node=1, page_aligned=True)
+    sparse = rig.heap.new_array("double", 64, home_node=1, page_aligned=True)
+    ctx = rig.ctx(0)
+
+    rig.memory.get_range(ctx, 0, dense, 0, 64)  # miss under checks, then promote
+    assert rig.page_manager.stats.page_faults == 0
+    first_fetches = rig.page_manager.stats.page_fetches
+    assert first_fetches > 0
+
+    rig.memory.invalidate_cache(ctx, 0)  # promoted page is re-protected
+    mprotects = rig.page_manager.stats.mprotect_calls
+    assert mprotects > 0
+
+    rig.memory.get_range(ctx, 0, dense, 0, 64)  # promoted miss -> fault path
+    assert rig.page_manager.stats.page_faults > 0
+    assert rig.page_manager.stats.mprotect_calls > mprotects  # re-opened
+
+    faults = rig.page_manager.stats.page_faults
+    rig.memory.get(ctx, 0, sparse, 0)  # sparse page: checked miss, no fault
+    assert rig.page_manager.stats.page_faults == faults
+
+
+def test_hybrid_invalidation_drops_sparse_pages_without_mprotect(rig_factory):
+    rig = rig_factory(protocol="java_hybrid")
+    array = rig.heap.new_array("double", 16, home_node=1)
+    ctx = rig.ctx(0)
+    rig.memory.get(ctx, 0, array, 0)  # fetched under checks, unpromoted
+    before = rig.page_manager.stats.mprotect_calls
+    rig.memory.invalidate_cache(ctx, 0)
+    assert rig.page_manager.stats.mprotect_calls == before
+
+
+# ---------------------------------------------------------------------------
+# migratory homes: re-homing after consecutive exclusive writes
+# ---------------------------------------------------------------------------
+def _data_page(rig, array) -> int:
+    pages = rig.page_manager.pages_for_range(array.address, array.size_bytes)
+    assert len(pages) == 1
+    return pages[0]
+
+
+def test_migratory_rehomes_after_exclusive_write_streak(rig_factory):
+    rig = rig_factory(protocol="java_ic_mig")
+    array = rig.heap.new_array("double", 8, home_node=1)
+    page = _data_page(rig, array)
+    ctx = rig.ctx(0)
+
+    threshold = rig.protocol.home_policy.threshold
+    for i in range(threshold - 1):
+        rig.memory.put(ctx, 0, array, 0, float(i))
+        assert rig.page_manager.home_node(page) == 1  # streak not complete
+    wait_before = ctx.wait_seconds
+    rig.memory.put(ctx, 0, array, 0, 9.0)
+    assert rig.page_manager.home_node(page) == 0  # re-homed to the writer
+    assert rig.page_manager.stats.page_rehomes == 1
+    assert ctx.wait_seconds > wait_before  # the transfer was charged
+
+    # the new home's accesses are local now and survive invalidation
+    rig.memory.update_main_memory(ctx, 0)
+    rig.memory.invalidate_cache(ctx, 0)
+    fetches = rig.page_manager.stats.page_fetches
+    rig.memory.get(ctx, 0, array, 0)
+    assert rig.page_manager.stats.page_fetches == fetches
+
+
+def test_migratory_streak_is_reset_by_other_writers(rig_factory):
+    rig = rig_factory(protocol="java_ic_mig")
+    array = rig.heap.new_array("double", 8, home_node=1)
+    page = _data_page(rig, array)
+    threshold = rig.protocol.home_policy.threshold
+
+    for round_ in range(3):
+        for _ in range(threshold - 1):
+            rig.memory.put(rig.ctx(0), 0, array, 0, 1.0)
+        # another node (here: the home) writes -> node 0's streak dies
+        rig.memory.put(rig.ctx(1), 1, array, 0, 2.0)
+    assert rig.page_manager.home_node(page) == 1
+    assert rig.page_manager.stats.page_rehomes == 0
+
+    # reads never contribute to the streak
+    for _ in range(threshold * 2):
+        rig.memory.get(rig.ctx(2), 2, array, 0)
+    assert rig.page_manager.home_node(page) == 1
+
+
+def test_migratory_alternating_remote_writers_never_rehome(rig_factory):
+    rig = rig_factory(protocol="java_ic_mig")
+    array = rig.heap.new_array("double", 8, home_node=1)
+    page = _data_page(rig, array)
+    for _ in range(10):
+        rig.memory.put(rig.ctx(0), 0, array, 0, 1.0)
+        rig.memory.put(rig.ctx(2), 2, array, 0, 2.0)
+    assert rig.page_manager.home_node(page) == 1
+    assert rig.page_manager.stats.page_rehomes == 0
+
+
+def test_migratory_threshold_validation(rig_factory):
+    rig = rig_factory()
+    protocol = create_protocol("java_ic", rig.page_manager, rig.cost_model)
+    with pytest.raises(ValueError):
+        MigratoryHomePolicy(protocol, threshold=0)
+    policy = MigratoryHomePolicy(protocol, threshold=5)
+    assert policy.threshold == 5
+    assert "5 exclusive writes" in policy.mechanism
+
+
+# ---------------------------------------------------------------------------
+# the page-manager re-homing hook
+# ---------------------------------------------------------------------------
+def test_rehome_page_moves_directory_entry(rig_factory):
+    rig = rig_factory()
+    array = rig.heap.new_array("double", 8, home_node=2)
+    page = _data_page(rig, array)
+
+    assert rig.page_manager.rehome_page(page, 2) == 2  # no-op move
+    assert rig.page_manager.stats.page_rehomes == 0
+
+    old = rig.page_manager.rehome_page(page, 0)
+    assert old == 2
+    assert rig.page_manager.home_node(page) == 0
+    assert rig.page_manager.page_info(page).home_node == 0
+    assert rig.page_manager.is_present(0, page)
+    # the previous home keeps its copy as an ordinary replica
+    assert rig.page_manager.is_present(2, page)
+    assert rig.page_manager.stats.page_rehomes == 1
+
+    with pytest.raises(ValueError):
+        rig.page_manager.rehome_page(page, 99)
+    with pytest.raises(KeyError):
+        rig.page_manager.rehome_page(123456, 0)
+
+
+def test_invalidate_remote_present_pages_splits_by_mode(rig_factory):
+    rig = rig_factory(protocol="java_ic")
+    a = rig.heap.new_array("double", 8, home_node=1, page_aligned=True)
+    b = rig.heap.new_array("double", 8, home_node=1, page_aligned=True)
+    ctx = rig.ctx(0)
+    rig.memory.get(ctx, 0, a, 0)
+    rig.memory.get(ctx, 0, b, 0)
+    page_a = _data_page(rig, a)
+    page_b = _data_page(rig, b)
+
+    calls, dropped = rig.page_manager.invalidate_remote_present_pages(
+        0, protect_pages={page_a}
+    )
+    assert (calls, dropped) == (1, 1)
+    assert not rig.page_manager.is_present(0, page_a)
+    assert not rig.page_manager.is_present(0, page_b)
+    from repro.dsm.page import PageProtection
+
+    assert rig.page_manager.protection(0, page_a) is PageProtection.NONE

@@ -134,3 +134,42 @@ def test_cli_experiments_subcommand(tmp_path, capsys):
     document = output.read_text()
     assert "# EXPERIMENTS" in document
     assert "Figure 1" in document and "calibration" in document
+
+
+def test_cli_protocols_subcommand(capsys):
+    assert cli_main(["protocols"]) == 0
+    out = capsys.readouterr().out
+    assert "registered protocols" in out
+    for name in ("java_ic", "java_pf", "java_hybrid", "java_ic_mig"):
+        assert name in out
+    assert "detection=hybrid" in out and "home_policy=migratory" in out
+
+
+def test_cli_protocols_json(capsys):
+    assert cli_main(["protocols", "--json"]) == 0
+    entries = {e["name"]: e for e in json.loads(capsys.readouterr().out)}
+    assert entries["java_pf"]["detection"] == "page_fault"
+    assert entries["java_pf"]["home_policy"] == "fixed"
+    assert entries["java_ic_mig"]["home_policy"] == "migratory"
+    assert "migratory homes" in entries["java_ic_mig"]["description"]
+    # every listed protocol carries a describe() line
+    assert all(e["description"] for e in entries.values())
+
+
+def test_cli_figure_protocols_flag(capsys):
+    code = cli_main(
+        ["figure", "1", "--scale", "testing", "--json",
+         "--protocols", "java_ic,java_pf,java_hybrid"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    plotted = {series["protocol"] for series in payload["series"]}
+    assert plotted == {"java_ic", "java_pf", "java_hybrid"}
+
+
+def test_cli_protocols_flag_rejects_unknown(capsys):
+    code = cli_main(
+        ["figure", "1", "--scale", "testing", "--protocols", "java_ic,java_nope"]
+    )
+    assert code == 2
+    assert "unknown protocol" in capsys.readouterr().err

@@ -25,6 +25,10 @@ from repro.hyperion.runtime import RuntimeConfig
 
 APPS = sorted(FIGURE_APPS.values())
 PROTOCOLS = ("java_ic", "java_pf")
+#: the composed extension protocols honour the same contracts as the
+#: paper's two (hybrid exercises per-page mode switching, ic_mig the
+#: migratory-home wrapper around the detection fast path)
+COMPOSED_PROTOCOLS = ("java_hybrid", "java_ic_mig")
 #: generated scenarios pinned to the same contract as the paper apps
 #: (the full set is covered by tests/scenarios/; these two exercise the
 #: barrier-heavy and monitor-heavy interpreter paths here)
@@ -87,12 +91,31 @@ def test_scenario_fast_vs_reference_detection_identical(app, protocol):
 
 def test_reference_detection_restores_fast_path():
     """The context manager must put the optimized methods back."""
-    from repro.core.java_ic import JavaIcProtocol
+    from repro.core.detection import InlineCheckDetection
 
-    original = JavaIcProtocol.__dict__["detect_access"]
+    original = InlineCheckDetection.__dict__["detect_access"]
     with reference_detection():
-        assert JavaIcProtocol.__dict__["detect_access"] is not original
-    assert JavaIcProtocol.__dict__["detect_access"] is original
+        assert InlineCheckDetection.__dict__["detect_access"] is not original
+    assert InlineCheckDetection.__dict__["detect_access"] is original
+
+
+@pytest.mark.parametrize("protocol", COMPOSED_PROTOCOLS)
+@pytest.mark.parametrize("app", APPS)
+def test_composed_trace_on_off_identical(app, protocol):
+    """The new composed protocols honour the traced-vs-untraced contract."""
+    plain = run_spec(_spec(app, protocol, trace=False))
+    traced = run_spec(_spec(app, protocol, trace=True))
+    assert _payload(plain) == _payload(traced)
+
+
+@pytest.mark.parametrize("protocol", COMPOSED_PROTOCOLS)
+@pytest.mark.parametrize("app", APPS + list(SCENARIO_APPS))
+def test_composed_fast_vs_reference_detection_identical(app, protocol):
+    """Fast and reference detection agree for hybrid and migratory homes."""
+    fast = run_spec(_spec(app, protocol))
+    with reference_detection():
+        reference = run_spec(_spec(app, protocol))
+    assert _payload(fast) == _payload(reference)
 
 
 def test_hoisted_protocol_fast_vs_reference():
