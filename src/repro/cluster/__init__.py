@@ -25,9 +25,33 @@ from repro.cluster.presets import (
     cluster_by_name,
     list_clusters,
     myrinet_cluster,
+    register_cluster,
     sci_cluster,
 )
-from repro.cluster.topology import CrossbarTopology, Topology
+from repro.cluster.topologies import (
+    TopologyPreset,
+    available_topology_presets,
+    myrinet2x8_cluster,
+    myrinet_tree_cluster,
+    register_topology_preset,
+    sci_ring_cluster,
+    sci_torus_cluster,
+    topology_preset_by_name,
+)
+from repro.cluster.topology import (
+    CrossbarTopology,
+    LinkSpec,
+    MultiClusterTopology,
+    RingTopology,
+    SwitchedTreeTopology,
+    Topology,
+    TorusTopology,
+    available_topologies,
+    create_topology,
+    register_topology,
+    topology_by_name,
+    unregister_topology,
+)
 
 __all__ = [
     "CostModel",
@@ -37,8 +61,27 @@ __all__ = [
     "ClusterSpec",
     "myrinet_cluster",
     "sci_cluster",
+    "myrinet2x8_cluster",
+    "myrinet_tree_cluster",
+    "sci_torus_cluster",
+    "sci_ring_cluster",
     "cluster_by_name",
+    "register_cluster",
     "list_clusters",
     "Topology",
     "CrossbarTopology",
+    "RingTopology",
+    "TorusTopology",
+    "SwitchedTreeTopology",
+    "MultiClusterTopology",
+    "LinkSpec",
+    "register_topology",
+    "unregister_topology",
+    "topology_by_name",
+    "available_topologies",
+    "create_topology",
+    "TopologyPreset",
+    "register_topology_preset",
+    "topology_preset_by_name",
+    "available_topology_presets",
 ]

@@ -173,8 +173,30 @@ _REGISTRY: Dict[str, Callable[[], ClusterSpec]] = {
 }
 
 
+def register_cluster(
+    name: str, factory: Callable[[], ClusterSpec], allow_override: bool = False
+) -> None:
+    """Register a cluster preset factory under *name* (lower-cased).
+
+    Mirrors the protocol registry: topology presets
+    (:mod:`repro.cluster.topologies`) register their cluster variants here
+    so every harness entry point that resolves cluster names accepts them.
+    """
+    key = name.lower()
+    if key in _REGISTRY and not allow_override:
+        raise ValueError(f"cluster {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def _ensure_topology_presets() -> None:
+    # imported for its registration side effect (deferred: topologies.py
+    # imports this module for ClusterSpec)
+    from repro.cluster import topologies  # noqa: F401
+
+
 def cluster_by_name(name: str) -> ClusterSpec:
-    """Look up a preset by name (``"myrinet"`` or ``"sci"``)."""
+    """Look up a preset by name (``"myrinet"``, ``"sci"``, ``"myrinet2x8"``, ...)."""
+    _ensure_topology_presets()
     try:
         return _REGISTRY[name.lower()]()
     except KeyError:
@@ -184,4 +206,5 @@ def cluster_by_name(name: str) -> ClusterSpec:
 
 def list_clusters() -> List[str]:
     """Names of the available cluster presets."""
+    _ensure_topology_presets()
     return sorted(_REGISTRY)

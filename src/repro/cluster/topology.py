@@ -2,21 +2,83 @@
 
 Both paper clusters are single-switch networks, so the default topology is a
 full crossbar with uniform point-to-point costs.  The abstraction exists so
-that experiments with non-uniform topologies (e.g. a two-switch Myrinet or an
-SCI ring, which has hop-dependent latency) can be plugged in without touching
-the DSM layers; :class:`RingTopology` models the latter.
+that experiments with non-uniform topologies can be plugged in without
+touching the DSM layers, and this module grows that promise into a real
+family:
+
+* :class:`CrossbarTopology` — the paper's single switch (one uniform hop);
+* :class:`RingTopology` — a unidirectional SCI-style ring with cheap
+  hardware-forwarded hops;
+* :class:`TorusTopology` — a bidirectional 2-D torus (SCI's native
+  multi-dimensional cabling), hop count is the wrap-around Manhattan
+  distance;
+* :class:`SwitchedTreeTopology` — two switch tiers (leaf switches joined by
+  a root switch), where the inter-switch hop can carry its *own*
+  :class:`~repro.cluster.network.NetworkSpec`;
+* :class:`MultiClusterTopology` — N islands of one preset joined by a
+  slower backbone link (e.g. two 8-node Myrinet islands over Fast
+  Ethernet).
+
+Heterogeneous paths are described with :class:`LinkSpec`: one hop class
+(intra-switch, inter-switch, backbone/WAN) wrapping the ``NetworkSpec`` that
+prices it.  :class:`LinkPathTopology` sums per-link wire times along the
+path and pays the host software overheads once per endpoint, so a
+single-link path degenerates exactly to ``NetworkSpec.one_way_time``.
+
+Every topology partitions its nodes into *islands* (:meth:`Topology.island_of`):
+the maximal groups whose pairwise traffic never crosses a slow inter-cluster
+link.  Single-switch topologies have one island; the DSM layers use the
+partition to split page-transfer traffic into intra- vs inter-cluster
+counters and to keep page homes inside the accessor's island
+(:class:`~repro.core.home_policy.LocalityAwareHomePolicy`).
+
+Topologies are registered by kind in a registry mirroring the protocol
+registry (:func:`register_topology` / :func:`topology_by_name` /
+:func:`available_topologies`); :mod:`repro.cluster.topologies` builds the
+named cluster presets (``myrinet2x8``, ``sci_torus``, ...) on top of it.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.cluster.network import NetworkSpec
 from repro.util.validation import check_positive
 
 
+@dataclass(frozen=True)
+class LinkSpec:
+    """One hop class of a heterogeneous path: a name plus its network model.
+
+    ``kind`` distinguishes the link tiers of a topology (``"intra-switch"``,
+    ``"inter-switch"``, ``"backbone"``, ...); ``network`` prices it.  The
+    *wire* component of a link (latency plus bandwidth term) is charged per
+    traversed link, while the host software overheads of its network are
+    charged only at the path endpoints — a store-and-forward switch does not
+    re-run the PM2 communication layer.
+    """
+
+    kind: str
+    network: NetworkSpec
+
+    def wire_seconds(self, nbytes: int = 0) -> float:
+        """Latency + bandwidth time of *nbytes* over this link (no overheads)."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+        net = self.network
+        return net.latency_seconds + nbytes / net.bandwidth_bytes_per_second
+
+
 class Topology(ABC):
     """Maps (source node, destination node) pairs to communication costs."""
+
+    #: short kind identifier, mirroring ``ConsistencyProtocol.name``
+    kind = "abstract"
+    #: True when ``hops(i, j) == hops(j, i)`` for every pair; the
+    #: unidirectional ring is the one built-in exception
+    symmetric = True
 
     def __init__(self, num_nodes: int, network: NetworkSpec):
         check_positive("num_nodes", num_nodes)
@@ -33,13 +95,29 @@ class Topology(ABC):
     def hops(self, src: int, dst: int) -> int:
         """Number of network hops between *src* and *dst* (0 when equal)."""
 
+    # ------------------------------------------------------------------
+    # per-hop pricing hook
+    # ------------------------------------------------------------------
+    def extra_hop_seconds(self, src: int, dst: int, hops: int) -> float:
+        """Cost of the *hops - 1* extra hops beyond the first.
+
+        The default charges one full base latency per extra hop (a
+        store-and-forward switch).  Homogeneous topologies with cheaper
+        forwarding (:class:`RingTopology`, :class:`TorusTopology`) override
+        this hook — not :meth:`one_way_time` — so they price through the
+        same skeleton.  :class:`LinkPathTopology` is the exception: its
+        paths mix networks, so it replaces :meth:`one_way_time` wholesale
+        with per-link pricing and this hook does not apply there.
+        """
+        return (hops - 1) * self.network.latency_seconds
+
     def one_way_time(self, src: int, dst: int, nbytes: int = 0) -> float:
         """Message time from *src* to *dst*; local messages cost nothing."""
         self._check_pair(src, dst)
         if src == dst:
             return 0.0
         hops = self.hops(src, dst)
-        return self.network.one_way_time(nbytes) + (hops - 1) * self.network.latency_seconds
+        return self.network.one_way_time(nbytes) + self.extra_hop_seconds(src, dst, hops)
 
     def round_trip_time(self, src: int, dst: int, request_bytes: int = 0, reply_bytes: int = 0) -> float:
         """Request/reply time between *src* and *dst*."""
@@ -47,9 +125,34 @@ class Topology(ABC):
             dst, src, reply_bytes
         )
 
+    # ------------------------------------------------------------------
+    # island partition (inter- vs intra-cluster traffic)
+    # ------------------------------------------------------------------
+    def island_of(self, node: int) -> int:
+        """Island (sub-cluster) index of *node*; single-switch: always 0."""
+        return 0
+
+    @property
+    def num_islands(self) -> int:
+        """Number of islands this topology partitions its nodes into."""
+        return len({self.island_of(node) for node in range(self.num_nodes)})
+
+    def same_island(self, src: int, dst: int) -> bool:
+        """True when traffic between the pair never crosses an inter-cluster link."""
+        return self.island_of(src) == self.island_of(dst)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human-readable summary used by the CLI listings."""
+        islands = self.num_islands
+        island_part = f", {islands} island(s)" if islands > 1 else ""
+        return f"{self.kind}: {self.num_nodes} node(s) on {self.network.name}{island_part}"
+
 
 class CrossbarTopology(Topology):
     """Single switch: every distinct pair of nodes is one hop apart."""
+
+    kind = "crossbar"
 
     def hops(self, src: int, dst: int) -> int:
         self._check_pair(src, dst)
@@ -64,6 +167,9 @@ class RingTopology(Topology):
     hop is a fraction of the base latency.
     """
 
+    kind = "ring"
+    symmetric = False
+
     def __init__(self, num_nodes: int, network: NetworkSpec, per_hop_fraction: float = 0.15):
         super().__init__(num_nodes, network)
         if per_hop_fraction < 0:
@@ -76,10 +182,258 @@ class RingTopology(Topology):
             return 0
         return (dst - src) % self.num_nodes
 
+    def extra_hop_seconds(self, src: int, dst: int, hops: int) -> float:
+        return (hops - 1) * self.per_hop_fraction * self.network.latency_seconds
+
+
+class TorusTopology(Topology):
+    """Bidirectional 2-D torus; hop count is the wrap-around Manhattan distance.
+
+    ``dims`` fixes the grid as (rows, cols); by default the node count is
+    factored into the most square grid available (a prime count degenerates
+    to a 1xN bidirectional ring).  Like the SCI ring, forwarding happens in
+    hardware, so each extra hop costs a fraction of the base latency.
+    """
+
+    kind = "torus"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        network: NetworkSpec,
+        dims: "Tuple[int, int] | None" = None,
+        per_hop_fraction: float = 0.15,
+    ):
+        super().__init__(num_nodes, network)
+        if per_hop_fraction < 0:
+            raise ValueError("per_hop_fraction must be >= 0")
+        self.per_hop_fraction = per_hop_fraction
+        if dims is None:
+            dims = self._square_dims(self.num_nodes)
+        rows, cols = int(dims[0]), int(dims[1])
+        if rows < 1 or cols < 1 or rows * cols != self.num_nodes:
+            raise ValueError(
+                f"dims {dims!r} do not tile {self.num_nodes} node(s)"
+            )
+        self.dims = (rows, cols)
+
+    @staticmethod
+    def _square_dims(num_nodes: int) -> "Tuple[int, int]":
+        """Most square (rows, cols) factorisation of *num_nodes*."""
+        rows = 1
+        candidate = 1
+        while candidate * candidate <= num_nodes:
+            if num_nodes % candidate == 0:
+                rows = candidate
+            candidate += 1
+        return rows, num_nodes // rows
+
+    def _coords(self, node: int) -> "Tuple[int, int]":
+        cols = self.dims[1]
+        return node // cols, node % cols
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check_pair(src, dst)
+        if src == dst:
+            return 0
+        rows, cols = self.dims
+        sr, sc = self._coords(src)
+        dr, dc = self._coords(dst)
+        row_delta = abs(sr - dr)
+        col_delta = abs(sc - dc)
+        return min(row_delta, rows - row_delta) + min(col_delta, cols - col_delta)
+
+    def extra_hop_seconds(self, src: int, dst: int, hops: int) -> float:
+        return (hops - 1) * self.per_hop_fraction * self.network.latency_seconds
+
+
+class LinkPathTopology(Topology):
+    """Base class for topologies whose paths traverse heterogeneous links.
+
+    Subclasses describe the path of a pair as a sequence of
+    :class:`LinkSpec`; the message time is the sum of the per-link wire
+    times plus the host software overheads, paid once at each endpoint (the
+    sender's on the first link, the receiver's on the last).  A single-link
+    path therefore prices exactly like ``NetworkSpec.one_way_time`` on that
+    link's network.
+    """
+
+    @abstractmethod
+    def links(self, src: int, dst: int) -> Sequence[LinkSpec]:
+        """The links a message from *src* to *dst* traverses (src != dst)."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check_pair(src, dst)
+        if src == dst:
+            return 0
+        return len(self.links(src, dst))
+
     def one_way_time(self, src: int, dst: int, nbytes: int = 0) -> float:
         self._check_pair(src, dst)
         if src == dst:
             return 0.0
-        hops = self.hops(src, dst)
-        extra = (hops - 1) * self.per_hop_fraction * self.network.latency_seconds
-        return self.network.one_way_time(nbytes) + extra
+        path = self.links(src, dst)
+        total = path[0].network.send_overhead_seconds
+        for link in path:
+            total += link.wire_seconds(nbytes)
+        total += path[-1].network.recv_overhead_seconds
+        return total
+
+
+class SwitchedTreeTopology(LinkPathTopology):
+    """Two-tier switched tree: leaf switches of *leaf_size* nodes under a root.
+
+    Nodes on the same leaf switch are one intra-switch hop apart; any other
+    pair goes up through its leaf switch, across the root switch and down
+    again (three hops), where the inter-switch hop may carry its own —
+    typically slower — network model.  Each leaf switch is one island.
+    """
+
+    kind = "tree"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        network: NetworkSpec,
+        leaf_size: int = 4,
+        inter_link: "LinkSpec | NetworkSpec | None" = None,
+    ):
+        super().__init__(num_nodes, network)
+        check_positive("leaf_size", leaf_size)
+        self.leaf_size = int(leaf_size)
+        self.intra_link = LinkSpec("intra-switch", network)
+        if inter_link is None:
+            inter_link = LinkSpec("inter-switch", network)
+        elif isinstance(inter_link, NetworkSpec):
+            inter_link = LinkSpec("inter-switch", inter_link)
+        self.inter_link = inter_link
+
+    def island_of(self, node: int) -> int:
+        return node // self.leaf_size
+
+    def links(self, src: int, dst: int) -> Sequence[LinkSpec]:
+        if self.island_of(src) == self.island_of(dst):
+            return (self.intra_link,)
+        return (self.intra_link, self.inter_link, self.intra_link)
+
+
+class MultiClusterTopology(LinkPathTopology):
+    """N islands of one cluster preset joined by a slower backbone link.
+
+    Models the "grid of commodity clusters" platform the paper's platforms
+    cannot express: e.g. two 8-node Myrinet islands whose switches are
+    joined by Fast Ethernet.  Intra-island pairs pay one hop on the island
+    network; inter-island pairs pay island hop + backbone hop + island hop.
+
+    ``num_islands`` splits whatever node count the run uses contiguously
+    into (at most) that many islands of ``ceil(num_nodes / num_islands)``
+    nodes — the way a scheduler hands a job equal shares of each
+    sub-cluster — so a 2-island preset exhibits inter-island traffic at
+    every run size >= 2.  When the node count does not divide evenly the
+    last island is smaller and may be empty (a 9-node run at
+    ``num_islands=4`` yields three 3-node islands); pass ``island_size``
+    instead to pin the physical island capacity.  ``backbone=None`` derives a generic
+    order-of-magnitude-slower backbone from the island network (10x
+    latency, 1/10 bandwidth, 2x overheads).
+    """
+
+    kind = "multicluster"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        network: NetworkSpec,
+        island_size: "int | None" = None,
+        backbone: "LinkSpec | NetworkSpec | None" = None,
+        num_islands: "int | None" = None,
+    ):
+        super().__init__(num_nodes, network)
+        if island_size is not None and num_islands is not None:
+            raise ValueError("pass island_size or num_islands, not both")
+        if island_size is None:
+            islands = 2 if num_islands is None else int(num_islands)
+            check_positive("num_islands", islands)
+            island_size = max(1, -(-self.num_nodes // islands))
+        check_positive("island_size", island_size)
+        self.island_size = int(island_size)
+        self.intra_link = LinkSpec("intra-cluster", network)
+        if backbone is None:
+            backbone = self.default_backbone(network)
+        if isinstance(backbone, NetworkSpec):
+            backbone = LinkSpec("backbone", backbone)
+        self.backbone_link = backbone
+
+    @staticmethod
+    def default_backbone(network: NetworkSpec) -> NetworkSpec:
+        """A generic backbone one order of magnitude slower than *network*."""
+        return NetworkSpec(
+            name=f"{network.name}/backbone",
+            latency_seconds=network.latency_seconds * 10.0,
+            bandwidth_bytes_per_second=network.bandwidth_bytes_per_second / 10.0,
+            send_overhead_seconds=network.send_overhead_seconds * 2.0,
+            recv_overhead_seconds=network.recv_overhead_seconds * 2.0,
+        )
+
+    def island_of(self, node: int) -> int:
+        return node // self.island_size
+
+    def links(self, src: int, dst: int) -> Sequence[LinkSpec]:
+        if self.island_of(src) == self.island_of(dst):
+            return (self.intra_link,)
+        return (self.intra_link, self.backbone_link, self.intra_link)
+
+
+# ---------------------------------------------------------------------------
+# topology registry (mirrors the protocol registry)
+# ---------------------------------------------------------------------------
+#: factory signature shared with ``ClusterSpec.topology_factory``
+TopologyFactory = Callable[[int, NetworkSpec], Topology]
+
+_REGISTRY: Dict[str, TopologyFactory] = {}
+
+
+def register_topology(
+    name: str, factory: TopologyFactory, allow_override: bool = False
+) -> None:
+    """Register a topology factory under *name* (lower-cased).
+
+    The factory takes ``(num_nodes, network)`` — the
+    ``ClusterSpec.topology_factory`` signature — so registered kinds plug
+    straight into cluster presets.  Re-registering an existing name raises
+    ``ValueError`` unless ``allow_override=True``.
+    """
+    key = name.lower()
+    if key in _REGISTRY and not allow_override:
+        raise ValueError(f"topology {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def unregister_topology(name: str) -> bool:
+    """Remove *name* from the registry; returns False if it was not there."""
+    return _REGISTRY.pop(name.lower(), None) is not None
+
+
+def topology_by_name(name: str) -> TopologyFactory:
+    """Look up a registered topology factory by name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown topology {name!r}; available: {known}") from None
+
+
+def available_topologies() -> List[str]:
+    """Names of all registered topology kinds."""
+    return sorted(_REGISTRY)
+
+
+def create_topology(name: str, num_nodes: int, network: NetworkSpec) -> Topology:
+    """Instantiate the topology registered under *name*."""
+    return topology_by_name(name)(num_nodes, network)
+
+
+register_topology("crossbar", CrossbarTopology)
+register_topology("ring", RingTopology)
+register_topology("torus", TorusTopology)
+register_topology("tree", SwitchedTreeTopology)
+register_topology("multicluster", MultiClusterTopology)

@@ -30,12 +30,25 @@ line pairing a :mod:`~repro.core.detection` strategy with a
     :class:`~repro.core.home_policy.MigratoryHomePolicy`), after which that
     node's accesses are local and its replica survives invalidations.
     Exercises the PM2 migration machinery the paper lists as future work.
+
+``java_ic_loc``
+    In-line checks over *locality-aware homes*: on hierarchical topologies
+    (multi-cluster grids, switched trees) a page repeatedly written from
+    outside its home's island is pulled into the writer's island, so the
+    expensive backbone link stops carrying its transfers (see
+    :class:`~repro.core.home_policy.LocalityAwareHomePolicy`).  On the
+    paper's single-switch platforms it behaves exactly like ``java_ic``
+    modulo the (never-firing) write observer.
 """
 
 from __future__ import annotations
 
 from repro.core.detection import HoistedCheckDetection, HybridDetection, InlineCheckDetection
-from repro.core.home_policy import FixedHomePolicy, MigratoryHomePolicy
+from repro.core.home_policy import (
+    FixedHomePolicy,
+    LocalityAwareHomePolicy,
+    MigratoryHomePolicy,
+)
 from repro.core.protocol import register_composed
 
 JAVA_IC_HOISTED = register_composed(
@@ -43,3 +56,6 @@ JAVA_IC_HOISTED = register_composed(
 )
 JAVA_HYBRID = register_composed("java_hybrid", HybridDetection, FixedHomePolicy)
 JAVA_IC_MIG = register_composed("java_ic_mig", InlineCheckDetection, MigratoryHomePolicy)
+JAVA_IC_LOC = register_composed(
+    "java_ic_loc", InlineCheckDetection, LocalityAwareHomePolicy
+)

@@ -24,6 +24,11 @@ a :mod:`~repro.core.detection` strategy:
     replica survives invalidations, while Hyperion's object-level main
     memory (and therefore update-message traffic) stays with the allocating
     node.
+``locality_aware``
+    The topology-aware variant of ``migratory``: only pages homed *outside*
+    the writer's topology island (sub-cluster) are pulled over, keeping
+    reference copies off the slow backbone link; on single-switch
+    topologies (one island) it never fires.
 """
 
 from __future__ import annotations
@@ -153,10 +158,74 @@ class MigratoryHomePolicy(HomePolicy):
         )
 
 
+class LocalityAwareHomePolicy(MigratoryHomePolicy):
+    """Keep page homes inside the accessor's topology island.
+
+    The topology-aware sibling of :class:`MigratoryHomePolicy`: it tracks
+    the same per-page exclusive-write streaks, but only for pages whose
+    current home lives in a *different* island of the cluster topology
+    (:meth:`repro.cluster.topology.Topology.island_of`) than the writer —
+    pulling the reference copy across the slow backbone so the writer's
+    subsequent transfers stay intra-island.  Writes to pages already homed
+    in the writer's island never re-home, so on single-switch topologies
+    (one island) the policy is completely inert.  The re-home transfer is
+    priced per node pair through the topology, so crossing a backbone
+    costs what the backbone costs.
+    """
+
+    name = "locality_aware"
+    observes_writes = True
+
+    #: consecutive exclusive writes from outside the home's island before
+    #: the page is pulled into the writer's island; lower than the
+    #: migratory threshold because a backbone crossing is much more
+    #: expensive than an intra-switch transfer
+    REHOME_THRESHOLD = 2
+
+    def __init__(self, protocol: "ConsistencyProtocol", threshold: Optional[int] = None):
+        super().__init__(protocol, threshold=threshold)
+        topology = self.page_manager.topology
+        self._island_of = topology.island_of
+        # On a single-island topology no write can ever cross islands, so
+        # opt out of write observation entirely: the composed protocol then
+        # binds the bare detection fast path and the policy costs nothing
+        # on the hot path — exactly like fixed homes.
+        self.observes_writes = topology.num_islands > 1
+
+    @property
+    def mechanism(self) -> str:  # type: ignore[override]
+        return (
+            f"locality-aware homes (re-home into the writer's island "
+            f"after {self.threshold} exclusive cross-island writes)"
+        )
+
+    def note_write(self, ctx: AccessContext, node_id: int, pages) -> None:
+        home = self._home_by_page
+        streaks = self._streaks
+        threshold = self.threshold
+        island_of = self._island_of
+        node_island = island_of(node_id)
+        for page in pages:
+            home_node = home[page]
+            if home_node == node_id or island_of(home_node) == node_island:
+                # The home is already in the writer's island: placement is
+                # as local as the topology allows, nothing to improve.
+                streaks.pop(page, None)
+                continue
+            writer, streak = streaks.get(page, (node_id, 0))
+            streak = streak + 1 if writer == node_id else 1
+            if streak >= threshold:
+                streaks.pop(page, None)
+                self._rehome(ctx, page, node_id)
+            else:
+                streaks[page] = (node_id, streak)
+
+
 #: name -> policy class, what ``register_composed`` resolves strings with
 HOME_POLICIES: Dict[str, Type[HomePolicy]] = {
     FixedHomePolicy.name: FixedHomePolicy,
     MigratoryHomePolicy.name: MigratoryHomePolicy,
+    LocalityAwareHomePolicy.name: LocalityAwareHomePolicy,
 }
 
 

@@ -58,6 +58,17 @@ class DsmStats:
     #: must not grow a new key.  Exposed host-side through
     #: :attr:`repro.hyperion.runtime.ExecutionReport.page_rehomes`.
     page_rehomes: int = 0
+    #: page-transfer traffic split by the topology's island partition
+    #: (intra: requester and home share an island; inter: the transfer
+    #: crossed an inter-cluster link).  Like ``page_rehomes`` these stay out
+    #: of :meth:`as_dict` — single-switch topologies have one island and
+    #: must not grow keys — and surface through the host-side
+    #: ``ExecutionReport.inter_cluster_*`` properties.
+    intra_island_page_fetches: int = 0
+    inter_island_page_fetches: int = 0
+    intra_island_fetch_seconds: float = 0.0
+    inter_island_fetch_seconds: float = 0.0
+    inter_island_bytes: int = 0
     fetches_by_node: Dict[int, int] = field(default_factory=dict)
     faults_by_node: Dict[int, int] = field(default_factory=dict)
 
@@ -269,13 +280,24 @@ class PageManager:
         for page in missing:
             by_home.setdefault(home_map[page], []).append(page)
         table = self.tables[node]
+        stats = self.stats
         rpc_service = self.cost_model.software.rpc_service_seconds
         round_trip = self.topology.round_trip_time
-        record_fetch = self.stats.record_fetch
+        island_of = self.topology.island_of
+        record_fetch = stats.record_fetch
+        node_island = island_of(node)
         for home, group in by_home.items():
             payload = len(group) * self.page_size
-            latency += round_trip(node, home, 64, payload) + rpc_service
+            group_latency = round_trip(node, home, 64, payload) + rpc_service
+            latency += group_latency
             record_fetch(node, len(group), payload)
+            if island_of(home) == node_island:
+                stats.intra_island_page_fetches += len(group)
+                stats.intra_island_fetch_seconds += group_latency
+            else:
+                stats.inter_island_page_fetches += len(group)
+                stats.inter_island_fetch_seconds += group_latency
+                stats.inter_island_bytes += payload
             for page in group:
                 entry = table.mark_present(page)
                 entry.fetches += 1

@@ -8,7 +8,10 @@ Sub-commands::
     hyperion-sim run jacobi --protocol java_pf --cluster myrinet --nodes 4
     hyperion-sim run asp --trace-out asp.jsonl   # dump the event trace
     hyperion-sim protocols                # the protocol family + its layers
+    hyperion-sim topologies               # cluster shapes + their islands
     hyperion-sim figure 2 --protocols java_ic,java_pf,java_hybrid
+    hyperion-sim figure 2 --topology myrinet2x8
+    hyperion-sim scenario sweep --topology myrinet2x8
     hyperion-sim scenario list            # the registered syn-* scenarios
     hyperion-sim scenario run syn-false-sharing --seed 7
     hyperion-sim scenario run syn-uniform --pattern-arg write_fraction=0.5
@@ -38,6 +41,10 @@ from typing import List, Optional
 from repro.apps.base import available_apps
 from repro.apps.workloads import WorkloadPreset
 from repro.cluster.presets import cluster_by_name, list_clusters
+from repro.cluster.topologies import (
+    available_topology_presets,
+    topology_preset_by_name,
+)
 from repro.core.protocol import (
     available_protocols,
     create_protocol,
@@ -91,6 +98,22 @@ def _add_protocols_flag(parser: argparse.ArgumentParser, default: str) -> None:
     )
 
 
+def _add_topology_flag(
+    parser: argparse.ArgumentParser, help_text: Optional[str] = None
+) -> None:
+    parser.add_argument(
+        "--topology",
+        default=None,
+        choices=available_topology_presets(),
+        metavar="PRESET",
+        help=help_text
+        or (
+            "run on a topology preset's cluster instead of --cluster / the "
+            "paper platforms (see `hyperion-sim topologies`)"
+        ),
+    )
+
+
 def _add_session_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -120,12 +143,14 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--plot", action="store_true", help="also print an ASCII plot")
     figure.add_argument("--json", action="store_true", help="print JSON instead of a table")
     _add_protocols_flag(figure, ",".join(PAPER_PROTOCOLS))
+    _add_topology_flag(figure)
     _add_session_flags(figure)
 
     everything = sub.add_parser("all", help="regenerate all five figures")
     everything.add_argument("--scale", default="bench", choices=["testing", "bench", "paper"])
     everything.add_argument("--json", action="store_true")
     _add_protocols_flag(everything, ",".join(PAPER_PROTOCOLS))
+    _add_topology_flag(everything)
     _add_session_flags(everything)
 
     protocols_cmd = sub.add_parser(
@@ -133,6 +158,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list registered protocols with their description and layers",
     )
     protocols_cmd.add_argument("--json", action="store_true")
+
+    topologies_cmd = sub.add_parser(
+        "topologies",
+        help="list topology presets (cluster shapes) with their islands",
+    )
+    topologies_cmd.add_argument("--json", action="store_true")
 
     run = sub.add_parser("run", help="run a single experiment cell")
     run.add_argument("app", choices=available_apps())
@@ -211,6 +242,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="override every pattern's RNG seed"
     )
     _add_protocols_flag(scenario_sweep, ",".join(PROTOCOL_FAMILY))
+    _add_topology_flag(scenario_sweep)
     scenario_sweep.add_argument("--json", action="store_true")
     scenario_sweep.add_argument(
         "-o",
@@ -277,6 +309,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the markdown here instead of stdout",
     )
     _add_protocols_flag(experiments, ",".join(PROTOCOL_FAMILY))
+    _add_topology_flag(
+        experiments,
+        help_text=(
+            "restrict the document's topology-grid section to PRESET "
+            "(the figure and scenario sections keep the paper platforms)"
+        ),
+    )
     _add_session_flags(experiments)
 
     describe = sub.add_parser(
@@ -325,10 +364,18 @@ def _protocol_columns(args) -> tuple:
     return names
 
 
+def _figure_clusters(args) -> tuple:
+    """The cluster columns a figure plots: the paper pair or one preset."""
+    if getattr(args, "topology", None):
+        return (args.topology,)
+    return ("myrinet", "sci")
+
+
 def cmd_figure(args) -> int:
     data = generate_figure(
         args.number,
         workload=_workload(args.scale),
+        clusters=_figure_clusters(args),
         protocols=_protocol_columns(args),
         session=_session(args),
     )
@@ -345,6 +392,7 @@ def cmd_figure(args) -> int:
 def cmd_all(args) -> int:
     figures = generate_all_figures(
         workload=_workload(args.scale),
+        clusters=_figure_clusters(args),
         protocols=_protocol_columns(args),
         session=_session(args),
     )
@@ -414,6 +462,47 @@ def cmd_protocols(args) -> int:
         return 0
     print("registered protocols (hyperion-sim run --protocol <name>):")
     _print_protocol_entries()
+    return 0
+
+
+def _topology_entries() -> List[dict]:
+    """One row per topology preset: cluster, shape kind, island structure."""
+    entries = []
+    for name in available_topology_presets():
+        preset = topology_preset_by_name(name)
+        cluster = preset.cluster()
+        topology = preset.topology()
+        entries.append(
+            {
+                "name": name,
+                "cluster": cluster.name,
+                "num_nodes": cluster.num_nodes,
+                "kind": topology.kind,
+                "islands": topology.num_islands,
+                "network": cluster.network.name,
+                "description": preset.description,
+            }
+        )
+    return entries
+
+
+def _print_topology_entries() -> None:
+    for entry in _topology_entries():
+        print(
+            f"  {entry['name']}: {entry['description']}"
+        )
+        print(
+            f"      kind={entry['kind']}, nodes={entry['num_nodes']}, "
+            f"islands={entry['islands']}, network={entry['network']}"
+        )
+
+
+def cmd_topologies(args) -> int:
+    if args.json:
+        print(json.dumps(_topology_entries(), indent=2, sort_keys=True))
+        return 0
+    print("topology presets (hyperion-sim scenario sweep --topology <name>):")
+    _print_topology_entries()
     return 0
 
 
@@ -538,7 +627,7 @@ def cmd_scenario(args) -> int:
     try:
         grid = generate_scenario_grid(
             scenarios=[args.name] if args.name else None,
-            cluster=args.cluster,
+            cluster=args.topology or args.cluster,
             node_counts=node_counts,
             protocols=_protocol_columns(args),
             workload=args.scale,
@@ -642,6 +731,7 @@ def cmd_experiments(args) -> int:
         workload=_workload(args.scale),
         session=_session(args),
         protocols=_protocol_columns(args),
+        topologies=[args.topology] if args.topology else None,
     )
     if args.output:
         with open(args.output, "w") as handle:
@@ -690,9 +780,15 @@ def _describe_figures() -> None:
     print("figures:", ", ".join(f"{n} -> {app}" for n, app in sorted(FIGURE_APPS.items())))
 
 
+def _describe_topologies() -> None:
+    print("topologies:")
+    _print_topology_entries()
+
+
 DESCRIBE_SECTIONS = {
     "clusters": _describe_clusters,
     "protocols": _describe_protocols,
+    "topologies": _describe_topologies,
     "benchmarks": _describe_benchmarks,
     "scenarios": _describe_scenarios,
     "figures": _describe_figures,
@@ -716,6 +812,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": cmd_figure,
         "all": cmd_all,
         "protocols": cmd_protocols,
+        "topologies": cmd_topologies,
         "run": cmd_run,
         "scenario": cmd_scenario,
         "sweep": cmd_sweep,

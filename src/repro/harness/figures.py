@@ -31,6 +31,19 @@ PAPER_PROTOCOLS: Tuple[str, ...] = ("java_ic", "java_pf")
 #: homes; ``java_ic_hoisted`` stays an ablation-only variant)
 PROTOCOL_FAMILY: Tuple[str, ...] = ("java_ic", "java_pf", "java_hybrid", "java_ic_mig")
 
+#: the columns of the topology grid: the family plus the locality-aware
+#: home policy, which only differentiates itself on multi-island topologies
+TOPOLOGY_PROTOCOLS: Tuple[str, ...] = PROTOCOL_FAMILY + ("java_ic_loc",)
+
+#: default rows of the topology grid: two paper benchmarks with opposite
+#: sharing behaviour plus the two scenarios built to stress page placement
+DEFAULT_TOPOLOGY_APPS: Tuple[str, ...] = (
+    "jacobi",
+    "tsp",
+    "syn-false-sharing",
+    "syn-migratory",
+)
+
 #: node counts plotted in the paper's figures, per cluster
 DEFAULT_NODE_COUNTS: Dict[str, Tuple[int, ...]] = {
     "myrinet": (1, 2, 4, 6, 8, 10, 12),
@@ -49,7 +62,8 @@ class FigureSeries:
     @property
     def label(self) -> str:
         """Legend label matching the paper's ("200MHz/Myrinet, java_pf")."""
-        platform = "200MHz/Myrinet" if self.cluster == "myrinet" else "450MHz/SCI"
+        platforms = {"myrinet": "200MHz/Myrinet", "sci": "450MHz/SCI"}
+        platform = platforms.get(self.cluster, self.cluster)
         return f"{platform}, {self.protocol}"
 
 
@@ -247,13 +261,15 @@ class ScenarioGridData:
             "protocols": list(self.protocols),
             "scenarios": {},
         }
+        paper_pair = "java_ic" in self.protocols and "java_pf" in self.protocols
         for name, comparison in self.comparisons.items():
             entry = {
                 "series": {
                     protocol: [[n, t] for n, t in comparison.series(protocol)]
                     for protocol in self.protocols
                 },
-                "improvements": comparison.improvements(),
+                # the improvement series is defined over the paper pair only
+                "improvements": comparison.improvements() if paper_pair else {},
                 "page_faults": {
                     protocol: {
                         n: int(self.stat(name, protocol, n, "page_faults"))
@@ -268,11 +284,19 @@ class ScenarioGridData:
                     }
                     for protocol in self.protocols
                 },
-                # host-side report attribute (deliberately outside to_dict —
-                # see ExecutionReport.page_rehomes); zero for fixed homes
+                # host-side report attributes (deliberately outside to_dict —
+                # see ExecutionReport.page_rehomes); zero for fixed homes /
+                # single-island topologies
                 "page_rehomes": {
                     protocol: {
                         n: int(comparison.report(protocol, n).page_rehomes)
+                        for n in self.node_counts
+                    }
+                    for protocol in self.protocols
+                },
+                "inter_cluster_share": {
+                    protocol: {
+                        n: comparison.report(protocol, n).inter_cluster_cost_share
                         for n in self.node_counts
                     }
                     for protocol in self.protocols
@@ -285,6 +309,14 @@ class ScenarioGridData:
             out["scenarios"][name] = entry
         return out
 
+    def _has_inter_cluster_traffic(self) -> bool:
+        """True when any cell crossed an inter-cluster link."""
+        return any(
+            report.inter_cluster_page_fetches > 0
+            for comparison in self.comparisons.values()
+            for report in comparison.reports.values()
+        )
+
     def render(self) -> str:
         """Text table: per scenario, execution time per protocol and the gap."""
         lines = [
@@ -296,6 +328,11 @@ class ScenarioGridData:
         gap = "java_ic" in self.protocols and "java_pf" in self.protocols
         if gap:
             header.append("fault gap")
+        # only multi-island topologies produce inter-cluster traffic; the
+        # single-switch grids keep their historical column set
+        shares = self._has_inter_cluster_traffic()
+        if shares:
+            header.append("inter share")
         widths = [max(24, len(header[0]) + 2), 7] + [14] * (len(header) - 2)
         lines.append("".join(h.rjust(w) for h, w in zip(header, widths)))
         for name in sorted(self.comparisons):
@@ -306,6 +343,10 @@ class ScenarioGridData:
                     row.append(f"{comparison.report(protocol, n).execution_seconds:.6f}")
                 if gap:
                     row.append(str(self.page_fault_gap(name, n)))
+                if shares:
+                    row.append(
+                        f"{max(comparison.report(p, n).inter_cluster_cost_share for p in self.protocols):.3f}"
+                    )
                 lines.append("".join(cell.rjust(w) for cell, w in zip(row, widths)))
         return "\n".join(lines)
 
@@ -372,6 +413,154 @@ def generate_scenario_grid(
     for name, comparison, specs in plan:
         fill_comparison(comparison, specs, result)
         grid.comparisons[name] = comparison
+    return grid
+
+
+@dataclass
+class TopologyGridData:
+    """The cluster-shape comparison grid: apps x topology presets x protocols.
+
+    Each cell is one simulated execution of *app* under *protocol* on the
+    cluster a topology preset describes, at (up to) a common node count.
+    Beside the execution time the grid records the topology-aware traffic
+    split the runs produced: the inter- vs intra-cluster page-transfer
+    counters and the re-home counts — the numbers that show a cluster's
+    *shape* (not just its size) changing where a protocol's time goes.
+    """
+
+    workload_name: str
+    num_nodes: int
+    apps: List[str]
+    topologies: List[str]
+    protocols: List[str]
+    #: topology preset name -> node count actually used (preset-capped)
+    nodes_by_topology: Dict[str, int] = field(default_factory=dict)
+    #: (app, topology, protocol) -> report
+    reports: Dict[Tuple[str, str, str], "object"] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def report(self, app: str, topology: str, protocol: str):
+        """The report of one grid cell."""
+        return self.reports[(app, topology, protocol)]
+
+    def inter_cluster_share(self, app: str, topology: str, protocol: str) -> float:
+        """Inter-cluster page-transfer cost share of one cell (0..1)."""
+        return self.report(app, topology, protocol).inter_cluster_cost_share
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly grid (recorded by the topology benchmarks)."""
+        from repro.cluster.topologies import topology_preset_by_name
+
+        topologies: Dict[str, Dict] = {}
+        for name in self.topologies:
+            preset = topology_preset_by_name(name)
+            topology = preset.cluster().topology(self.nodes_by_topology[name])
+            topologies[name] = {
+                "description": preset.description,
+                "kind": topology.kind,
+                "num_nodes": self.nodes_by_topology[name],
+                "islands": topology.num_islands,
+            }
+        cells: Dict[str, Dict] = {}
+        for app in self.apps:
+            cells[app] = {}
+            for name in self.topologies:
+                cells[app][name] = {}
+                for protocol in self.protocols:
+                    report = self.report(app, name, protocol)
+                    cells[app][name][protocol] = {
+                        "execution_seconds": report.execution_seconds,
+                        "inter_cluster_cost_share": report.inter_cluster_cost_share,
+                        "inter_cluster_page_fetches": report.inter_cluster_page_fetches,
+                        "intra_cluster_page_fetches": report.intra_cluster_page_fetches,
+                        "inter_cluster_bytes": report.inter_cluster_bytes,
+                        "page_rehomes": report.page_rehomes,
+                    }
+        return {
+            "workload": self.workload_name,
+            "num_nodes": self.num_nodes,
+            "apps": list(self.apps),
+            "protocols": list(self.protocols),
+            "topologies": topologies,
+            "cells": cells,
+        }
+
+    def render(self) -> str:
+        """Text table: per app and topology, time per protocol + max share."""
+        lines = [
+            f"Topology grid ({self.workload_name} scale, "
+            f"<= {self.num_nodes} node(s) per cell)",
+            "",
+        ]
+        header = ["app", "topology", "n"] + [f"{p} [s]" for p in self.protocols]
+        header.append("inter share")
+        widths = [20, 14, 4] + [14] * len(self.protocols) + [13]
+        lines.append("".join(h.rjust(w) for h, w in zip(header, widths)))
+        for app in self.apps:
+            for name in self.topologies:
+                row = [app, name, str(self.nodes_by_topology[name])]
+                shares = []
+                for protocol in self.protocols:
+                    report = self.report(app, name, protocol)
+                    row.append(f"{report.execution_seconds:.6f}")
+                    shares.append(report.inter_cluster_cost_share)
+                row.append(f"{max(shares):.3f}")
+                lines.append("".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def generate_topology_grid(
+    apps: Optional[Iterable[str]] = None,
+    topologies: Optional[Iterable[str]] = None,
+    protocols: Iterable[str] = TOPOLOGY_PROTOCOLS,
+    num_nodes: int = 8,
+    workload="bench",
+    config: Optional[RuntimeConfig] = None,
+    session: Optional[Session] = None,
+) -> TopologyGridData:
+    """Run the apps x topology-presets x protocols grid.
+
+    Every topology preset resolves to its registered cluster variant and
+    runs at ``min(num_nodes, preset size)`` nodes, so the single-switch
+    baselines and the hierarchical shapes are compared at a common scale.
+    All cells are batched into one ``Session.run`` (``--jobs`` and
+    ``--cache-dir`` apply to the whole grid).
+    """
+    from repro.cluster.topologies import available_topology_presets, topology_preset_by_name
+
+    app_list = list(apps) if apps is not None else list(DEFAULT_TOPOLOGY_APPS)
+    topology_list = (
+        list(topologies) if topologies is not None else available_topology_presets()
+    )
+    protocol_list = list(protocols)
+    workload_name = (
+        workload if isinstance(workload, str) else getattr(workload, "name", "custom")
+    )
+    grid = TopologyGridData(
+        workload_name=str(workload_name),
+        num_nodes=num_nodes,
+        apps=app_list,
+        topologies=topology_list,
+        protocols=protocol_list,
+    )
+    specs: Dict[Tuple[str, str, str], ExperimentSpec] = {}
+    for name in topology_list:
+        preset = topology_preset_by_name(name)
+        cluster = preset.cluster()
+        grid.nodes_by_topology[name] = min(num_nodes, cluster.num_nodes)
+        for app in app_list:
+            for protocol in protocol_list:
+                specs[(app, name, protocol)] = ExperimentSpec(
+                    app=app,
+                    cluster=cluster,
+                    protocol=protocol,
+                    num_nodes=grid.nodes_by_topology[name],
+                    workload=workload,
+                    config=config,
+                )
+    result = (session or default_session()).run(list(specs.values()))
+    for key, spec in specs.items():
+        grid.reports[key] = result[spec]
     return grid
 
 

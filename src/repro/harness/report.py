@@ -112,11 +112,40 @@ def render_scenario_grid_markdown(grid) -> str:
     return "\n".join(lines)
 
 
+def render_topology_grid_markdown(grid) -> str:
+    """Markdown section for the topology comparison grid."""
+    header = (
+        "| topology | nodes | islands | "
+        + " | ".join(grid.protocols)
+        + " | inter-cluster share |"
+    )
+    separator = "|---" * (4 + len(grid.protocols)) + "|"
+    payload = grid.to_dict()
+    lines: List[str] = []
+    for app in grid.apps:
+        lines += [f"### {app}", "", header, separator]
+        for name in grid.topologies:
+            nodes = payload["topologies"][name]["num_nodes"]
+            islands = payload["topologies"][name]["islands"]
+            times = " | ".join(
+                f"{grid.report(app, name, protocol).execution_seconds:.6f}"
+                for protocol in grid.protocols
+            )
+            share = max(
+                grid.inter_cluster_share(app, name, protocol)
+                for protocol in grid.protocols
+            )
+            lines.append(f"| {name} | {nodes} | {islands} | {times} | {share:.3f} |")
+        lines.append("")
+    return "\n".join(lines)
+
+
 def render_experiments_document(
     workload=None,
     session=None,
     figures: Optional[Dict[int, FigureData]] = None,
     protocols=None,
+    topologies=None,
 ) -> str:
     """The full EXPERIMENTS.md document: measured figures vs. the paper.
 
@@ -127,6 +156,8 @@ def render_experiments_document(
     selects the plotted columns; the default is the full
     :data:`~repro.harness.figures.PROTOCOL_FAMILY`, so the document shows
     the paper's two series *and* the composed extension protocols.
+    ``topologies`` selects the topology presets of the topology-grid
+    section (default: all registered presets).
     """
     from repro.apps.workloads import WorkloadPreset
     from repro.harness.calibration import calibrate
@@ -134,6 +165,7 @@ def render_experiments_document(
         PROTOCOL_FAMILY,
         generate_all_figures,
         generate_scenario_grid,
+        generate_topology_grid,
     )
 
     if protocols is None:
@@ -148,6 +180,11 @@ def render_experiments_document(
         workload=workload if workload is not None else "bench",
         session=session,
         protocols=protocols,
+    )
+    topology_grid = generate_topology_grid(
+        topologies=topologies,
+        workload=workload if workload is not None else "bench",
+        session=session,
     )
     calibration = calibrate(workload=workload, session=session)
     workload_name = getattr(workload, "name", "bench") if workload is not None else "bench"
@@ -196,6 +233,21 @@ def render_experiments_document(
         "in-line checks instead of faulting).",
         "",
         render_scenario_grid_markdown(scenario_grid),
+        "",
+        "## Topology grid",
+        "",
+        "Cluster *shape* as a sweep dimension (`repro.cluster.topologies`,",
+        "run with `hyperion-sim scenario sweep --topology <preset>`): the",
+        "same applications on the single-switch baselines and on the",
+        "hierarchical presets (multi-cluster islands over a backbone, a",
+        "two-tier switched tree, SCI cabled as a torus or ring), at up to",
+        f"{topology_grid.num_nodes} nodes per cell.  The *inter-cluster share*",
+        "column is the fraction of page-transfer latency spent crossing",
+        "islands (the worst protocol of the row); `java_ic_loc` re-homes",
+        "pages into the writer's island and is the column to compare against",
+        "`java_ic` on the multi-island rows.",
+        "",
+        render_topology_grid_markdown(topology_grid),
     ]
     return "\n".join(lines)
 

@@ -114,6 +114,47 @@ class ExecutionReport:
         """
         return self.stats.dsm.page_rehomes
 
+    # -- topology-aware traffic split (host-side, like page_rehomes) -------
+    @property
+    def intra_cluster_page_fetches(self) -> int:
+        """Page transfers whose requester and home share a topology island."""
+        return self.stats.dsm.intra_island_page_fetches
+
+    @property
+    def inter_cluster_page_fetches(self) -> int:
+        """Page transfers that crossed an inter-cluster (backbone) link."""
+        return self.stats.dsm.inter_island_page_fetches
+
+    @property
+    def intra_cluster_fetch_seconds(self) -> float:
+        """Latency charged for intra-island page transfers."""
+        return self.stats.dsm.intra_island_fetch_seconds
+
+    @property
+    def inter_cluster_fetch_seconds(self) -> float:
+        """Latency charged for island-crossing page transfers."""
+        return self.stats.dsm.inter_island_fetch_seconds
+
+    @property
+    def inter_cluster_bytes(self) -> int:
+        """Page payload bytes shipped across inter-cluster links."""
+        return self.stats.dsm.inter_island_bytes
+
+    @property
+    def inter_cluster_cost_share(self) -> float:
+        """Fraction of page-transfer latency spent crossing islands (0..1).
+
+        Zero on single-switch topologies (everything is one island) and on
+        runs that fetched nothing.  Like :attr:`page_rehomes`, derived from
+        the DSM counters and deliberately outside :meth:`to_dict` — the
+        byte-pinned schema must not vary with the cluster's shape.
+        """
+        dsm = self.stats.dsm
+        total = dsm.intra_island_fetch_seconds + dsm.inter_island_fetch_seconds
+        if total <= 0.0:
+            return 0.0
+        return dsm.inter_island_fetch_seconds / total
+
     def to_dict(self) -> Dict[str, Any]:
         """Flat dictionary (JSON-serialisable apart from ``result``)."""
         out: Dict[str, Any] = {

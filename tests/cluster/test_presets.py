@@ -23,8 +23,12 @@ def test_paper_published_constants():
 
 
 def test_registry_lookup():
-    assert set(list_clusters()) == {"myrinet", "sci"}
+    names = set(list_clusters())
+    # the paper's two platforms plus the registered topology-preset variants
+    assert {"myrinet", "sci"} <= names
+    assert {"myrinet2x8", "myrinet_tree", "sci_torus", "sci_ring"} <= names
     assert cluster_by_name("MYRINET").name == "myrinet"
+    assert cluster_by_name("myrinet2x8").num_nodes == 16
     with pytest.raises(KeyError):
         cluster_by_name("infiniband")
 

@@ -1,9 +1,22 @@
-"""Tests for the crossbar and ring topologies."""
+"""Tests for the topology family: pricing hook, islands, heterogeneous links."""
 
 import pytest
 
 from repro.cluster.network import NetworkSpec
-from repro.cluster.topology import CrossbarTopology, RingTopology
+from repro.cluster.topology import (
+    CrossbarTopology,
+    LinkSpec,
+    MultiClusterTopology,
+    RingTopology,
+    SwitchedTreeTopology,
+    Topology,
+    TorusTopology,
+    available_topologies,
+    create_topology,
+    register_topology,
+    topology_by_name,
+    unregister_topology,
+)
 
 
 @pytest.fixture
@@ -53,3 +66,191 @@ def test_ring_latency_grows_with_hops(network):
     far = ring.one_way_time(0, 5, 0)
     assert far > near
     assert far - near == pytest.approx(4 * 0.2 * network.latency_seconds)
+
+
+# ---------------------------------------------------------------------------
+# the per-hop pricing hook
+# ---------------------------------------------------------------------------
+class UniformRing(RingTopology):
+    """Ring hop counts priced with the base (store-and-forward) hook."""
+
+    def extra_hop_seconds(self, src, dst, hops):
+        return Topology.extra_hop_seconds(self, src, dst, hops)
+
+
+def test_extra_hop_hook_diverges_at_equal_hop_counts(network):
+    """Same hop count, different per-hop pricing: the hook is what differs.
+
+    The regression for the former hard-wired ``(hops - 1) * latency``
+    charge: a hardware-forwarded ring and a store-and-forward ring agree on
+    ``hops`` everywhere, yet price a 4-hop message differently because each
+    supplies its own per-hop cost.
+    """
+    cheap = RingTopology(6, network, per_hop_fraction=0.15)
+    uniform = UniformRing(6, network, per_hop_fraction=0.15)
+    assert cheap.hops(0, 4) == uniform.hops(0, 4) == 4
+    base = network.one_way_time(256)
+    assert cheap.one_way_time(0, 4, 256) == pytest.approx(
+        base + 3 * 0.15 * network.latency_seconds
+    )
+    assert uniform.one_way_time(0, 4, 256) == pytest.approx(
+        base + 3 * network.latency_seconds
+    )
+    assert uniform.one_way_time(0, 4, 256) > cheap.one_way_time(0, 4, 256)
+    # at one hop the extra-hop charge vanishes and both agree with a crossbar
+    crossbar = CrossbarTopology(6, network)
+    assert cheap.one_way_time(0, 1, 256) == pytest.approx(base)
+    assert uniform.one_way_time(0, 1, 256) == pytest.approx(base)
+    assert crossbar.one_way_time(0, 1, 256) == pytest.approx(base)
+
+
+# ---------------------------------------------------------------------------
+# torus
+# ---------------------------------------------------------------------------
+def test_torus_dims_and_wraparound_hops(network):
+    torus = TorusTopology(6, network)  # most square: 2 x 3
+    assert torus.dims == (2, 3)
+    assert torus.hops(0, 0) == 0
+    # node layout: row = n // 3, col = n % 3
+    assert torus.hops(0, 1) == 1
+    assert torus.hops(0, 2) == 1  # column wrap: 0 -> 2 backwards
+    assert torus.hops(0, 5) == 2  # one row + one (wrapped) column
+    assert torus.hops(0, 4) == torus.hops(4, 0)  # bidirectional
+
+
+def test_torus_rejects_bad_dims(network):
+    with pytest.raises(ValueError):
+        TorusTopology(6, network, dims=(2, 2))
+
+
+def test_torus_prime_count_degenerates_to_ring(network):
+    torus = TorusTopology(5, network)
+    assert torus.dims == (1, 5)
+    assert torus.hops(0, 2) == 2
+    assert torus.hops(0, 4) == 1  # wrap-around, bidirectional
+
+
+def test_torus_per_hop_pricing(network):
+    torus = TorusTopology(9, network, per_hop_fraction=0.25)
+    hops = torus.hops(0, 4)  # (0,0) -> (1,1): 2 hops
+    assert hops == 2
+    assert torus.one_way_time(0, 4, 0) == pytest.approx(
+        network.one_way_time(0) + (hops - 1) * 0.25 * network.latency_seconds
+    )
+
+
+# ---------------------------------------------------------------------------
+# heterogeneous link paths
+# ---------------------------------------------------------------------------
+def test_multicluster_islands_and_hops(network):
+    topo = MultiClusterTopology(8, network, island_size=4)
+    assert topo.num_islands == 2
+    assert topo.island_of(3) == 0 and topo.island_of(4) == 1
+    assert topo.same_island(0, 3) and not topo.same_island(0, 4)
+    assert topo.hops(0, 3) == 1
+    assert topo.hops(0, 4) == 3  # island -> backbone -> island
+
+
+def test_multicluster_single_link_path_prices_like_the_island_network(network):
+    topo = MultiClusterTopology(8, network, island_size=4)
+    assert topo.one_way_time(0, 1, 4096) == pytest.approx(network.one_way_time(4096))
+
+
+def test_multicluster_backbone_dominates_inter_island_pricing(network):
+    backbone = NetworkSpec(
+        name="wan", latency_seconds=100e-6, bandwidth_bytes_per_second=10e6
+    )
+    topo = MultiClusterTopology(8, network, island_size=4, backbone=backbone)
+    nbytes = 4096
+    expected = (
+        network.send_overhead_seconds
+        + 2 * (network.latency_seconds + nbytes / network.bandwidth_bytes_per_second)
+        + backbone.latency_seconds
+        + nbytes / backbone.bandwidth_bytes_per_second
+        + network.recv_overhead_seconds
+    )
+    assert topo.one_way_time(0, 5, nbytes) == pytest.approx(expected)
+    assert topo.one_way_time(0, 5, nbytes) > topo.one_way_time(0, 1, nbytes)
+
+
+def test_multicluster_num_islands_splits_the_run(network):
+    topo = MultiClusterTopology(6, network, num_islands=2)
+    assert topo.island_size == 3
+    assert topo.num_islands == 2
+    with pytest.raises(ValueError):
+        MultiClusterTopology(6, network, island_size=3, num_islands=2)
+
+
+def test_multicluster_default_backbone_is_slower(network):
+    default = MultiClusterTopology.default_backbone(network)
+    assert default.latency_seconds > network.latency_seconds
+    assert default.bandwidth_bytes_per_second < network.bandwidth_bytes_per_second
+
+
+def test_tree_hops_islands_and_custom_inter_link(network):
+    inter = NetworkSpec(
+        name="root", latency_seconds=10e-6, bandwidth_bytes_per_second=100e6
+    )
+    tree = SwitchedTreeTopology(8, network, leaf_size=4, inter_link=inter)
+    assert tree.num_islands == 2
+    assert tree.hops(0, 1) == 1
+    assert tree.hops(0, 7) == 3
+    nbytes = 1024
+    expected = (
+        network.send_overhead_seconds
+        + 2 * (network.latency_seconds + nbytes / network.bandwidth_bytes_per_second)
+        + inter.latency_seconds
+        + nbytes / inter.bandwidth_bytes_per_second
+        + network.recv_overhead_seconds
+    )
+    assert tree.one_way_time(0, 7, nbytes) == pytest.approx(expected)
+    assert tree.one_way_time(0, 1, nbytes) == pytest.approx(network.one_way_time(nbytes))
+
+
+def test_link_spec_wire_time(network):
+    link = LinkSpec("intra-switch", network)
+    assert link.wire_seconds(0) == pytest.approx(network.latency_seconds)
+    assert link.wire_seconds(1000) == pytest.approx(
+        network.latency_seconds + 1000 / network.bandwidth_bytes_per_second
+    )
+    with pytest.raises(ValueError):
+        link.wire_seconds(-1)
+
+
+def test_single_switch_topologies_have_one_island(network):
+    assert CrossbarTopology(4, network).num_islands == 1
+    assert RingTopology(4, network).num_islands == 1
+    assert TorusTopology(4, network).num_islands == 1
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+def test_registry_contains_the_builtin_kinds():
+    names = available_topologies()
+    for kind in ("crossbar", "ring", "torus", "tree", "multicluster"):
+        assert kind in names
+
+
+def test_registry_builds_instances(network):
+    topo = create_topology("torus", 6, network)
+    assert isinstance(topo, TorusTopology)
+    assert topo.num_nodes == 6
+
+
+def test_registry_rejects_unknown_and_duplicates(network):
+    with pytest.raises(KeyError):
+        topology_by_name("hypercube")
+    with pytest.raises(ValueError):
+        register_topology("crossbar", CrossbarTopology)
+
+
+def test_registry_override_and_unregister(network):
+    register_topology("test_xbar", CrossbarTopology)
+    register_topology("test_xbar", CrossbarTopology, allow_override=True)
+    with pytest.raises(ValueError):
+        register_topology("test_xbar", CrossbarTopology)
+    assert isinstance(create_topology("test_xbar", 2, network), CrossbarTopology)
+    assert unregister_topology("test_xbar") is True
+    assert unregister_topology("test_xbar") is False
+    assert "test_xbar" not in available_topologies()

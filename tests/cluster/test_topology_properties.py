@@ -1,0 +1,147 @@
+"""Property-based suite: invariants every registered topology must honour.
+
+For every registered topology kind (built with its registry factory over
+arbitrary node counts) and every topology preset's concrete topology:
+
+* ``hops(i, i) == 0`` and ``one_way_time(i, i, nbytes) == 0.0``;
+* hop symmetry — ``hops(i, j) == hops(j, i)`` for topologies that declare
+  ``symmetric``; the unidirectional ring instead satisfies the wrap-around
+  identity ``hops(i, j) + hops(j, i) == num_nodes``;
+* ``one_way_time`` is monotonically non-decreasing in ``nbytes``;
+* every pair within ``num_nodes`` is reachable (``hops >= 1`` and a
+  strictly positive message time for distinct nodes);
+* out-of-range pairs raise ``ValueError``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.network import NetworkSpec
+from repro.cluster.topologies import available_topology_presets, topology_preset_by_name
+from repro.cluster.topology import available_topologies, create_topology
+
+BUILTIN_KINDS = tuple(available_topologies())
+
+NETWORK = NetworkSpec(
+    name="prop-net",
+    latency_seconds=6e-6,
+    bandwidth_bytes_per_second=120e6,
+    send_overhead_seconds=2e-6,
+    recv_overhead_seconds=2e-6,
+)
+
+
+def _pair(topology, src_index: int, dst_index: int):
+    """Map two free indices onto valid node ids of *topology*."""
+    return src_index % topology.num_nodes, dst_index % topology.num_nodes
+
+
+@st.composite
+def topologies(draw):
+    """One built topology instance per example: (kind, instance)."""
+    kind = draw(st.sampled_from(BUILTIN_KINDS))
+    num_nodes = draw(st.integers(min_value=1, max_value=12))
+    return kind, create_topology(kind, num_nodes, NETWORK)
+
+
+@st.composite
+def preset_topologies(draw):
+    """A topology preset built at a drawn (preset-capped) node count."""
+    name = draw(st.sampled_from(tuple(available_topology_presets())))
+    preset = topology_preset_by_name(name)
+    cluster = preset.cluster()
+    num_nodes = draw(st.integers(min_value=1, max_value=cluster.num_nodes))
+    return name, cluster.topology_factory(num_nodes, cluster.network)
+
+
+@settings(max_examples=120, deadline=None)
+@given(topologies(), st.integers(min_value=0, max_value=1000))
+def test_self_pairs_cost_nothing(drawn, index):
+    _, topology = drawn
+    node = index % topology.num_nodes
+    assert topology.hops(node, node) == 0
+    assert topology.one_way_time(node, node, 4096) == 0.0
+
+
+@settings(max_examples=120, deadline=None)
+@given(topologies(), st.integers(0, 1000), st.integers(0, 1000))
+def test_hop_symmetry(drawn, i, j):
+    _, topology = drawn
+    src, dst = _pair(topology, i, j)
+    if topology.symmetric:
+        assert topology.hops(src, dst) == topology.hops(dst, src)
+    elif src != dst:
+        # the unidirectional ring: forward and return paths tile the ring
+        assert topology.hops(src, dst) + topology.hops(dst, src) == topology.num_nodes
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    topologies(),
+    st.integers(0, 1000),
+    st.integers(0, 1000),
+    st.integers(min_value=0, max_value=1 << 20),
+    st.integers(min_value=0, max_value=1 << 20),
+)
+def test_one_way_time_monotone_in_message_size(drawn, i, j, size_a, size_b):
+    _, topology = drawn
+    src, dst = _pair(topology, i, j)
+    small, large = sorted((size_a, size_b))
+    assert topology.one_way_time(src, dst, small) <= topology.one_way_time(
+        src, dst, large
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(topologies(), st.integers(0, 1000), st.integers(0, 1000))
+def test_all_pairs_reachable(drawn, i, j):
+    _, topology = drawn
+    src, dst = _pair(topology, i, j)
+    if src == dst:
+        return
+    assert topology.hops(src, dst) >= 1
+    assert topology.one_way_time(src, dst, 0) > 0.0
+    assert topology.round_trip_time(src, dst, 64, 4096) > 0.0
+
+
+@settings(max_examples=120, deadline=None)
+@given(topologies(), st.integers(0, 1000))
+def test_out_of_range_pairs_raise(drawn, i):
+    _, topology = drawn
+    inside = i % topology.num_nodes
+    for bad in (-1, topology.num_nodes, topology.num_nodes + 7):
+        with pytest.raises(ValueError):
+            topology.hops(inside, bad)
+        with pytest.raises(ValueError):
+            topology.one_way_time(bad, inside)
+
+
+@settings(max_examples=120, deadline=None)
+@given(topologies(), st.integers(0, 1000), st.integers(0, 1000))
+def test_island_partition_is_consistent(drawn, i, j):
+    _, topology = drawn
+    src, dst = _pair(topology, i, j)
+    assert 1 <= topology.num_islands <= topology.num_nodes
+    assert topology.same_island(src, src)
+    assert topology.same_island(src, dst) == topology.same_island(dst, src)
+
+
+@settings(max_examples=80, deadline=None)
+@given(preset_topologies(), st.integers(0, 1000), st.integers(0, 1000))
+def test_presets_honour_the_same_invariants(drawn, i, j):
+    """The registered cluster shapes satisfy the full invariant set too."""
+    _, topology = drawn
+    src, dst = _pair(topology, i, j)
+    assert topology.hops(src, src) == 0
+    assert topology.one_way_time(src, src) == 0.0
+    if topology.symmetric:
+        assert topology.hops(src, dst) == topology.hops(dst, src)
+    if src != dst:
+        assert topology.hops(src, dst) >= 1
+        assert topology.one_way_time(src, dst, 0) > 0.0
+    assert topology.one_way_time(src, dst, 0) <= topology.one_way_time(src, dst, 4096)
+    with pytest.raises(ValueError):
+        topology.hops(src, topology.num_nodes)

@@ -20,7 +20,13 @@ from repro.pm2.isoaddr import IsoAddressAllocator
 class MemoryRig:
     """A memory subsystem over N nodes without the full runtime."""
 
-    def __init__(self, protocol: str = "java_pf", num_nodes: int = 3, page_size: int = 4096):
+    def __init__(
+        self,
+        protocol: str = "java_pf",
+        num_nodes: int = 3,
+        page_size: int = 4096,
+        topology_factory=CrossbarTopology,
+    ):
         self.num_nodes = num_nodes
         self.isoaddr = IsoAddressAllocator(num_nodes, arena_size=4 * 1024 * 1024, page_size=page_size)
         network = NetworkSpec(name="n", latency_seconds=8e-6, bandwidth_bytes_per_second=125e6)
@@ -31,7 +37,7 @@ class MemoryRig:
             page_size=page_size,
         )
         self.page_manager = PageManager(
-            num_nodes, page_size, self.isoaddr, self.cost_model, CrossbarTopology(num_nodes, network)
+            num_nodes, page_size, self.isoaddr, self.cost_model, topology_factory(num_nodes, network)
         )
         self.protocol = create_protocol(protocol, self.page_manager, self.cost_model)
         self.memory = MemorySubsystem(self.page_manager, self.cost_model, self.protocol, num_nodes)

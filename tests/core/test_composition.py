@@ -11,6 +11,7 @@ from repro.core.detection import (
 from repro.core.home_policy import (
     HOME_POLICIES,
     FixedHomePolicy,
+    LocalityAwareHomePolicy,
     MigratoryHomePolicy,
     home_policy_by_name,
 )
@@ -68,7 +69,8 @@ def test_layer_name_lookup():
     with pytest.raises(KeyError):
         home_policy_by_name("nomadic")
     assert set(DETECTION_STRATEGIES) == {"inline_check", "page_fault", "hoisted", "hybrid"}
-    assert set(HOME_POLICIES) == {"fixed", "migratory"}
+    assert set(HOME_POLICIES) == {"fixed", "migratory", "locality_aware"}
+    assert home_policy_by_name("locality_aware") is LocalityAwareHomePolicy
 
 
 def test_register_composed_ten_liner(rig_factory):
@@ -348,3 +350,113 @@ def test_invalidate_remote_present_pages_splits_by_mode(rig_factory):
     from repro.dsm.page import PageProtection
 
     assert rig.page_manager.protection(0, page_a) is PageProtection.NONE
+
+
+# ---------------------------------------------------------------------------
+# locality-aware homes: re-homing only across topology islands
+# ---------------------------------------------------------------------------
+def _island_rig(rig_factory, protocol="java_ic_loc", num_nodes=4):
+    """A rig over two 2-node islands joined by a slow backbone."""
+    from repro.cluster.topology import MultiClusterTopology
+
+    def factory(n, network):
+        return MultiClusterTopology(n, network, island_size=2)
+
+    return rig_factory(protocol=protocol, num_nodes=num_nodes, topology_factory=factory)
+
+
+def test_java_ic_loc_is_registered_as_a_composition():
+    assert "java_ic_loc" in available_protocols()
+    assert protocol_composition("java_ic_loc") == {
+        "detection": "inline_check",
+        "home_policy": "locality_aware",
+    }
+
+
+def test_locality_aware_is_inert_on_single_switch_topologies(rig_factory):
+    rig = rig_factory(protocol="java_ic_loc")
+    array = rig.heap.new_array("double", 8, home_node=1)
+    ctx = rig.ctx(0)
+    for i in range(LocalityAwareHomePolicy.REHOME_THRESHOLD * 3):
+        rig.memory.put(ctx, 0, array, 0, float(i))
+    # one island: placement is already as local as the topology allows
+    assert rig.page_manager.stats.page_rehomes == 0
+
+
+def test_locality_aware_pulls_pages_across_islands(rig_factory):
+    rig = _island_rig(rig_factory)
+    # home node 2 lives in island 1; the writer (node 0) in island 0
+    array = rig.heap.new_array("double", 8, home_node=2)
+    page = _data_page(rig, array)
+    ctx = rig.ctx(0)
+    threshold = rig.protocol.home_policy.threshold
+    for i in range(threshold - 1):
+        rig.memory.put(ctx, 0, array, 0, float(i))
+        assert rig.page_manager.home_node(page) == 2
+    wait_before = ctx.wait_seconds
+    rig.memory.put(ctx, 0, array, 0, 9.0)
+    assert rig.page_manager.home_node(page) == 0  # pulled into island 0
+    assert rig.page_manager.stats.page_rehomes == 1
+    assert ctx.wait_seconds > wait_before  # the backbone transfer was charged
+
+
+def test_locality_aware_ignores_writes_within_the_home_island(rig_factory):
+    rig = _island_rig(rig_factory)
+    # home node 3 and writer node 2 share island 1
+    array = rig.heap.new_array("double", 8, home_node=3)
+    page = _data_page(rig, array)
+    ctx = rig.ctx(2)
+    for i in range(LocalityAwareHomePolicy.REHOME_THRESHOLD * 3):
+        rig.memory.put(ctx, 2, array, 0, float(i))
+    assert rig.page_manager.home_node(page) == 3  # never re-homed
+    assert rig.page_manager.stats.page_rehomes == 0
+
+
+def test_locality_aware_streak_is_reset_by_other_islands_writers(rig_factory):
+    rig = _island_rig(rig_factory)
+    array = rig.heap.new_array("double", 8, home_node=2)
+    page = _data_page(rig, array)
+    threshold = rig.protocol.home_policy.threshold
+    assert threshold >= 2
+    for _ in range(5):
+        rig.memory.put(rig.ctx(0), 0, array, 0, 1.0)  # island-0 writer...
+        rig.memory.put(rig.ctx(1), 1, array, 0, 2.0)  # ...interleaved with its neighbour
+    # no single node ever completed an exclusive streak
+    assert rig.page_manager.home_node(page) == 2
+    assert rig.page_manager.stats.page_rehomes == 0
+
+
+def test_locality_aware_charges_per_pair_backbone_costs(rig_factory):
+    """The re-home transfer is priced through the topology's pair costs."""
+    from repro.cluster.topology import MultiClusterTopology
+
+    rig = _island_rig(rig_factory)
+    topology = rig.page_manager.topology
+    assert isinstance(topology, MultiClusterTopology)
+    page_size = rig.page_manager.page_size
+    cross = topology.one_way_time(2, 0, page_size)
+    within = topology.one_way_time(1, 0, page_size)
+    assert cross > within  # the backbone link is what the policy pays
+
+    array = rig.heap.new_array("double", 8, home_node=2)
+    ctx = rig.ctx(0)
+    threshold = rig.protocol.home_policy.threshold
+    for i in range(threshold - 1):
+        rig.memory.put(ctx, 0, array, 0, float(i))
+    wait_before = ctx.wait_seconds
+    rig.memory.put(ctx, 0, array, 0, 9.0)
+    charged = ctx.wait_seconds - wait_before
+    expected = rig.cost_model.software.rpc_service_seconds + cross
+    assert charged == pytest.approx(expected)
+
+
+def test_locality_aware_opts_out_of_write_observation_on_one_island(rig_factory):
+    """On single-island topologies the policy adds zero hot-path code."""
+    flat = rig_factory(protocol="java_ic_loc")
+    assert flat.protocol.home_policy.observes_writes is False
+    # the composed protocol then binds the bare detection fast path
+    assert flat.protocol.detect_access == flat.protocol.detection.detect_access
+
+    split = _island_rig(rig_factory)
+    assert split.protocol.home_policy.observes_writes is True
+    assert split.protocol.detect_access != split.protocol.detection.detect_access

@@ -33,12 +33,19 @@ COMPOSED_PROTOCOLS = ("java_hybrid", "java_ic_mig")
 #: (the full set is covered by tests/scenarios/; these two exercise the
 #: barrier-heavy and monitor-heavy interpreter paths here)
 SCENARIO_APPS = ("syn-false-sharing", "syn-hot-lock")
+#: non-uniform cluster shapes pinned to the same contract: a multi-cluster
+#: grid (heterogeneous backbone link) and a torus (hop-dependent pricing)
+TOPOLOGY_CLUSTERS = ("myrinet2x8", "sci_torus")
+#: the composed protocol family plus the topology-aware home policy
+TOPOLOGY_PROTOCOLS = ("java_ic", "java_pf", "java_hybrid", "java_ic_mig", "java_ic_loc")
 
 
-def _spec(app: str, protocol: str, trace: bool = False) -> ExperimentSpec:
+def _spec(
+    app: str, protocol: str, trace: bool = False, cluster: str = "myrinet"
+) -> ExperimentSpec:
     return ExperimentSpec(
         app=app,
-        cluster="myrinet",
+        cluster=cluster,
         protocol=protocol,
         num_nodes=4,
         workload=WorkloadPreset.testing(),
@@ -116,6 +123,35 @@ def test_composed_fast_vs_reference_detection_identical(app, protocol):
     with reference_detection():
         reference = run_spec(_spec(app, protocol))
     assert _payload(fast) == _payload(reference)
+
+
+@pytest.mark.parametrize("cluster", TOPOLOGY_CLUSTERS)
+@pytest.mark.parametrize("protocol", TOPOLOGY_PROTOCOLS)
+def test_topology_trace_on_off_identical(cluster, protocol):
+    """Non-uniform topologies honour the traced-vs-untraced contract."""
+    for app in ("jacobi", "syn-false-sharing"):
+        plain = run_spec(_spec(app, protocol, trace=False, cluster=cluster))
+        traced = run_spec(_spec(app, protocol, trace=True, cluster=cluster))
+        assert _payload(plain) == _payload(traced), (app, cluster, protocol)
+
+
+@pytest.mark.parametrize("cluster", TOPOLOGY_CLUSTERS)
+@pytest.mark.parametrize("protocol", TOPOLOGY_PROTOCOLS)
+def test_topology_fast_vs_reference_detection_identical(cluster, protocol):
+    """Fast and reference detection agree on multi-cluster and torus cells."""
+    for app in ("jacobi", "syn-false-sharing"):
+        fast = run_spec(_spec(app, protocol, cluster=cluster))
+        with reference_detection():
+            reference = run_spec(_spec(app, protocol, cluster=cluster))
+        assert _payload(fast) == _payload(reference), (app, cluster, protocol)
+
+
+@pytest.mark.parametrize("cluster", TOPOLOGY_CLUSTERS)
+def test_topology_runs_are_reproducible(cluster):
+    """Same spec on a non-uniform shape: byte-identical reports."""
+    first = run_spec(_spec("syn-migratory", "java_ic_loc", cluster=cluster))
+    second = run_spec(_spec("syn-migratory", "java_ic_loc", cluster=cluster))
+    assert _payload(first) == _payload(second)
 
 
 def test_hoisted_protocol_fast_vs_reference():

@@ -68,3 +68,34 @@ def test_migration_to_invalid_node_rejected(setup):
     thread.start(body())
     with pytest.raises(Exception):
         engine.run()
+
+
+def test_migration_pricing_consults_per_pair_topology_costs():
+    """Crossing a multi-cluster backbone prices thread moves and re-homes up."""
+    from repro.cluster.topology import MultiClusterTopology
+
+    engine = Engine()
+    network = NetworkSpec(name="n", latency_seconds=10e-6, bandwidth_bytes_per_second=100e6)
+    cost_model = CostModel(
+        machine=MachineSpec(name="m", frequency_hz=200e6),
+        network=network,
+        software=SoftwareCosts(),
+    )
+    marcel = MarcelRuntime(engine, num_nodes=4)
+    topology = MultiClusterTopology(4, network, island_size=2)
+    migration = MigrationManager(marcel, topology, cost_model)
+
+    within = migration.migration_cost_seconds(0, 1)
+    across = migration.migration_cost_seconds(0, 2)
+    assert across > within
+    assert across - within == pytest.approx(
+        topology.one_way_time(0, 2, migration.thread_footprint_bytes)
+        - topology.one_way_time(0, 1, migration.thread_footprint_bytes)
+    )
+
+    rehome_within = migration.page_rehome_cost_seconds(0, 1, 4096)
+    rehome_across = migration.page_rehome_cost_seconds(0, 2, 4096)
+    assert rehome_across > rehome_within
+    assert rehome_across == pytest.approx(
+        cost_model.software.rpc_service_seconds + topology.one_way_time(0, 2, 4096)
+    )

@@ -101,9 +101,22 @@ def test_warm_cache_serves_scenario_cells(tmp_path):
 # ---------------------------------------------------------------------------
 # golden cells
 # ---------------------------------------------------------------------------
+#: topology golden cells: ``<scenario>@<topology preset>`` keys pinning the
+#: exact payload of scenario runs on non-uniform cluster shapes (java_pf,
+#: 4 nodes, testing scale — the shape, not the protocol, is what varies)
+TOPOLOGY_GOLDEN_CELLS = (
+    "syn-false-sharing@myrinet2x8",
+    "syn-uniform@myrinet2x8",
+    "syn-false-sharing@sci_torus",
+    "syn-migratory@sci_torus",
+)
+
+
 def test_golden_file_covers_every_registered_scenario():
     golden = json.loads(GOLDEN_PATH.read_text())
-    assert sorted(golden) == available_scenarios()
+    scenario_keys = [key for key in golden if "@" not in key]
+    assert sorted(scenario_keys) == available_scenarios()
+    assert sorted(key for key in golden if "@" in key) == sorted(TOPOLOGY_GOLDEN_CELLS)
 
 
 @pytest.mark.parametrize("name", available_scenarios())
@@ -122,3 +135,25 @@ def test_golden_cell_payload_is_pinned(name):
     golden = json.loads(GOLDEN_PATH.read_text())
     report = run_spec(_spec(name))
     assert json.dumps(golden[name], sort_keys=True) == _payload(report)
+
+
+@pytest.mark.parametrize("key", TOPOLOGY_GOLDEN_CELLS)
+def test_topology_golden_cell_payload_is_pinned(key):
+    """Scenario cells on non-uniform topologies pin the same byte contract.
+
+    Regenerate by re-running the snippet above with
+    ``cluster=<topology preset>, num_nodes=4`` for the keys in
+    :data:`TOPOLOGY_GOLDEN_CELLS`.
+    """
+    golden = json.loads(GOLDEN_PATH.read_text())
+    name, _, topology = key.partition("@")
+    report = run_spec(
+        ExperimentSpec(
+            app=name,
+            cluster=topology,
+            protocol="java_pf",
+            num_nodes=4,
+            workload="testing",
+        )
+    )
+    assert json.dumps(golden[key], sort_keys=True) == _payload(report)
