@@ -1,0 +1,33 @@
+"""Static and dynamic analysis layers over the simulator.
+
+Two independent pillars live here:
+
+* :mod:`repro.analysis.sanitizer` — the **JMM consistency sanitizer**, an
+  opt-in shadow layer that threads the happens-before machinery of
+  :mod:`repro.core.jmm` through a real run and flags protocol violations
+  (stale reads, incomplete invalidations, broken DSM directory invariants)
+  plus application-level data-race diagnostics.
+* :mod:`repro.analysis.lint` — the **repo-specific AST lint**
+  (``hyperion-sim lint``): determinism and hot-path conventions ruff cannot
+  express, as HYP-coded rules.
+
+:mod:`repro.analysis.faults` holds deliberately broken protocol layers used
+by the test-suite to prove the sanitizer catches real bugs; nothing in this
+package is imported by the simulation fast path unless explicitly enabled.
+"""
+
+from repro.analysis.lint import LintFinding, lint_paths, lint_source
+from repro.analysis.sanitizer import (
+    ConsistencySanitizer,
+    SanitizerFinding,
+    SanitizerReport,
+)
+
+__all__ = [
+    "ConsistencySanitizer",
+    "SanitizerFinding",
+    "SanitizerReport",
+    "LintFinding",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,34 @@
+"""Deliberately broken protocol layers for sanitizer validation.
+
+A sanitizer that has never caught a bug proves nothing.  The classes here
+are *injected faults*: protocol layers with one precise, realistic defect
+each.  They are **not** registered with the protocol registry at import
+time — tests register them under throwaway names (``java_broken_inval``)
+and unregister afterwards, so no production configuration can select one by
+accident.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import AccessContext
+from repro.core.detection import InlineCheckDetection
+
+
+class BrokenInvalidationDetection(InlineCheckDetection):
+    """In-line checking that forgets to invalidate on monitor entry.
+
+    The acquire-side action of the JLS model — dropping every remote page
+    replica so post-acquire accesses re-fetch current data — is replaced by
+    a no-op that only counts the invalidation.  Threads keep reading page
+    copies fetched before the acquire, which the sanitizer must flag both
+    directly (``invalidation_incomplete``: replicas survive
+    ``invalidateCache``) and through its effect (``stale_read``: a node
+    reads a version older than a happens-before-ordered publish).
+    """
+
+    name = "broken_inval"
+    mechanism = "in-line checks, acquire-side invalidation elided (FAULTY)"
+
+    def on_monitor_enter(self, ctx: AccessContext, node_id: int) -> None:
+        # BUG (deliberate): no page-table action; replicas stay resident.
+        self.stats.invalidations += 1

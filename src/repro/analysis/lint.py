@@ -1,0 +1,365 @@
+"""Repo-specific AST lint: determinism and hot-path conventions as rules.
+
+Every performance PR in this repository has leaned on conventions that
+generic linters cannot express: simulations must be bit-reproducible (so no
+unseeded randomness and no wall-clock reads anywhere near the engine), the
+per-access hot path keeps its objects ``__slots__``-packed, and every
+optimized detection fast path ships with the readable reference twin the
+determinism suite diffs it against.  ``hyperion-sim lint`` mechanises them:
+
+=======  ==================================================================
+HYP001   unseeded randomness: ``random.*`` / ``numpy.random.*`` calls that
+         are not explicitly seeded constructions (``random.Random(seed)``,
+         ``numpy.random.default_rng(seed)``, ...)
+HYP002   wall-clock reads (``time.time``, ``datetime.now``, ...) outside
+         the host-side profiling package (``repro/perf/``)
+HYP003   a class in a designated hot-path module without ``__slots__``
+         (dataclasses may use ``slots=True``); per-runtime singletons are
+         exempt by name
+HYP004   a detection/protocol class defining ``detect_access`` without its
+         ``detect_access_reference`` twin
+HYP005   unsorted ``.items()``/``.keys()``/``.values()`` iteration inside a
+         serialisation function (``to_dict``/``as_dict``/``*_jsonl``/...)
+=======  ==================================================================
+
+The linter is self-contained stdlib ``ast`` — no third-party dependency —
+and is run in CI next to ruff; its rules are calibrated so the repository
+lints clean (exemptions are explicit and named below, not implicit).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Iterable
+
+#: modules (matched by path suffix) whose classes must be __slots__-packed:
+#: their instances exist per page / per cached object / per event — the
+#: most numerous objects of a run
+HOT_PATH_MODULE_SUFFIXES = (
+    "repro/dsm/page.py",
+    "repro/dsm/page_manager.py",
+    "repro/core/jmm.py",
+    "repro/core/cache.py",
+    "repro/hyperion/objects.py",
+    "repro/hyperion/monitors.py",
+    "repro/simulation/events.py",
+)
+
+#: per-runtime singletons living in hot-path modules: one instance per run,
+#: so the per-instance footprint argument does not apply
+HYP003_EXEMPT_CLASSES = frozenset(
+    {
+        "PageManager",  # one per runtime (directory + tables manager)
+        "ObjectCache",  # one per node
+        "MonitorManager",  # one per runtime
+    }
+)
+
+#: seeded-construction call paths HYP001 allows (when given >= 1 argument)
+SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",  # never used for simulation; host-side only
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+        "numpy.random.PCG64",
+        "numpy.random.SeedSequence",
+    }
+)
+
+#: wall-clock call paths HYP002 flags
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: path fragments exempt from HYP002 (host-side measurement, not simulation)
+HYP002_EXEMPT_FRAGMENTS = ("repro/perf/",)
+
+#: function names HYP005 treats as serialisation producers
+SERIALISATION_FUNCTIONS = frozenset(
+    {
+        "to_dict",
+        "as_dict",
+        "to_json",
+        "to_jsonl",
+        "write_jsonl",
+        "canonical_dict",
+    }
+)
+
+
+@dataclass(slots=True, frozen=True)
+class LintFinding:
+    """One lint diagnostic, pointing at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def _normalized(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _dotted_path(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Resolve a Name/Attribute chain to a dotted path, applying import aliases."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def _collect_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted module path they stand for."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                aliases[name.asname or name.name.split(".")[0]] = (
+                    name.name if name.asname else name.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def _has_slots(klass: ast.ClassDef) -> bool:
+    """True when *klass* declares ``__slots__`` or is a slots dataclass."""
+    for stmt in klass.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    for decorator in klass.decorator_list:
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if (
+                    keyword.arg == "slots"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    return True
+    return False
+
+
+def _is_plain_data_class(klass: ast.ClassDef) -> bool:
+    """True for enums and exceptions, which cannot or need not carry slots."""
+    for base in klass.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", "")
+        if "Enum" in name or "Exception" in name or name.endswith("Error"):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# the linter
+# ---------------------------------------------------------------------------
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, tree: ast.Module):
+        self.path = _normalized(path)
+        self.aliases = _collect_aliases(tree)
+        self.findings: list[LintFinding] = []
+        self._hot_module = any(
+            self.path.endswith(suffix) for suffix in HOT_PATH_MODULE_SUFFIXES
+        )
+        self._wall_clock_exempt = any(
+            fragment in self.path for fragment in HYP002_EXEMPT_FRAGMENTS
+        )
+        self._class_depth = 0
+
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            LintFinding(
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                message=message,
+            )
+        )
+
+    # -- HYP001 / HYP002: call-site rules ---------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_path(node.func, self.aliases)
+        if dotted is not None:
+            self._check_randomness(node, dotted)
+            self._check_wall_clock(node, dotted)
+        self.generic_visit(node)
+
+    def _check_randomness(self, node: ast.Call, dotted: str) -> None:
+        in_random = dotted.startswith("random.") or dotted.startswith("numpy.random.")
+        if not in_random:
+            return
+        if dotted in SEEDED_CONSTRUCTORS:
+            if node.args or node.keywords:
+                return
+            self._flag(
+                node,
+                "HYP001",
+                f"{dotted}() without an explicit seed — simulations must be "
+                "reproducible; pass the workload/config seed",
+            )
+            return
+        self._flag(
+            node,
+            "HYP001",
+            f"call to {dotted}() uses hidden global RNG state — construct a "
+            "seeded generator (random.Random(seed) / "
+            "numpy.random.default_rng(seed)) instead",
+        )
+
+    def _check_wall_clock(self, node: ast.Call, dotted: str) -> None:
+        if self._wall_clock_exempt or dotted not in WALL_CLOCK_CALLS:
+            return
+        self._flag(
+            node,
+            "HYP002",
+            f"wall-clock read {dotted}() in simulation code — virtual time "
+            "comes from the engine; host timing belongs in repro/perf/",
+        )
+
+    # -- HYP003 / HYP004: class rules -------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._class_depth == 0:
+            self._check_slots(node)
+            self._check_reference_twin(node)
+        self._class_depth += 1
+        self.generic_visit(node)
+        self._class_depth -= 1
+
+    def _check_slots(self, node: ast.ClassDef) -> None:
+        if not self._hot_module or node.name in HYP003_EXEMPT_CLASSES:
+            return
+        if _is_plain_data_class(node) or _has_slots(node):
+            return
+        self._flag(
+            node,
+            "HYP003",
+            f"hot-path class {node.name} has no __slots__ — instances in "
+            "this module are per-page/per-object and dominate memory; add "
+            "__slots__ (or dataclass(slots=True)), or exempt a true "
+            "singleton in repro.analysis.lint",
+        )
+
+    def _check_reference_twin(self, node: ast.ClassDef) -> None:
+        bases = [
+            base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", "")
+            for base in node.bases
+        ]
+        if not any("Detection" in b or "Protocol" in b for b in bases):
+            return
+        methods = {
+            stmt.name
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if "detect_access" in methods and "detect_access_reference" not in methods:
+            self._flag(
+                node,
+                "HYP004",
+                f"{node.name} overrides the detect_access fast path without "
+                "a detect_access_reference twin — the determinism suite "
+                "cannot pin it against a readable reference",
+            )
+
+    # -- HYP005: serialisation functions ----------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node.name in SERIALISATION_FUNCTIONS:
+            self._check_sorted_iteration(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _check_sorted_iteration(self, func: ast.FunctionDef) -> None:
+        for node in ast.walk(func):
+            iterators: list[ast.expr] = []
+            if isinstance(node, ast.For):
+                iterators = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iterators = [gen.iter for gen in node.generators]
+            for it in iterators:
+                if (
+                    isinstance(it, ast.Call)
+                    and isinstance(it.func, ast.Attribute)
+                    and it.func.attr in ("items", "keys", "values")
+                ):
+                    self._flag(
+                        it,
+                        "HYP005",
+                        f"unsorted .{it.func.attr}() iteration inside "
+                        f"{func.name}() — serialised output must not depend "
+                        "on insertion order; wrap in sorted(...)",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
+    """Lint one module's source text; returns findings sorted by location."""
+    tree = ast.parse(source, filename=path)
+    linter = _Linter(path, tree)
+    linter.visit(tree)
+    return sorted(linter.findings, key=lambda f: (f.line, f.col, f.code))
+
+
+def lint_paths(paths: Iterable[str]) -> list[LintFinding]:
+    """Lint every ``.py`` file under *paths* (files or directories)."""
+    findings: list[LintFinding] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            files = sorted(root.rglob("*.py"))
+        elif root.suffix == ".py":
+            files = [root]
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+        for file in files:
+            findings.extend(lint_source(file.read_text(encoding="utf-8"), str(file)))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))

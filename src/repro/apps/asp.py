@@ -16,7 +16,7 @@ the tiny per-element computation.
 
 from __future__ import annotations
 
-from typing import Generator, List
+from collections.abc import Generator
 
 import numpy as np
 
@@ -68,7 +68,7 @@ class AspApplication(Application):
         index: int,
         count: int,
         workload: AspWorkload,
-        rows: List,
+        rows: list,
         barrier,
     ) -> Generator:
         """One computation thread owning a block of matrix rows."""

@@ -29,7 +29,7 @@ Structure of one time step (barriers between phases):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from collections.abc import Generator
 
 import numpy as np
 
@@ -54,7 +54,7 @@ ACCESSES_PER_INTERACTION = 6
 MAX_DEPTH = 48
 
 
-def initial_bodies(workload: BarnesWorkload) -> Dict[str, np.ndarray]:
+def initial_bodies(workload: BarnesWorkload) -> dict[str, np.ndarray]:
     """Deterministic initial conditions: uniform cube, small velocities."""
     rng = np.random.default_rng(workload.seed)
     n = workload.bodies
@@ -75,8 +75,8 @@ class _OctreeNode:
     center: np.ndarray
     half: float
     depth: int
-    bodies: List[int] = field(default_factory=list)
-    children: Optional[List[Optional["_OctreeNode"]]] = None
+    bodies: list[int] = field(default_factory=list)
+    children: list["_OctreeNode" | None] | None = None
     mass: float = 0.0
     com: np.ndarray = field(default_factory=lambda: np.zeros(3))
 
@@ -130,7 +130,7 @@ def build_octree(positions: np.ndarray, masses: np.ndarray) -> FlatTree:
 
     subdivide(root)
 
-    order: List[_OctreeNode] = []
+    order: list[_OctreeNode] = []
 
     def visit(node: _OctreeNode) -> None:
         order.append(node)
@@ -141,7 +141,7 @@ def build_octree(positions: np.ndarray, masses: np.ndarray) -> FlatTree:
 
     visit(root)
 
-    def summarize(node: _OctreeNode) -> Tuple[float, np.ndarray]:
+    def summarize(node: _OctreeNode) -> tuple[float, np.ndarray]:
         if node.children:
             total, weighted = 0.0, np.zeros(3)
             for child in node.children:
@@ -179,7 +179,7 @@ def build_octree(positions: np.ndarray, masses: np.ndarray) -> FlatTree:
     return flat
 
 
-def make_walk_cache(flat: FlatTree) -> Tuple:
+def make_walk_cache(flat: FlatTree) -> tuple:
     """Python-native views of a flat tree for the per-body traversal.
 
     One traversal visits hundreds of cells and runs once per body per step;
@@ -204,8 +204,8 @@ def compute_acceleration(
     masses: np.ndarray,
     body: int,
     theta: float,
-    walk: Optional[Tuple] = None,
-) -> Tuple[np.ndarray, int]:
+    walk: tuple | None = None,
+) -> tuple[np.ndarray, int]:
     """Acceleration on *body* from a tree traversal; returns (acc, interactions).
 
     ``walk`` is an optional :func:`make_walk_cache` result; passing it avoids
@@ -249,7 +249,7 @@ def compute_acceleration(
     return acc, interactions
 
 
-def reference_simulation(workload: BarnesWorkload) -> Dict[str, np.ndarray]:
+def reference_simulation(workload: BarnesWorkload) -> dict[str, np.ndarray]:
     """Run the same simulation without the DSM (for verification)."""
     init = initial_bodies(workload)
     positions = init["pos"].copy()
@@ -312,7 +312,7 @@ class BarnesApplication(Application):
         )
         return flat
 
-    def _read_positions(self, ctx, shared, n: int) -> Tuple[np.ndarray, np.ndarray]:
+    def _read_positions(self, ctx, shared, n: int) -> tuple[np.ndarray, np.ndarray]:
         """Gather body positions and masses through the DSM."""
         px = ctx.aget_range(shared["px"], 0, n)
         py = ctx.aget_range(shared["py"], 0, n)

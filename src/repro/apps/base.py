@@ -10,7 +10,8 @@ and assembles the result.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Dict, Generator, List, Sequence, Type
+from collections.abc import Callable, Generator, Sequence
+from typing import Any
 
 from repro.hyperion.runtime import ExecutionReport, HyperionRuntime
 from repro.hyperion.threads import JavaThread
@@ -65,7 +66,7 @@ class Application(ABC):
     @staticmethod
     def spawn_workers(
         ctx, body: Callable, count: int, *args: Any, name_prefix: str = "worker"
-    ) -> List[JavaThread]:
+    ) -> list[JavaThread]:
         """Spawn *count* worker threads through the load balancer."""
         return [
             ctx.spawn(body, index, count, *args, name=f"{name_prefix}-{index}", index=index)
@@ -95,10 +96,10 @@ class Application(ABC):
 # ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
-_APPS: Dict[str, Type[Application]] = {}
+_APPS: dict[str, type[Application]] = {}
 
 
-def register_app(cls: Type[Application]) -> Type[Application]:
+def register_app(cls: type[Application]) -> type[Application]:
     """Class decorator registering an application under its ``name``."""
     if cls.name in _APPS:
         raise ValueError(f"application {cls.name!r} is already registered")
@@ -106,7 +107,7 @@ def register_app(cls: Type[Application]) -> Type[Application]:
     return cls
 
 
-def app_class(name: str) -> Type[Application]:
+def app_class(name: str) -> type[Application]:
     """The application class registered under *name*."""
     try:
         return _APPS[name.lower()]
@@ -120,6 +121,6 @@ def create_app(name: str) -> Application:
     return app_class(name)()
 
 
-def available_apps() -> List[str]:
+def available_apps() -> list[str]:
     """Names of all registered applications (paper benchmarks + scenarios)."""
     return sorted(_APPS)

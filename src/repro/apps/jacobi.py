@@ -17,7 +17,7 @@ operations, each of which is a locality check for ``java_ic``.
 
 from __future__ import annotations
 
-from typing import Generator, List
+from collections.abc import Generator
 
 import numpy as np
 
@@ -59,8 +59,8 @@ class JacobiApplication(Application):
         index: int,
         count: int,
         workload: JacobiWorkload,
-        a_rows: List,
-        b_rows: List,
+        a_rows: list,
+        b_rows: list,
         barrier,
     ) -> Generator:
         """One computation thread owning a block of mesh rows."""

@@ -12,7 +12,7 @@ almost no page faults).
 from __future__ import annotations
 
 import math
-from typing import Generator
+from collections.abc import Generator
 
 import numpy as np
 

@@ -16,7 +16,7 @@ matter how the work is interleaved, which the tests rely on.
 from __future__ import annotations
 
 import itertools
-from typing import Generator, List, Optional, Tuple
+from collections.abc import Generator
 
 import numpy as np
 
@@ -53,7 +53,7 @@ def reference_solution(workload: TspWorkload) -> int:
     best = None
     for perm in itertools.permutations(range(1, n)):
         length = dist[0, perm[0]]
-        for a, b in zip(perm, perm[1:]):
+        for a, b in zip(perm, perm[1:], strict=False):
             length += dist[a, b]
         length += dist[perm[-1], 0]
         if best is None or length < best:
@@ -71,11 +71,11 @@ class TspApplication(Application):
     # search helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def _generate_prefixes(n: int, depth: int) -> List[Tuple[int, ...]]:
+    def _generate_prefixes(n: int, depth: int) -> list[tuple[int, ...]]:
         """All tour prefixes starting at city 0 with *depth* further cities."""
-        prefixes: List[Tuple[int, ...]] = []
+        prefixes: list[tuple[int, ...]] = []
 
-        def extend(prefix: Tuple[int, ...]) -> None:
+        def extend(prefix: tuple[int, ...]) -> None:
             if len(prefix) == depth + 1:
                 prefixes.append(prefix)
                 return
@@ -87,7 +87,7 @@ class TspApplication(Application):
         return prefixes
 
     @staticmethod
-    def _encode(prefix: Tuple[int, ...]) -> int:
+    def _encode(prefix: tuple[int, ...]) -> int:
         """Pack a tour prefix into a 64-bit integer (5 bits per city)."""
         value = len(prefix)
         for city in prefix:
@@ -95,7 +95,7 @@ class TspApplication(Application):
         return value
 
     @staticmethod
-    def _decode(value: int) -> Tuple[int, ...]:
+    def _decode(value: int) -> tuple[int, ...]:
         """Inverse of :meth:`_encode`."""
         cities = []
         length_marker = value
@@ -108,14 +108,14 @@ class TspApplication(Application):
     def _search(
         self,
         ctx,
-        dist: List[List[int]],
-        dist_rows: List,
+        dist: list[list[int]],
+        dist_rows: list,
         best_obj,
-        prefix: Tuple[int, ...],
+        prefix: tuple[int, ...],
         prefix_length: int,
         local_best: int,
         scale: float = 1.0,
-    ) -> Tuple[int, Optional[Tuple[int, ...]], int]:
+    ) -> tuple[int, tuple[int, ...] | None, int]:
         """Iterative DFS branch-and-bound below *prefix*.
 
         ``dist`` is a list-of-lists of native ints (``ndarray.tolist()`` of
@@ -164,7 +164,7 @@ class TspApplication(Application):
                 new_length = length + row[city]
                 if new_length < local_best:
                     stack.append((city, visited | bit, new_length, child_depth, node))
-        best_tour: Optional[Tuple[int, ...]] = None
+        best_tour: tuple[int, ...] | None = None
         if best_node is not None:
             suffix = []
             node = best_node
@@ -203,7 +203,7 @@ class TspApplication(Application):
         queue_obj,
         queue_items,
         best_obj,
-        dist_rows: List,
+        dist_rows: list,
     ) -> Generator:
         """One computation thread: pop prefixes and search below them."""
         n = workload.cities
@@ -230,7 +230,7 @@ class TspApplication(Application):
 
             prefix = self._decode(int(encoded))
             prefix_length = int(
-                sum(dist[a, b] for a, b in zip(prefix, prefix[1:]))
+                sum(dist[a, b] for a, b in zip(prefix, prefix[1:], strict=False))
             )
             # read the shared bound (cached copy; re-fetched after monitors)
             bound = ctx.get(best_obj, "length")
@@ -306,6 +306,6 @@ class TspApplication(Application):
             tour = result["tour"]
             if sorted(tour) != list(range(workload.cities)):
                 return False
-            length = sum(dist[a, b] for a, b in zip(tour, tour[1:])) + dist[tour[-1], tour[0]]
+            length = sum(dist[a, b] for a, b in zip(tour, tour[1:], strict=False)) + dist[tour[-1], tour[0]]
             return int(length) == int(result["length"])
         return int(result["length"]) == reference_solution(workload)

@@ -18,7 +18,6 @@ documented in ``EXPERIMENTS.md`` and swept by the ablation benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
 
 from repro.cluster.network import NetworkSpec
 from repro.cluster.node import MachineSpec
@@ -207,7 +206,7 @@ class CostModel:
 def make_cost_model(
     machine: MachineSpec,
     network: NetworkSpec,
-    software: Optional[SoftwareCosts] = None,
+    software: SoftwareCosts | None = None,
     page_size: int = 4096,
 ) -> CostModel:
     """Convenience factory mirroring :class:`CostModel`'s constructor."""

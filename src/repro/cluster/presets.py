@@ -11,7 +11,7 @@ sources and the ablation benchmarks sweep the estimated constants.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional
+from collections.abc import Callable
 
 from repro.cluster.costs import CostModel, SoftwareCosts
 from repro.cluster.network import NetworkSpec
@@ -46,7 +46,7 @@ class ClusterSpec:
             page_size=self.page_size,
         )
 
-    def topology(self, num_nodes: Optional[int] = None) -> Topology:
+    def topology(self, num_nodes: int | None = None) -> Topology:
         """Build the topology for *num_nodes* nodes (default: the full cluster)."""
         n = num_nodes if num_nodes is not None else self.num_nodes
         check_positive("num_nodes", n)
@@ -66,7 +66,7 @@ class ClusterSpec:
         """Return a copy with some software cost constants replaced."""
         return replace(self, software=self.software.with_overrides(**overrides))
 
-    def node_counts(self, max_nodes: Optional[int] = None) -> List[int]:
+    def node_counts(self, max_nodes: int | None = None) -> list[int]:
         """Node counts used on the figures' x-axis (1, 2, 4, ... up to size)."""
         limit = self.num_nodes if max_nodes is None else min(max_nodes, self.num_nodes)
         counts = [n for n in (1, 2, 3, 4, 6, 8, 10, 12, 16) if n <= limit]
@@ -167,7 +167,7 @@ def sci_cluster() -> ClusterSpec:
     )
 
 
-_REGISTRY: Dict[str, Callable[[], ClusterSpec]] = {
+_REGISTRY: dict[str, Callable[[], ClusterSpec]] = {
     "myrinet": myrinet_cluster,
     "sci": sci_cluster,
 }
@@ -204,7 +204,7 @@ def cluster_by_name(name: str) -> ClusterSpec:
         raise KeyError(f"unknown cluster {name!r}; known presets: {known}") from None
 
 
-def list_clusters() -> List[str]:
+def list_clusters() -> list[str]:
     """Names of the available cluster presets."""
     _ensure_topology_presets()
     return sorted(_REGISTRY)

@@ -32,7 +32,7 @@ sweeps can compare a shape against its flat reference.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List
+from collections.abc import Callable
 
 from repro.cluster.network import NetworkSpec
 from repro.cluster.presets import (
@@ -150,7 +150,7 @@ class TopologyPreset:
         return spec.topology_factory(spec.num_nodes, spec.network)
 
 
-_PRESETS: Dict[str, TopologyPreset] = {}
+_PRESETS: dict[str, TopologyPreset] = {}
 
 
 def register_topology_preset(
@@ -189,7 +189,7 @@ def topology_preset_by_name(name: str) -> TopologyPreset:
         raise KeyError(f"unknown topology preset {name!r}; available: {known}") from None
 
 
-def available_topology_presets() -> List[str]:
+def available_topology_presets() -> list[str]:
     """Names of all registered topology presets, sorted."""
     return sorted(_PRESETS)
 

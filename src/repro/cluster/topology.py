@@ -42,7 +42,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 from repro.cluster.network import NetworkSpec
 from repro.util.validation import check_positive
@@ -201,7 +201,7 @@ class TorusTopology(Topology):
         self,
         num_nodes: int,
         network: NetworkSpec,
-        dims: "Tuple[int, int] | None" = None,
+        dims: "tuple[int, int] | None" = None,
         per_hop_fraction: float = 0.15,
     ):
         super().__init__(num_nodes, network)
@@ -218,7 +218,7 @@ class TorusTopology(Topology):
         self.dims = (rows, cols)
 
     @staticmethod
-    def _square_dims(num_nodes: int) -> "Tuple[int, int]":
+    def _square_dims(num_nodes: int) -> "tuple[int, int]":
         """Most square (rows, cols) factorisation of *num_nodes*."""
         rows = 1
         candidate = 1
@@ -228,7 +228,7 @@ class TorusTopology(Topology):
             candidate += 1
         return rows, num_nodes // rows
 
-    def _coords(self, node: int) -> "Tuple[int, int]":
+    def _coords(self, node: int) -> "tuple[int, int]":
         cols = self.dims[1]
         return node // cols, node % cols
 
@@ -389,7 +389,7 @@ class MultiClusterTopology(LinkPathTopology):
 #: factory signature shared with ``ClusterSpec.topology_factory``
 TopologyFactory = Callable[[int, NetworkSpec], Topology]
 
-_REGISTRY: Dict[str, TopologyFactory] = {}
+_REGISTRY: dict[str, TopologyFactory] = {}
 
 
 def register_topology(
@@ -422,7 +422,7 @@ def topology_by_name(name: str) -> TopologyFactory:
         raise KeyError(f"unknown topology {name!r}; available: {known}") from None
 
 
-def available_topologies() -> List[str]:
+def available_topologies() -> list[str]:
     """Names of all registered topology kinds."""
     return sorted(_REGISTRY)
 

@@ -10,7 +10,7 @@ modified slots to ``updateMainMemory`` when a thread exits a monitor.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -27,8 +27,8 @@ class CachedObject:
         self.data = obj.snapshot()
         self.loads = 1
         # arrays get a boolean mask (lazily allocated); scalar objects a set
-        self._dirty_mask: Optional[np.ndarray] = None
-        self._dirty_slots: Optional[set] = None
+        self._dirty_mask: np.ndarray | None = None
+        self._dirty_slots: set | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -143,7 +143,7 @@ class ObjectCache:
 
     def __init__(self, node_id: int):
         self.node_id = node_id
-        self._entries: Dict[int, CachedObject] = {}
+        self._entries: dict[int, CachedObject] = {}
         self.hits = 0
         self.misses = 0
         self.flushes = 0
@@ -156,7 +156,7 @@ class ObjectCache:
     def __contains__(self, obj: SharedEntity) -> bool:
         return obj.oid in self._entries
 
-    def lookup(self, obj: SharedEntity) -> Optional[CachedObject]:
+    def lookup(self, obj: SharedEntity) -> CachedObject | None:
         """Return the cached copy of *obj*, or None."""
         entry = self._entries.get(obj.oid)
         if entry is None:
@@ -175,23 +175,23 @@ class ObjectCache:
             entry.refresh()
         return entry
 
-    def entries(self) -> List[CachedObject]:
+    def entries(self) -> list[CachedObject]:
         """All cached copies on this node."""
         return list(self._entries.values())
 
-    def dirty_entries(self) -> List[CachedObject]:
+    def dirty_entries(self) -> list[CachedObject]:
         """Cached copies with unflushed modifications."""
         return [e for e in self._entries.values() if e.dirty]
 
     # ------------------------------------------------------------------
-    def flush_all(self) -> Tuple[int, Dict[int, int]]:
+    def flush_all(self) -> tuple[int, dict[int, int]]:
         """Write every dirty slot back to the home copies.
 
         Returns the total number of bytes flushed and a per-home-node byte
         count (one update message is sent to each distinct home node).
         """
         total = 0
-        per_home: Dict[int, int] = {}
+        per_home: dict[int, int] = {}
         for entry in self._entries.values():
             if not entry.dirty:
                 continue

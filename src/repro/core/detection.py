@@ -37,7 +37,8 @@ determinism suite pins them against each other through
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Set, Type
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from repro.core.context import AccessContext
 from repro.dsm.page import PageProtection
@@ -459,9 +460,9 @@ class HybridDetection(DetectionStrategy):
         super().__init__(protocol)
         num_nodes = self.page_manager.num_nodes
         #: per-node cumulative accesses observed per page
-        self._density: List[Dict[int, int]] = [{} for _ in range(num_nodes)]
+        self._density: list[dict[int, int]] = [{} for _ in range(num_nodes)]
         #: per-node pages promoted to fault-based handling
-        self._promoted: List[Set[int]] = [set() for _ in range(num_nodes)]
+        self._promoted: list[set[int]] = [set() for _ in range(num_nodes)]
 
     # ------------------------------------------------------------------
     def _observe(self, node_id: int, pages, count: int) -> None:
@@ -622,13 +623,13 @@ class HybridDetection(DetectionStrategy):
         self.stats.invalidations += 1
 
     # ------------------------------------------------------------------
-    def promoted_pages(self, node_id: int) -> Set[int]:
+    def promoted_pages(self, node_id: int) -> set[int]:
         """Pages currently fault-managed on *node_id* (diagnostics/tests)."""
         return set(self._promoted[node_id])
 
 
 #: name -> strategy class, what ``register_composed`` resolves strings with
-DETECTION_STRATEGIES: Dict[str, Type[DetectionStrategy]] = {
+DETECTION_STRATEGIES: dict[str, type[DetectionStrategy]] = {
     InlineCheckDetection.name: InlineCheckDetection,
     PageFaultDetection.name: PageFaultDetection,
     HoistedCheckDetection.name: HoistedCheckDetection,
@@ -636,7 +637,7 @@ DETECTION_STRATEGIES: Dict[str, Type[DetectionStrategy]] = {
 }
 
 
-def detection_by_name(name: str) -> Type[DetectionStrategy]:
+def detection_by_name(name: str) -> type[DetectionStrategy]:
     """Look up a detection-strategy class by its layer name."""
     try:
         return DETECTION_STRATEGIES[name.lower()]

@@ -33,7 +33,7 @@ a :mod:`~repro.core.detection` strategy:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Tuple, Type
+from typing import TYPE_CHECKING
 
 from repro.core.context import AccessContext
 
@@ -96,7 +96,7 @@ class MigratoryHomePolicy(HomePolicy):
     #: re-homed to it
     REHOME_THRESHOLD = 3
 
-    def __init__(self, protocol: "ConsistencyProtocol", threshold: Optional[int] = None):
+    def __init__(self, protocol: "ConsistencyProtocol", threshold: int | None = None):
         super().__init__(protocol)
         if threshold is not None:
             if threshold < 1:
@@ -106,8 +106,8 @@ class MigratoryHomePolicy(HomePolicy):
             self.threshold = self.REHOME_THRESHOLD
         self._home_by_page = protocol._home_by_page
         #: page -> (last writer node, current streak length)
-        self._streaks: Dict[int, Tuple[int, int]] = {}
-        self._migration: Optional["MigrationManager"] = None
+        self._streaks: dict[int, tuple[int, int]] = {}
+        self._migration: "MigrationManager" | None = None
 
     @property
     def mechanism(self) -> str:  # type: ignore[override]
@@ -182,7 +182,7 @@ class LocalityAwareHomePolicy(MigratoryHomePolicy):
     #: expensive than an intra-switch transfer
     REHOME_THRESHOLD = 2
 
-    def __init__(self, protocol: "ConsistencyProtocol", threshold: Optional[int] = None):
+    def __init__(self, protocol: "ConsistencyProtocol", threshold: int | None = None):
         super().__init__(protocol, threshold=threshold)
         topology = self.page_manager.topology
         self._island_of = topology.island_of
@@ -222,14 +222,14 @@ class LocalityAwareHomePolicy(MigratoryHomePolicy):
 
 
 #: name -> policy class, what ``register_composed`` resolves strings with
-HOME_POLICIES: Dict[str, Type[HomePolicy]] = {
+HOME_POLICIES: dict[str, type[HomePolicy]] = {
     FixedHomePolicy.name: FixedHomePolicy,
     MigratoryHomePolicy.name: MigratoryHomePolicy,
     LocalityAwareHomePolicy.name: LocalityAwareHomePolicy,
 }
 
 
-def home_policy_by_name(name: str) -> Type[HomePolicy]:
+def home_policy_by_name(name: str) -> type[HomePolicy]:
     """Look up a home-policy class by its layer name."""
     try:
         return HOME_POLICIES[name.lower()]

@@ -8,7 +8,8 @@ interface below, so :mod:`repro.core` never imports :mod:`repro.hyperion`.
 
 from __future__ import annotations
 
-from typing import Any, Protocol, Sequence, runtime_checkable
+from collections.abc import Sequence
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 

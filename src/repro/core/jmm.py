@@ -6,22 +6,24 @@ synchronisation operations, must see up-to-date values after acquiring a
 monitor, and must make its modifications visible to main memory before the
 corresponding release completes (paper Section 3.1).
 
-This module provides the machinery the test-suite uses to verify that the
-runtime establishes the required *happens-before* edges:
+This module provides the machinery the test-suite and the consistency
+sanitizer use to verify that the runtime establishes the required
+*happens-before* edges:
 
 * :class:`VectorClock` — a standard vector clock keyed by thread id;
 * :class:`HappensBeforeTracker` — records acquire/release pairs on monitors
   and barrier episodes and answers "is event A ordered before event B?".
 
 The production code path does not need the tracker (the protocols enforce the
-model by construction); it exists so that property-based tests can check the
-model independently of the implementation.
+model by construction); it exists so that property-based tests and the opt-in
+shadow layer in :mod:`repro.analysis.sanitizer` can check the model
+independently of the implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from collections.abc import Hashable, Iterable
 
 
 class VectorClock:
@@ -29,8 +31,8 @@ class VectorClock:
 
     __slots__ = ("_clock",)
 
-    def __init__(self, initial: Optional[Dict[Hashable, int]] = None):
-        self._clock: Dict[Hashable, int] = dict(initial or {})
+    def __init__(self, initial: dict[Hashable, int] | None = None):
+        self._clock: dict[Hashable, int] = dict(initial or {})
 
     def copy(self) -> "VectorClock":
         """Independent copy of this clock."""
@@ -47,6 +49,25 @@ class VectorClock:
             if value > self._clock.get(tid, 0):
                 self._clock[tid] = value
         return self
+
+    @classmethod
+    def merge_many(cls, clocks: Iterable["VectorClock"]) -> "VectorClock":
+        """Component-wise maximum of *clocks* in one pass (a fresh clock).
+
+        The barrier-episode path merges every participant; doing it in one
+        pass over the live clocks keeps the cost ``O(live threads x keys)``
+        with no intermediate copies (the pairwise form re-probes the
+        accumulator once per clock per key).
+        """
+        merged: dict[Hashable, int] = {}
+        get = merged.get
+        for clock in clocks:
+            for tid, value in clock._clock.items():
+                if value > get(tid, 0):
+                    merged[tid] = value
+        fresh = cls()
+        fresh._clock = merged
+        return fresh
 
     def get(self, tid: Hashable) -> int:
         """Component of *tid* (0 when absent)."""
@@ -71,15 +92,16 @@ class VectorClock:
         """True when neither clock happens-before the other."""
         return not (self <= other) and not (other <= self)
 
-    def as_dict(self) -> Dict[Hashable, int]:
-        """Plain-dict view (non-zero components only)."""
-        return {k: v for k, v in self._clock.items() if v}
+    def as_dict(self) -> dict[Hashable, int]:
+        """Plain-dict view (non-zero components only), deterministically ordered."""
+        items = sorted(self._clock.items(), key=lambda kv: repr(kv[0]))
+        return {k: v for k, v in items if v}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VectorClock({self.as_dict()!r})"
 
 
-@dataclass
+@dataclass(slots=True)
 class _MonitorState:
     """Release clock left behind by the last holder of a monitor."""
 
@@ -90,10 +112,12 @@ class _MonitorState:
 class HappensBeforeTracker:
     """Tracks happens-before edges induced by monitors and barriers."""
 
+    __slots__ = ("_thread_clocks", "_monitors", "_events")
+
     def __init__(self):
-        self._thread_clocks: Dict[Hashable, VectorClock] = {}
-        self._monitors: Dict[Hashable, _MonitorState] = {}
-        self._events: Dict[Hashable, VectorClock] = {}
+        self._thread_clocks: dict[Hashable, VectorClock] = {}
+        self._monitors: dict[Hashable, _MonitorState] = {}
+        self._events: dict[Hashable, VectorClock] = {}
 
     # ------------------------------------------------------------------
     def _clock(self, tid: Hashable) -> VectorClock:
@@ -121,13 +145,29 @@ class HappensBeforeTracker:
         state.release_clock = clock.copy()
         state.releases += 1
 
-    def barrier(self, tids: List[Hashable]) -> None:
+    def barrier(self, tids: list[Hashable]) -> None:
         """Record a barrier episode among *tids* (all-to-all ordering)."""
-        merged = VectorClock()
-        for tid in tids:
-            merged.merge(self._clock(tid))
+        merged = VectorClock.merge_many(self._clock(tid) for tid in tids)
         for tid in tids:
             self._thread_clocks[tid] = merged.copy().tick(tid)
+
+    def tick(self, tid: Hashable) -> None:
+        """Advance *tid*'s own component (an internal synchronisation step).
+
+        The sanitizer ticks a thread's clock at every publish point (flush,
+        spawn, thread finish) so that snapshots taken before the tick stay
+        strictly ordered before — never equal to — later publishes.
+        """
+        self._clock(tid).tick(tid)
+
+    def merge_into(self, tid: Hashable, clock: VectorClock) -> None:
+        """Merge an externally held *clock* into *tid*'s and tick it.
+
+        Used for synchronisation edges whose source is a snapshot rather
+        than a live thread clock: barrier-episode clocks delivered to each
+        resuming participant, and the final clock of a joined thread.
+        """
+        self._clock(tid).merge(clock).tick(tid)
 
     def mark(self, tid: Hashable, label: Hashable) -> None:
         """Snapshot *tid*'s current clock under *label* (an "event")."""
@@ -159,7 +199,7 @@ class HappensBeforeTracker:
 
 #: The synchronisation actions the JLS defines for the (1996) memory model;
 #: kept as data so documentation and tests can enumerate them.
-JMM_SYNCHRONIZATION_ACTIONS: Tuple[str, ...] = (
+JMM_SYNCHRONIZATION_ACTIONS: tuple[str, ...] = (
     "monitor_enter",
     "monitor_exit",
     "thread_start",

@@ -21,7 +21,7 @@ device of the simulator, not a semantic change).  Detection of remote objects
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -43,7 +43,7 @@ class MemorySubsystem:
         cost_model: CostModel,
         protocol: ConsistencyProtocol,
         num_nodes: int,
-        run_stats: Optional[RunStats] = None,
+        run_stats: RunStats | None = None,
     ):
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -51,7 +51,7 @@ class MemorySubsystem:
         self.cost_model = cost_model
         self.protocol = protocol
         self.num_nodes = int(num_nodes)
-        self.caches: List[ObjectCache] = [ObjectCache(n) for n in range(num_nodes)]
+        self.caches: list[ObjectCache] = [ObjectCache(n) for n in range(num_nodes)]
         self.run_stats = run_stats if run_stats is not None else RunStats()
         # keep the DSM counters and the run-level view unified
         self.run_stats.dsm = page_manager.stats
@@ -65,7 +65,7 @@ class MemorySubsystem:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
-    def _pages_of(self, obj: SharedEntity, lo: int = 0, hi: Optional[int] = None) -> List[int]:
+    def _pages_of(self, obj: SharedEntity, lo: int = 0, hi: int | None = None) -> list[int]:
         """Pages backing slots [lo, hi) of *obj* (all of it by default)."""
         if hi is None:
             address = obj.address
@@ -234,7 +234,7 @@ class MemorySubsystem:
         obj: SharedEntity,
         count: int,
         lo: int = 0,
-        hi: Optional[int] = None,
+        hi: int | None = None,
         write: bool = False,
     ) -> None:
         """Charge detection for *count* accesses without moving data.
@@ -277,7 +277,7 @@ class MemorySubsystem:
         """The object cache of *node*."""
         return self.caches[node]
 
-    def primitive_names(self) -> Dict[str, str]:
+    def primitive_names(self) -> dict[str, str]:
         """The Table 2 primitive names and their descriptions (for tests/docs)."""
         return {
             "loadIntoCache": "Load an object into the cache",

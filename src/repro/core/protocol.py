@@ -29,18 +29,8 @@ from __future__ import annotations
 
 from abc import abstractmethod
 from contextlib import contextmanager
-from typing import (
-    TYPE_CHECKING,
-    Callable,
-    Dict,
-    Iterable,
-    Iterator,
-    List,
-    Optional,
-    Sequence,
-    Type,
-    Union,
-)
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING
 
 from repro.cluster.costs import CostModel
 from repro.core.context import AccessContext
@@ -71,7 +61,7 @@ class ConsistencyProtocol(DsmProtocolHooks):
     #: one-line mechanism fragment for :meth:`describe`; composed protocols
     #: take it from their detection strategy, plain subclasses may set it —
     #: when left None the legacy ``uses_page_faults``-derived wording is used
-    mechanism: Optional[str] = None
+    mechanism: str | None = None
 
     def __init__(self, page_manager: PageManager, cost_model: CostModel):
         self.page_manager = page_manager
@@ -181,8 +171,8 @@ class ComposedProtocol(ConsistencyProtocol):
         self,
         page_manager: PageManager,
         cost_model: CostModel,
-        detection: Type["DetectionStrategy"],
-        home_policy: Type["HomePolicy"],
+        detection: type["DetectionStrategy"],
+        home_policy: type["HomePolicy"],
         name: str,
     ):
         super().__init__(page_manager, cost_model)
@@ -267,7 +257,7 @@ def reference_detection() -> Iterator[None]:
     body — or the patching pass itself — raises.
     """
     _ensure_builtins()
-    patched: List[tuple] = []
+    patched: list[tuple] = []
     try:
         seen = set()
         for factory in _REGISTRY.values():
@@ -290,12 +280,12 @@ def reference_detection() -> Iterator[None]:
                 klass.detect_access = original
 
 
-def _detection_bearing_classes(factory) -> List[type]:
+def _detection_bearing_classes(factory) -> list[type]:
     """Classes of *factory* that may carry a swappable ``detect_access``."""
     from repro.core.detection import DetectionStrategy
 
     if isinstance(factory, ComposedProtocolFactory):
-        root: Optional[type] = factory.detection_class
+        root: type | None = factory.detection_class
         stop = DetectionStrategy
     elif isinstance(factory, type) and issubclass(factory, ConsistencyProtocol):
         root, stop = factory, ConsistencyProtocol
@@ -309,7 +299,7 @@ def _detection_bearing_classes(factory) -> List[type]:
 # ---------------------------------------------------------------------------
 ProtocolFactory = Callable[[PageManager, CostModel], ConsistencyProtocol]
 
-_REGISTRY: Dict[str, ProtocolFactory] = {}
+_REGISTRY: dict[str, ProtocolFactory] = {}
 
 
 class ComposedProtocolFactory:
@@ -362,8 +352,8 @@ def register_protocol(
 
 def register_composed(
     name: str,
-    detection: Union[str, type],
-    home_policy: Union[str, type] = "fixed",
+    detection: str | type,
+    home_policy: str | type = "fixed",
     allow_override: bool = False,
 ) -> ComposedProtocolFactory:
     """Register *name* as the composition of a detection and a home policy.
@@ -429,13 +419,13 @@ def create_protocol(
     return factory(page_manager, cost_model)
 
 
-def available_protocols() -> List[str]:
+def available_protocols() -> list[str]:
     """Names of all registered protocols."""
     _ensure_builtins()
     return sorted(_REGISTRY)
 
 
-def protocol_composition(name: str) -> Optional[Dict[str, str]]:
+def protocol_composition(name: str) -> dict[str, str] | None:
     """The layer names of a composed protocol, or None for plain factories.
 
     Returns ``{"detection": ..., "home_policy": ...}`` for names registered

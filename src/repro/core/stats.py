@@ -11,7 +11,6 @@ figures and improvement tables from them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
 
 from repro.dsm.page_manager import DsmStats
 
@@ -27,7 +26,7 @@ class MonitorStats:
     notifies: int = 0
     barriers: int = 0
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> dict[str, int]:
         """Flat dictionary of the counters."""
         return {
             "monitor_enters": self.enters,
@@ -48,7 +47,7 @@ class ThreadStats:
     joined: int = 0
     migrations: int = 0
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> dict[str, int]:
         """Flat dictionary of the counters."""
         return {
             "threads_created": self.created,
@@ -71,10 +70,10 @@ class RunStats:
     dsm: DsmStats = field(default_factory=DsmStats)
     monitors: MonitorStats = field(default_factory=MonitorStats)
     threads: ThreadStats = field(default_factory=ThreadStats)
-    cpu_seconds_by_node: Dict[int, float] = field(default_factory=dict)
-    wait_seconds_by_node: Dict[int, float] = field(default_factory=dict)
+    cpu_seconds_by_node: dict[int, float] = field(default_factory=dict)
+    wait_seconds_by_node: dict[int, float] = field(default_factory=dict)
     execution_seconds: float = 0.0
-    result: Optional[object] = None
+    result: object | None = None
 
     # ------------------------------------------------------------------
     def record_cpu(self, node: int, seconds: float) -> None:
@@ -98,9 +97,9 @@ class RunStats:
         """Sum of communication wait time across nodes."""
         return sum(self.wait_seconds_by_node.values())
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         """Flattened scalar view used by reports, JSON dumps and tests."""
-        out: Dict[str, float] = {
+        out: dict[str, float] = {
             "execution_seconds": self.execution_seconds,
             "cpu_seconds_total": self.total_cpu_seconds,
             "wait_seconds_total": self.total_wait_seconds,

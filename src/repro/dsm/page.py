@@ -29,7 +29,7 @@ class PageProtection(enum.Enum):
         return self is PageProtection.READ_WRITE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PageInfo:
     """Immutable identity of one global page."""
 

@@ -29,7 +29,7 @@ keep the mirror consistent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.cluster.costs import CostModel
 from repro.cluster.topology import Topology
@@ -69,8 +69,8 @@ class DsmStats:
     intra_island_fetch_seconds: float = 0.0
     inter_island_fetch_seconds: float = 0.0
     inter_island_bytes: int = 0
-    fetches_by_node: Dict[int, int] = field(default_factory=dict)
-    faults_by_node: Dict[int, int] = field(default_factory=dict)
+    fetches_by_node: dict[int, int] = field(default_factory=dict)
+    faults_by_node: dict[int, int] = field(default_factory=dict)
 
     def record_fetch(self, node: int, pages: int, nbytes: int) -> None:
         """Account a fetch of *pages* pages (*nbytes* total) into *node*."""
@@ -85,7 +85,7 @@ class DsmStats:
         by_node = self.faults_by_node
         by_node[node] = by_node.get(node, 0) + count
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         """Flat dictionary of the scalar counters (for reports and tests)."""
         return {
             "page_fetches": self.page_fetches,
@@ -115,7 +115,7 @@ class NodePageTable:
 
     def __init__(self, node_id: int):
         self.node_id = node_id
-        self._entries: Dict[int, PageTableEntry] = {}
+        self._entries: dict[int, PageTableEntry] = {}
         self._present: set = set()
 
     def entry(self, page: int) -> PageTableEntry:
@@ -141,11 +141,11 @@ class NodePageTable:
             entry.present = False
             self._present.discard(page)
 
-    def known_pages(self) -> List[int]:
+    def known_pages(self) -> list[int]:
         """Pages that have an entry on this node."""
         return list(self._entries)
 
-    def present_pages(self) -> List[int]:
+    def present_pages(self) -> list[int]:
         """Pages currently replicated (or homed) on this node."""
         return [p for p, e in self._entries.items() if e.present]
 
@@ -172,16 +172,16 @@ class PageManager:
         self.cost_model = cost_model
         self.topology = topology
         self.stats = DsmStats()
-        self._pages: Dict[int, PageInfo] = {}
+        self._pages: dict[int, PageInfo] = {}
         #: flat page -> home-node map; the access fast path reads this
         #: instead of chasing PageInfo attributes
-        self._home_by_page: Dict[int, int] = {}
-        self.tables: List[NodePageTable] = [NodePageTable(n) for n in range(num_nodes)]
+        self._home_by_page: dict[int, int] = {}
+        self.tables: list[NodePageTable] = [NodePageTable(n) for n in range(num_nodes)]
 
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
-    def register_range(self, address: int, size: int) -> List[int]:
+    def register_range(self, address: int, size: int) -> list[int]:
         """Register the pages backing an allocation; returns their numbers.
 
         The home node of each page is derived from the iso-address arena the
@@ -217,11 +217,11 @@ class PageManager:
         except KeyError:
             raise KeyError(f"page {page} has not been registered") from None
 
-    def registered_pages(self) -> List[int]:
+    def registered_pages(self) -> list[int]:
         """All registered page numbers (sorted)."""
         return sorted(self._pages)
 
-    def pages_for_range(self, address: int, size: int) -> List[int]:
+    def pages_for_range(self, address: int, size: int) -> list[int]:
         """Page numbers spanned by [address, address+size)."""
         return list(self.isoaddr.pages_of_range(address, size))
 
@@ -245,11 +245,11 @@ class PageManager:
             return PageProtection.READ_WRITE
         return entry.protection
 
-    def missing_pages(self, node: int, pages: Iterable[int]) -> List[int]:
+    def missing_pages(self, node: int, pages: Iterable[int]) -> list[int]:
         """Subset of *pages* not present on *node*."""
         present = self.tables[node]._present
         home = self._home_by_page
-        missing: List[int] = []
+        missing: list[int] = []
         for page in pages:
             if page in present:
                 continue
@@ -276,7 +276,7 @@ class PageManager:
             return 0.0
         latency = 0.0
         home_map = self._home_by_page
-        by_home: Dict[int, List[int]] = {}
+        by_home: dict[int, list[int]] = {}
         for page in missing:
             by_home.setdefault(home_map[page], []).append(page)
         table = self.tables[node]

@@ -17,7 +17,6 @@ cost constants can be judged immediately.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 from repro.apps.workloads import WorkloadPreset
 from repro.cluster.presets import cluster_by_name
@@ -68,9 +67,9 @@ class CalibrationEntry:
 class CalibrationReport:
     """Result of a calibration run."""
 
-    entries: List[CalibrationEntry] = field(default_factory=list)
+    entries: list[CalibrationEntry] = field(default_factory=list)
     constants_ok: bool = True
-    notes: List[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -93,7 +92,7 @@ class CalibrationReport:
         return "\n".join(lines)
 
 
-def check_published_constants() -> List[str]:
+def check_published_constants() -> list[str]:
     """Verify the constants the paper states explicitly; return notes."""
     notes = []
     myrinet = cluster_by_name("myrinet")
@@ -112,10 +111,10 @@ def check_published_constants() -> List[str]:
 
 
 def calibrate(
-    workload: Optional[WorkloadPreset] = None,
-    apps: Optional[List[str]] = None,
-    tolerance: Optional[Dict[str, float]] = None,
-    session: Optional[Session] = None,
+    workload: WorkloadPreset | None = None,
+    apps: list[str] | None = None,
+    tolerance: dict[str, float] | None = None,
+    session: Session | None = None,
 ) -> CalibrationReport:
     """Measure single-node Myrinet improvements and compare to the paper."""
     preset = workload or WorkloadPreset.bench()

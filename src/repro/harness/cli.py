@@ -7,6 +7,8 @@ Sub-commands::
     hyperion-sim all --jobs 4 --cache-dir .hyperion-cache
     hyperion-sim run jacobi --protocol java_pf --cluster myrinet --nodes 4
     hyperion-sim run asp --trace-out asp.jsonl   # dump the event trace
+    hyperion-sim run jacobi --sanitize    # JMM consistency sanitizer findings
+    hyperion-sim lint                     # determinism/perf lint (HYP001-005)
     hyperion-sim protocols                # the protocol family + its layers
     hyperion-sim topologies               # cluster shapes + their islands
     hyperion-sim figure 2 --protocols java_ic,java_pf,java_hybrid
@@ -36,7 +38,6 @@ import argparse
 import dataclasses
 import json
 import sys
-from typing import List, Optional
 
 from repro.apps.base import available_apps
 from repro.apps.workloads import WorkloadPreset
@@ -99,7 +100,7 @@ def _add_protocols_flag(parser: argparse.ArgumentParser, default: str) -> None:
 
 
 def _add_topology_flag(
-    parser: argparse.ArgumentParser, help_text: Optional[str] = None
+    parser: argparse.ArgumentParser, help_text: str | None = None
 ) -> None:
     parser.add_argument(
         "--topology",
@@ -111,6 +112,20 @@ def _add_topology_flag(
             "run on a topology preset's cluster instead of --cluster / the "
             "paper platforms (see `hyperion-sim topologies`)"
         ),
+    )
+
+
+def _add_sanitize_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the JMM consistency sanitizer and print its findings",
+    )
+    parser.add_argument(
+        "--sanitize-out",
+        default=None,
+        metavar="PATH",
+        help="also write the sanitizer report to PATH as JSON (implies --sanitize)",
     )
 
 
@@ -178,6 +193,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record the simulation event trace and write it to PATH as JSONL",
     )
+    _add_sanitize_flags(run)
 
     scenario = sub.add_parser(
         "scenario", help="generated synthetic scenarios (list / run / sweep)"
@@ -216,6 +232,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record the simulation event trace and write it to PATH as JSONL",
     )
+    _add_sanitize_flags(scenario_run)
     _add_session_flags(scenario_run)
 
     scenario_sweep = scenario_sub.add_parser(
@@ -264,7 +281,25 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated swept values (default: the sweep's own grid)",
     )
+    sweep.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run every cell under the JMM consistency sanitizer",
+    )
     _add_session_flags(sweep)
+
+    lint = sub.add_parser(
+        "lint",
+        help="repo-specific determinism/performance lint (HYP001-HYP005)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument("--json", action="store_true")
 
     profile = sub.add_parser(
         "profile",
@@ -346,7 +381,9 @@ def _session(args) -> Session:
     try:
         return Session.from_options(jobs=jobs, cache_dir=cache_dir)
     except OSError as exc:
-        raise CliError(f"--cache-dir {cache_dir!r} is not a usable directory: {exc}")
+        raise CliError(
+            f"--cache-dir {cache_dir!r} is not a usable directory: {exc}"
+        ) from exc
 
 
 def _protocol_columns(args) -> tuple:
@@ -427,7 +464,7 @@ def _probe_protocol(name: str):
     return create_protocol(name, page_manager, cost_model)
 
 
-def _protocol_entries() -> List[dict]:
+def _protocol_entries() -> list[dict]:
     """One row per registered protocol: description plus layer composition."""
     entries = []
     for name in available_protocols():
@@ -465,7 +502,7 @@ def cmd_protocols(args) -> int:
     return 0
 
 
-def _topology_entries() -> List[dict]:
+def _topology_entries() -> list[dict]:
     """One row per topology preset: cluster, shape kind, island structure."""
     entries = []
     for name in available_topology_presets():
@@ -512,6 +549,28 @@ def _print_report(report) -> None:
         print(f"  {key:30s} {value}")
 
 
+def _print_sanitizer(report, out_path: str | None = None) -> None:
+    """Print a sanitizer report (and optionally write it as JSON)."""
+    sanitizer = report.sanitizer
+    if sanitizer is None:
+        raise CliError("the run produced no sanitizer report")
+    print()
+    print(sanitizer.summary())
+    for finding in sanitizer.violations:
+        print(f"  VIOLATION [{finding.kind}] x{finding.count}: {finding.detail}")
+    for finding in sanitizer.races:
+        print(f"  race x{finding.count}: {finding.detail}")
+    if out_path:
+        try:
+            with open(out_path, "w") as handle:
+                json.dump(sanitizer.to_dict(), handle, indent=2, sort_keys=True)
+        except OSError as exc:
+            raise CliError(
+                f"cannot write --sanitize-out {out_path!r}: {exc}"
+            ) from exc
+        print(f"wrote sanitizer report to {out_path}")
+
+
 def _run_with_trace(spec: ExperimentSpec, trace_out: str):
     """Run *spec* with tracing forced on and export the trace as JSONL."""
     base = spec.config or RuntimeConfig()
@@ -520,7 +579,7 @@ def _run_with_trace(spec: ExperimentSpec, trace_out: str):
     try:
         lines = runtime.engine.trace.write_jsonl(trace_out)
     except OSError as exc:
-        raise CliError(f"cannot write --trace-out {trace_out!r}: {exc}")
+        raise CliError(f"cannot write --trace-out {trace_out!r}: {exc}") from exc
     print(f"wrote {lines} trace record(s) to {trace_out}")
     return report
 
@@ -528,7 +587,8 @@ def _run_with_trace(spec: ExperimentSpec, trace_out: str):
 def cmd_run(args) -> int:
     # the scale name resolves through the app's own preset hook, so this
     # works for the paper benchmarks and the generated syn-* scenarios alike
-    if args.trace_out:
+    sanitize = args.sanitize or bool(args.sanitize_out)
+    if args.trace_out or sanitize:
         spec = ExperimentSpec(
             app=args.app,
             cluster=args.cluster,
@@ -536,18 +596,24 @@ def cmd_run(args) -> int:
             num_nodes=args.nodes,
             workload=args.scale,
             verify=args.verify,
+            sanitize=sanitize,
         )
-        report = _run_with_trace(spec, args.trace_out)
+        if args.trace_out:
+            report = _run_with_trace(spec, args.trace_out)
+        else:
+            report, _ = run_spec_runtime(spec)
     else:
         report = run_cell(
             args.app, args.cluster, args.protocol, args.nodes, args.scale,
             verify=args.verify,
         )
     _print_report(report)
+    if sanitize:
+        _print_sanitizer(report, args.sanitize_out)
     return 0
 
 
-def _pattern_overrides(name: str, raw_args: List[str], seed: Optional[int]) -> dict:
+def _pattern_overrides(name: str, raw_args: list[str], seed: int | None) -> dict:
     """Parse repeated ``--pattern-arg KEY=VALUE`` flags into typed overrides."""
     defaults = scenario_parameters(name)
     overrides: dict = {}
@@ -569,10 +635,10 @@ def _pattern_overrides(name: str, raw_args: List[str], seed: Optional[int]) -> d
                 overrides[key] = lowered in ("true", "1")
             else:
                 overrides[key] = target(raw)
-        except ValueError:
+        except ValueError as exc:
             raise CliError(
                 f"--pattern-arg {key}: expected a {target.__name__} value, got {raw!r}"
-            )
+            ) from exc
     if seed is not None:
         overrides["seed"] = seed
     return overrides
@@ -592,7 +658,8 @@ def cmd_scenario(args) -> int:
                 **_pattern_overrides(args.name, args.pattern_arg, args.seed),
             )
         except (KeyError, ValueError) as exc:
-            raise CliError(str(exc))
+            raise CliError(str(exc)) from exc
+        sanitize = args.sanitize or bool(args.sanitize_out)
         spec = ExperimentSpec(
             app=args.name,
             cluster=args.cluster,
@@ -600,6 +667,7 @@ def cmd_scenario(args) -> int:
             num_nodes=args.nodes,
             workload=workload,
             verify=args.verify,
+            sanitize=sanitize,
         )
         if args.trace_out:
             if args.jobs != 1 or args.cache_dir:
@@ -615,13 +683,17 @@ def cmd_scenario(args) -> int:
             print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
         else:
             _print_report(report)
+        if sanitize:
+            _print_sanitizer(report, args.sanitize_out)
         return 0
 
     # sweep: the scenario comparison grid
     try:
         node_counts = tuple(int(n) for n in args.nodes.split(",") if n)
-    except ValueError:
-        raise CliError(f"--nodes must be comma-separated integers, got {args.nodes!r}")
+    except ValueError as exc:
+        raise CliError(
+            f"--nodes must be comma-separated integers, got {args.nodes!r}"
+        ) from exc
     if not node_counts:
         raise CliError("--nodes selected no node counts")
     try:
@@ -635,7 +707,7 @@ def cmd_scenario(args) -> int:
             session=_session(args),
         )
     except ValueError as exc:
-        raise CliError(str(exc))
+        raise CliError(str(exc)) from exc
     dropped = [n for n in node_counts if n not in grid.node_counts]
     if dropped:
         print(
@@ -655,17 +727,17 @@ def cmd_scenario(args) -> int:
     return 0
 
 
-def _sweep_values(kind: str, raw: Optional[str]):
+def _sweep_values(kind: str, raw: str | None):
     if raw is None:
         return None
     parse = {"page_size": int, "threads": int, "check_cost": float}.get(kind, str)
     try:
         return tuple(parse(item) for item in raw.split(",") if item)
-    except ValueError:
+    except ValueError as exc:
         raise CliError(
             f"--values for {kind!r} must be comma-separated "
             f"{parse.__name__} values, got {raw!r}"
-        )
+        ) from exc
 
 
 def cmd_sweep(args) -> int:
@@ -686,9 +758,39 @@ def cmd_sweep(args) -> int:
             "balancer": "policies",
         }[args.kind]
         kwargs[value_param] = values
+    if args.sanitize:
+        kwargs["sanitize"] = True
     result = sweep_fn(args.app, **kwargs)
     print(result.render())
+    if args.sanitize:
+        print()
+        unclean = 0
+        for (protocol, value), report in sorted(
+            result.sanitizers.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
+        ):
+            print(f"  {protocol} @ {value}: {report.summary()}")
+            unclean += 0 if report.clean else 1
+        if unclean:
+            print(f"sanitizer: {unclean} cell(s) with protocol violations")
+            return 1
     return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.analysis.lint import lint_paths
+
+    try:
+        findings = lint_paths(args.paths)
+    except (FileNotFoundError, SyntaxError) as exc:
+        raise CliError(str(exc)) from exc
+    if args.json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.format())
+        if not findings:
+            print(f"lint: clean ({', '.join(args.paths)})")
+    return 1 if findings else 0
 
 
 def cmd_profile(args) -> int:
@@ -805,7 +907,7 @@ def cmd_describe(args) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``hyperion-sim`` console script."""
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -816,6 +918,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "scenario": cmd_scenario,
         "sweep": cmd_sweep,
+        "lint": cmd_lint,
         "profile": cmd_profile,
         "calibrate": cmd_calibrate,
         "experiments": cmd_experiments,

@@ -17,7 +17,8 @@ suite's counting stub and any future remote/batch executors plug in that way.
 
 from __future__ import annotations
 
-from typing import List, Protocol, Sequence, runtime_checkable
+from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
 
 from repro.harness.spec import ExperimentSpec, run_spec
 from repro.hyperion.runtime import ExecutionReport
@@ -28,7 +29,7 @@ from repro.util.validation import check_positive
 class Executor(Protocol):
     """Anything that can run a batch of specs, preserving order."""
 
-    def execute(self, specs: Sequence[ExperimentSpec]) -> List[ExecutionReport]:
+    def execute(self, specs: Sequence[ExperimentSpec]) -> list[ExecutionReport]:
         """Run every spec and return the reports in submission order."""
         ...  # pragma: no cover
 
@@ -36,7 +37,7 @@ class Executor(Protocol):
 class SerialExecutor:
     """Run cells one after another in the calling process."""
 
-    def execute(self, specs: Sequence[ExperimentSpec]) -> List[ExecutionReport]:
+    def execute(self, specs: Sequence[ExperimentSpec]) -> list[ExecutionReport]:
         """Run every spec and return the reports in submission order."""
         return [run_spec(spec) for spec in specs]
 
@@ -54,7 +55,7 @@ class ParallelExecutor:
         check_positive("jobs", jobs)
         self.jobs = int(jobs)
 
-    def execute(self, specs: Sequence[ExperimentSpec]) -> List[ExecutionReport]:
+    def execute(self, specs: Sequence[ExperimentSpec]) -> list[ExecutionReport]:
         """Run every spec and return the reports in submission order."""
         specs = list(specs)
         if not specs:

@@ -18,7 +18,7 @@ anything grid-shaped.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from collections.abc import Iterable, Sequence
 
 from repro.cluster.presets import ClusterSpec
 from repro.harness.session import Session, SessionResult, default_session
@@ -43,13 +43,13 @@ def _resolve_workload(app_name: str, workload) -> object:
 
 def run_cell(
     app_name: str,
-    cluster: Union[str, ClusterSpec],
+    cluster: str | ClusterSpec,
     protocol: str,
     num_nodes: int,
     workload=None,
-    config: Optional[RuntimeConfig] = None,
+    config: RuntimeConfig | None = None,
     verify: bool = False,
-    session: Optional[Session] = None,
+    session: Session | None = None,
 ) -> ExecutionReport:
     """Run one experiment cell and return its :class:`ExecutionReport`.
 
@@ -79,16 +79,16 @@ class ProtocolComparison:
     app: str
     cluster: str
     workload_name: str
-    node_counts: List[int]
-    protocols: List[str]
-    reports: Dict[Tuple[str, int], ExecutionReport] = field(default_factory=dict)
+    node_counts: list[int]
+    protocols: list[str]
+    reports: dict[tuple[str, int], ExecutionReport] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def report(self, protocol: str, num_nodes: int) -> ExecutionReport:
         """The report of one (protocol, node-count) cell."""
         return self.reports[(protocol, num_nodes)]
 
-    def series(self, protocol: str) -> List[Tuple[int, float]]:
+    def series(self, protocol: str) -> list[tuple[int, float]]:
         """Execution-time series (nodes, seconds) for *protocol*."""
         return [
             (n, self.reports[(protocol, n)].execution_seconds) for n in self.node_counts
@@ -102,7 +102,7 @@ class ProtocolComparison:
             return 0.0
         return 100.0 * (base - cand) / base
 
-    def improvements(self, baseline: str = "java_ic", candidate: str = "java_pf") -> Dict[int, float]:
+    def improvements(self, baseline: str = "java_ic", candidate: str = "java_pf") -> dict[int, float]:
         """Improvement per node count."""
         return {
             n: self.improvement_percent(n, baseline, candidate) for n in self.node_counts
@@ -116,13 +116,13 @@ class ProtocolComparison:
 
 def comparison_specs(
     app_name: str,
-    cluster: Union[str, ClusterSpec],
-    node_counts: Optional[Sequence[int]] = None,
+    cluster: str | ClusterSpec,
+    node_counts: Sequence[int] | None = None,
     workload=None,
     protocols: Iterable[str] = ("java_ic", "java_pf"),
-    config: Optional[RuntimeConfig] = None,
+    config: RuntimeConfig | None = None,
     verify: bool = False,
-) -> Tuple[ProtocolComparison, List[ExperimentSpec]]:
+) -> tuple[ProtocolComparison, list[ExperimentSpec]]:
     """Empty :class:`ProtocolComparison` plus the specs that will fill it.
 
     Splitting spec construction from execution lets callers batch the specs
@@ -169,13 +169,13 @@ def fill_comparison(
 
 def run_comparison(
     app_name: str,
-    cluster: Union[str, ClusterSpec],
-    node_counts: Optional[Sequence[int]] = None,
+    cluster: str | ClusterSpec,
+    node_counts: Sequence[int] | None = None,
     workload=None,
     protocols: Iterable[str] = ("java_ic", "java_pf"),
-    config: Optional[RuntimeConfig] = None,
+    config: RuntimeConfig | None = None,
     verify: bool = False,
-    session: Optional[Session] = None,
+    session: Session | None = None,
 ) -> ProtocolComparison:
     """Run *app_name* on *cluster* for every (protocol, node-count) pair."""
     comparison, specs = comparison_specs(

@@ -8,7 +8,7 @@ nodes) and on the SCI cluster (up to 6 nodes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 from repro.cluster.presets import cluster_by_name
 from repro.harness.experiment import (
@@ -21,23 +21,23 @@ from repro.harness.spec import ExperimentSpec
 from repro.hyperion.runtime import RuntimeConfig
 
 #: figure number -> benchmark, as in the paper
-FIGURE_APPS: Dict[int, str] = {1: "pi", 2: "jacobi", 3: "barnes", 4: "tsp", 5: "asp"}
+FIGURE_APPS: dict[int, str] = {1: "pi", 2: "jacobi", 3: "barnes", 4: "tsp", 5: "asp"}
 
 #: the paper's two protocols — the series of Figures 1-5 as published
-PAPER_PROTOCOLS: Tuple[str, ...] = ("java_ic", "java_pf")
+PAPER_PROTOCOLS: tuple[str, ...] = ("java_ic", "java_pf")
 
 #: the grown protocol family plotted by the widened grids: the paper's two
 #: plus the composed extensions (adaptive per-page detection and migratory
 #: homes; ``java_ic_hoisted`` stays an ablation-only variant)
-PROTOCOL_FAMILY: Tuple[str, ...] = ("java_ic", "java_pf", "java_hybrid", "java_ic_mig")
+PROTOCOL_FAMILY: tuple[str, ...] = ("java_ic", "java_pf", "java_hybrid", "java_ic_mig")
 
 #: the columns of the topology grid: the family plus the locality-aware
 #: home policy, which only differentiates itself on multi-island topologies
-TOPOLOGY_PROTOCOLS: Tuple[str, ...] = PROTOCOL_FAMILY + ("java_ic_loc",)
+TOPOLOGY_PROTOCOLS: tuple[str, ...] = PROTOCOL_FAMILY + ("java_ic_loc",)
 
 #: default rows of the topology grid: two paper benchmarks with opposite
 #: sharing behaviour plus the two scenarios built to stress page placement
-DEFAULT_TOPOLOGY_APPS: Tuple[str, ...] = (
+DEFAULT_TOPOLOGY_APPS: tuple[str, ...] = (
     "jacobi",
     "tsp",
     "syn-false-sharing",
@@ -45,7 +45,7 @@ DEFAULT_TOPOLOGY_APPS: Tuple[str, ...] = (
 )
 
 #: node counts plotted in the paper's figures, per cluster
-DEFAULT_NODE_COUNTS: Dict[str, Tuple[int, ...]] = {
+DEFAULT_NODE_COUNTS: dict[str, tuple[int, ...]] = {
     "myrinet": (1, 2, 4, 6, 8, 10, 12),
     "sci": (1, 2, 3, 4, 5, 6),
 }
@@ -57,7 +57,7 @@ class FigureSeries:
 
     cluster: str
     protocol: str
-    points: List[Tuple[int, float]]
+    points: list[tuple[int, float]]
 
     @property
     def label(self) -> str:
@@ -74,8 +74,8 @@ class FigureData:
     number: int
     app: str
     workload_name: str
-    series: List[FigureSeries] = field(default_factory=list)
-    comparisons: Dict[str, ProtocolComparison] = field(default_factory=dict)
+    series: list[FigureSeries] = field(default_factory=list)
+    comparisons: dict[str, ProtocolComparison] = field(default_factory=dict)
 
     @property
     def title(self) -> str:
@@ -95,11 +95,11 @@ class FigureData:
         protocols = {series.protocol for series in self.series}
         return {"java_ic", "java_pf"} <= protocols
 
-    def improvements(self, cluster: str) -> Dict[int, float]:
+    def improvements(self, cluster: str) -> dict[int, float]:
         """java_pf improvement over java_ic per node count on *cluster*."""
         return self.comparisons[cluster].improvements()
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> dict:
         """JSON-friendly representation (used by the benchmark harness)."""
         return {
             "figure": self.number,
@@ -134,11 +134,11 @@ def _figure_plan(
     number: int,
     workload,
     clusters: Iterable[str],
-    node_counts: Optional[Dict[str, Sequence[int]]],
+    node_counts: dict[str, Sequence[int]] | None,
     protocols: Iterable[str],
-    config: Optional[RuntimeConfig],
+    config: RuntimeConfig | None,
     verify: bool,
-) -> Tuple[FigureData, List[Tuple[str, ProtocolComparison, List[ExperimentSpec]]]]:
+) -> tuple[FigureData, list[tuple[str, ProtocolComparison, list[ExperimentSpec]]]]:
     """A figure skeleton plus, per cluster, the comparison and its specs."""
     try:
         app = FIGURE_APPS[number]
@@ -192,11 +192,11 @@ def generate_figure(
     number: int,
     workload=None,
     clusters: Iterable[str] = ("myrinet", "sci"),
-    node_counts: Optional[Dict[str, Sequence[int]]] = None,
+    node_counts: dict[str, Sequence[int]] | None = None,
     protocols: Iterable[str] = ("java_ic", "java_pf"),
-    config: Optional[RuntimeConfig] = None,
+    config: RuntimeConfig | None = None,
     verify: bool = False,
-    session: Optional[Session] = None,
+    session: Session | None = None,
 ) -> FigureData:
     """Regenerate one of the paper's figures.
 
@@ -229,9 +229,9 @@ class ScenarioGridData:
 
     cluster: str
     workload_name: str
-    node_counts: List[int]
-    protocols: List[str]
-    comparisons: Dict[str, ProtocolComparison] = field(default_factory=dict)
+    node_counts: list[int]
+    protocols: list[str]
+    comparisons: dict[str, ProtocolComparison] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def stat(self, scenario: str, protocol: str, num_nodes: int, key: str):
@@ -252,9 +252,9 @@ class ScenarioGridData:
             - self.stat(scenario, baseline, num_nodes, "page_faults")
         )
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> dict:
         """JSON-friendly grid (recorded by the scenario benchmarks)."""
-        out: Dict = {
+        out: dict = {
             "cluster": self.cluster,
             "workload": self.workload_name,
             "node_counts": list(self.node_counts),
@@ -262,7 +262,7 @@ class ScenarioGridData:
             "scenarios": {},
         }
         paper_pair = "java_ic" in self.protocols and "java_pf" in self.protocols
-        for name, comparison in self.comparisons.items():
+        for name, comparison in sorted(self.comparisons.items()):
             entry = {
                 "series": {
                     protocol: [[n, t] for n, t in comparison.series(protocol)]
@@ -334,7 +334,7 @@ class ScenarioGridData:
         if shares:
             header.append("inter share")
         widths = [max(24, len(header[0]) + 2), 7] + [14] * (len(header) - 2)
-        lines.append("".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append("".join(h.rjust(w) for h, w in zip(header, widths, strict=True)))
         for name in sorted(self.comparisons):
             comparison = self.comparisons[name]
             for n in self.node_counts:
@@ -347,19 +347,19 @@ class ScenarioGridData:
                     row.append(
                         f"{max(comparison.report(p, n).inter_cluster_cost_share for p in self.protocols):.3f}"
                     )
-                lines.append("".join(cell.rjust(w) for cell, w in zip(row, widths)))
+                lines.append("".join(cell.rjust(w) for cell, w in zip(row, widths, strict=True)))
         return "\n".join(lines)
 
 
 def generate_scenario_grid(
-    scenarios: Optional[Iterable[str]] = None,
+    scenarios: Iterable[str] | None = None,
     cluster: str = "myrinet",
     node_counts: Sequence[int] = (1, 2, 4, 8),
     protocols: Iterable[str] = PROTOCOL_FAMILY,
     workload="bench",
-    seed: Optional[int] = None,
-    config: Optional[RuntimeConfig] = None,
-    session: Optional[Session] = None,
+    seed: int | None = None,
+    config: RuntimeConfig | None = None,
+    session: Session | None = None,
 ) -> ScenarioGridData:
     """Run the synthetic-scenario comparison grid (all ``syn-*`` by default).
 
@@ -430,13 +430,13 @@ class TopologyGridData:
 
     workload_name: str
     num_nodes: int
-    apps: List[str]
-    topologies: List[str]
-    protocols: List[str]
+    apps: list[str]
+    topologies: list[str]
+    protocols: list[str]
     #: topology preset name -> node count actually used (preset-capped)
-    nodes_by_topology: Dict[str, int] = field(default_factory=dict)
+    nodes_by_topology: dict[str, int] = field(default_factory=dict)
     #: (app, topology, protocol) -> report
-    reports: Dict[Tuple[str, str, str], "object"] = field(default_factory=dict)
+    reports: dict[tuple[str, str, str], "object"] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def report(self, app: str, topology: str, protocol: str):
@@ -447,11 +447,11 @@ class TopologyGridData:
         """Inter-cluster page-transfer cost share of one cell (0..1)."""
         return self.report(app, topology, protocol).inter_cluster_cost_share
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> dict:
         """JSON-friendly grid (recorded by the topology benchmarks)."""
         from repro.cluster.topologies import topology_preset_by_name
 
-        topologies: Dict[str, Dict] = {}
+        topologies: dict[str, dict] = {}
         for name in self.topologies:
             preset = topology_preset_by_name(name)
             topology = preset.cluster().topology(self.nodes_by_topology[name])
@@ -461,7 +461,7 @@ class TopologyGridData:
                 "num_nodes": self.nodes_by_topology[name],
                 "islands": topology.num_islands,
             }
-        cells: Dict[str, Dict] = {}
+        cells: dict[str, dict] = {}
         for app in self.apps:
             cells[app] = {}
             for name in self.topologies:
@@ -495,7 +495,7 @@ class TopologyGridData:
         header = ["app", "topology", "n"] + [f"{p} [s]" for p in self.protocols]
         header.append("inter share")
         widths = [20, 14, 4] + [14] * len(self.protocols) + [13]
-        lines.append("".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append("".join(h.rjust(w) for h, w in zip(header, widths, strict=True)))
         for app in self.apps:
             for name in self.topologies:
                 row = [app, name, str(self.nodes_by_topology[name])]
@@ -505,18 +505,18 @@ class TopologyGridData:
                     row.append(f"{report.execution_seconds:.6f}")
                     shares.append(report.inter_cluster_cost_share)
                 row.append(f"{max(shares):.3f}")
-                lines.append("".join(cell.rjust(w) for cell, w in zip(row, widths)))
+                lines.append("".join(cell.rjust(w) for cell, w in zip(row, widths, strict=True)))
         return "\n".join(lines)
 
 
 def generate_topology_grid(
-    apps: Optional[Iterable[str]] = None,
-    topologies: Optional[Iterable[str]] = None,
+    apps: Iterable[str] | None = None,
+    topologies: Iterable[str] | None = None,
     protocols: Iterable[str] = TOPOLOGY_PROTOCOLS,
     num_nodes: int = 8,
     workload="bench",
-    config: Optional[RuntimeConfig] = None,
-    session: Optional[Session] = None,
+    config: RuntimeConfig | None = None,
+    session: Session | None = None,
 ) -> TopologyGridData:
     """Run the apps x topology-presets x protocols grid.
 
@@ -543,7 +543,7 @@ def generate_topology_grid(
         topologies=topology_list,
         protocols=protocol_list,
     )
-    specs: Dict[Tuple[str, str, str], ExperimentSpec] = {}
+    specs: dict[tuple[str, str, str], ExperimentSpec] = {}
     for name in topology_list:
         preset = topology_preset_by_name(name)
         cluster = preset.cluster()
@@ -567,11 +567,11 @@ def generate_topology_grid(
 def generate_all_figures(
     workload=None,
     clusters: Iterable[str] = ("myrinet", "sci"),
-    node_counts: Optional[Dict[str, Sequence[int]]] = None,
-    config: Optional[RuntimeConfig] = None,
-    session: Optional[Session] = None,
+    node_counts: dict[str, Sequence[int]] | None = None,
+    config: RuntimeConfig | None = None,
+    session: Session | None = None,
     protocols: Iterable[str] = PAPER_PROTOCOLS,
-) -> Dict[int, FigureData]:
+) -> dict[int, FigureData]:
     """Regenerate Figures 1-5; returns them keyed by figure number.
 
     All five figures' cells are batched into a *single* ``Session.run``, so a

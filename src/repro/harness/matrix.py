@@ -23,7 +23,7 @@ automatically so a single grid can span clusters of different sizes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
+from collections.abc import Callable, Iterator, Sequence
 
 from repro.cluster.presets import ClusterSpec
 from repro.harness.spec import ExperimentSpec, resolve_cluster
@@ -37,14 +37,14 @@ class ExperimentMatrix:
     """Cartesian grid of experiment cells, built fluently."""
 
     def __init__(self) -> None:
-        self._apps: List[str] = []
-        self._clusters: List[Union[str, ClusterSpec]] = []
-        self._protocols: List[str] = list(DEFAULT_PROTOCOLS)
-        self._nodes: Optional[List[int]] = None
-        self._nodes_per_cluster: Dict[str, List[int]] = {}
+        self._apps: list[str] = []
+        self._clusters: list[str | ClusterSpec] = []
+        self._protocols: list[str] = list(DEFAULT_PROTOCOLS)
+        self._nodes: list[int] | None = None
+        self._nodes_per_cluster: dict[str, list[int]] = {}
         self._workload = None
-        self._configs: List[Optional[RuntimeConfig]] = [None]
-        self._filters: List[Callable[[ExperimentSpec], bool]] = []
+        self._configs: list[RuntimeConfig | None] = [None]
+        self._filters: list[Callable[[ExperimentSpec], bool]] = []
         self._verify = False
 
     # ------------------------------------------------------------------
@@ -55,7 +55,7 @@ class ExperimentMatrix:
         self._apps = list(names)
         return self
 
-    def clusters(self, *clusters: Union[str, ClusterSpec]) -> "ExperimentMatrix":
+    def clusters(self, *clusters: str | ClusterSpec) -> "ExperimentMatrix":
         """Cluster axis: preset names or :class:`ClusterSpec` objects."""
         self._clusters = list(clusters)
         return self
@@ -71,7 +71,7 @@ class ExperimentMatrix:
         return self
 
     def nodes_per_cluster(
-        self, mapping: Dict[str, Sequence[int]]
+        self, mapping: dict[str, Sequence[int]]
     ) -> "ExperimentMatrix":
         """Per-cluster node counts (clusters absent from *mapping* use
         :meth:`nodes`, or their own :meth:`ClusterSpec.node_counts`)."""
@@ -83,12 +83,12 @@ class ExperimentMatrix:
         self._workload = workload
         return self
 
-    def config(self, config: Optional[RuntimeConfig]) -> "ExperimentMatrix":
+    def config(self, config: RuntimeConfig | None) -> "ExperimentMatrix":
         """Single runtime-config override for every cell."""
         self._configs = [config]
         return self
 
-    def configs(self, *configs: Optional[RuntimeConfig]) -> "ExperimentMatrix":
+    def configs(self, *configs: RuntimeConfig | None) -> "ExperimentMatrix":
         """Config axis — one cell per config per grid point (used by sweeps)."""
         self._configs = list(configs)
         return self
@@ -106,14 +106,14 @@ class ExperimentMatrix:
     # ------------------------------------------------------------------
     # expansion
     # ------------------------------------------------------------------
-    def _counts_for(self, cluster: Union[str, ClusterSpec]) -> List[int]:
+    def _counts_for(self, cluster: str | ClusterSpec) -> list[int]:
         spec = resolve_cluster(cluster)
         counts = self._nodes_per_cluster.get(spec.name, self._nodes)
         if counts is None:
             counts = spec.node_counts()
         return [n for n in counts if n <= spec.num_nodes]
 
-    def build(self) -> List[ExperimentSpec]:
+    def build(self) -> list[ExperimentSpec]:
         """Expand the grid into a spec list (apps x clusters x protocols x
         nodes x configs, in that nesting order)."""
         if not self._apps:
@@ -122,7 +122,7 @@ class ExperimentMatrix:
             raise ValueError(
                 "ExperimentMatrix needs at least one cluster; call .clusters(...)"
             )
-        specs: List[ExperimentSpec] = []
+        specs: list[ExperimentSpec] = []
         for app in self._apps:
             for cluster in self._clusters:
                 for protocol in self._protocols:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
 
 from repro.harness.experiment import ProtocolComparison
 from repro.harness.figures import FigureData
@@ -13,14 +12,14 @@ def figure_table(figure: FigureData) -> str:
     lines = [figure.title, ""]
     header = ["nodes"] + [series.label for series in figure.series]
     widths = [max(6, len(h) + 2) for h in header]
-    lines.append("".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("".join(h.rjust(w) for h, w in zip(header, widths, strict=True)))
     node_axis = sorted({n for series in figure.series for n, _ in series.points})
     for n in node_axis:
         row = [str(n)]
         for series in figure.series:
             value = dict(series.points).get(n)
             row.append(f"{value:.3f}" if value is not None else "-")
-        lines.append("".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        lines.append("".join(cell.rjust(w) for cell, w in zip(row, widths, strict=True)))
     if figure.has_paper_pair():
         for cluster, comparison in figure.comparisons.items():
             improvements = ", ".join(
@@ -56,7 +55,7 @@ def ascii_plot(figure: FigureData, width: int = 60, height: int = 16) -> str:
 
 
 def improvement_table(
-    comparisons: Dict[str, Dict[str, ProtocolComparison]],
+    comparisons: dict[str, dict[str, ProtocolComparison]],
 ) -> str:
     """Section 4.3 style summary: per-app, per-cluster java_pf improvement.
 
@@ -67,20 +66,20 @@ def improvement_table(
         lines.append(f"[{cluster}]")
         header = ["app"] + [str(n) for n in next(iter(by_app.values())).node_counts] + ["mean"]
         widths = [10] + [7] * (len(header) - 1)
-        lines.append("".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append("".join(h.rjust(w) for h, w in zip(header, widths, strict=True)))
         for app, comparison in by_app.items():
             improvements = comparison.improvements()
             row = [app]
             row += [f"{improvements[n]:.1f}" for n in comparison.node_counts]
             row.append(f"{comparison.mean_improvement():.1f}")
-            lines.append("".join(cell.rjust(w) for cell, w in zip(row, widths)))
+            lines.append("".join(cell.rjust(w) for cell, w in zip(row, widths, strict=True)))
         lines.append("")
     return "\n".join(lines)
 
 
-def improvement_summary(figures: Dict[int, FigureData]) -> Dict[str, Dict[str, float]]:
+def improvement_summary(figures: dict[int, FigureData]) -> dict[str, dict[str, float]]:
     """Mean java_pf improvement per cluster and app, from generated figures."""
-    summary: Dict[str, Dict[str, float]] = {}
+    summary: dict[str, dict[str, float]] = {}
     for figure in figures.values():
         for cluster, comparison in figure.comparisons.items():
             summary.setdefault(cluster, {})[figure.app] = comparison.mean_improvement()
@@ -89,7 +88,7 @@ def improvement_summary(figures: Dict[int, FigureData]) -> Dict[str, Dict[str, f
 
 def render_scenario_grid_markdown(grid) -> str:
     """Markdown section for the synthetic-scenario comparison grid."""
-    lines: List[str] = []
+    lines: list[str] = []
     for name in sorted(grid.comparisons):
         comparison = grid.comparisons[name]
         lines.append(f"### {name}")
@@ -121,7 +120,7 @@ def render_topology_grid_markdown(grid) -> str:
     )
     separator = "|---" * (4 + len(grid.protocols)) + "|"
     payload = grid.to_dict()
-    lines: List[str] = []
+    lines: list[str] = []
     for app in grid.apps:
         lines += [f"### {app}", "", header, separator]
         for name in grid.topologies:
@@ -143,7 +142,7 @@ def render_topology_grid_markdown(grid) -> str:
 def render_experiments_document(
     workload=None,
     session=None,
-    figures: Optional[Dict[int, FigureData]] = None,
+    figures: dict[int, FigureData] | None = None,
     protocols=None,
     topologies=None,
 ) -> str:
@@ -188,7 +187,7 @@ def render_experiments_document(
     )
     calibration = calibrate(workload=workload, session=session)
     workload_name = getattr(workload, "name", "bench") if workload is not None else "bench"
-    lines: List[str] = [
+    lines: list[str] = [
         "# EXPERIMENTS — paper versus measured",
         "",
         "Regenerated by `hyperion-sim experiments` "
@@ -252,9 +251,9 @@ def render_experiments_document(
     return "\n".join(lines)
 
 
-def render_experiments_markdown(figures: Dict[int, FigureData]) -> str:
+def render_experiments_markdown(figures: dict[int, FigureData]) -> str:
     """Markdown section for EXPERIMENTS.md with measured values."""
-    lines: List[str] = []
+    lines: list[str] = []
     for number in sorted(figures):
         figure = figures[number]
         node_axis = sorted({n for series in figure.series for n, _ in series.points})

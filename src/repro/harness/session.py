@@ -20,8 +20,9 @@ so legacy call sites keep working unchanged while the CLI's ``--jobs`` and
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Optional, Tuple
+from collections.abc import Iterable, Iterator
 
 from repro.harness.executor import Executor, SerialExecutor
 from repro.harness.spec import ExperimentSpec
@@ -33,7 +34,7 @@ from repro.hyperion.runtime import ExecutionReport
 class SessionResult:
     """Reports of one ``Session.run``, keyed by spec, plus cache accounting."""
 
-    reports: Dict[ExperimentSpec, ExecutionReport] = field(default_factory=dict)
+    reports: dict[ExperimentSpec, ExecutionReport] = field(default_factory=dict)
     #: cells served from the result store
     cache_hits: int = 0
     #: cells actually simulated by the executor
@@ -48,7 +49,7 @@ class SessionResult:
     def __len__(self) -> int:
         return len(self.reports)
 
-    def items(self) -> Iterable[Tuple[ExperimentSpec, ExecutionReport]]:
+    def items(self) -> Iterable[tuple[ExperimentSpec, ExecutionReport]]:
         """(spec, report) pairs in submission order."""
         return self.reports.items()
 
@@ -56,9 +57,10 @@ class SessionResult:
         """Simulated execution time of one cell."""
         return self.reports[spec].execution_seconds
 
-    def to_dict(self) -> Dict[str, Dict]:
-        """JSON-friendly view keyed by cell label."""
-        return {spec.label(): report.to_dict() for spec, report in self.reports.items()}
+    def to_dict(self) -> dict[str, dict]:
+        """JSON-friendly view keyed by cell label (label-sorted)."""
+        cells = sorted(self.reports.items(), key=lambda kv: kv[0].label())
+        return {spec.label(): report.to_dict() for spec, report in cells}
 
 
 class Session:
@@ -66,15 +68,15 @@ class Session:
 
     def __init__(
         self,
-        executor: Optional[Executor] = None,
-        store: Optional[ResultStore] = None,
+        executor: Executor | None = None,
+        store: ResultStore | None = None,
     ):
         self.executor: Executor = executor if executor is not None else SerialExecutor()
         self.store = store
 
     @classmethod
     def from_options(
-        cls, jobs: int = 1, cache_dir: Optional[str] = None
+        cls, jobs: int = 1, cache_dir: str | None = None
     ) -> "Session":
         """Session described by the common knobs (CLI flags, env vars):
         ``jobs`` worker processes and an optional cache directory."""
@@ -90,30 +92,40 @@ class Session:
 
         Specs already present in the store are never handed to the executor,
         so a warm cache performs zero simulations.  The exception is
-        ``verify=True`` specs: verification only happens while a cell
-        executes (cached payloads do not keep rich result objects), so they
-        bypass the cache read — and a verifying duplicate upgrades its
-        non-verifying twin — and are always simulated.
+        ``verify=True`` and ``sanitize=True`` specs: verification and
+        sanitizing only happen while a cell executes (cached payloads keep
+        neither rich result objects nor sanitizer reports), so they bypass
+        the cache read — and such a duplicate upgrades its plain twin — and
+        are always simulated.
         """
         specs = list(experiments)
         result = SessionResult()
         cached_specs = set()
-        pending: Dict[ExperimentSpec, ExperimentSpec] = {}
+        pending: dict[ExperimentSpec, ExperimentSpec] = {}
         for spec in specs:
+            live = spec.verify or spec.sanitize
             if spec in pending:
-                if spec.verify and not pending[spec].verify:
-                    pending[spec] = spec
+                held = pending[spec]
+                if (spec.verify and not held.verify) or (
+                    spec.sanitize and not held.sanitize
+                ):
+                    pending[spec] = dataclasses.replace(
+                        held,
+                        verify=held.verify or spec.verify,
+                        sanitize=held.sanitize or spec.sanitize,
+                    )
                 continue
             if spec in result.reports:
-                if not (spec.verify and spec in cached_specs):
+                if not (live and spec in cached_specs):
                     continue
-                # a verifying duplicate of a cache-served cell: re-run it
+                # a verifying/sanitizing duplicate of a cache-served cell:
+                # re-run it
                 del result.reports[spec]
                 cached_specs.discard(spec)
                 result.cache_hits -= 1
             cached = (
                 self.store.get(spec)
-                if self.store is not None and not spec.verify
+                if self.store is not None and not live
                 else None
             )
             if cached is not None:
@@ -131,7 +143,7 @@ class Session:
                 f"for {len(to_run)} specs; Executor.execute must preserve "
                 "the submitted batch one-to-one"
             )
-        for spec, report in zip(to_run, fresh):
+        for spec, report in zip(to_run, fresh, strict=True):
             result.reports[spec] = report
             result.executed += 1
             if self.store is not None:

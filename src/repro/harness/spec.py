@@ -21,7 +21,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field, is_dataclass
-from typing import Any, Dict, Optional, Union
+from typing import Any
 
 from repro.apps.base import app_class, create_app
 from repro.apps.workloads import WorkloadPreset
@@ -32,7 +32,7 @@ from repro.hyperion.runtime import ExecutionReport, HyperionRuntime, RuntimeConf
 CACHE_SCHEMA_VERSION = 1
 
 
-def resolve_cluster(cluster: Union[str, ClusterSpec]) -> ClusterSpec:
+def resolve_cluster(cluster: str | ClusterSpec) -> ClusterSpec:
     """Resolve a preset name to its :class:`ClusterSpec` (pass specs through)."""
     if isinstance(cluster, ClusterSpec):
         return cluster
@@ -64,7 +64,7 @@ def resolve_workload(app_name: str, workload) -> object:
     return cls.workload_from_preset(preset)
 
 
-def _dataclass_dict(value) -> Dict[str, Any]:
+def _dataclass_dict(value) -> dict[str, Any]:
     """Class-tagged field dictionary of a (frozen) dataclass instance."""
     return {"__class__": type(value).__name__, **asdict(value)}
 
@@ -98,16 +98,21 @@ class ExperimentSpec:
     """Identity of one simulated execution (frozen, hashable, cacheable)."""
 
     app: str
-    cluster: Union[str, ClusterSpec]
+    cluster: str | ClusterSpec
     protocol: str
     num_nodes: int
     #: workload object, :class:`WorkloadPreset`, preset name, or None (bench)
     workload: Any = None
     #: extra runtime parameters; ``protocol`` is always taken from the spec
-    config: Optional[RuntimeConfig] = None
+    config: RuntimeConfig | None = None
     #: run the application's correctness check after execution (not part of
     #: the cell's identity: excluded from equality, hashing and the cache key)
     verify: bool = field(default=False, compare=False)
+    #: run under the JMM consistency sanitizer (opt-in shadow layer); like
+    #: ``verify`` this does not change what is simulated — the report's
+    #: ``to_dict`` stays byte-identical — so it is excluded from the cell's
+    #: identity as well.  The findings surface on ``ExecutionReport.sanitizer``.
+    sanitize: bool = field(default=False, compare=False)
 
     # ------------------------------------------------------------------
     @property
@@ -147,7 +152,7 @@ class ExperimentSpec:
     # ------------------------------------------------------------------
     # canonical form / content hash
     # ------------------------------------------------------------------
-    def canonical_dict(self) -> Dict[str, Any]:
+    def canonical_dict(self) -> dict[str, Any]:
         """Fully resolved, JSON-friendly identity of this cell.
 
         Preset names are resolved into their constants so that equivalent
@@ -191,7 +196,7 @@ class ExperimentSpec:
         object.__setattr__(self, "_cache_key", key)
         return key
 
-    def describe(self) -> Dict[str, Any]:
+    def describe(self) -> dict[str, Any]:
         """Human-oriented summary stored next to cached results."""
         return {
             "label": self.label(),
@@ -230,7 +235,10 @@ def run_spec_runtime(spec: ExperimentSpec) -> "tuple[ExecutionReport, HyperionRu
     cluster = spec.resolved_cluster()
     workload = spec.resolved_workload()
     runtime = HyperionRuntime(
-        cluster, num_nodes=spec.num_nodes, config=spec.effective_config()
+        cluster,
+        num_nodes=spec.num_nodes,
+        config=spec.effective_config(),
+        sanitize=spec.sanitize,
     )
     app = create_app(spec.app)
     report = app.run(runtime, workload)

@@ -23,7 +23,7 @@ import os
 import tempfile
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any
 
 from repro.core.stats import MonitorStats, RunStats, ThreadStats
 from repro.dsm.page_manager import DsmStats
@@ -31,12 +31,12 @@ from repro.harness.spec import CACHE_SCHEMA_VERSION, ExperimentSpec
 from repro.hyperion.runtime import ExecutionReport
 
 
-def _int_keys(mapping: Dict[str, Any]) -> Dict[int, Any]:
+def _int_keys(mapping: dict[str, Any]) -> dict[int, Any]:
     """JSON objects stringify integer keys; turn them back."""
     return {int(k): v for k, v in mapping.items()}
 
 
-def report_to_payload(report: ExecutionReport) -> Dict[str, Any]:
+def report_to_payload(report: ExecutionReport) -> dict[str, Any]:
     """JSON-friendly structured form of *report* (inverse of
     :func:`report_from_payload`)."""
     stats = report.stats
@@ -63,7 +63,7 @@ def report_to_payload(report: ExecutionReport) -> Dict[str, Any]:
     }
 
 
-def report_from_payload(payload: Dict[str, Any]) -> ExecutionReport:
+def report_from_payload(payload: dict[str, Any]) -> ExecutionReport:
     """Rebuild an :class:`ExecutionReport` from :func:`report_to_payload`."""
     raw = payload["stats"]
     dsm_fields = dict(raw["dsm"])
@@ -93,7 +93,7 @@ def report_from_payload(payload: Dict[str, Any]) -> ExecutionReport:
 class ResultStore:
     """JSON-on-disk experiment cache keyed by spec content hash."""
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 
@@ -109,7 +109,7 @@ class ResultStore:
         return sum(1 for _ in self.root.glob("*.json"))
 
     # ------------------------------------------------------------------
-    def get(self, spec: ExperimentSpec) -> Optional[ExecutionReport]:
+    def get(self, spec: ExperimentSpec) -> ExecutionReport | None:
         """The cached report of *spec*, or None on a miss (or a stale/corrupt
         entry, which is treated as a miss)."""
         path = self.path_for(spec.cache_key())

@@ -10,13 +10,18 @@ a config or cluster override.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.cluster.presets import ClusterSpec
 from repro.harness.session import Session, default_session
 from repro.harness.spec import ExperimentSpec, resolve_cluster
 from repro.hyperion.runtime import RuntimeConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.sanitizer import SanitizerReport
 
 
 @dataclass
@@ -24,14 +29,19 @@ class SweepResult:
     """Execution times of one sweep, per protocol and parameter value."""
 
     parameter: str
-    values: List[object]
-    times: Dict[Tuple[str, object], float] = field(default_factory=dict)
+    values: list[object]
+    times: dict[tuple[str, object], float] = field(default_factory=dict)
+    #: per-cell sanitizer reports, populated only when the sweep ran with
+    #: ``sanitize=True`` (same ``(protocol, value)`` keys as ``times``)
+    sanitizers: dict[tuple[str, object], "SanitizerReport"] = field(
+        default_factory=dict
+    )
 
-    def series(self, protocol: str) -> List[Tuple[object, float]]:
+    def series(self, protocol: str) -> list[tuple[object, float]]:
         """(value, seconds) series for one protocol."""
         return [(v, self.times[(protocol, v)]) for v in self.values]
 
-    def crossover(self, first: str = "java_ic", second: str = "java_pf") -> Optional[object]:
+    def crossover(self, first: str = "java_ic", second: str = "java_pf") -> object | None:
         """First swept value at which *first* becomes faster than *second*."""
         for value in self.values:
             if self.times[(first, value)] < self.times[(second, value)]:
@@ -59,13 +69,16 @@ def run_sweep(
     values: Sequence[object],
     make_spec: Callable[[object, str], ExperimentSpec],
     protocols: Iterable[str] = ("java_ic", "java_pf"),
-    session: Optional[Session] = None,
+    session: Session | None = None,
+    sanitize: bool = False,
 ) -> SweepResult:
     """Generic sweep driver: one cell per (value, protocol), via a session.
 
     *make_spec* maps a swept value and a protocol name onto the
     :class:`ExperimentSpec` to run; the whole grid goes through a single
-    ``Session.run`` so parallel executors see every cell at once.
+    ``Session.run`` so parallel executors see every cell at once.  With
+    ``sanitize=True`` every cell runs under the consistency sanitizer and
+    the per-cell reports land in :attr:`SweepResult.sanitizers`.
     """
     value_list = list(values)
     protocol_list = list(protocols)
@@ -74,10 +87,18 @@ def run_sweep(
         for value in value_list
         for protocol in protocol_list
     ]
+    if sanitize:
+        grid = [
+            (value, protocol, dataclasses.replace(spec, sanitize=True))
+            for value, protocol, spec in grid
+        ]
     result = (session or default_session()).run(spec for _, _, spec in grid)
     sweep = SweepResult(parameter=parameter, values=value_list)
     for value, protocol, spec in grid:
-        sweep.times[(protocol, value)] = result[spec].execution_seconds
+        report = result[spec]
+        sweep.times[(protocol, value)] = report.execution_seconds
+        if sanitize and report.sanitizer is not None:
+            sweep.sanitizers[(protocol, value)] = report.sanitizer
     return sweep
 
 
@@ -88,7 +109,8 @@ def sweep_page_size(
     page_sizes: Sequence[int] = (1024, 2048, 4096, 8192, 16384),
     workload=None,
     protocols: Iterable[str] = ("java_ic", "java_pf"),
-    session: Optional[Session] = None,
+    session: Session | None = None,
+    sanitize: bool = False,
 ) -> SweepResult:
     """A1: effect of the DSM page size (granularity / pre-fetching trade-off)."""
     spec = _cluster(cluster)
@@ -103,7 +125,7 @@ def sweep_page_size(
             config=RuntimeConfig(protocol=protocol, page_size=page_size),
         )
 
-    return run_sweep("page_size", page_sizes, make_spec, protocols, session)
+    return run_sweep("page_size", page_sizes, make_spec, protocols, session, sanitize)
 
 
 def sweep_check_cost(
@@ -113,7 +135,8 @@ def sweep_check_cost(
     check_cycles: Sequence[float] = (2.0, 4.0, 8.0, 16.0, 32.0),
     workload=None,
     protocols: Iterable[str] = ("java_ic", "java_pf"),
-    session: Optional[Session] = None,
+    session: Session | None = None,
+    sanitize: bool = False,
 ) -> SweepResult:
     """A2: how expensive must the in-line check be for java_pf to win?"""
     base = _cluster(cluster)
@@ -127,7 +150,9 @@ def sweep_check_cost(
             workload=workload,
         )
 
-    return run_sweep("inline_check_cycles", check_cycles, make_spec, protocols, session)
+    return run_sweep(
+        "inline_check_cycles", check_cycles, make_spec, protocols, session, sanitize
+    )
 
 
 def sweep_threads_per_node(
@@ -137,7 +162,8 @@ def sweep_threads_per_node(
     threads_per_node: Sequence[int] = (1, 2, 4),
     workload=None,
     protocols: Iterable[str] = ("java_ic", "java_pf"),
-    session: Optional[Session] = None,
+    session: Session | None = None,
+    sanitize: bool = False,
 ) -> SweepResult:
     """A3: more than one application thread per node (paper future work)."""
     spec = _cluster(cluster)
@@ -152,7 +178,9 @@ def sweep_threads_per_node(
             config=RuntimeConfig(protocol=protocol, threads_per_node=tpn),
         )
 
-    return run_sweep("threads_per_node", threads_per_node, make_spec, protocols, session)
+    return run_sweep(
+        "threads_per_node", threads_per_node, make_spec, protocols, session, sanitize
+    )
 
 
 def sweep_balancer(
@@ -162,7 +190,8 @@ def sweep_balancer(
     policies: Sequence[str] = ("round_robin", "block", "random"),
     workload=None,
     protocols: Iterable[str] = ("java_ic", "java_pf"),
-    session: Optional[Session] = None,
+    session: Session | None = None,
+    sanitize: bool = False,
 ) -> SweepResult:
     """A4: thread-placement policy of the load balancer."""
     spec = _cluster(cluster)
@@ -177,11 +206,11 @@ def sweep_balancer(
             config=RuntimeConfig(protocol=protocol, balancer=policy),
         )
 
-    return run_sweep("balancer", policies, make_spec, protocols, session)
+    return run_sweep("balancer", policies, make_spec, protocols, session, sanitize)
 
 
 #: name -> sweep function, as exposed by the ``hyperion-sim sweep`` subcommand
-SWEEPS: Dict[str, Callable[..., SweepResult]] = {
+SWEEPS: dict[str, Callable[..., SweepResult]] = {
     "page_size": sweep_page_size,
     "check_cost": sweep_check_cost,
     "threads": sweep_threads_per_node,

@@ -9,7 +9,8 @@ same statistics — and applications may register their own handlers.
 
 from __future__ import annotations
 
-from typing import Any, Generator, List
+from collections.abc import Generator
+from typing import Any
 
 from repro.pm2.rpc import OneWayHandler, RpcHandler, RpcStats, RpcSystem
 
@@ -24,7 +25,7 @@ class CommunicationSubsystem:
 
     def __init__(self, rpc: RpcSystem):
         self.rpc = rpc
-        self.registered_services: List[str] = []
+        self.registered_services: list[str] = []
 
     # ------------------------------------------------------------------
     @property

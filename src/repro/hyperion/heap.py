@@ -9,7 +9,7 @@ is Hyperion's behaviour.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.dsm.page_manager import PageManager
 from repro.hyperion.objects import HEADER_BYTES, JavaArray, JavaClass, JavaObject

@@ -10,12 +10,12 @@ charges a realistic CPU cost to the calling thread.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List
+from collections.abc import Callable
 
 from repro.util.validation import check_non_negative
 
 #: cycle costs of the Math natives on the paper-era x86 FPUs
-_MATH_CYCLES: Dict[str, float] = {
+_MATH_CYCLES: dict[str, float] = {
     "sqrt": 35.0,
     "sin": 60.0,
     "cos": 60.0,
@@ -29,7 +29,7 @@ _MATH_CYCLES: Dict[str, float] = {
     "ceil": 4.0,
 }
 
-_MATH_FUNCTIONS: Dict[str, Callable[..., float]] = {
+_MATH_FUNCTIONS: dict[str, Callable[..., float]] = {
     "sqrt": math.sqrt,
     "sin": math.sin,
     "cos": math.cos,
@@ -55,8 +55,8 @@ class JavaApiSubsystem:
     PRINTLN_CYCLES = 4000.0
 
     def __init__(self):
-        self.console: List[str] = []
-        self.natives_called: Dict[str, int] = {}
+        self.console: list[str] = []
+        self.natives_called: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def _count(self, name: str) -> None:

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional
 
 from repro.util.validation import check_positive
 
@@ -21,7 +20,7 @@ class LoadBalancer(ABC):
     def __init__(self, num_nodes: int):
         check_positive("num_nodes", num_nodes)
         self.num_nodes = int(num_nodes)
-        self.assignments: List[int] = []
+        self.assignments: list[int] = []
 
     @abstractmethod
     def _select(self, index: int) -> int:
@@ -35,7 +34,7 @@ class LoadBalancer(ABC):
         self.assignments.append(node)
         return node
 
-    def threads_per_node(self) -> Dict[int, int]:
+    def threads_per_node(self) -> dict[int, int]:
         """Histogram of the assignments made so far."""
         counts = {n: 0 for n in range(self.num_nodes)}
         for node in self.assignments:
@@ -62,7 +61,7 @@ class BlockBalancer(LoadBalancer):
 
     name = "block"
 
-    def __init__(self, num_nodes: int, expected_threads: Optional[int] = None):
+    def __init__(self, num_nodes: int, expected_threads: int | None = None):
         super().__init__(num_nodes)
         self.expected_threads = expected_threads
 
@@ -103,6 +102,6 @@ def create_balancer(name: str, num_nodes: int, **kwargs) -> LoadBalancer:
     return cls(num_nodes, **kwargs)
 
 
-def available_policies() -> List[str]:
+def available_policies() -> list[str]:
     """Names of the registered load-balancer policies."""
     return sorted(_POLICIES)

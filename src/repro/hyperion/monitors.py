@@ -12,7 +12,7 @@ module only provides mutual exclusion, queueing and wait/notify.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from collections.abc import Generator
 
 from repro.cluster.costs import CostModel
 from repro.cluster.topology import Topology
@@ -31,7 +31,7 @@ class Monitor:
         self.oid = oid
         self.home_node = home_node
         self.lock = Lock(engine, name=f"monitor:{oid}")
-        self.wait_set: List[SimEvent] = []
+        self.wait_set: list[SimEvent] = []
 
     @property
     def locked(self) -> bool:
@@ -47,13 +47,13 @@ class MonitorManager:
         engine: Engine,
         topology: Topology,
         cost_model: CostModel,
-        stats: Optional[MonitorStats] = None,
+        stats: MonitorStats | None = None,
     ):
         self.engine = engine
         self.topology = topology
         self.cost_model = cost_model
         self.stats = stats if stats is not None else MonitorStats()
-        self._monitors: Dict[int, Monitor] = {}
+        self._monitors: dict[int, Monitor] = {}
 
     # ------------------------------------------------------------------
     def monitor_for(self, obj) -> Monitor:

@@ -15,7 +15,7 @@ operations the benchmarks rely on fast.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -23,7 +23,7 @@ import numpy as np
 HEADER_BYTES = 16
 
 #: numpy dtypes for the supported Java element types
-_ELEMENT_DTYPES: Dict[str, np.dtype] = {
+_ELEMENT_DTYPES: dict[str, np.dtype] = {
     "double": np.dtype(np.float64),
     "float": np.dtype(np.float32),
     "long": np.dtype(np.int64),

@@ -24,7 +24,8 @@ A typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING, Any
 
 from repro.cluster.costs import CostModel
 from repro.cluster.presets import ClusterSpec
@@ -47,6 +48,9 @@ from repro.simulation.engine import Engine
 from repro.simulation.trace import TraceRecorder
 from repro.util.validation import check_positive
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.sanitizer import ConsistencySanitizer, SanitizerReport
+
 
 @dataclass(frozen=True)
 class RuntimeConfig:
@@ -59,7 +63,7 @@ class RuntimeConfig:
     #: load-balancer policy for newly created threads
     balancer: str = "round_robin"
     #: override the cluster's page size (bytes); None keeps the preset value
-    page_size: Optional[int] = None
+    page_size: int | None = None
     #: per-node iso-address arena size in bytes
     arena_size: int = 256 * 1024 * 1024
     #: keep a log of every RPC (for debugging / tests)
@@ -90,7 +94,7 @@ class ExecutionReport:
     num_threads: int
     execution_seconds: float
     stats: RunStats
-    console: List[str] = field(default_factory=list)
+    console: list[str] = field(default_factory=list)
     result: Any = None
     #: host-side diagnostic: simulation events the engine dispatched to
     #: produce this report.  Deliberately NOT part of :meth:`to_dict` — the
@@ -99,6 +103,12 @@ class ExecutionReport:
     #: are an implementation detail of the kernel, not of the simulated
     #: machine.  Consumed by :mod:`repro.perf` for throughput reporting.
     events_processed: int = 0
+    #: consistency-sanitizer findings when the run was executed with
+    #: ``sanitize=True`` (None otherwise).  Host-side like
+    #: ``events_processed``: deliberately NOT part of :meth:`to_dict` — the
+    #: dictionary is the byte-identity contract and must not change shape
+    #: (or content) with an opt-in checking layer.
+    sanitizer: "SanitizerReport" | None = None
 
     @property
     def page_rehomes(self) -> int:
@@ -155,9 +165,9 @@ class ExecutionReport:
             return 0.0
         return dsm.inter_island_fetch_seconds / total
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         """Flat dictionary (JSON-serialisable apart from ``result``)."""
-        out: Dict[str, Any] = {
+        out: dict[str, Any] = {
             "cluster": self.cluster,
             "protocol": self.protocol,
             "num_nodes": self.num_nodes,
@@ -180,9 +190,10 @@ class HyperionRuntime:
     def __init__(
         self,
         cluster: ClusterSpec,
-        num_nodes: Optional[int] = None,
-        protocol: Optional[str] = None,
-        config: Optional[RuntimeConfig] = None,
+        num_nodes: int | None = None,
+        protocol: str | None = None,
+        config: RuntimeConfig | None = None,
+        sanitize: bool = False,
     ):
         self.config = config or RuntimeConfig()
         if protocol is not None:
@@ -246,9 +257,19 @@ class HyperionRuntime:
         # through the PM2 migration machinery (no-op for everyone else)
         self.protocol.attach_migration(self.migration)
 
-        self.threads: List[JavaThread] = []
-        self.barriers: List[ClusterBarrier] = []
+        self.threads: list[JavaThread] = []
+        self.barriers: list[ClusterBarrier] = []
         self._register_internal_services()
+
+        # The consistency sanitizer (opt-in shadow layer) must be installed
+        # before any thread context binds the memory/monitor entry points.
+        # Imported lazily: the analysis package stays entirely off the
+        # non-sanitized path.
+        self.sanitizer: "ConsistencySanitizer" | None = None
+        if sanitize:
+            from repro.analysis.sanitizer import ConsistencySanitizer
+
+            self.sanitizer = ConsistencySanitizer(self)
 
     # ------------------------------------------------------------------
     def _register_internal_services(self) -> None:
@@ -273,9 +294,9 @@ class HyperionRuntime:
         self,
         body: Callable,
         args: Sequence[Any] = (),
-        node: Optional[int] = None,
-        name: Optional[str] = None,
-        index: Optional[int] = None,
+        node: int | None = None,
+        name: str | None = None,
+        index: int | None = None,
     ) -> JavaThread:
         """Create and start a Java thread (placement via the load balancer)."""
         node_id = self.balancer.next_node() if node is None else int(node)
@@ -308,7 +329,7 @@ class HyperionRuntime:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, until: Optional[float] = None) -> ExecutionReport:
+    def run(self, until: float | None = None) -> ExecutionReport:
         """Run the simulation to completion and assemble the report."""
         self.engine.run(until=until)
         self.run_stats.execution_seconds = self.engine.now
@@ -329,6 +350,7 @@ class HyperionRuntime:
             console=list(self.javaapi.console),
             result=main_result,
             events_processed=self.engine.events_processed,
+            sanitizer=self.sanitizer.report() if self.sanitizer is not None else None,
         )
 
     # ------------------------------------------------------------------

@@ -20,7 +20,8 @@ paper's "future work" ablation (A3) explores.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Optional, Sequence, TYPE_CHECKING
+from collections.abc import Callable, Generator, Sequence
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -101,6 +102,9 @@ class JavaThread:
         # this thread happens-after everything it did).
         self.runtime.memory.update_main_memory(self.ctx, self.node_id)
         yield from self.ctx._flush()
+        sanitizer = self.runtime.sanitizer
+        if sanitizer is not None:
+            sanitizer.note_thread_finish(self)
         self.result = result
         self.finished = True
         return result
@@ -198,7 +202,7 @@ class JavaThreadContext(AccessContext):
     # ------------------------------------------------------------------
     # heap allocation
     # ------------------------------------------------------------------
-    def new_object(self, jclass: JavaClass, home_node: Optional[int] = None) -> JavaObject:
+    def new_object(self, jclass: JavaClass, home_node: int | None = None) -> JavaObject:
         """Allocate an object (homed on this node unless specified)."""
         home = self.node_id if home_node is None else home_node
         obj = self.runtime.heap.new_object(jclass, home)
@@ -209,7 +213,7 @@ class JavaThreadContext(AccessContext):
         self,
         element_type: str,
         length: int,
-        home_node: Optional[int] = None,
+        home_node: int | None = None,
         page_aligned: bool = False,
     ) -> JavaArray:
         """Allocate an array (homed on this node unless specified)."""
@@ -243,7 +247,7 @@ class JavaThreadContext(AccessContext):
         """Write one array element."""
         self._memory.put(self, self._marcel.node_id, array, index, value)
 
-    def aget_range(self, array: JavaArray, lo: int = 0, hi: Optional[int] = None) -> np.ndarray:
+    def aget_range(self, array: JavaArray, lo: int = 0, hi: int | None = None) -> np.ndarray:
         """Bulk read of array elements [lo, hi); accounts one access each."""
         hi = array.num_slots if hi is None else hi
         return self._memory.get_range(self, self._marcel.node_id, array, lo, hi)
@@ -259,7 +263,7 @@ class JavaThreadContext(AccessContext):
         obj,
         count: int,
         lo: int = 0,
-        hi: Optional[int] = None,
+        hi: int | None = None,
         write: bool = False,
     ) -> None:
         """Account extra per-element accesses without moving data (see memory)."""
@@ -323,13 +327,24 @@ class JavaThreadContext(AccessContext):
         else:
             self.charge_cpu(self.runtime.cost_model.monitor_local_seconds())
         yield from self._flush()
-        yield barrier.sim_barrier.wait()
+        sanitizer = self.runtime.sanitizer
+        if sanitizer is None:
+            yield barrier.sim_barrier.wait()
+        else:
+            # arrival snapshot (post-flush) feeds the episode clock; the
+            # resume edge lands just before the acquire-side invalidation
+            generation = sanitizer.note_barrier_arrive(self.node_id, barrier)
+            yield barrier.sim_barrier.wait()
+            sanitizer.note_barrier_resume(self.node_id, barrier, generation)
         self.runtime.memory.invalidate_cache(self, self.node_id)
 
     def join(self, thread: JavaThread) -> Generator:
         """``Thread.join()``: wait for *thread* and see its writes."""
         yield from self._flush()
         yield thread.marcel.completion_event
+        sanitizer = self.runtime.sanitizer
+        if sanitizer is not None:
+            sanitizer.note_join(self.node_id, thread)
         self.runtime.memory.invalidate_cache(self, self.node_id)
         self.runtime.run_stats.threads.joined += 1
         return thread.result
@@ -347,9 +362,9 @@ class JavaThreadContext(AccessContext):
         self,
         body: Callable,
         *args: Any,
-        node: Optional[int] = None,
-        name: Optional[str] = None,
-        index: Optional[int] = None,
+        node: int | None = None,
+        name: str | None = None,
+        index: int | None = None,
     ) -> JavaThread:
         """Create and start a new Java thread.
 
@@ -358,6 +373,9 @@ class JavaThreadContext(AccessContext):
         RPC when the target is another node) is charged to the creator.
         """
         thread = self.runtime.create_thread(body, args, node=node, name=name, index=index)
+        sanitizer = self.runtime.sanitizer
+        if sanitizer is not None:
+            sanitizer.note_spawn(self.node_id, thread.node_id)
         remote = thread.node_id != self.node_id
         self.charge_wait(self.runtime.cost_model.thread_create_seconds(remote=remote))
         if remote:
@@ -374,7 +392,11 @@ class JavaThreadContext(AccessContext):
     def migrate(self, destination_node: int) -> Generator:
         """Migrate this thread to *destination_node* (PM2 thread migration)."""
         yield from self._flush()
+        sanitizer = self.runtime.sanitizer
+        origin = self.node_id
         yield from self.runtime.migration.migrate(self.thread.marcel, destination_node)
+        if sanitizer is not None:
+            sanitizer.note_migrate(origin, self.node_id)
         self.runtime.run_stats.threads.migrations += 1
 
     # ------------------------------------------------------------------

@@ -16,7 +16,8 @@ import io
 import pstats
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from repro.harness.spec import ExperimentSpec, run_spec
 from repro.hyperion.runtime import ExecutionReport
@@ -41,7 +42,7 @@ class CellProfile:
     #: rendered cProfile table (empty when cProfile capture is disabled)
     profile_text: str = ""
     #: (function, cumulative seconds) pairs of the hottest functions
-    hot_functions: List[tuple] = field(default_factory=list)
+    hot_functions: list[tuple] = field(default_factory=list)
 
     @property
     def events_per_second(self) -> float:
@@ -50,7 +51,7 @@ class CellProfile:
             return 0.0
         return self.events / self.wall_seconds
 
-    def as_dict(self) -> Dict[str, Any]:
+    def as_dict(self) -> dict[str, Any]:
         """JSON-friendly summary (no report payload, no profile text)."""
         return {
             "label": self.label,
@@ -96,7 +97,7 @@ class Profiler:
     # ------------------------------------------------------------------
     def profile_spec(self, spec: ExperimentSpec) -> CellProfile:
         """Run one cell under the profiler."""
-        profile: Optional[cProfile.Profile] = None
+        profile: cProfile.Profile | None = None
         t0 = time.perf_counter()
         if self.with_cprofile:
             profile = cProfile.Profile()
@@ -109,7 +110,7 @@ class Profiler:
             report = run_spec(spec)
         wall = time.perf_counter() - t0
         text = ""
-        hot: List[tuple] = []
+        hot: list[tuple] = []
         if profile is not None:
             text, hot = self._render(profile)
         return CellProfile(
@@ -122,7 +123,7 @@ class Profiler:
             hot_functions=hot,
         )
 
-    def profile_many(self, specs: Iterable[ExperimentSpec]) -> List[CellProfile]:
+    def profile_many(self, specs: Iterable[ExperimentSpec]) -> list[CellProfile]:
         """Profile every spec serially, in submission order."""
         return [self.profile_spec(spec) for spec in specs]
 
@@ -132,7 +133,7 @@ class Profiler:
         buffer = io.StringIO()
         stats = pstats.Stats(profile, stream=buffer)
         stats.sort_stats(self.sort).print_stats(self.limit)
-        hot: List[tuple] = []
+        hot: list[tuple] = []
         sorted_keys = stats.fcn_list or []  # populated by sort_stats
         for func in sorted_keys[: self.limit]:
             filename, line, name = func
@@ -147,7 +148,7 @@ def profile_specs(
     with_cprofile: bool = False,
     sort: str = "cumulative",
     limit: int = 20,
-) -> List[CellProfile]:
+) -> list[CellProfile]:
     """Convenience: profile a batch of specs with one-call configuration."""
     profiler = Profiler(with_cprofile=with_cprofile, sort=sort, limit=limit)
     return profiler.profile_many(specs)

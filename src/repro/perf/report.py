@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from repro.perf.profiler import CellProfile
 
 
-def perf_report_dict(profiles: Sequence[CellProfile]) -> Dict[str, Any]:
+def perf_report_dict(profiles: Sequence[CellProfile]) -> dict[str, Any]:
     """JSON-friendly aggregate of a batch of cell profiles.
 
     The shape matches what the benchmark-smoke CI job uploads as an
@@ -52,14 +53,14 @@ def perf_report(profiles: Sequence[CellProfile], top: int = 0) -> str:
         f"{aggregate['events_per_second']:>12.0f}"
     )
     if top > 0:
-        merged: Dict[str, float] = {}
+        merged: dict[str, float] = {}
         for profile in profiles:
             for name, seconds in profile.hot_functions:
                 merged[name] = merged.get(name, 0.0) + seconds
         if merged:
             lines.append("")
             lines.append("hottest functions (cumulative seconds, all cells):")
-            ranked: List = sorted(merged.items(), key=lambda item: -item[1])[:top]
+            ranked: list = sorted(merged.items(), key=lambda item: -item[1])[:top]
             for name, seconds in ranked:
                 lines.append(f"  {seconds:>9.3f}  {name}")
     return "\n".join(lines)

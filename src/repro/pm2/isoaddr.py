@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from bisect import bisect_right, insort
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from repro.util.validation import check_positive
 
@@ -64,11 +63,11 @@ class IsoAddressAllocator:
         self.arena_size = int(arena_size)
         self.page_size = int(page_size)
         self.base = int(base)
-        self._cursor: List[int] = [self._arena_base(n) for n in range(num_nodes)]
-        self._free: Dict[int, Dict[int, List[int]]] = {n: {} for n in range(num_nodes)}
+        self._cursor: list[int] = [self._arena_base(n) for n in range(num_nodes)]
+        self._free: dict[int, dict[int, list[int]]] = {n: {} for n in range(num_nodes)}
         #: sorted list of allocation start addresses + parallel map, for lookup
-        self._starts: List[int] = []
-        self._allocations: Dict[int, IsoAllocation] = {}
+        self._starts: list[int] = []
+        self._allocations: dict[int, IsoAllocation] = {}
         self.total_allocated = 0
         self.allocation_count = 0
 
@@ -162,7 +161,7 @@ class IsoAddressAllocator:
         last = (address + size - 1) // self.page_size
         return range(first, last + 1)
 
-    def allocation_at(self, address: int) -> Optional[IsoAllocation]:
+    def allocation_at(self, address: int) -> IsoAllocation | None:
         """The allocation containing *address*, or None."""
         idx = bisect_right(self._starts, address) - 1
         if idx < 0:

@@ -13,7 +13,7 @@ application threads per node").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional
+from collections.abc import Generator
 
 from repro.simulation.engine import Engine
 from repro.simulation.events import SimEvent
@@ -49,7 +49,7 @@ class MarcelThread:
         self.name = name
         self.tid = MarcelThread._next_tid
         MarcelThread._next_tid += 1
-        self.process: Optional[Process] = None
+        self.process: Process | None = None
         self.migrations = 0
         self.cpu_seconds = 0.0
         self.wait_seconds = 0.0
@@ -86,11 +86,11 @@ class MarcelRuntime:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
         self.engine = engine
         self.num_nodes = int(num_nodes)
-        self.cpus: List[NodeCpu] = [
+        self.cpus: list[NodeCpu] = [
             NodeCpu(node_id=n, lock=Lock(engine, name=f"cpu{n}")) for n in range(num_nodes)
         ]
-        self.threads: List[MarcelThread] = []
-        self.threads_per_node: Dict[int, int] = {n: 0 for n in range(num_nodes)}
+        self.threads: list[MarcelThread] = []
+        self.threads_per_node: dict[int, int] = {n: 0 for n in range(num_nodes)}
 
     # ------------------------------------------------------------------
     def create_thread(self, node_id: int, name: str = "") -> MarcelThread:
@@ -144,10 +144,10 @@ class MarcelRuntime:
         return result
 
     # ------------------------------------------------------------------
-    def alive_threads(self) -> List[MarcelThread]:
+    def alive_threads(self) -> list[MarcelThread]:
         """Threads whose bodies have not yet finished."""
         return [t for t in self.threads if t.is_alive]
 
-    def busy_seconds_by_node(self) -> Dict[int, float]:
+    def busy_seconds_by_node(self) -> dict[int, float]:
         """CPU busy time accumulated on each node."""
         return {cpu.node_id: cpu.busy_seconds for cpu in self.cpus}

@@ -11,7 +11,7 @@ stack and re-activating it on the destination node, and re-pins the thread.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from collections.abc import Generator
 
 from repro.cluster.costs import CostModel
 from repro.cluster.topology import Topology

@@ -16,7 +16,8 @@ back to the caller the same way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Tuple
+from collections.abc import Callable
+from typing import Any
 
 from repro.cluster.costs import CostModel
 from repro.cluster.topology import Topology
@@ -25,7 +26,7 @@ from repro.simulation.events import SimEvent
 from repro.util.validation import check_non_negative
 
 #: Handler signature: (source node, payload) -> (reply payload, reply size in bytes)
-RpcHandler = Callable[[int, Any], Tuple[Any, int]]
+RpcHandler = Callable[[int, Any], tuple[Any, int]]
 
 #: Handler signature for one-way messages: (source node, payload) -> None
 OneWayHandler = Callable[[int, Any], None]
@@ -49,8 +50,8 @@ class RpcStats:
 
     messages: int = 0
     bytes_sent: int = 0
-    by_service: Dict[str, int] = field(default_factory=dict)
-    service_busy_seconds: Dict[int, float] = field(default_factory=dict)
+    by_service: dict[str, int] = field(default_factory=dict)
+    service_busy_seconds: dict[int, float] = field(default_factory=dict)
 
     def record(self, service: str, nbytes: int, dst: int, service_seconds: float) -> None:
         """Account one message of *nbytes* to *dst* for *service*."""
@@ -79,10 +80,10 @@ class RpcSystem:
         self.stats = RpcStats()
         self.log: list[RpcMessage] = []
         #: services[node][name] -> handler
-        self._services: Dict[int, Dict[str, RpcHandler]] = {
+        self._services: dict[int, dict[str, RpcHandler]] = {
             n: {} for n in range(topology.num_nodes)
         }
-        self._oneway: Dict[int, Dict[str, OneWayHandler]] = {
+        self._oneway: dict[int, dict[str, OneWayHandler]] = {
             n: {} for n in range(topology.num_nodes)
         }
 

@@ -15,7 +15,7 @@ The public helpers (:func:`available_scenarios`, :func:`scenario_workload`,
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import Callable, Dict, List, Type
+from collections.abc import Callable
 
 from repro.apps.base import register_app
 from repro.scenarios.patterns import (
@@ -47,7 +47,7 @@ class ScenarioPattern:
     #: short pattern key ("false-sharing", "migratory", ...)
     key: str
     #: the frozen workload dataclass parameterising the generator
-    workload_cls: Type[ScenarioWorkload]
+    workload_cls: type[ScenarioWorkload]
     #: ``generate(workload, num_threads, num_nodes) -> AccessScript``
     generate: Callable[[ScenarioWorkload, int, int], AccessScript]
     #: one-line description for ``describe`` / ``scenario list``
@@ -59,10 +59,10 @@ class ScenarioPattern:
         return SCENARIO_PREFIX + self.key
 
 
-_PATTERNS: Dict[str, ScenarioPattern] = {}
+_PATTERNS: dict[str, ScenarioPattern] = {}
 
 
-def register_pattern(pattern: ScenarioPattern) -> Type[SyntheticApplication]:
+def register_pattern(pattern: ScenarioPattern) -> type[SyntheticApplication]:
     """Register *pattern* and its application class; returns the class."""
     if pattern.key in _PATTERNS:
         raise ValueError(f"scenario pattern {pattern.key!r} is already registered")
@@ -96,12 +96,12 @@ def get_pattern(name: str) -> ScenarioPattern:
         raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
 
 
-def available_scenarios() -> List[str]:
+def available_scenarios() -> list[str]:
     """Registry names of all scenarios (``syn-*``), sorted."""
     return sorted(p.app_name for p in _PATTERNS.values())
 
 
-def scenario_patterns() -> Dict[str, ScenarioPattern]:
+def scenario_patterns() -> dict[str, ScenarioPattern]:
     """All registered patterns keyed by pattern key (copy)."""
     return dict(_PATTERNS)
 
@@ -127,7 +127,7 @@ def scenario_workload(name: str, scale: str = "bench", **overrides) -> ScenarioW
     return workload
 
 
-def scenario_parameters(name: str) -> Dict[str, object]:
+def scenario_parameters(name: str) -> dict[str, object]:
     """Parameter names and bench-scale defaults of one pattern."""
     pattern = get_pattern(name)
     bench = pattern.workload_cls.bench()

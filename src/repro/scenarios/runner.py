@@ -13,7 +13,8 @@ distributed heap and replays one op sequence per worker thread, exactly like
 
 from __future__ import annotations
 
-from typing import Generator, TYPE_CHECKING
+from collections.abc import Generator
+from typing import TYPE_CHECKING
 
 from repro.apps.base import Application
 from repro.scenarios.script import AccessScript, materialise_layout, replay_thread

@@ -28,7 +28,7 @@ script can be inspected, counted and serialised without running it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Sequence, Tuple
+from collections.abc import Generator, Sequence
 
 from repro.util.validation import check_non_negative
 
@@ -41,7 +41,7 @@ OP_BARRIER = "barrier"
 OP_COMPUTE = "compute"
 
 #: tag -> expected tuple arity (including the tag itself)
-_OP_ARITY: Dict[str, int] = {
+_OP_ARITY: dict[str, int] = {
     OP_GET: 3,
     OP_PUT: 4,
     OP_LOCK: 2,
@@ -51,7 +51,7 @@ _OP_ARITY: Dict[str, int] = {
 }
 
 #: one IR operation (see module docstring for the forms)
-Op = Tuple
+Op = tuple
 
 
 @dataclass(frozen=True)
@@ -97,9 +97,9 @@ class ObjectDecl:
 class AccessScript:
     """A deterministic shared-memory scenario: layout plus per-thread ops."""
 
-    layout: Tuple[ObjectDecl, ...]
+    layout: tuple[ObjectDecl, ...]
     #: one operation sequence per worker thread
-    threads: Tuple[Tuple[Op, ...], ...]
+    threads: tuple[tuple[Op, ...], ...]
 
     # ------------------------------------------------------------------
     def validate(self) -> "AccessScript":
@@ -162,9 +162,9 @@ class AccessScript:
         """Total operations across all threads."""
         return sum(len(ops) for ops in self.threads)
 
-    def counts_by_kind(self) -> Dict[str, int]:
+    def counts_by_kind(self) -> dict[str, int]:
         """Histogram of op tags (inspection / tests / `scenario list`)."""
-        counts: Dict[str, int] = {}
+        counts: dict[str, int] = {}
         for ops in self.threads:
             for op in ops:
                 counts[op[0]] = counts.get(op[0], 0) + 1
@@ -179,8 +179,8 @@ class ScriptBuilder:
     """Mutable accumulator the pattern generators write into."""
 
     num_threads: int
-    layout: List[ObjectDecl] = field(default_factory=list)
-    _ops: List[List[Op]] = field(default_factory=list)
+    layout: list[ObjectDecl] = field(default_factory=list)
+    _ops: list[list[Op]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:
@@ -253,7 +253,7 @@ class ScriptBuilder:
 # ---------------------------------------------------------------------------
 # interpreter
 # ---------------------------------------------------------------------------
-def materialise_layout(ctx, script: AccessScript) -> List:
+def materialise_layout(ctx, script: AccessScript) -> list:
     """Allocate the script's declared objects through the runtime heap.
 
     Home nodes are taken modulo the runtime's node count so the same script

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from collections.abc import Callable, Generator
+from typing import Any
 
 from repro.simulation.errors import DeadlockError, SimulationError
 from repro.simulation.events import SimEvent, Timeout
@@ -26,12 +27,12 @@ class Engine:
         open-ended simulations that are advanced manually with :meth:`step`.
     """
 
-    def __init__(self, trace: Optional[TraceRecorder] = None, strict_deadlock: bool = True):
+    def __init__(self, trace: TraceRecorder | None = None, strict_deadlock: bool = True):
         self._now: float = 0.0
-        self._queue: List[Tuple[float, int, SimEvent]] = []
+        self._queue: list[tuple[float, int, SimEvent]] = []
         self._seq = 0
         self._processes: set = set()
-        self._failures: List[Tuple[Process, BaseException]] = []
+        self._failures: list[tuple[Process, BaseException]] = []
         self.trace = trace
         self.strict_deadlock = strict_deadlock
         self._events_processed = 0
@@ -107,7 +108,7 @@ class Engine:
             callback(event)
         return self._now
 
-    def run(self, until: Optional[float] = None) -> float:
+    def run(self, until: float | None = None) -> float:
         """Run until the queue drains (or until virtual time *until*).
 
         The loop is inlined rather than delegating to :meth:`step`: event

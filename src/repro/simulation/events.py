@@ -8,7 +8,8 @@ delay.  :class:`AllOf` / :class:`AnyOf` compose events.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, TYPE_CHECKING
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.simulation.engine import Engine
@@ -23,9 +24,9 @@ class SimEvent:
 
     def __init__(self, engine: "Engine", name: str = ""):
         self.engine = engine
-        self.callbacks: Optional[List[Callable[["SimEvent"], None]]] = []
+        self.callbacks: list[Callable[["SimEvent"], None]] | None = []
         self._value: Any = _PENDING
-        self._exception: Optional[BaseException] = None
+        self._exception: BaseException | None = None
         self._scheduled = False
         self.name = name
 
@@ -55,7 +56,7 @@ class SimEvent:
         return self._value
 
     @property
-    def exception(self) -> Optional[BaseException]:
+    def exception(self) -> BaseException | None:
         """The exception the event failed with, or None."""
         return self._exception
 

@@ -10,7 +10,8 @@ be joined simply by yielding them.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional, TYPE_CHECKING
+from collections.abc import Generator
+from typing import TYPE_CHECKING, Any
 
 from repro.simulation.errors import InterruptError, SimulationError
 from repro.simulation.events import SimEvent
@@ -32,7 +33,7 @@ class Process(SimEvent):
             )
         super().__init__(engine, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
-        self._waiting_on: Optional[SimEvent] = None
+        self._waiting_on: SimEvent | None = None
         self._started = False
         self._dead = False
         # Kick the process off via the event queue so that creation order is
@@ -50,7 +51,7 @@ class Process(SimEvent):
         return not self._dead
 
     @property
-    def waiting_on(self) -> Optional[SimEvent]:
+    def waiting_on(self) -> SimEvent | None:
         """The waitable this process is currently blocked on (for diagnostics)."""
         return self._waiting_on
 
@@ -93,7 +94,7 @@ class Process(SimEvent):
         self._waiting_on = target
         target.add_callback(self._resume)
 
-    def _finish(self, value: Any = None, exception: Optional[BaseException] = None) -> None:
+    def _finish(self, value: Any = None, exception: BaseException | None = None) -> None:
         self._dead = True
         self.engine._unregister_process(self)
         if exception is not None:

@@ -9,7 +9,7 @@ process ``yield``s on.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Any
 
 from repro.simulation.engine import Engine
 from repro.simulation.events import SimEvent
@@ -21,8 +21,8 @@ class Lock:
     def __init__(self, engine: Engine, name: str = "lock"):
         self.engine = engine
         self.name = name
-        self._holder: Optional[object] = None
-        self._waiters: Deque[tuple[SimEvent, object]] = deque()
+        self._holder: object | None = None
+        self._waiters: deque[tuple[SimEvent, object]] = deque()
         self.acquisitions = 0
         self.contended_acquisitions = 0
 
@@ -32,7 +32,7 @@ class Lock:
         return self._holder is not None
 
     @property
-    def holder(self) -> Optional[object]:
+    def holder(self) -> object | None:
         """The token passed to the successful :meth:`acquire`."""
         return self._holder
 
@@ -75,7 +75,7 @@ class Semaphore:
         self.engine = engine
         self.name = name
         self._value = value
-        self._waiters: Deque[SimEvent] = deque()
+        self._waiters: deque[SimEvent] = deque()
 
     @property
     def value(self) -> int:
@@ -109,8 +109,8 @@ class FifoStore:
     def __init__(self, engine: Engine, name: str = "store"):
         self.engine = engine
         self.name = name
-        self._items: Deque[Any] = deque()
-        self._getters: Deque[SimEvent] = deque()
+        self._items: deque[Any] = deque()
+        self._getters: deque[SimEvent] = deque()
         self.total_put = 0
 
     def __len__(self) -> int:
@@ -133,7 +133,7 @@ class FifoStore:
             self._getters.append(event)
         return event
 
-    def try_get(self) -> Optional[Any]:
+    def try_get(self) -> Any | None:
         """Non-blocking get; returns None when empty."""
         if self._items:
             return self._items.popleft()
@@ -149,7 +149,7 @@ class Barrier:
         self.engine = engine
         self.parties = parties
         self.name = name
-        self._waiting: List[SimEvent] = []
+        self._waiting: list[SimEvent] = []
         self.generations = 0
 
     @property
@@ -179,7 +179,7 @@ class CountdownLatch:
         self.engine = engine
         self.name = name
         self._count = count
-        self._waiters: List[SimEvent] = []
+        self._waiters: list[SimEvent] = []
 
     @property
     def count(self) -> int:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from collections.abc import Iterator
 
 
 @dataclass(frozen=True)
@@ -23,7 +23,7 @@ class TraceRecord:
     def __str__(self) -> str:
         return f"[{self.time * 1e6:12.3f} us] {self.kind:<12} {self.label}"
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         """JSON-friendly form (one JSONL line of :meth:`TraceRecorder.write_jsonl`)."""
         return {"time": self.time, "kind": self.kind, "label": self.label}
 
@@ -32,8 +32,8 @@ class TraceRecord:
 class TraceRecorder:
     """Accumulates :class:`TraceRecord` entries, optionally bounded."""
 
-    max_records: Optional[int] = None
-    records: List[TraceRecord] = field(default_factory=list)
+    max_records: int | None = None
+    records: list[TraceRecord] = field(default_factory=list)
     dropped: int = 0
 
     def record(self, time: float, event) -> None:
@@ -58,7 +58,7 @@ class TraceRecorder:
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
 
-    def filter(self, kind: str) -> List[TraceRecord]:
+    def filter(self, kind: str) -> list[TraceRecord]:
         """Return records whose kind equals *kind*."""
         return [r for r in self.records if r.kind == kind]
 

@@ -8,7 +8,7 @@ messages instead.
 
 from __future__ import annotations
 
-from typing import Any, Type
+from typing import Any
 
 
 def require(condition: bool, message: str) -> None:

@@ -50,7 +50,7 @@ def test_node_counts_axis():
     counts = myrinet_cluster().node_counts()
     assert counts[0] == 1
     assert counts[-1] == 12
-    assert all(a < b for a, b in zip(counts, counts[1:]))
+    assert all(a < b for a, b in zip(counts, counts[1:], strict=False))
     assert sci_cluster().node_counts() == [1, 2, 3, 4, 6]
 
 

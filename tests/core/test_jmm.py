@@ -108,8 +108,80 @@ def test_property_merge_is_least_upper_bound(a, b, c):
 def test_property_release_acquire_chain_is_transitive(chain):
     hb = HappensBeforeTracker()
     hb.mark(chain[0], "start")
-    for previous, current in zip(chain, chain[1:]):
+    for previous, current in zip(chain, chain[1:], strict=False):
         hb.release(previous, "lock")
         hb.acquire(current, "lock")
     hb.mark(chain[-1], "end")
     assert hb.happens_before("start", "end")
+
+
+# ---------------------------------------------------------------------------
+# edge cases: disjoint clocks, repeated barrier episodes, merge helpers
+# ---------------------------------------------------------------------------
+def test_disjoint_key_clocks_are_mutually_concurrent():
+    a = VectorClock({"t1": 4, "t2": 1})
+    b = VectorClock({"t3": 2, "t4": 9})
+    assert a.concurrent_with(b) and b.concurrent_with(a)
+    assert not a <= b and not b <= a
+
+
+def test_empty_clock_precedes_everything():
+    empty = VectorClock()
+    other = VectorClock({"t1": 1})
+    assert empty <= other and not other <= empty
+    assert not empty.concurrent_with(other)
+
+
+def test_merge_many_is_componentwise_maximum():
+    merged = VectorClock.merge_many(
+        [
+            VectorClock({"t1": 3}),
+            VectorClock({"t1": 1, "t2": 5}),
+            VectorClock({"t3": 2}),
+        ]
+    )
+    assert merged.as_dict() == {"t1": 3, "t2": 5, "t3": 2}
+
+
+def test_merge_many_of_nothing_is_the_empty_clock():
+    assert VectorClock.merge_many([]).as_dict() == {}
+
+
+def test_consecutive_barrier_episodes_stay_ordered():
+    """Marks before episode N happen-before marks after episode N+1, and
+    marks *between* the two episodes on different threads stay concurrent."""
+    hb = HappensBeforeTracker()
+    parties = ["t1", "t2", "t3"]
+    hb.mark("t1", "epoch0-t1")
+    hb.barrier(parties)
+    hb.mark("t2", "between-t2")
+    hb.mark("t3", "between-t3")
+    hb.barrier(parties)
+    hb.mark("t1", "epoch2-t1")
+    assert hb.happens_before("epoch0-t1", "between-t2")
+    assert hb.happens_before("between-t2", "epoch2-t1")
+    assert hb.happens_before("between-t3", "epoch2-t1")
+    assert hb.concurrent("between-t2", "between-t3")
+
+
+def test_merge_into_models_spawn_edges():
+    hb = HappensBeforeTracker()
+    hb.mark("parent", "setup")
+    hb.tick("parent")
+    hb.merge_into("child", hb.thread_clock("parent"))
+    hb.mark("child", "work")
+    assert hb.happens_before("setup", "work")
+    # the reverse edge must not exist: once the parent advances past the
+    # spawn point, its work is concurrent with the child's
+    hb.tick("parent")
+    hb.mark("parent", "later")
+    assert hb.concurrent("later", "work")
+
+
+def test_release_on_one_monitor_does_not_leak_to_another():
+    hb = HappensBeforeTracker()
+    hb.mark("t1", "guarded")
+    hb.release("t1", "lock-a")
+    hb.acquire("t2", "lock-b")
+    hb.mark("t2", "other")
+    assert hb.concurrent("guarded", "other")

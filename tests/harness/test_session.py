@@ -145,7 +145,7 @@ def test_serial_and_parallel_executors_agree(small_matrix):
 def test_parallel_executor_preserves_submission_order(small_matrix):
     specs = small_matrix.build()
     reports = ParallelExecutor(jobs=2).execute(specs)
-    for spec, report in zip(specs, reports):
+    for spec, report in zip(specs, reports, strict=True):
         assert report.protocol == spec.protocol
         assert report.num_nodes == spec.num_nodes
 

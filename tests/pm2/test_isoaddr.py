@@ -21,7 +21,7 @@ def test_allocations_fall_in_the_right_arena(allocator):
 def test_allocations_do_not_overlap(allocator):
     blocks = [allocator.allocate(1, 100) for _ in range(50)]
     spans = sorted((b.address, b.end) for b in blocks)
-    for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+    for (_, end_a), (start_b, _) in zip(spans, spans[1:], strict=False):
         assert end_a <= start_b
 
 
@@ -100,6 +100,6 @@ def test_property_allocations_unique_and_homed(requests):
         assert allocator.home_node_of(block.end - 1) == node
         blocks.append(block)
     spans = sorted((b.address, b.end) for b in blocks)
-    for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+    for (_, end_a), (start_b, _) in zip(spans, spans[1:], strict=False):
         assert end_a <= start_b
     assert allocator.total_allocated == sum(size for _, size, _ in requests)
