@@ -11,35 +11,54 @@ full architecture):
   :class:`~repro.harness.executor.SerialExecutor` and the process-pool
   :class:`~repro.harness.executor.ParallelExecutor`;
 * :class:`~repro.harness.store.ResultStore` — a content-addressed JSON cache
-  of per-cell results;
+  of per-cell results, safe for concurrent writers across processes;
 * :class:`~repro.harness.session.Session` — the facade every experiment
-  routes through, combining an executor with an optional store.
+  routes through, combining an executor with an optional store.  Its
+  methods (``cell``, ``comparison``, ``sweep``, ``ablation``, ``figure``,
+  ``calibrate``, ``job``, ...) are the one public entry-point surface; the
+  common per-cell record they share is
+  :class:`~repro.harness.session.CellResult`.
 
-On top of that sit the paper-specific entry points:
+On top of that sit the paper-specific layers:
 
-* :mod:`~repro.harness.experiment` — single cells and protocol comparisons
-  (``run_cell`` / ``run_comparison`` remain as thin wrappers);
-* :mod:`~repro.harness.figures` — Figures 1-5 of the paper (execution time
-  vs. number of nodes, four series each);
+* :mod:`~repro.harness.experiment` — protocol comparisons and the
+  spec-batching helpers the figure pipeline uses;
+* :mod:`~repro.harness.sweep` — the declarative :data:`ABLATIONS` registry
+  backing ``Session.ablation`` (A1-A4);
+* :mod:`~repro.harness.jobs` — sharded, checkpointed, resumable
+  :class:`~repro.harness.jobs.SweepJob` execution;
+* :mod:`~repro.harness.service` — the ``hyperion-sim serve`` JSON API;
+* :mod:`~repro.harness.figures` — Figures 1-5 of the paper;
 * :mod:`~repro.harness.report` — text tables, ASCII plots and the Section 4.3
   improvement summary;
 * :mod:`~repro.harness.calibration` — checks the cost model against the
   constants the paper publishes and the improvements it reports;
-* :mod:`~repro.harness.sweep` — parameter sweeps for the ablation benchmarks;
 * :mod:`~repro.harness.cli` — the ``hyperion-sim`` command-line interface.
+
+The historical module-level wrappers (``run_cell``, ``run_comparison``,
+``run_sweep`` and the four ``sweep_*`` functions) still exist in their
+modules as deprecated shims but are no longer part of this package's public
+surface; new code goes through :class:`Session`.
 """
 
 from repro.harness.spec import ExperimentSpec, run_spec
 from repro.harness.matrix import ExperimentMatrix
 from repro.harness.executor import Executor, ParallelExecutor, SerialExecutor
-from repro.harness.store import ResultStore
-from repro.harness.session import Session, SessionResult
+from repro.harness.store import ResultStore, StoreSchemaError
+from repro.harness.session import CellResult, Session, SessionResult, default_session
 from repro.harness.experiment import (
     ExperimentCell,
     ProtocolComparison,
-    run_cell,
-    run_comparison,
+    comparison_specs,
+    fill_comparison,
 )
+from repro.harness.jobs import (
+    CheckpointMismatch,
+    SweepInterrupted,
+    SweepJob,
+    SweepProgress,
+)
+from repro.harness.service import ServiceServer, SweepService, serve
 from repro.harness.figures import (
     FIGURE_APPS,
     FigureData,
@@ -55,29 +74,37 @@ from repro.harness.report import (
     render_experiments_document,
 )
 from repro.harness.calibration import CalibrationReport, calibrate
-from repro.harness.sweep import (
-    SweepResult,
-    run_sweep,
-    sweep_balancer,
-    sweep_check_cost,
-    sweep_page_size,
-    sweep_threads_per_node,
-)
+from repro.harness.sweep import ABLATIONS, Ablation, SweepResult, ablation_by_name
 
 __all__ = [
+    # execution layer
     "ExperimentSpec",
     "ExperimentMatrix",
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
     "ResultStore",
+    "StoreSchemaError",
     "Session",
     "SessionResult",
+    "CellResult",
+    "default_session",
     "run_spec",
+    # comparisons
     "ExperimentCell",
     "ProtocolComparison",
-    "run_cell",
-    "run_comparison",
+    "comparison_specs",
+    "fill_comparison",
+    # sharded resumable sweeps
+    "SweepJob",
+    "SweepProgress",
+    "SweepInterrupted",
+    "CheckpointMismatch",
+    # the sweep service
+    "SweepService",
+    "ServiceServer",
+    "serve",
+    # figures and reports
     "FIGURE_APPS",
     "FigureSeries",
     "FigureData",
@@ -88,12 +115,12 @@ __all__ = [
     "improvement_table",
     "improvement_summary",
     "render_experiments_document",
+    # calibration
     "CalibrationReport",
     "calibrate",
+    # ablations
     "SweepResult",
-    "run_sweep",
-    "sweep_page_size",
-    "sweep_check_cost",
-    "sweep_threads_per_node",
-    "sweep_balancer",
+    "Ablation",
+    "ABLATIONS",
+    "ablation_by_name",
 ]

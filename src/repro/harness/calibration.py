@@ -20,8 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.apps.workloads import WorkloadPreset
 from repro.cluster.presets import cluster_by_name
-from repro.harness.experiment import run_comparison
-from repro.harness.session import Session
+from repro.harness.session import Session, default_session
 
 #: single-node improvements the paper reports (or implies) on the Myrinet
 #: cluster; TSP is only bounded by the 38-64% range given in Section 4.3
@@ -124,12 +123,11 @@ def calibrate(
     report.constants_ok = all(note.startswith("ok") for note in report.notes)
 
     for app in apps or sorted(PAPER_MYRINET_IMPROVEMENT):
-        comparison = run_comparison(
+        comparison = (session or default_session()).comparison(
             app,
             "myrinet",
             node_counts=[1],
             workload=preset.workload_for(app),
-            session=session,
         )
         measured = comparison.improvement_percent(1)
         report.entries.append(

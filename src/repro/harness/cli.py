@@ -19,6 +19,10 @@ Sub-commands::
     hyperion-sim scenario run syn-uniform --pattern-arg write_fraction=0.5
     hyperion-sim scenario sweep --nodes 1,2,4,8 --jobs 4
     hyperion-sim sweep check_cost --app asp --nodes 4
+    hyperion-sim grid --apps pi,jacobi --nodes 1,2,4 --jobs 4 \
+        --checkpoint-dir .ckpt            # sharded, resumable sweep
+    hyperion-sim grid ... --resume        # continue an interrupted grid
+    hyperion-sim serve --port 8642        # JSON sweep API (see DESIGN.md)
     hyperion-sim profile asp --nodes 4   # host-side profiling (repro.perf)
     hyperion-sim calibrate                # check the cost model against the paper
     hyperion-sim experiments -o EXPERIMENTS.md
@@ -53,8 +57,6 @@ from repro.core.protocol import (
 )
 from repro.dsm.page_manager import PageManager
 from repro.pm2.isoaddr import IsoAddressAllocator
-from repro.harness.calibration import calibrate
-from repro.harness.experiment import run_cell
 from repro.harness.figures import (
     FIGURE_APPS,
     PAPER_PROTOCOLS,
@@ -63,6 +65,7 @@ from repro.harness.figures import (
     generate_figure,
     generate_scenario_grid,
 )
+from repro.harness.matrix import ExperimentMatrix
 from repro.harness.report import (
     ascii_plot,
     figure_table,
@@ -71,7 +74,7 @@ from repro.harness.report import (
 )
 from repro.harness.session import Session
 from repro.harness.spec import ExperimentSpec, resolve_workload, run_spec_runtime
-from repro.harness.sweep import SWEEPS
+from repro.harness.sweep import ABLATIONS
 from repro.hyperion.runtime import RuntimeConfig
 from repro.scenarios.registry import (
     available_scenarios,
@@ -271,7 +274,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_session_flags(scenario_sweep)
 
     sweep = sub.add_parser("sweep", help="run one of the ablation sweeps (A1-A4)")
-    sweep.add_argument("kind", choices=sorted(SWEEPS))
+    sweep.add_argument("kind", choices=sorted(ABLATIONS))
     sweep.add_argument("--app", required=True, choices=available_apps())
     sweep.add_argument("--cluster", default="myrinet", choices=list_clusters())
     sweep.add_argument("--nodes", type=int, default=4)
@@ -287,6 +290,89 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run every cell under the JMM consistency sanitizer",
     )
     _add_session_flags(sweep)
+
+    grid = sub.add_parser(
+        "grid",
+        help="run an experiment grid as a sharded, checkpointed, resumable sweep",
+    )
+    grid.add_argument(
+        "--apps",
+        required=True,
+        metavar="A,A,...",
+        help="comma-separated applications (see `hyperion-sim describe benchmarks`)",
+    )
+    grid.add_argument(
+        "--clusters",
+        default="myrinet",
+        metavar="C,C,...",
+        help="comma-separated cluster presets (default: myrinet)",
+    )
+    grid.add_argument(
+        "--nodes",
+        default=None,
+        metavar="N,N,...",
+        help="comma-separated node counts (default: each cluster's own counts)",
+    )
+    _add_protocols_flag(grid, ",".join(PAPER_PROTOCOLS))
+    grid.add_argument("--scale", default="bench", choices=["testing", "bench", "paper"])
+    grid.add_argument(
+        "--shard-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="cells per checkpoint shard (default: 8, capped at the grid size)",
+    )
+    grid.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="PATH",
+        help="checkpoint finished shards under PATH (required for --resume)",
+    )
+    grid.add_argument(
+        "--resume",
+        action="store_true",
+        help="reload finished shards from --checkpoint-dir instead of rerunning",
+    )
+    grid.add_argument("--json", action="store_true", help="print the grid as JSON")
+    grid.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the grid JSON to PATH",
+    )
+    _add_session_flags(grid)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the sweep JSON API (submit/poll/fetch; see DESIGN.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="background sweeps running concurrently (default: 1)",
+    )
+    serve.add_argument(
+        "--shard-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="default cells per checkpoint shard for submitted sweeps",
+    )
+    serve.add_argument(
+        "--checkpoint-root",
+        default=None,
+        metavar="PATH",
+        help="checkpoint each sweep under PATH/<sweep-id>/",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
+    _add_session_flags(serve)
 
     lint = sub.add_parser(
         "lint",
@@ -603,9 +689,9 @@ def cmd_run(args) -> int:
         else:
             report, _ = run_spec_runtime(spec)
     else:
-        report = run_cell(
-            args.app, args.cluster, args.protocol, args.nodes, args.scale,
-            verify=args.verify,
+        report = Session().cell(
+            args.app, args.cluster, args.protocol, args.nodes,
+            workload=args.scale, verify=args.verify,
         )
     _print_report(report)
     if sanitize:
@@ -730,7 +816,7 @@ def cmd_scenario(args) -> int:
 def _sweep_values(kind: str, raw: str | None):
     if raw is None:
         return None
-    parse = {"page_size": int, "threads": int, "check_cost": float}.get(kind, str)
+    parse = ABLATIONS[kind].value_type
     try:
         return tuple(parse(item) for item in raw.split(",") if item)
     except ValueError as exc:
@@ -741,26 +827,16 @@ def _sweep_values(kind: str, raw: str | None):
 
 
 def cmd_sweep(args) -> int:
-    sweep_fn = SWEEPS[args.kind]
-    kwargs = {
-        "cluster": args.cluster,
-        "num_nodes": args.nodes,
+    result = _session(args).ablation(
+        args.kind,
+        args.app,
+        cluster=args.cluster,
+        num_nodes=args.nodes,
+        values=_sweep_values(args.kind, args.values),
         # resolve through the app's preset hook so syn-* scenarios sweep too
-        "workload": resolve_workload(args.app, args.scale),
-        "session": _session(args),
-    }
-    values = _sweep_values(args.kind, args.values)
-    if values is not None:
-        value_param = {
-            "page_size": "page_sizes",
-            "check_cost": "check_cycles",
-            "threads": "threads_per_node",
-            "balancer": "policies",
-        }[args.kind]
-        kwargs[value_param] = values
-    if args.sanitize:
-        kwargs["sanitize"] = True
-    result = sweep_fn(args.app, **kwargs)
+        workload=resolve_workload(args.app, args.scale),
+        sanitize=args.sanitize,
+    )
     print(result.render())
     if args.sanitize:
         print()
@@ -823,9 +899,89 @@ def cmd_profile(args) -> int:
 
 
 def cmd_calibrate(args) -> int:
-    report = calibrate(session=_session(args))
+    report = _session(args).calibrate()
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _comma_list(raw: str, flag: str, parse=str) -> list:
+    try:
+        values = [parse(item) for item in raw.split(",") if item]
+    except ValueError as exc:
+        raise CliError(
+            f"{flag} must be comma-separated {parse.__name__} values, got {raw!r}"
+        ) from exc
+    if not values:
+        raise CliError(f"{flag} selected no values")
+    return values
+
+
+def cmd_grid(args) -> int:
+    from repro.harness.jobs import CheckpointMismatch, SweepInterrupted
+
+    if args.resume and not args.checkpoint_dir:
+        raise CliError("--resume needs --checkpoint-dir to resume from")
+    matrix = (
+        ExperimentMatrix()
+        .apps(*_comma_list(args.apps, "--apps"))
+        .clusters(*_comma_list(args.clusters, "--clusters"))
+        .protocols(*_protocol_columns(args))
+        .workload(args.scale)
+    )
+    if args.nodes:
+        matrix = matrix.nodes(*_comma_list(args.nodes, "--nodes", int))
+    job = _session(args).job(
+        matrix,
+        checkpoint_dir=args.checkpoint_dir,
+        shard_size=args.shard_size,
+        resume=args.resume,
+        progress_callback=lambda p: print(p.render(), file=sys.stderr),
+    )
+    try:
+        result = job.run()
+    except CheckpointMismatch as exc:
+        raise CliError(str(exc)) from exc
+    except SweepInterrupted as exc:
+        print(f"hyperion-sim: {exc}", file=sys.stderr)
+        return 3
+    progress = job.progress
+    print(
+        f"grid complete: {progress.total_cells} cells "
+        f"(resumed {progress.resumed_cells}, cache hits {progress.cache_hits}, "
+        f"executed {progress.executed_cells})",
+        file=sys.stderr,
+    )
+    payload = result.to_dict()
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    if args.json or not args.output:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.harness.service import serve
+
+    server = serve(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        checkpoint_root=args.checkpoint_root,
+        shard_size=args.shard_size,
+        verbose=args.verbose,
+    )
+    print(f"hyperion-sim serve: listening on {server.address}", file=sys.stderr)
+    print(
+        "submit sweeps with POST /sweeps, stop with POST /shutdown",
+        file=sys.stderr,
+    )
+    server.serve_until_shutdown()
+    print("hyperion-sim serve: drained and stopped", file=sys.stderr)
+    return 0
 
 
 def cmd_experiments(args) -> int:
@@ -918,6 +1074,8 @@ def main(argv: list[str] | None = None) -> int:
         "run": cmd_run,
         "scenario": cmd_scenario,
         "sweep": cmd_sweep,
+        "grid": cmd_grid,
+        "serve": cmd_serve,
         "lint": cmd_lint,
         "profile": cmd_profile,
         "calibrate": cmd_calibrate,

@@ -8,15 +8,18 @@ relative improvement of ``java_pf`` over ``java_ic``.
 
 Cells are described by :class:`~repro.harness.spec.ExperimentSpec` (of which
 :data:`ExperimentCell` is the historical alias) and executed through a
-:class:`~repro.harness.session.Session`; :func:`run_cell` and
-:func:`run_comparison` are thin wrappers that build the specs and route them
-through a session — pass ``session=`` to get parallel execution or a result
-cache, or use :class:`~repro.harness.matrix.ExperimentMatrix` directly for
-anything grid-shaped.
+:class:`~repro.harness.session.Session` —
+:meth:`~repro.harness.session.Session.cell` and
+:meth:`~repro.harness.session.Session.comparison` are the public entry
+points.  The module-level :func:`run_cell` and :func:`run_comparison`
+remain as deprecated shims delegating to the session surface;
+:func:`comparison_specs` and :func:`fill_comparison` are the (blessed)
+building blocks the figure pipeline batches many comparisons with.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Sequence
 
@@ -26,7 +29,6 @@ from repro.harness.spec import (
     ExperimentSpec,
     resolve_cluster,
     resolve_workload,
-    run_spec,
 )
 from repro.hyperion.runtime import ExecutionReport, RuntimeConfig
 
@@ -41,6 +43,14 @@ def _resolve_workload(app_name: str, workload) -> object:
     return resolve_workload(app_name, workload)
 
 
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def run_cell(
     app_name: str,
     cluster: str | ClusterSpec,
@@ -51,25 +61,23 @@ def run_cell(
     verify: bool = False,
     session: Session | None = None,
 ) -> ExecutionReport:
-    """Run one experiment cell and return its :class:`ExecutionReport`.
+    """Deprecated: use :meth:`repro.harness.session.Session.cell`.
 
     ``workload`` may be a workload object, a :class:`WorkloadPreset`, a preset
     name (``"bench"``, ``"paper"``, ``"testing"``) or None (bench preset).
     With ``verify=True`` the application's correctness check runs on the
     result and a failure raises ``AssertionError``.
     """
-    spec = ExperimentSpec(
-        app=app_name,
-        cluster=cluster,
-        protocol=protocol,
-        num_nodes=num_nodes,
+    _warn_deprecated("repro.harness.experiment.run_cell", "Session.cell")
+    return (session or default_session()).cell(
+        app_name,
+        cluster,
+        protocol,
+        num_nodes,
         workload=workload,
         config=config,
         verify=verify,
     )
-    if session is None:
-        return run_spec(spec)
-    return session.run_one(spec)
 
 
 @dataclass
@@ -177,8 +185,9 @@ def run_comparison(
     verify: bool = False,
     session: Session | None = None,
 ) -> ProtocolComparison:
-    """Run *app_name* on *cluster* for every (protocol, node-count) pair."""
-    comparison, specs = comparison_specs(
+    """Deprecated: use :meth:`repro.harness.session.Session.comparison`."""
+    _warn_deprecated("repro.harness.experiment.run_comparison", "Session.comparison")
+    return (session or default_session()).comparison(
         app_name,
         cluster,
         node_counts=node_counts,
@@ -187,5 +196,3 @@ def run_comparison(
         config=config,
         verify=verify,
     )
-    result = (session or default_session()).run(specs)
-    return fill_comparison(comparison, specs, result)

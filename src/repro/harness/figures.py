@@ -16,7 +16,7 @@ from repro.harness.experiment import (
     comparison_specs,
     fill_comparison,
 )
-from repro.harness.session import Session, default_session
+from repro.harness.session import CellResult, Session, default_session
 from repro.harness.spec import ExperimentSpec
 from repro.hyperion.runtime import RuntimeConfig
 
@@ -76,6 +76,8 @@ class FigureData:
     workload_name: str
     series: list[FigureSeries] = field(default_factory=list)
     comparisons: dict[str, ProtocolComparison] = field(default_factory=dict)
+    #: every cell the figure consumed, as the harness-wide common record
+    cells: list[CellResult] = field(default_factory=list)
 
     @property
     def title(self) -> str:
@@ -89,6 +91,12 @@ class FigureData:
             if entry.cluster == cluster and entry.protocol == protocol:
                 return entry
         raise KeyError(f"no series for {cluster}/{protocol}")
+
+    def cell_dicts(self) -> dict[str, dict]:
+        """Label-keyed :meth:`CellResult.to_dict` view (label-sorted) — the
+        same serialised shape sweep shards and the serve API produce."""
+        cells = sorted(self.cells, key=lambda cell: cell.label())
+        return {cell.label(): cell.to_dict() for cell in cells}
 
     def has_paper_pair(self) -> bool:
         """True when both paper protocols are among the plotted series."""
@@ -176,6 +184,7 @@ def _assemble_figure(data, plan, result, protocols) -> FigureData:
     """Fill a figure skeleton from a finished :class:`SessionResult`."""
     for cluster_name, comparison, specs in plan:
         fill_comparison(comparison, specs, result)
+        data.cells.extend(result.cell(spec) for spec in specs)
         data.comparisons[cluster_name] = comparison
         for protocol in protocols:
             data.series.append(
@@ -232,8 +241,15 @@ class ScenarioGridData:
     node_counts: list[int]
     protocols: list[str]
     comparisons: dict[str, ProtocolComparison] = field(default_factory=dict)
+    #: every cell of the grid, as the harness-wide common record
+    cells: list[CellResult] = field(default_factory=list)
 
     # ------------------------------------------------------------------
+    def cell_dicts(self) -> dict[str, dict]:
+        """Label-keyed :meth:`CellResult.to_dict` view (label-sorted)."""
+        cells = sorted(self.cells, key=lambda cell: cell.label())
+        return {cell.label(): cell.to_dict() for cell in cells}
+
     def stat(self, scenario: str, protocol: str, num_nodes: int, key: str):
         """One stats-dictionary entry of one cell."""
         report = self.comparisons[scenario].report(protocol, num_nodes)
@@ -412,6 +428,7 @@ def generate_scenario_grid(
     result = (session or default_session()).run(all_specs)
     for name, comparison, specs in plan:
         fill_comparison(comparison, specs, result)
+        grid.cells.extend(result.cell(spec) for spec in specs)
         grid.comparisons[name] = comparison
     return grid
 
@@ -437,11 +454,18 @@ class TopologyGridData:
     nodes_by_topology: dict[str, int] = field(default_factory=dict)
     #: (app, topology, protocol) -> report
     reports: dict[tuple[str, str, str], "object"] = field(default_factory=dict)
+    #: every cell of the grid, as the harness-wide common record
+    cells: list[CellResult] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def report(self, app: str, topology: str, protocol: str):
         """The report of one grid cell."""
         return self.reports[(app, topology, protocol)]
+
+    def cell_dicts(self) -> dict[str, dict]:
+        """Label-keyed :meth:`CellResult.to_dict` view (label-sorted)."""
+        cells = sorted(self.cells, key=lambda cell: cell.label())
+        return {cell.label(): cell.to_dict() for cell in cells}
 
     def inter_cluster_share(self, app: str, topology: str, protocol: str) -> float:
         """Inter-cluster page-transfer cost share of one cell (0..1)."""
@@ -561,6 +585,7 @@ def generate_topology_grid(
     result = (session or default_session()).run(list(specs.values()))
     for key, spec in specs.items():
         grid.reports[key] = result[spec]
+        grid.cells.append(result.cell(spec))
     return grid
 
 

@@ -1,22 +1,26 @@
 """Parameter sweeps backing the ablation experiments (A1-A4 in DESIGN.md).
 
-Each sweep is a small experiment grid — {swept values} x {protocols} — built
-as :class:`~repro.harness.spec.ExperimentSpec` lists and executed through a
-:class:`~repro.harness.session.Session`, so sweeps share the executor
-parallelism and the result cache with the figure pipeline.  Adding a new
-ablation is one ``sweep_*`` function describing how the swept value maps onto
-a config or cluster override.
+Each ablation is a small experiment grid — {swept values} x {protocols} —
+described declaratively by an :class:`Ablation` entry in :data:`ABLATIONS`
+and executed through :meth:`repro.harness.session.Session.sweep` /
+:meth:`~repro.harness.session.Session.ablation`, so sweeps share the
+executor parallelism, the result cache and the :class:`CellResult` shape
+with the rest of the harness.  Adding a new ablation is one ``Ablation``
+entry describing how the swept value maps onto a config or cluster override.
+
+The historical module-level entry points (``run_sweep`` and the four
+``sweep_*`` functions) remain as deprecated shims delegating to the session
+surface.
 """
 
 from __future__ import annotations
 
-import dataclasses
+import warnings
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Sequence
 from typing import TYPE_CHECKING
 
-from repro.cluster.presets import ClusterSpec
-from repro.harness.session import Session, default_session
+from repro.harness.session import CellResult, Session, default_session
 from repro.harness.spec import ExperimentSpec, resolve_cluster
 from repro.hyperion.runtime import RuntimeConfig
 
@@ -36,6 +40,9 @@ class SweepResult:
     sanitizers: dict[tuple[str, object], "SanitizerReport"] = field(
         default_factory=dict
     )
+    #: every cell of the sweep as the harness-wide common record, in
+    #: (value-major, protocol-minor) grid order
+    cells: list[CellResult] = field(default_factory=list)
 
     def series(self, protocol: str) -> list[tuple[object, float]]:
         """(value, seconds) series for one protocol."""
@@ -47,6 +54,18 @@ class SweepResult:
             if self.times[(first, value)] < self.times[(second, value)]:
                 return value
         return None
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form: the swept axis plus one entry per cell."""
+        return {
+            "parameter": self.parameter,
+            "values": [repr(v) if isinstance(v, tuple) else v for v in self.values],
+            "series": {
+                protocol: [[value, seconds] for value, seconds in self.series(protocol)]
+                for protocol in sorted({p for p, _ in self.times})
+            },
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
 
     def render(self) -> str:
         """Text table of the sweep."""
@@ -60,8 +79,147 @@ class SweepResult:
         return "\n".join(lines)
 
 
-def _cluster(cluster) -> ClusterSpec:
-    return resolve_cluster(cluster)
+# ---------------------------------------------------------------------------
+# the ablation registry
+# ---------------------------------------------------------------------------
+#: builds the (value, protocol) -> spec closure of one ablation
+SpecBuilder = Callable[[str, object, int, object], Callable[[object, str], ExperimentSpec]]
+
+
+@dataclass(frozen=True)
+class Ablation:
+    """Declarative description of one named parameter sweep."""
+
+    kind: str
+    #: the swept parameter's display name (``SweepResult.parameter``)
+    parameter: str
+    #: the grid swept when the caller passes no explicit values
+    default_values: tuple
+    #: scalar type of a swept value (the CLI parses ``--values`` with it)
+    value_type: type
+    description: str
+    #: (app, cluster, num_nodes, workload) -> make_spec(value, protocol)
+    builder: SpecBuilder
+
+    def make_spec(
+        self, app: str, cluster, num_nodes: int, workload
+    ) -> Callable[[object, str], ExperimentSpec]:
+        """The ``make_spec(value, protocol)`` closure for one sweep run."""
+        return self.builder(app, resolve_cluster(cluster), num_nodes, workload)
+
+
+def _page_size_builder(app, cluster, num_nodes, workload):
+    def make_spec(page_size, protocol) -> ExperimentSpec:
+        return ExperimentSpec(
+            app=app,
+            cluster=cluster,
+            protocol=protocol,
+            num_nodes=num_nodes,
+            workload=workload,
+            config=RuntimeConfig(protocol=protocol, page_size=page_size),
+        )
+
+    return make_spec
+
+
+def _check_cost_builder(app, cluster, num_nodes, workload):
+    def make_spec(cycles, protocol) -> ExperimentSpec:
+        return ExperimentSpec(
+            app=app,
+            cluster=cluster.with_software(inline_check_cycles=cycles),
+            protocol=protocol,
+            num_nodes=num_nodes,
+            workload=workload,
+        )
+
+    return make_spec
+
+
+def _threads_builder(app, cluster, num_nodes, workload):
+    def make_spec(tpn, protocol) -> ExperimentSpec:
+        return ExperimentSpec(
+            app=app,
+            cluster=cluster,
+            protocol=protocol,
+            num_nodes=num_nodes,
+            workload=workload,
+            config=RuntimeConfig(protocol=protocol, threads_per_node=tpn),
+        )
+
+    return make_spec
+
+
+def _balancer_builder(app, cluster, num_nodes, workload):
+    def make_spec(policy, protocol) -> ExperimentSpec:
+        return ExperimentSpec(
+            app=app,
+            cluster=cluster,
+            protocol=protocol,
+            num_nodes=num_nodes,
+            workload=workload,
+            config=RuntimeConfig(protocol=protocol, balancer=policy),
+        )
+
+    return make_spec
+
+
+#: kind -> declarative sweep description, as exposed by ``Session.ablation``
+#: and the ``hyperion-sim sweep`` subcommand
+ABLATIONS: dict[str, Ablation] = {
+    "page_size": Ablation(
+        kind="page_size",
+        parameter="page_size",
+        default_values=(1024, 2048, 4096, 8192, 16384),
+        value_type=int,
+        description="A1: effect of the DSM page size (granularity / pre-fetching trade-off)",
+        builder=_page_size_builder,
+    ),
+    "check_cost": Ablation(
+        kind="check_cost",
+        parameter="inline_check_cycles",
+        default_values=(2.0, 4.0, 8.0, 16.0, 32.0),
+        value_type=float,
+        description="A2: how expensive must the in-line check be for java_pf to win?",
+        builder=_check_cost_builder,
+    ),
+    "threads": Ablation(
+        kind="threads",
+        parameter="threads_per_node",
+        default_values=(1, 2, 4),
+        value_type=int,
+        description="A3: more than one application thread per node (paper future work)",
+        builder=_threads_builder,
+    ),
+    "balancer": Ablation(
+        kind="balancer",
+        parameter="balancer",
+        default_values=("round_robin", "block", "random"),
+        value_type=str,
+        description="A4: thread-placement policy of the load balancer",
+        builder=_balancer_builder,
+    ),
+}
+
+
+def ablation_by_name(kind: str) -> Ablation:
+    """Look up one :data:`ABLATIONS` entry, with a helpful error."""
+    try:
+        return ABLATIONS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown ablation {kind!r}; available: {', '.join(sorted(ABLATIONS))}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# deprecated module-level wrappers (delegate to the Session surface)
+# ---------------------------------------------------------------------------
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def run_sweep(
@@ -72,86 +230,68 @@ def run_sweep(
     session: Session | None = None,
     sanitize: bool = False,
 ) -> SweepResult:
-    """Generic sweep driver: one cell per (value, protocol), via a session.
+    """Deprecated: use :meth:`repro.harness.session.Session.sweep`."""
+    _warn_deprecated("repro.harness.sweep.run_sweep", "Session.sweep")
+    return (session or default_session()).sweep(
+        parameter, values, make_spec, protocols, sanitize
+    )
 
-    *make_spec* maps a swept value and a protocol name onto the
-    :class:`ExperimentSpec` to run; the whole grid goes through a single
-    ``Session.run`` so parallel executors see every cell at once.  With
-    ``sanitize=True`` every cell runs under the consistency sanitizer and
-    the per-cell reports land in :attr:`SweepResult.sanitizers`.
-    """
-    value_list = list(values)
-    protocol_list = list(protocols)
-    grid = [
-        (value, protocol, make_spec(value, protocol))
-        for value in value_list
-        for protocol in protocol_list
-    ]
-    if sanitize:
-        grid = [
-            (value, protocol, dataclasses.replace(spec, sanitize=True))
-            for value, protocol, spec in grid
-        ]
-    result = (session or default_session()).run(spec for _, _, spec in grid)
-    sweep = SweepResult(parameter=parameter, values=value_list)
-    for value, protocol, spec in grid:
-        report = result[spec]
-        sweep.times[(protocol, value)] = report.execution_seconds
-        if sanitize and report.sanitizer is not None:
-            sweep.sanitizers[(protocol, value)] = report.sanitizer
-    return sweep
+
+def _legacy_ablation(
+    kind: str,
+    app: str,
+    cluster,
+    num_nodes: int,
+    values,
+    workload,
+    protocols,
+    session: Session | None,
+    sanitize: bool,
+) -> SweepResult:
+    _warn_deprecated(f"repro.harness.sweep.{ABLATION_SHIMS[kind]}", "Session.ablation")
+    return (session or default_session()).ablation(
+        kind,
+        app,
+        cluster=cluster,
+        num_nodes=num_nodes,
+        values=values,
+        workload=workload,
+        protocols=protocols,
+        sanitize=sanitize,
+    )
 
 
 def sweep_page_size(
     app: str,
     cluster="myrinet",
     num_nodes: int = 4,
-    page_sizes: Sequence[int] = (1024, 2048, 4096, 8192, 16384),
+    page_sizes: Sequence[int] = ABLATIONS["page_size"].default_values,
     workload=None,
     protocols: Iterable[str] = ("java_ic", "java_pf"),
     session: Session | None = None,
     sanitize: bool = False,
 ) -> SweepResult:
-    """A1: effect of the DSM page size (granularity / pre-fetching trade-off)."""
-    spec = _cluster(cluster)
-
-    def make_spec(page_size, protocol) -> ExperimentSpec:
-        return ExperimentSpec(
-            app=app,
-            cluster=spec,
-            protocol=protocol,
-            num_nodes=num_nodes,
-            workload=workload,
-            config=RuntimeConfig(protocol=protocol, page_size=page_size),
-        )
-
-    return run_sweep("page_size", page_sizes, make_spec, protocols, session, sanitize)
+    """Deprecated: use ``Session.ablation("page_size", ...)``."""
+    return _legacy_ablation(
+        "page_size", app, cluster, num_nodes, page_sizes, workload, protocols,
+        session, sanitize,
+    )
 
 
 def sweep_check_cost(
     app: str,
     cluster="myrinet",
     num_nodes: int = 4,
-    check_cycles: Sequence[float] = (2.0, 4.0, 8.0, 16.0, 32.0),
+    check_cycles: Sequence[float] = ABLATIONS["check_cost"].default_values,
     workload=None,
     protocols: Iterable[str] = ("java_ic", "java_pf"),
     session: Session | None = None,
     sanitize: bool = False,
 ) -> SweepResult:
-    """A2: how expensive must the in-line check be for java_pf to win?"""
-    base = _cluster(cluster)
-
-    def make_spec(cycles, protocol) -> ExperimentSpec:
-        return ExperimentSpec(
-            app=app,
-            cluster=base.with_software(inline_check_cycles=cycles),
-            protocol=protocol,
-            num_nodes=num_nodes,
-            workload=workload,
-        )
-
-    return run_sweep(
-        "inline_check_cycles", check_cycles, make_spec, protocols, session, sanitize
+    """Deprecated: use ``Session.ablation("check_cost", ...)``."""
+    return _legacy_ablation(
+        "check_cost", app, cluster, num_nodes, check_cycles, workload, protocols,
+        session, sanitize,
     )
 
 
@@ -159,27 +299,16 @@ def sweep_threads_per_node(
     app: str,
     cluster="myrinet",
     num_nodes: int = 4,
-    threads_per_node: Sequence[int] = (1, 2, 4),
+    threads_per_node: Sequence[int] = ABLATIONS["threads"].default_values,
     workload=None,
     protocols: Iterable[str] = ("java_ic", "java_pf"),
     session: Session | None = None,
     sanitize: bool = False,
 ) -> SweepResult:
-    """A3: more than one application thread per node (paper future work)."""
-    spec = _cluster(cluster)
-
-    def make_spec(tpn, protocol) -> ExperimentSpec:
-        return ExperimentSpec(
-            app=app,
-            cluster=spec,
-            protocol=protocol,
-            num_nodes=num_nodes,
-            workload=workload,
-            config=RuntimeConfig(protocol=protocol, threads_per_node=tpn),
-        )
-
-    return run_sweep(
-        "threads_per_node", threads_per_node, make_spec, protocols, session, sanitize
+    """Deprecated: use ``Session.ablation("threads", ...)``."""
+    return _legacy_ablation(
+        "threads", app, cluster, num_nodes, threads_per_node, workload, protocols,
+        session, sanitize,
     )
 
 
@@ -187,29 +316,29 @@ def sweep_balancer(
     app: str,
     cluster="myrinet",
     num_nodes: int = 4,
-    policies: Sequence[str] = ("round_robin", "block", "random"),
+    policies: Sequence[str] = ABLATIONS["balancer"].default_values,
     workload=None,
     protocols: Iterable[str] = ("java_ic", "java_pf"),
     session: Session | None = None,
     sanitize: bool = False,
 ) -> SweepResult:
-    """A4: thread-placement policy of the load balancer."""
-    spec = _cluster(cluster)
-
-    def make_spec(policy, protocol) -> ExperimentSpec:
-        return ExperimentSpec(
-            app=app,
-            cluster=spec,
-            protocol=protocol,
-            num_nodes=num_nodes,
-            workload=workload,
-            config=RuntimeConfig(protocol=protocol, balancer=policy),
-        )
-
-    return run_sweep("balancer", policies, make_spec, protocols, session, sanitize)
+    """Deprecated: use ``Session.ablation("balancer", ...)``."""
+    return _legacy_ablation(
+        "balancer", app, cluster, num_nodes, policies, workload, protocols,
+        session, sanitize,
+    )
 
 
-#: name -> sweep function, as exposed by the ``hyperion-sim sweep`` subcommand
+#: kind -> deprecated wrapper name (for the shims' own warning text)
+ABLATION_SHIMS: dict[str, str] = {
+    "page_size": "sweep_page_size",
+    "check_cost": "sweep_check_cost",
+    "threads": "sweep_threads_per_node",
+    "balancer": "sweep_balancer",
+}
+
+#: name -> sweep function; historical mapping kept for callers that dispatch
+#: through it (the CLI now dispatches through :data:`ABLATIONS`)
 SWEEPS: dict[str, Callable[..., SweepResult]] = {
     "page_size": sweep_page_size,
     "check_cost": sweep_check_cost,

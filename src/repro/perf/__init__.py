@@ -16,12 +16,14 @@ useful as the number of cells it can simulate per second.
 * ``hyperion-sim profile`` exposes both from the command line.
 """
 
+from repro.perf.clock import host_clock
 from repro.perf.profiler import CellProfile, Profiler, profile_specs
 from repro.perf.report import perf_report, perf_report_dict
 
 __all__ = [
     "CellProfile",
     "Profiler",
+    "host_clock",
     "profile_specs",
     "perf_report",
     "perf_report_dict",

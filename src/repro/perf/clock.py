@@ -1,0 +1,17 @@
+"""Host-side clock, the one sanctioned wall-clock source outside the engine.
+
+Simulation code measures *virtual* time and must never read the host clock
+(the HYP002 lint rule enforces this).  Host-side layers that legitimately
+need elapsed real time — the profiler, and the serving layer's progress/ETA
+accounting — take it from here, so every wall-clock read in the repository
+funnels through ``repro/perf/``.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def host_clock() -> float:
+    """Monotonic host seconds (only differences are meaningful)."""
+    return time.monotonic()

@@ -1,0 +1,210 @@
+"""The sweep service: request parsing, lifecycle, and the HTTP round-trip."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.harness.matrix import ExperimentMatrix
+from repro.harness.service import (
+    ServiceError,
+    SweepService,
+    parse_sweep_request,
+    serve,
+)
+from repro.harness.session import Session
+
+REQUEST = {
+    "apps": ["pi"],
+    "clusters": ["myrinet"],
+    "nodes": [1, 2],
+    "protocols": ["java_ic", "java_pf"],
+    "workload": "testing",
+}
+
+
+def _serial_grid():
+    return Session().run(
+        ExperimentMatrix()
+        .apps("pi")
+        .clusters("myrinet")
+        .nodes(1, 2)
+        .workload("testing")
+    ).to_dict()
+
+
+# ---------------------------------------------------------------------------
+# request parsing
+# ---------------------------------------------------------------------------
+def test_parse_sweep_request_builds_the_matrix():
+    specs = parse_sweep_request(REQUEST).build()
+    assert len(specs) == 4
+    assert {s.label() for s in specs} == set(_serial_grid())
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not an object",
+        {},
+        {"apps": []},
+        {"apps": ["pi"]},
+        {"apps": ["pi"], "clusters": ["myrinet"], "bogus": 1},
+    ],
+)
+def test_parse_sweep_request_rejects_bad_payloads(payload):
+    with pytest.raises(ServiceError):
+        parse_sweep_request(payload)
+
+
+# ---------------------------------------------------------------------------
+# service lifecycle (no HTTP)
+# ---------------------------------------------------------------------------
+def _wait_done(service, sweep_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = service.get(sweep_id).status()
+        if status["state"] in ("done", "failed", "interrupted"):
+            return status
+        time.sleep(0.02)
+    raise AssertionError(f"sweep {sweep_id} did not finish: {status}")
+
+
+def test_service_runs_a_sweep_to_done(tmp_path):
+    service = SweepService(cache_dir=tmp_path / "cache", shard_size=2)
+    record = service.submit(REQUEST)
+    status = _wait_done(service, record.id)
+    assert status["state"] == "done"
+    assert status["progress"]["done"] is True
+    assert service.grid(record.id) == _serial_grid()
+    service.shutdown()
+
+
+def test_service_grid_before_done_is_an_error():
+    service = SweepService()
+    try:
+        with pytest.raises(ServiceError) as excinfo:
+            service.grid("sweep-9999")
+        assert excinfo.value.status == 404
+    finally:
+        service.shutdown()
+
+
+def test_service_cell_lookup(tmp_path):
+    service = SweepService(shard_size=4)
+    try:
+        record = service.submit(REQUEST)
+        _wait_done(service, record.id)
+        label = "pi/myrinet/java_pf/n2"
+        cell = service.cell(record.id, label)
+        assert cell["label"] == label and cell["report"] == _serial_grid()[label]
+        with pytest.raises(ServiceError) as excinfo:
+            service.cell(record.id, "nope/nope/nope/n1")
+        assert excinfo.value.status == 404
+    finally:
+        service.shutdown()
+
+
+def test_shutdown_interrupts_queued_sweeps():
+    service = SweepService(shard_size=2)
+    first = service.submit(REQUEST)
+    # saturate the single worker so later submissions stay queued
+    queued = [service.submit(REQUEST | {"nodes": [n]}) for n in (1, 2)]
+    outcome = service.shutdown()
+    states = {record.id: record.status()["state"] for record in [first] + queued}
+    # everything is terminal after a drain: done or interrupted, never running
+    assert all(state in ("done", "interrupted") for state in states.values())
+    assert set(outcome["abandoned"]) <= set(states)
+    with pytest.raises(ServiceError) as excinfo:
+        service.submit(REQUEST)
+    assert excinfo.value.status == 503
+
+
+# ---------------------------------------------------------------------------
+# the HTTP round-trip
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def server(tmp_path):
+    server = serve(port=0, shard_size=2, cache_dir=str(tmp_path / "cache"))
+    thread = threading.Thread(target=server.serve_until_shutdown, daemon=True)
+    thread.start()
+    yield server
+    if thread.is_alive():
+        server.request_shutdown()
+        thread.join(timeout=30)
+
+
+def _call(server, method, path, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        server.address + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def test_http_submit_poll_fetch_round_trip(server):
+    status, health = _call(server, "GET", "/health")
+    assert status == 200 and health["status"] == "ok"
+
+    status, submitted = _call(server, "POST", "/sweeps", REQUEST)
+    assert status == 202 and submitted["state"] == "queued"
+    sweep_id = submitted["id"]
+
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        status, snapshot = _call(server, "GET", f"/sweeps/{sweep_id}")
+        if snapshot["state"] == "done":
+            break
+        time.sleep(0.05)
+    assert snapshot["state"] == "done"
+
+    status, listing = _call(server, "GET", "/sweeps")
+    assert status == 200 and listing["sweeps"][0]["id"] == sweep_id
+
+    # the served grid is byte-identical to a serial Session.run
+    status, grid = _call(server, "GET", f"/sweeps/{sweep_id}/grid")
+    assert status == 200
+    serial = _serial_grid()
+    assert json.dumps(grid["grid"], sort_keys=True) == json.dumps(
+        serial, sort_keys=True
+    )
+
+    # single-cell fetch (labels contain slashes)
+    label = "pi/myrinet/java_ic/n1"
+    status, cell = _call(server, "GET", f"/sweeps/{sweep_id}/cells/{label}")
+    assert status == 200 and cell["label"] == label
+    assert json.dumps(cell["report"], sort_keys=True) == json.dumps(
+        serial[label], sort_keys=True
+    )
+
+
+def test_http_errors(server):
+    assert _call(server, "GET", "/sweeps/sweep-9999")[0] == 404
+    assert _call(server, "GET", "/nope")[0] == 404
+    assert _call(server, "POST", "/sweeps", {"apps": []})[0] == 400
+    status, body = _call(server, "POST", "/sweeps", REQUEST | {"shard_size": -1})
+    assert status == 400 and "shard_size" in body["error"]
+
+
+def test_http_shutdown_drains_cleanly(tmp_path):
+    server = serve(port=0, shard_size=2, cache_dir=str(tmp_path / "cache"))
+    thread = threading.Thread(target=server.serve_until_shutdown, daemon=True)
+    thread.start()
+    _call(server, "POST", "/sweeps", REQUEST)
+    status, body = _call(server, "POST", "/shutdown")
+    assert status == 200 and body["shutting_down"] is True
+    thread.join(timeout=60)
+    assert not thread.is_alive()  # drained and stopped
+    # every sweep ended in a terminal state
+    for record in server.service.statuses():
+        assert record["state"] in ("done", "interrupted")

@@ -1,0 +1,107 @@
+"""The deprecated module-level wrappers: they warn, and they still work."""
+
+import warnings
+
+import pytest
+
+import repro.harness as harness
+from repro.harness.experiment import run_cell, run_comparison
+from repro.harness.session import Session
+from repro.harness.sweep import (
+    SWEEPS,
+    run_sweep,
+    sweep_balancer,
+    sweep_check_cost,
+    sweep_page_size,
+    sweep_threads_per_node,
+)
+from repro.hyperion.runtime import RuntimeConfig
+
+
+def test_run_cell_warns_and_matches_session():
+    with pytest.deprecated_call(match="Session.cell"):
+        report = run_cell("pi", "myrinet", "java_pf", 2, "testing")
+    assert report.to_dict() == Session().cell(
+        "pi", "myrinet", "java_pf", 2, workload="testing"
+    ).to_dict()
+
+
+def test_run_comparison_warns_and_matches_session():
+    with pytest.deprecated_call(match="Session.comparison"):
+        comparison = run_comparison("pi", "myrinet", node_counts=[1, 2], workload="testing")
+    direct = Session().comparison("pi", "myrinet", node_counts=[1, 2], workload="testing")
+    assert comparison.improvements() == direct.improvements()
+    assert comparison.series("java_ic") == direct.series("java_ic")
+
+
+def test_run_sweep_warns_and_matches_session():
+    def make_spec(page_size, protocol):
+        from repro.harness.spec import ExperimentSpec
+
+        return ExperimentSpec(
+            "pi", "myrinet", protocol, 2, "testing",
+            config=RuntimeConfig(protocol=protocol, page_size=page_size),
+        )
+
+    with pytest.deprecated_call(match="Session.sweep"):
+        legacy = run_sweep("page_size", [4096, 8192], make_spec)
+    direct = Session().sweep("page_size", [4096, 8192], make_spec)
+    assert legacy.to_dict() == direct.to_dict()
+
+
+@pytest.mark.parametrize(
+    ("shim", "kind"),
+    [
+        (sweep_page_size, "page_size"),
+        (sweep_check_cost, "check_cost"),
+        (sweep_threads_per_node, "threads"),
+        (sweep_balancer, "balancer"),
+    ],
+)
+def test_each_ablation_shim_warns_and_matches_session(shim, kind):
+    values = harness.ABLATIONS[kind].default_values[:2]
+    value_param = {
+        "page_size": "page_sizes",
+        "check_cost": "check_cycles",
+        "threads": "threads_per_node",
+        "balancer": "policies",
+    }[kind]
+    with pytest.deprecated_call(match="Session.ablation"):
+        legacy = shim("pi", num_nodes=2, workload="testing", **{value_param: values})
+    direct = Session().ablation(
+        kind, "pi", num_nodes=2, values=values, workload="testing"
+    )
+    assert legacy.to_dict() == direct.to_dict()
+
+
+def test_sweeps_mapping_still_dispatches_to_the_shims():
+    with pytest.deprecated_call(match="Session.ablation"):
+        result = SWEEPS["page_size"](
+            "pi", num_nodes=1, workload="testing", page_sizes=(4096,)
+        )
+    assert result.parameter == "page_size"
+
+
+def test_blessed_surface_excludes_the_shims():
+    for name in (
+        "run_cell",
+        "run_comparison",
+        "run_sweep",
+        "sweep_page_size",
+        "sweep_check_cost",
+        "sweep_threads_per_node",
+        "sweep_balancer",
+    ):
+        assert name not in harness.__all__
+        assert not hasattr(harness, name)
+    for name in ("Session", "CellResult", "SweepJob", "SweepService", "ABLATIONS"):
+        assert name in harness.__all__
+        assert hasattr(harness, name)
+
+
+def test_session_surface_itself_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        session = Session()
+        session.cell("pi", "myrinet", "java_ic", 1, workload="testing")
+        session.ablation("page_size", "pi", num_nodes=1, values=[4096], workload="testing")
