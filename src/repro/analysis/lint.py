@@ -20,6 +20,9 @@ HYP004   a detection/protocol class defining ``detect_access`` without its
          ``detect_access_reference`` twin
 HYP005   unsorted ``.items()``/``.keys()``/``.values()`` iteration inside a
          serialisation function (``to_dict``/``as_dict``/``*_jsonl``/...)
+HYP006   direct ``print()`` in library code (``repro/`` outside the CLI and
+         the report renderers) — user-facing output goes through
+         :mod:`repro.util.logging` or the designated stdout surfaces
 =======  ==================================================================
 
 The linter is self-contained stdlib ``ast`` — no third-party dependency —
@@ -91,6 +94,13 @@ WALL_CLOCK_CALLS = frozenset(
 
 #: path fragments exempt from HYP002 (host-side measurement, not simulation)
 HYP002_EXEMPT_FRAGMENTS = ("repro/perf/",)
+
+#: path suffixes exempt from HYP006: the CLI and the report renderers are
+#: the repository's designated stdout surfaces — everything else logs
+HYP006_EXEMPT_SUFFIXES = (
+    "repro/harness/cli.py",
+    "repro/harness/report.py",
+)
 
 #: function names HYP005 treats as serialisation producers
 SERIALISATION_FUNCTIONS = frozenset(
@@ -211,6 +221,11 @@ class _Linter(ast.NodeVisitor):
         self._wall_clock_exempt = any(
             fragment in self.path for fragment in HYP002_EXEMPT_FRAGMENTS
         )
+        # HYP006 only polices library code: the rule targets repro/ modules
+        # and skips the designated stdout surfaces
+        self._print_exempt = "repro/" not in self.path or any(
+            self.path.endswith(suffix) for suffix in HYP006_EXEMPT_SUFFIXES
+        )
         self._class_depth = 0
 
     def _flag(self, node: ast.AST, code: str, message: str) -> None:
@@ -230,6 +245,7 @@ class _Linter(ast.NodeVisitor):
         if dotted is not None:
             self._check_randomness(node, dotted)
             self._check_wall_clock(node, dotted)
+        self._check_print(node)
         self.generic_visit(node)
 
     def _check_randomness(self, node: ast.Call, dotted: str) -> None:
@@ -263,6 +279,18 @@ class _Linter(ast.NodeVisitor):
             f"wall-clock read {dotted}() in simulation code — virtual time "
             "comes from the engine; host timing belongs in repro/perf/",
         )
+
+    def _check_print(self, node: ast.Call) -> None:
+        if self._print_exempt:
+            return
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            self._flag(
+                node,
+                "HYP006",
+                "direct print() in library code — route user-facing output "
+                "through repro.util.logging (get_logger) or a designated "
+                "stdout surface (harness/cli.py, harness/report.py)",
+            )
 
     # -- HYP003 / HYP004: class rules -------------------------------------
     def visit_ClassDef(self, node: ast.ClassDef) -> None:

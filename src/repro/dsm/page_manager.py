@@ -172,6 +172,10 @@ class PageManager:
         self.cost_model = cost_model
         self.topology = topology
         self.stats = DsmStats()
+        #: optional telemetry hook (duck-typed: ``observe_fetch(intra,
+        #: latency, pages, nbytes)``, see
+        #: :class:`repro.obs.ledger.DsmInstrument`); strictly out-of-band.
+        self.telemetry = None
         self._pages: dict[int, PageInfo] = {}
         #: flat page -> home-node map; the access fast path reads this
         #: instead of chasing PageInfo attributes
@@ -285,19 +289,23 @@ class PageManager:
         round_trip = self.topology.round_trip_time
         island_of = self.topology.island_of
         record_fetch = stats.record_fetch
+        telemetry = self.telemetry
         node_island = island_of(node)
         for home, group in by_home.items():
             payload = len(group) * self.page_size
             group_latency = round_trip(node, home, 64, payload) + rpc_service
             latency += group_latency
             record_fetch(node, len(group), payload)
-            if island_of(home) == node_island:
+            intra = island_of(home) == node_island
+            if intra:
                 stats.intra_island_page_fetches += len(group)
                 stats.intra_island_fetch_seconds += group_latency
             else:
                 stats.inter_island_page_fetches += len(group)
                 stats.inter_island_fetch_seconds += group_latency
                 stats.inter_island_bytes += payload
+            if telemetry is not None:
+                telemetry.observe_fetch(intra, group_latency, len(group), payload)
             for page in group:
                 entry = table.mark_present(page)
                 entry.fetches += 1

@@ -8,7 +8,11 @@ Sub-commands::
     hyperion-sim run jacobi --protocol java_pf --cluster myrinet --nodes 4
     hyperion-sim run asp --trace-out asp.jsonl   # dump the event trace
     hyperion-sim run jacobi --sanitize    # JMM consistency sanitizer findings
-    hyperion-sim lint                     # determinism/perf lint (HYP001-005)
+    hyperion-sim run jacobi --telemetry   # out-of-band metrics + span ledger
+    hyperion-sim run asp --telemetry-out asp-telemetry.json
+    hyperion-sim report asp-telemetry.json        # per-phase breakdown
+    hyperion-sim report asp-telemetry.json --chrome-out asp-trace.json
+    hyperion-sim lint                     # determinism/perf lint (HYP001-006)
     hyperion-sim protocols                # the protocol family + its layers
     hyperion-sim topologies               # cluster shapes + their islands
     hyperion-sim figure 2 --protocols java_ic,java_pf,java_hybrid
@@ -84,6 +88,7 @@ from repro.scenarios.registry import (
 )
 from repro.perf import Profiler, perf_report, perf_report_dict
 from repro.perf.profiler import SORT_KEYS as PROFILE_SORT_KEYS
+from repro.util.logging import enable_console, get_logger
 
 
 def _positive_int(raw: str) -> int:
@@ -129,6 +134,35 @@ def _add_sanitize_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="PATH",
         help="also write the sanitizer report to PATH as JSON (implies --sanitize)",
+    )
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect the out-of-band telemetry ledger (metrics + virtual-time "
+        "spans) and print the per-phase breakdown",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help="also write the telemetry ledger to PATH as JSON (implies --telemetry)",
+    )
+    parser.add_argument(
+        "--chrome-out",
+        default=None,
+        metavar="PATH",
+        help="also write a Chrome trace-event JSON for Perfetto (implies --telemetry)",
+    )
+
+
+def _add_log_json_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit progress logging as JSON lines (one object per record)",
     )
 
 
@@ -197,6 +231,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record the simulation event trace and write it to PATH as JSONL",
     )
     _add_sanitize_flags(run)
+    _add_telemetry_flags(run)
 
     scenario = sub.add_parser(
         "scenario", help="generated synthetic scenarios (list / run / sweep)"
@@ -236,6 +271,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record the simulation event trace and write it to PATH as JSONL",
     )
     _add_sanitize_flags(scenario_run)
+    _add_telemetry_flags(scenario_run)
     _add_session_flags(scenario_run)
 
     scenario_sweep = scenario_sub.add_parser(
@@ -341,6 +377,19 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the grid JSON to PATH",
     )
+    grid.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="run every cell with the out-of-band telemetry ledger on",
+    )
+    grid.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help="write the job-level telemetry (aggregated metrics + cell "
+        "ledgers) to PATH as JSON (implies --telemetry)",
+    )
+    _add_log_json_flag(grid)
     _add_session_flags(grid)
 
     serve = sub.add_parser(
@@ -372,11 +421,32 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
+    serve.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="run submitted sweeps without the out-of-band telemetry ledger",
+    )
+    _add_log_json_flag(serve)
     _add_session_flags(serve)
+
+    report_cmd = sub.add_parser(
+        "report",
+        help="summarise a telemetry ledger JSON (per-phase virtual-time breakdown)",
+    )
+    report_cmd.add_argument(
+        "path", metavar="TELEMETRY_JSON", help="a --telemetry-out ledger file"
+    )
+    report_cmd.add_argument("--json", action="store_true", help="print the summary as JSON")
+    report_cmd.add_argument(
+        "--chrome-out",
+        default=None,
+        metavar="PATH",
+        help="also convert the ledger to Chrome trace-event JSON for Perfetto",
+    )
 
     lint = sub.add_parser(
         "lint",
-        help="repo-specific determinism/performance lint (HYP001-HYP005)",
+        help="repo-specific determinism/performance lint (HYP001-HYP006)",
     )
     lint.add_argument(
         "paths",
@@ -657,6 +727,50 @@ def _print_sanitizer(report, out_path: str | None = None) -> None:
         print(f"wrote sanitizer report to {out_path}")
 
 
+def _print_phase_table(telemetry) -> None:
+    """Print the per-phase virtual-time breakdown of one ledger."""
+    from repro.obs.ledger import phase_table
+
+    rows = phase_table(telemetry)
+    print()
+    print("virtual-time phase breakdown:")
+    if not rows:
+        print("  (no spans recorded)")
+        return
+    total = 0.0
+    for phase, seconds, share in rows:
+        print(f"  {phase:15s} {seconds:12.6f} s  {share:6.1%}")
+        total += seconds
+    print(f"  {'total':15s} {total:12.6f} s")
+
+
+def _write_json(path: str, payload: dict, flag: str) -> None:
+    try:
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+    except OSError as exc:
+        raise CliError(f"cannot write {flag} {path!r}: {exc}") from exc
+
+
+def _print_telemetry(report, telemetry_out: str | None, chrome_out: str | None) -> None:
+    """Print a run's phase breakdown and export the ledger / Chrome trace."""
+    telemetry = report.telemetry
+    if telemetry is None:
+        raise CliError("the run produced no telemetry ledger")
+    _print_phase_table(telemetry)
+    if telemetry_out:
+        _write_json(telemetry_out, telemetry.to_dict(), "--telemetry-out")
+        print(f"wrote telemetry ledger to {telemetry_out}")
+    if chrome_out:
+        from repro.obs.chrometrace import write_chrome_trace
+
+        try:
+            write_chrome_trace(chrome_out, telemetry)
+        except OSError as exc:
+            raise CliError(f"cannot write --chrome-out {chrome_out!r}: {exc}") from exc
+        print(f"wrote Chrome trace to {chrome_out}")
+
+
 def _run_with_trace(spec: ExperimentSpec, trace_out: str):
     """Run *spec* with tracing forced on and export the trace as JSONL."""
     base = spec.config or RuntimeConfig()
@@ -674,7 +788,8 @@ def cmd_run(args) -> int:
     # the scale name resolves through the app's own preset hook, so this
     # works for the paper benchmarks and the generated syn-* scenarios alike
     sanitize = args.sanitize or bool(args.sanitize_out)
-    if args.trace_out or sanitize:
+    telemetry = args.telemetry or bool(args.telemetry_out) or bool(args.chrome_out)
+    if args.trace_out or sanitize or telemetry:
         spec = ExperimentSpec(
             app=args.app,
             cluster=args.cluster,
@@ -683,6 +798,7 @@ def cmd_run(args) -> int:
             workload=args.scale,
             verify=args.verify,
             sanitize=sanitize,
+            telemetry=telemetry,
         )
         if args.trace_out:
             report = _run_with_trace(spec, args.trace_out)
@@ -696,6 +812,8 @@ def cmd_run(args) -> int:
     _print_report(report)
     if sanitize:
         _print_sanitizer(report, args.sanitize_out)
+    if telemetry:
+        _print_telemetry(report, args.telemetry_out, args.chrome_out)
     return 0
 
 
@@ -746,6 +864,9 @@ def cmd_scenario(args) -> int:
         except (KeyError, ValueError) as exc:
             raise CliError(str(exc)) from exc
         sanitize = args.sanitize or bool(args.sanitize_out)
+        telemetry = (
+            args.telemetry or bool(args.telemetry_out) or bool(args.chrome_out)
+        )
         spec = ExperimentSpec(
             app=args.name,
             cluster=args.cluster,
@@ -754,6 +875,7 @@ def cmd_scenario(args) -> int:
             workload=workload,
             verify=args.verify,
             sanitize=sanitize,
+            telemetry=telemetry,
         )
         if args.trace_out:
             if args.jobs != 1 or args.cache_dir:
@@ -771,6 +893,8 @@ def cmd_scenario(args) -> int:
             _print_report(report)
         if sanitize:
             _print_sanitizer(report, args.sanitize_out)
+        if telemetry:
+            _print_telemetry(report, args.telemetry_out, args.chrome_out)
         return 0
 
     # sweep: the scenario comparison grid
@@ -921,6 +1045,9 @@ def cmd_grid(args) -> int:
 
     if args.resume and not args.checkpoint_dir:
         raise CliError("--resume needs --checkpoint-dir to resume from")
+    enable_console(json_lines=args.log_json)
+    logger = get_logger("harness.grid")
+    telemetry = args.telemetry or bool(args.telemetry_out)
     matrix = (
         ExperimentMatrix()
         .apps(*_comma_list(args.apps, "--apps"))
@@ -935,22 +1062,30 @@ def cmd_grid(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         shard_size=args.shard_size,
         resume=args.resume,
-        progress_callback=lambda p: print(p.render(), file=sys.stderr),
+        telemetry=telemetry,
+        progress_callback=lambda p: logger.info(
+            "%s", p.render(), extra={"progress": p.to_dict()}
+        ),
     )
     try:
         result = job.run()
     except CheckpointMismatch as exc:
         raise CliError(str(exc)) from exc
     except SweepInterrupted as exc:
-        print(f"hyperion-sim: {exc}", file=sys.stderr)
+        logger.warning("%s", exc)
         return 3
     progress = job.progress
-    print(
-        f"grid complete: {progress.total_cells} cells "
-        f"(resumed {progress.resumed_cells}, cache hits {progress.cache_hits}, "
-        f"executed {progress.executed_cells})",
-        file=sys.stderr,
+    logger.info(
+        "grid complete: %d cells (resumed %d, cache hits %d, executed %d)",
+        progress.total_cells,
+        progress.resumed_cells,
+        progress.cache_hits,
+        progress.executed_cells,
+        extra={"progress": progress.to_dict()},
     )
+    if args.telemetry_out:
+        _write_json(args.telemetry_out, job.telemetry(), "--telemetry-out")
+        print(f"wrote job telemetry to {args.telemetry_out}")
     payload = result.to_dict()
     if args.output:
         with open(args.output, "w") as handle:
@@ -964,6 +1099,8 @@ def cmd_grid(args) -> int:
 def cmd_serve(args) -> int:
     from repro.harness.service import serve
 
+    enable_console(json_lines=args.log_json)
+    logger = get_logger("harness.serve")
     server = serve(
         host=args.host,
         port=args.port,
@@ -973,14 +1110,85 @@ def cmd_serve(args) -> int:
         checkpoint_root=args.checkpoint_root,
         shard_size=args.shard_size,
         verbose=args.verbose,
+        telemetry=not args.no_telemetry,
     )
-    print(f"hyperion-sim serve: listening on {server.address}", file=sys.stderr)
-    print(
-        "submit sweeps with POST /sweeps, stop with POST /shutdown",
-        file=sys.stderr,
+    logger.info(
+        "hyperion-sim serve: listening on %s", server.address,
+        extra={"address": server.address},
     )
+    logger.info("submit sweeps with POST /sweeps, stop with POST /shutdown")
     server.serve_until_shutdown()
-    print("hyperion-sim serve: drained and stopped", file=sys.stderr)
+    logger.info("hyperion-sim serve: drained and stopped")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.obs.ledger import phase_table
+
+    try:
+        with open(args.path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CliError(f"cannot read telemetry ledger {args.path!r}: {exc}") from exc
+    if not isinstance(payload, dict) or "spans" not in payload:
+        raise CliError(
+            f"{args.path!r} does not look like a telemetry ledger "
+            "(expected the JSON written by --telemetry-out)"
+        )
+    rows = phase_table(payload)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "label": payload.get("label"),
+                    "cached": payload.get("cached", False),
+                    "version": payload.get("version"),
+                    "phases": [
+                        {"phase": phase, "seconds": seconds, "share": share}
+                        for phase, seconds, share in rows
+                    ],
+                    "total_seconds": sum(seconds for _, seconds, _ in rows),
+                    "trace_summary": payload.get("trace_summary"),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        label = payload.get("label", "?")
+        version = payload.get("version", "?")
+        print(f"telemetry ledger: {label} (version {version})")
+        if payload.get("cached"):
+            print("  cached cell: stub ledger, no engine metrics or spans")
+        host = payload.get("host") or {}
+        if host.get("wall_seconds"):
+            line = f"  host: {host['wall_seconds']:.3f} s wall"
+            if host.get("events"):
+                line += f", {host['events']} events"
+            if host.get("events_per_second"):
+                line += f" ({host['events_per_second']:.0f} events/s)"
+            print(line)
+        families = (payload.get("metrics") or {}).get("families", {})
+        if families:
+            print(f"  metrics: {len(families)} families")
+        summary = payload.get("trace_summary")
+        if summary:
+            kinds = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(summary.get("by_kind", {}).items())
+            )
+            print(f"  trace: {summary.get('records', 0)} record(s)  {kinds}")
+        _print_phase_table(payload)
+    if args.chrome_out:
+        from repro.obs.chrometrace import write_chrome_trace
+
+        try:
+            write_chrome_trace(args.chrome_out, payload)
+        except OSError as exc:
+            raise CliError(
+                f"cannot write --chrome-out {args.chrome_out!r}: {exc}"
+            ) from exc
+        print(f"wrote Chrome trace to {args.chrome_out}")
     return 0
 
 
@@ -1076,6 +1284,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": cmd_sweep,
         "grid": cmd_grid,
         "serve": cmd_serve,
+        "report": cmd_report,
         "lint": cmd_lint,
         "profile": cmd_profile,
         "calibrate": cmd_calibrate,

@@ -34,6 +34,7 @@ the mode the deterministic resume tests drive.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -47,6 +48,7 @@ from typing import Any
 from repro.harness.session import Session, SessionResult
 from repro.harness.spec import ExperimentSpec
 from repro.harness.store import ResultStore, report_from_payload, report_to_payload
+from repro.obs.metrics import DEFAULT_HOST_SECONDS_BUCKETS, MetricsRegistry
 from repro.perf.clock import host_clock
 from repro.util.validation import check_positive
 
@@ -154,6 +156,7 @@ def _run_shard(
     the end, so a pool of workers contends on the store lock once per shard,
     not once per cell.
     """
+    started = host_clock()
     store = (
         ResultStore(store_root, write_behind=True) if store_root is not None else None
     )
@@ -161,10 +164,20 @@ def _run_shard(
     result = session.run(specs)
     if store is not None:
         store.flush()
+    ledgers = []
+    for spec in specs:
+        telemetry = result[spec].telemetry
+        if telemetry is not None:
+            ledgers.append(telemetry.to_dict())
     return {
         "shard": shard_index,
         "executed": result.executed,
         "cache_hits": result.cache_hits,
+        "host_seconds": host_clock() - started,
+        # out-of-band per-cell ledgers (empty unless specs asked for them)
+        # plus the worker store's own counters, for job-level aggregation
+        "telemetry": ledgers,
+        "store_metrics": store.metrics.to_dict() if store is not None else None,
         "cells": [
             {
                 "key": spec.cache_key(),
@@ -193,8 +206,18 @@ class SweepJob:
         resume: bool = False,
         progress_callback: Callable[[SweepProgress], None] | None = None,
         stop_event: threading.Event | None = None,
+        telemetry: bool = False,
     ):
         self.specs: list[ExperimentSpec] = list(dict.fromkeys(experiments))
+        if telemetry:
+            # the flag is outside the spec's identity (compare=False), so
+            # upgrading after dedup changes neither cache keys nor job_key —
+            # resuming a sweep with telemetry toggled stays valid
+            self.specs = [
+                spec if spec.telemetry else dataclasses.replace(spec, telemetry=True)
+                for spec in self.specs
+            ]
+        self.telemetry_enabled = bool(telemetry)
         check_positive("jobs", jobs)
         self.jobs = int(jobs)
         if shard_size is None:
@@ -218,6 +241,13 @@ class SweepJob:
         self.result: SessionResult | None = None
         self._reports: dict[ExperimentSpec, Any] = {}
         self._cached_specs: set[ExperimentSpec] = set()
+        #: job-level metric aggregate (sweep_* families plus every absorbed
+        #: cell/store family).  The worker thread mutates it through
+        #: :meth:`_absorb` while service handler threads snapshot it, so all
+        #: access goes through :attr:`metrics_lock`.
+        self.metrics = MetricsRegistry()
+        self.metrics_lock = threading.Lock()
+        self._ledgers: list[dict] = []
 
     # ------------------------------------------------------------------
     # checkpoint layout
@@ -350,6 +380,42 @@ class SweepJob:
         """Ask the job to stop after the shards currently in flight drain."""
         self.stop_event.set()
 
+    def _absorb_metrics(self, outcome: dict[str, Any], cells: int) -> None:
+        """Fold one shard outcome into the job-level metric aggregate.
+
+        ``.get`` defaults keep checkpoints written before the telemetry
+        fields existed absorbable.
+        """
+        with self.metrics_lock:
+            metrics = self.metrics
+            metrics.counter(
+                "sweep_shards_completed_total", "Shards finished this session."
+            ).inc()
+            metrics.counter(
+                "sweep_cells_completed_total", "Cells finished this session."
+            ).inc(cells)
+            metrics.counter(
+                "sweep_cells_executed_total", "Cells actually simulated."
+            ).inc(outcome.get("executed", 0))
+            metrics.counter(
+                "sweep_cells_cache_hits_total", "Cells served by the result store."
+            ).inc(outcome.get("cache_hits", 0))
+            host_seconds = outcome.get("host_seconds")
+            if host_seconds is not None:
+                metrics.histogram(
+                    "sweep_shard_host_seconds",
+                    "Host wall-clock seconds per shard.",
+                    buckets=DEFAULT_HOST_SECONDS_BUCKETS,
+                ).observe(host_seconds)
+            for ledger in outcome.get("telemetry") or ():
+                self._ledgers.append(ledger)
+                payload = ledger.get("metrics")
+                if payload:
+                    metrics.merge(payload)
+            store_metrics = outcome.get("store_metrics")
+            if store_metrics:
+                metrics.merge(store_metrics)
+
     def _absorb(self, outcome: dict[str, Any], started: float) -> None:
         """Fold one finished shard into reports, checkpoint and progress."""
         shard = self.shards[outcome["shard"]]
@@ -358,6 +424,7 @@ class SweepJob:
             if cell["cached"]:
                 self._cached_specs.add(spec)
         self._checkpoint_shard(outcome)
+        self._absorb_metrics(outcome, len(shard))
         progress = self.progress
         progress.completed_shards += 1
         progress.completed_cells += len(shard)
@@ -382,6 +449,16 @@ class SweepJob:
         progress.resumed_cells = sum(len(self.shards[i]) for i in done)
         progress.completed_cells = progress.resumed_cells
         progress.elapsed_seconds = host_clock() - started
+        if done:
+            with self.metrics_lock:
+                self.metrics.counter(
+                    "sweep_shards_resumed_total",
+                    "Shards restored from checkpoints at start-up.",
+                ).inc(len(done))
+                self.metrics.counter(
+                    "sweep_cells_resumed_total",
+                    "Cells restored from checkpoints at start-up.",
+                ).inc(progress.resumed_cells)
         pending = [i for i in range(len(self.shards)) if i not in done]
         store_root = str(self.store.root) if self.store is not None else None
         stopped = False
@@ -430,6 +507,24 @@ class SweepJob:
         result.cached_specs = set(self._cached_specs)
         self.result = result
         return result
+
+    # ------------------------------------------------------------------
+    # telemetry surface
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Thread-safe ``to_dict`` snapshot of the job-level metrics."""
+        with self.metrics_lock:
+            return self.metrics.to_dict()
+
+    def telemetry(self) -> dict[str, Any]:
+        """Job-level telemetry: aggregated metrics plus the cell ledgers
+        absorbed this session (resumed shards contribute no ledgers — their
+        host-side artifacts belong to the run that produced them)."""
+        with self.metrics_lock:
+            return {
+                "metrics": self.metrics.to_dict(),
+                "ledgers": list(self._ledgers),
+            }
 
     def __repr__(self) -> str:
         return (

@@ -7,9 +7,10 @@ background worker threads that run each sweep as a
 :class:`~http.server.ThreadingHTTPServer` speaking a small JSON protocol::
 
     GET  /health               liveness + queue depth
+    GET  /metrics              Prometheus text: service + per-job aggregates
     POST /sweeps               submit a sweep request -> {"id": ...}
     GET  /sweeps               every sweep's status snapshot
-    GET  /sweeps/<id>          one sweep: state + progress (+ error)
+    GET  /sweeps/<id>          one sweep: state + progress + metric snapshot
     GET  /sweeps/<id>/grid     the finished grid, SessionResult.to_dict()
     GET  /sweeps/<id>/cells/<label>   one cell as a CellResult record
     POST /shutdown             graceful stop: drain in-flight shards
@@ -24,7 +25,10 @@ The grid a finished sweep serves is **byte-identical** to what a serial
 ``Session().run(...)`` of the same specs returns: cells cross the worker /
 checkpoint / store boundary as canonical payloads whose round-trip
 (:func:`~repro.harness.store.report_from_payload`) reproduces ``to_dict()``
-exactly.  Shutdown is graceful by construction — the service stops handing
+exactly.  Sweeps run with telemetry on by default (it is out-of-band, so
+the grids stay byte-identical); a request may opt out with
+``"telemetry": false``.  ``GET /metrics`` renders the service gauges plus
+every job's aggregated :mod:`repro.obs` families as Prometheus text.  Shutdown is graceful by construction — the service stops handing
 out new shards, drains the ones in flight (checkpointing each), and marks
 still-queued or interrupted sweeps so a later submission can resume them.
 
@@ -43,6 +47,9 @@ from repro.harness.jobs import SweepInterrupted, SweepJob
 from repro.harness.matrix import ExperimentMatrix
 from repro.harness.session import SessionResult
 from repro.harness.store import ResultStore
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import CONTENT_TYPE, render_metrics
+from repro.util.logging import get_logger
 from repro.util.validation import check_positive
 
 #: states a submitted sweep moves through (terminal: done/failed/interrupted)
@@ -61,7 +68,15 @@ def parse_sweep_request(payload: Any) -> ExperimentMatrix:
     """Build the :class:`ExperimentMatrix` a sweep-request JSON describes."""
     if not isinstance(payload, dict):
         raise ServiceError("sweep request must be a JSON object")
-    known = {"apps", "clusters", "protocols", "nodes", "workload", "shard_size"}
+    known = {
+        "apps",
+        "clusters",
+        "protocols",
+        "nodes",
+        "workload",
+        "shard_size",
+        "telemetry",
+    }
     unknown = sorted(set(payload) - known)
     if unknown:
         raise ServiceError(
@@ -86,10 +101,17 @@ def parse_sweep_request(payload: Any) -> ExperimentMatrix:
 class SweepRecord:
     """One submitted sweep: its specs, its job, and its lifecycle state."""
 
-    def __init__(self, sweep_id: str, specs: list, shard_size: int | None):
+    def __init__(
+        self,
+        sweep_id: str,
+        specs: list,
+        shard_size: int | None,
+        telemetry: bool = True,
+    ):
         self.id = sweep_id
         self.specs = specs
         self.shard_size = shard_size
+        self.telemetry = bool(telemetry)
         self.state = "queued"
         self.error: str | None = None
         self.job: SweepJob | None = None
@@ -97,7 +119,7 @@ class SweepRecord:
         self.lock = threading.Lock()
 
     def status(self) -> dict[str, Any]:
-        """JSON status snapshot (what ``GET /sweeps/<id>`` returns)."""
+        """JSON status snapshot (what the ``GET /sweeps`` list returns)."""
         with self.lock:
             progress = self.job.progress.to_dict() if self.job is not None else None
             return {
@@ -107,6 +129,14 @@ class SweepRecord:
                 "error": self.error,
                 "progress": progress,
             }
+
+    def detail(self) -> dict[str, Any]:
+        """Status plus the job-level metric snapshot (``GET /sweeps/<id>``)."""
+        payload = self.status()
+        with self.lock:
+            job = self.job
+        payload["metrics"] = job.metrics_snapshot() if job is not None else None
+        return payload
 
 
 class SweepService:
@@ -119,12 +149,16 @@ class SweepService:
         cache_dir: str | Path | None = None,
         checkpoint_root: str | Path | None = None,
         shard_size: int | None = None,
+        telemetry: bool = True,
     ):
         check_positive("workers", workers)
         self.jobs = int(jobs)
         self.default_shard_size = shard_size
+        self.telemetry = bool(telemetry)
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self.checkpoint_root = Path(checkpoint_root) if checkpoint_root else None
+        #: service-level counters (guarded by ``_lock`` like the queue)
+        self._metrics = MetricsRegistry()
         self._lock = threading.Lock()
         self._sweeps: dict[str, SweepRecord] = {}
         self._order: list[str] = []
@@ -156,15 +190,19 @@ class SweepService:
             raise ServiceError(f"invalid sweep request: {exc}") from exc
         if not specs:
             raise ServiceError("sweep request expands to zero cells")
+        telemetry = bool(payload.get("telemetry", self.telemetry))
         with self._lock:
             if self._stopping.is_set():
                 raise ServiceError("service is shutting down", status=503)
             sweep_id = f"sweep-{self._next_id:04d}"
             self._next_id += 1
-            record = SweepRecord(sweep_id, specs, shard_size)
+            record = SweepRecord(sweep_id, specs, shard_size, telemetry=telemetry)
             self._sweeps[sweep_id] = record
             self._order.append(sweep_id)
             self._queue.append(sweep_id)
+            self._metrics.counter(
+                "service_sweeps_submitted_total", "Sweeps accepted by the service."
+            ).inc()
             self._wakeup.notify()
         return record
 
@@ -208,6 +246,43 @@ class SweepService:
         )
 
     # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """One deterministic payload of everything the service can count.
+
+        A fresh registry absorbs the service counters, the live queue/worker
+        gauges, and every job's aggregate (each under its own lock).  Gauges
+        merge by ``max`` across jobs — the documented registry semantics.
+        """
+        snapshot = MetricsRegistry()
+        with self._lock:
+            snapshot.merge(self._metrics.to_dict())
+            records = [self._sweeps[sweep_id] for sweep_id in self._order]
+            queue_depth = len(self._queue)
+            worker_count = len(self._workers)
+        states = dict.fromkeys(SWEEP_STATES, 0)
+        jobs = []
+        for record in records:
+            with record.lock:
+                states[record.state] += 1
+                job = record.job
+            if job is not None:
+                jobs.append(job)
+        snapshot.gauge(
+            "service_queue_depth", "Sweeps waiting for a worker."
+        ).set(queue_depth)
+        sweeps = snapshot.gauge("service_sweeps", "Sweeps by lifecycle state.")
+        for state in SWEEP_STATES:
+            sweeps.set(states[state], state=state)
+        workers = snapshot.gauge("service_workers", "Worker threads by state.")
+        workers.set(worker_count, state="total")
+        workers.set(states["running"], state="busy")
+        for job in jobs:
+            snapshot.merge(job.metrics_snapshot())
+        return snapshot.to_dict()
+
+    # ------------------------------------------------------------------
     # the worker pool
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
@@ -234,6 +309,7 @@ class SweepService:
             shard_size=record.shard_size,
             store=store,
             stop_event=self._stopping,
+            telemetry=record.telemetry,
         )
         with record.lock:
             if self._stopping.is_set():
@@ -289,7 +365,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
         if self.server.verbose:
-            super().log_message(format, *args)
+            self.server.logger.info(
+                "%s - %s", self.address_string(), format % args
+            )
 
     # -- plumbing ----------------------------------------------------------
     def _send(self, status: int, payload: dict[str, Any]) -> None:
@@ -299,6 +377,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
 
     def _read_json(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
@@ -324,6 +410,10 @@ class _Handler(BaseHTTPRequestHandler):
                         "running": sum(s["state"] == "running" for s in statuses),
                     },
                 )
+            elif method == "GET" and path == "/metrics":
+                self._send_text(
+                    200, render_metrics(service.metrics_snapshot()), CONTENT_TYPE
+                )
             elif method == "POST" and path == "/sweeps":
                 record = service.submit(self._read_json())
                 self._send(202, record.status())
@@ -345,7 +435,7 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServiceError(f"no such endpoint: {method} {self.path}", status=404)
         sweep_id, rest = parts[0], parts[1:]
         if not rest:
-            self._send(200, service.get(sweep_id).status())
+            self._send(200, service.get(sweep_id).detail())
         elif rest == ["grid"]:
             self._send(200, {"id": sweep_id, "grid": service.grid(sweep_id)})
         elif rest[0] == "cells" and len(rest) > 1:
@@ -377,6 +467,7 @@ class ServiceServer(ThreadingHTTPServer):
         super().__init__((host, port), _Handler)
         self.service = service
         self.verbose = verbose
+        self.logger = get_logger("harness.service")
         self._shutdown_requested = threading.Event()
 
     @property
@@ -414,6 +505,7 @@ def serve(
     checkpoint_root: str | None = None,
     shard_size: int | None = None,
     verbose: bool = False,
+    telemetry: bool = True,
 ) -> ServiceServer:
     """Construct the service + server pair (without starting to serve)."""
     service = SweepService(
@@ -422,5 +514,6 @@ def serve(
         cache_dir=cache_dir,
         checkpoint_root=checkpoint_root,
         shard_size=shard_size,
+        telemetry=telemetry,
     )
     return ServiceServer(service, host=host, port=port, verbose=verbose)

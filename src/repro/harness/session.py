@@ -193,22 +193,36 @@ class Session:
         neither rich result objects nor sanitizer reports), so they bypass
         the cache read — and such a duplicate upgrades its plain twin — and
         are always simulated.
+
+        ``telemetry=True`` specs do *not* bypass the cache: the ledger is
+        out-of-band, so a cache hit stays a cache hit and the report gets a
+        stub :class:`~repro.obs.ledger.RunTelemetry` marked ``cached``.
+        Executed telemetry cells persist their ledger next to the store
+        entry (``ResultStore.put_telemetry``).
         """
         specs = list(experiments)
         result = SessionResult()
         cached_specs = result.cached_specs
         pending: dict[ExperimentSpec, ExperimentSpec] = {}
+        # specs that asked for a ledger (equality ignores the flag, so the
+        # set matches a plain twin of a telemetry spec too)
+        wants_telemetry: set[ExperimentSpec] = set()
         for spec in specs:
+            if spec.telemetry:
+                wants_telemetry.add(spec)
             live = spec.verify or spec.sanitize
             if spec in pending:
                 held = pending[spec]
-                if (spec.verify and not held.verify) or (
-                    spec.sanitize and not held.sanitize
+                if (
+                    (spec.verify and not held.verify)
+                    or (spec.sanitize and not held.sanitize)
+                    or (spec.telemetry and not held.telemetry)
                 ):
                     pending[spec] = dataclasses.replace(
                         held,
                         verify=held.verify or spec.verify,
                         sanitize=held.sanitize or spec.sanitize,
+                        telemetry=held.telemetry or spec.telemetry,
                     )
                 continue
             if spec in result.reports:
@@ -244,6 +258,18 @@ class Session:
             result.executed += 1
             if self.store is not None:
                 self.store.put(spec, report)
+                if report.telemetry is not None:
+                    self.store.put_telemetry(spec, report.telemetry.to_dict())
+        if wants_telemetry:
+            # cache-hit cells never re-execute for telemetry; they get a
+            # stub ledger so callers see a uniform surface
+            from repro.obs.ledger import RunTelemetry
+
+            for spec in cached_specs:
+                if spec in wants_telemetry:
+                    report = result.reports[spec]
+                    if report.telemetry is None:
+                        report.telemetry = RunTelemetry.cached_stub(spec)
         return result
 
     def run_one(self, spec: ExperimentSpec) -> ExecutionReport:
@@ -263,6 +289,7 @@ class Session:
         config: RuntimeConfig | None = None,
         verify: bool = False,
         sanitize: bool = False,
+        telemetry: bool = False,
     ) -> ExecutionReport:
         """Run one experiment cell described by its coordinates.
 
@@ -270,7 +297,9 @@ class Session:
         (``"bench"``, ``"paper"``, ``"testing"``) or None (bench preset).
         With ``verify=True`` the application's correctness check runs on the
         result; with ``sanitize=True`` the cell runs under the consistency
-        sanitizer (both bypass the result cache).
+        sanitizer (both bypass the result cache).  With ``telemetry=True``
+        the report carries an out-of-band :class:`~repro.obs.ledger.RunTelemetry`
+        ledger (stubbed when the cell was served from the cache).
         """
         return self.run_one(
             ExperimentSpec(
@@ -282,6 +311,7 @@ class Session:
                 config=config,
                 verify=verify,
                 sanitize=sanitize,
+                telemetry=telemetry,
             )
         )
 

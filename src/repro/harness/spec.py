@@ -113,6 +113,14 @@ class ExperimentSpec:
     #: ``to_dict`` stays byte-identical — so it is excluded from the cell's
     #: identity as well.  The findings surface on ``ExecutionReport.sanitizer``.
     sanitize: bool = field(default=False, compare=False)
+    #: collect the out-of-band telemetry ledger (metrics + virtual-time
+    #: spans, see :mod:`repro.obs`).  Like ``verify``/``sanitize`` it never
+    #: changes what is simulated — the report's ``to_dict`` stays
+    #: byte-identical — so it is excluded from the cell's identity and does
+    #: NOT bypass the result cache: cache-hit cells get a stub ledger marked
+    #: ``cached`` instead of a re-execution.  The ledger surfaces on
+    #: ``ExecutionReport.telemetry``.
+    telemetry: bool = field(default=False, compare=False)
 
     # ------------------------------------------------------------------
     @property
@@ -232,6 +240,12 @@ def run_spec_runtime(spec: ExperimentSpec) -> "tuple[ExecutionReport, HyperionRu
     carry — most notably ``runtime.engine.trace`` for the CLI's
     ``--trace-out`` export.  The report is identical to :func:`run_spec`'s.
     """
+    if spec.telemetry:
+        # lazy: importing repro.perf at module scope would cycle back into
+        # this module through the profiler
+        from repro.perf.clock import host_clock
+
+        resolve_started = host_clock()
     cluster = spec.resolved_cluster()
     workload = spec.resolved_workload()
     runtime = HyperionRuntime(
@@ -239,12 +253,21 @@ def run_spec_runtime(spec: ExperimentSpec) -> "tuple[ExecutionReport, HyperionRu
         num_nodes=spec.num_nodes,
         config=spec.effective_config(),
         sanitize=spec.sanitize,
+        telemetry=spec.telemetry,
     )
+    collector = runtime.telemetry
+    if collector is not None:
+        collector.note_stage("spec_resolve", host_clock() - resolve_started)
+        stage = collector.begin_stage("execute")
     app = create_app(spec.app)
     report = app.run(runtime, workload)
+    if collector is not None:
+        collector.end_stage("execute", stage)
     if spec.verify and not app.verify(report.result, workload):
         raise AssertionError(
             f"{spec.app} produced an incorrect result under "
             f"{spec.protocol} on {cluster.name}/{spec.num_nodes} nodes"
         )
+    if collector is not None:
+        report.telemetry = collector.finalize(spec, report, runtime)
     return report, runtime

@@ -56,6 +56,8 @@ from repro.core.stats import MonitorStats, RunStats, ThreadStats
 from repro.dsm.page_manager import DsmStats
 from repro.harness.spec import CACHE_SCHEMA_VERSION, ExperimentSpec
 from repro.hyperion.runtime import ExecutionReport
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.clock import host_clock
 
 #: the manifest's ``format`` field — identifies a directory as a result store
 STORE_FORMAT = "hyperion-result-store"
@@ -67,6 +69,10 @@ STORE_VERSION = 1
 MANIFEST_NAME = "MANIFEST"
 LOCK_NAME = ".lock"
 QUARANTINE_DIR = "quarantine"
+#: subdirectory for telemetry ledgers; a sibling of the entry files so the
+#: ``*.json`` globs behind ``__len__``/``clear`` never count a ledger as an
+#: entry (and clearing results keeps telemetry history)
+TELEMETRY_DIR = "telemetry"
 
 
 class StoreSchemaError(RuntimeError):
@@ -156,6 +162,9 @@ class ResultStore:
         self._read_cache: dict[str, dict[str, Any]] = {}
         #: entries moved to quarantine by this handle (diagnostic counter)
         self.quarantined = 0
+        #: out-of-band store metrics for this handle (hits/misses/puts/
+        #: quarantines/lock wait); never persisted with the entries
+        self.metrics = MetricsRegistry()
         self._ensure_manifest()
 
     # ------------------------------------------------------------------
@@ -169,7 +178,12 @@ class ResultStore:
             return
         lock_path = self.root / LOCK_NAME
         with open(lock_path, "a+") as handle:
+            started = host_clock()
             fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            self.metrics.counter(
+                "store_lock_wait_seconds_total",
+                "Host seconds spent waiting for the store's advisory lock.",
+            ).inc(host_clock() - started)
             try:
                 yield
             finally:
@@ -238,6 +252,10 @@ class ResultStore:
                 if path.exists():
                     os.replace(path, self.quarantine_root / path.name)
                     self.quarantined += 1
+                    self.metrics.counter(
+                        "store_quarantined_total",
+                        "Corrupt entries moved to quarantine.",
+                    ).inc()
         except OSError:  # pragma: no cover - quarantine is best-effort
             pass
 
@@ -266,14 +284,17 @@ class ResultStore:
         key = spec.cache_key()
         pending = self._pending.get(key)
         if pending is not None:
+            self._count_get("hit")
             return report_from_payload(pending["report"])
         cached = self._read_cache.get(key)
         if cached is not None:
+            self._count_get("hit")
             return report_from_payload(cached)
         path = self.path_for(key)
         try:
             text = path.read_text()
         except OSError:
+            self._count_get("miss")
             return None
         try:
             payload = json.loads(text)
@@ -282,14 +303,22 @@ class ResultStore:
             if "schema" not in payload:
                 raise KeyError("schema")  # no version stamp at all: corrupt
             if payload["schema"] != CACHE_SCHEMA_VERSION:
+                self._count_get("miss")
                 return None  # stale, not corrupt: leave it alone
             report = report_from_payload(payload["report"])
         except (ValueError, KeyError, TypeError, AttributeError):
             # unparseable or structurally wrong: quarantine and recompute
             self._quarantine(path)
+            self._count_get("miss")
             return None
         self._read_cache[key] = payload["report"]
+        self._count_get("hit")
         return report
+
+    def _count_get(self, result: str) -> None:
+        self.metrics.counter(
+            "store_gets_total", "Store lookups by outcome (hit/miss)."
+        ).inc(1, result=result)
 
     def _entry_payload(self, spec: ExperimentSpec, report: ExecutionReport) -> dict:
         key = spec.cache_key()
@@ -309,6 +338,7 @@ class ResultStore:
         """
         key = spec.cache_key()
         payload = self._entry_payload(spec, report)
+        self.metrics.counter("store_puts_total", "Entries persisted (or buffered).").inc()
         if self.write_behind:
             self._pending[key] = payload
             return self.path_for(key)
@@ -325,14 +355,53 @@ class ResultStore:
                 self._write_entry(key, self._pending[key])
         written = len(self._pending)
         self._pending.clear()
+        self.metrics.counter(
+            "store_flush_entries_total", "Buffered entries written by flushes."
+        ).inc(written)
         return written
+
+    # ------------------------------------------------------------------
+    # telemetry ledgers (out-of-band siblings of the pinned entries)
+    # ------------------------------------------------------------------
+    @property
+    def telemetry_root(self) -> Path:
+        """Directory holding per-cell telemetry ledgers (created lazily)."""
+        return self.root / TELEMETRY_DIR
+
+    def telemetry_path_for(self, key: str) -> Path:
+        """File that holds (or would hold) the ledger of cache key *key*."""
+        return self.telemetry_root / f"{key}.json"
+
+    def put_telemetry(self, spec: ExperimentSpec, payload: dict) -> Path:
+        """Persist a :class:`~repro.obs.ledger.RunTelemetry` payload.
+
+        Ledgers live in ``telemetry/`` next to — never inside — the pinned
+        result entry, so the entry payload (and its byte-identity contract)
+        is untouched by telemetry runs.  Last writer wins; ledgers are
+        observations, not cached results.
+        """
+        path = self.telemetry_path_for(spec.cache_key())
+        self.telemetry_root.mkdir(exist_ok=True)
+        self._atomic_write(path, payload)
+        self.metrics.counter(
+            "store_telemetry_puts_total", "Telemetry ledgers persisted."
+        ).inc()
+        return path
+
+    def get_telemetry(self, spec: ExperimentSpec) -> dict | None:
+        """The persisted ledger of *spec*, or None when absent/damaged."""
+        try:
+            payload = json.loads(self.telemetry_path_for(spec.cache_key()).read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
 
     def _write_entry(self, key: str, payload: dict) -> None:
         self._atomic_write(self.path_for(key), payload)
         self._read_cache[key] = payload["report"]
 
     def _atomic_write(self, path: Path, payload: dict) -> None:
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle, indent=2)

@@ -53,6 +53,10 @@ class MonitorManager:
         self.topology = topology
         self.cost_model = cost_model
         self.stats = stats if stats is not None else MonitorStats()
+        #: optional telemetry hook (duck-typed: ``observe_acquire(latency,
+        #: contended)``, see :class:`repro.obs.ledger.MonitorInstrument`);
+        #: strictly out-of-band — it only reads the clock around the acquire.
+        self.telemetry = None
         self._monitors: dict[int, Monitor] = {}
 
     # ------------------------------------------------------------------
@@ -84,10 +88,17 @@ class MonitorManager:
         """Acquire *obj*'s monitor for the thread behind *ctx*."""
         monitor = self.monitor_for(obj)
         self.stats.enters += 1
-        if monitor.locked:
+        contended = monitor.locked
+        if contended:
             self.stats.contended_enters += 1
         self._charge_entry_cost(ctx, monitor)
-        yield monitor.lock.acquire(owner=ctx)
+        telemetry = self.telemetry
+        if telemetry is None:
+            yield monitor.lock.acquire(owner=ctx)
+        else:
+            started = self.engine.now
+            yield monitor.lock.acquire(owner=ctx)
+            telemetry.observe_acquire(self.engine.now - started, contended)
 
     def exit(self, ctx, obj) -> None:
         """Release *obj*'s monitor (the caller must own it)."""
@@ -111,10 +122,17 @@ class MonitorManager:
         monitor.lock.release()
         yield wake
         self.stats.enters += 1
-        if monitor.locked:
+        contended = monitor.locked
+        if contended:
             self.stats.contended_enters += 1
         self._charge_entry_cost(ctx, monitor)
-        yield monitor.lock.acquire(owner=ctx)
+        telemetry = self.telemetry
+        if telemetry is None:
+            yield monitor.lock.acquire(owner=ctx)
+        else:
+            started = self.engine.now
+            yield monitor.lock.acquire(owner=ctx)
+            telemetry.observe_acquire(self.engine.now - started, contended)
 
     def notify(self, ctx, obj) -> int:
         """``Object.notify()``: wake one waiter; returns the number woken."""

@@ -50,6 +50,7 @@ from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.sanitizer import ConsistencySanitizer, SanitizerReport
+    from repro.obs.ledger import RunTelemetry, TelemetryCollector
 
 
 @dataclass(frozen=True)
@@ -109,6 +110,11 @@ class ExecutionReport:
     #: dictionary is the byte-identity contract and must not change shape
     #: (or content) with an opt-in checking layer.
     sanitizer: "SanitizerReport" | None = None
+    #: out-of-band telemetry ledger when the run was executed with
+    #: ``telemetry=True`` (None otherwise).  Same contract as ``sanitizer``:
+    #: host-side, never serialised into :meth:`to_dict` or the result store's
+    #: pinned payload — the store persists it *next to* the entry instead.
+    telemetry: "RunTelemetry" | None = None
 
     @property
     def page_rehomes(self) -> int:
@@ -194,6 +200,7 @@ class HyperionRuntime:
         protocol: str | None = None,
         config: RuntimeConfig | None = None,
         sanitize: bool = False,
+        telemetry: bool = False,
     ):
         self.config = config or RuntimeConfig()
         if protocol is not None:
@@ -270,6 +277,18 @@ class HyperionRuntime:
             from repro.analysis.sanitizer import ConsistencySanitizer
 
             self.sanitizer = ConsistencySanitizer(self)
+
+        # The telemetry collector (opt-in observation layer) mirrors the
+        # sanitizer pattern: lazily imported so the obs package stays
+        # entirely off the default path, installed before any thread context
+        # binds its span tracer.  Strictly out-of-band — it never charges
+        # time or adds events.
+        self.telemetry: "TelemetryCollector" | None = None
+        if telemetry:
+            from repro.obs.ledger import TelemetryCollector
+
+            self.telemetry = TelemetryCollector()
+            self.telemetry.attach(self)
 
     # ------------------------------------------------------------------
     def _register_internal_services(self) -> None:

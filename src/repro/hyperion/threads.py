@@ -79,6 +79,9 @@ class JavaThread:
         self.finished = False
         self.marcel = runtime.marcel.create_thread(node_id, name=name)
         self.ctx = JavaThreadContext(runtime, self)
+        spans = self.ctx._spans
+        if spans is not None:
+            spans.register(name, runtime.engine.now)
         self.marcel.start(self._wrapper())
 
     # ------------------------------------------------------------------
@@ -105,6 +108,9 @@ class JavaThread:
         sanitizer = self.runtime.sanitizer
         if sanitizer is not None:
             sanitizer.note_thread_finish(self)
+        spans = self.ctx._spans
+        if spans is not None:
+            spans.finish(self.name, self.runtime.engine.now)
         self.result = result
         self.finished = True
         return result
@@ -129,6 +135,11 @@ class JavaThreadContext(AccessContext):
         self._cycles_per_int_op = machine.cycles_per_int_op
         self._marcel = thread.marcel
         self._memory = runtime.memory
+        # virtual-time span tracer (None unless the spec opted into
+        # telemetry); observes engine.now around existing yields only — it
+        # must never add or split a yield, or scheduling would change
+        telemetry = runtime.telemetry
+        self._spans = telemetry.spans if telemetry is not None else None
 
     # ------------------------------------------------------------------
     # identity / time
@@ -192,12 +203,17 @@ class JavaThreadContext(AccessContext):
         cpu, wait = self._pending_cpu, self._pending_wait
         self._pending_cpu = 0.0
         self._pending_wait = 0.0
+        spans = self._spans
         if cpu > 0.0:
             self.runtime.run_stats.record_cpu(self.node_id, cpu)
             yield from self.runtime.marcel.occupy_cpu(self.thread.marcel, cpu)
+            if spans is not None:
+                spans.flush_cpu(self.thread.name, cpu, self.runtime.engine.now)
         if wait > 0.0:
             self.runtime.run_stats.record_wait(self.node_id, wait)
             yield from self.runtime.marcel.wait(self.thread.marcel, wait)
+            if spans is not None:
+                spans.flush_wait(self.thread.name, wait, self.runtime.engine.now)
 
     # ------------------------------------------------------------------
     # heap allocation
@@ -281,8 +297,13 @@ class JavaThreadContext(AccessContext):
     def monitor_enter(self, obj) -> Generator:
         """Enter *obj*'s monitor (acquire + cache invalidation)."""
         yield from self._flush()
+        spans = self._spans
+        if spans is not None:
+            spans.begin(self.thread.name, "monitor_wait")
         yield from self.runtime.monitors.enter(self, obj)
         yield from self._flush()
+        if spans is not None:
+            spans.end(self.thread.name, self.runtime.engine.now)
         self.runtime.memory.invalidate_cache(self, self.node_id)
 
     def monitor_exit(self, obj) -> Generator:
@@ -306,9 +327,21 @@ class JavaThreadContext(AccessContext):
 
     def wait(self, obj) -> Generator:
         """``Object.wait()`` with Java-consistency side effects."""
+        spans = self._spans
+        if spans is not None:
+            # app compute carried in from before the wait keeps its default
+            # attribution; the update/flush/sleep from here on is the wait
+            spans.begin(
+                self.thread.name,
+                "monitor_wait",
+                self._pending_cpu,
+                self._pending_wait,
+            )
         self.runtime.memory.update_main_memory(self, self.node_id)
         yield from self._flush()
         yield from self.runtime.monitors.wait(self, obj)
+        if spans is not None:
+            spans.end(self.thread.name, self.runtime.engine.now)
         self.runtime.memory.invalidate_cache(self, self.node_id)
 
     def notify(self, obj) -> int:
@@ -321,6 +354,14 @@ class JavaThreadContext(AccessContext):
 
     def barrier(self, barrier: ClusterBarrier) -> Generator:
         """Wait at a :class:`ClusterBarrier` (flush before, invalidate after)."""
+        spans = self._spans
+        if spans is not None:
+            spans.begin(
+                self.thread.name,
+                "barrier",
+                self._pending_cpu,
+                self._pending_wait,
+            )
         self.runtime.memory.update_main_memory(self, self.node_id)
         if self.node_id != barrier.home_node:
             self.charge_wait(self.runtime.cost_model.rpc_round_trip_seconds(32, 32))
@@ -336,12 +377,19 @@ class JavaThreadContext(AccessContext):
             generation = sanitizer.note_barrier_arrive(self.node_id, barrier)
             yield barrier.sim_barrier.wait()
             sanitizer.note_barrier_resume(self.node_id, barrier, generation)
+        if spans is not None:
+            spans.end(self.thread.name, self.runtime.engine.now)
         self.runtime.memory.invalidate_cache(self, self.node_id)
 
     def join(self, thread: JavaThread) -> Generator:
         """``Thread.join()``: wait for *thread* and see its writes."""
         yield from self._flush()
+        spans = self._spans
+        if spans is not None:
+            spans.begin(self.thread.name, "join")
         yield thread.marcel.completion_event
+        if spans is not None:
+            spans.end(self.thread.name, self.runtime.engine.now)
         sanitizer = self.runtime.sanitizer
         if sanitizer is not None:
             sanitizer.note_join(self.node_id, thread)
@@ -353,7 +401,12 @@ class JavaThreadContext(AccessContext):
         """``Thread.sleep()`` in virtual time."""
         check_non_negative("seconds", seconds)
         yield from self._flush()
+        spans = self._spans
+        if spans is not None:
+            spans.begin(self.thread.name, "sleep")
         yield self.runtime.engine.timeout(seconds)
+        if spans is not None:
+            spans.end(self.thread.name, self.runtime.engine.now)
 
     # ------------------------------------------------------------------
     # thread management
@@ -392,9 +445,14 @@ class JavaThreadContext(AccessContext):
     def migrate(self, destination_node: int) -> Generator:
         """Migrate this thread to *destination_node* (PM2 thread migration)."""
         yield from self._flush()
+        spans = self._spans
+        if spans is not None:
+            spans.begin(self.thread.name, "migration")
         sanitizer = self.runtime.sanitizer
         origin = self.node_id
         yield from self.runtime.migration.migrate(self.thread.marcel, destination_node)
+        if spans is not None:
+            spans.end(self.thread.name, self.runtime.engine.now)
         if sanitizer is not None:
             sanitizer.note_migrate(origin, self.node_id)
         self.runtime.run_stats.threads.migrations += 1

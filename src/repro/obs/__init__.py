@@ -1,0 +1,57 @@
+"""Out-of-band telemetry: metrics, virtual-time spans, and run ledgers.
+
+This package is the observability layer described in DESIGN.md.  It is
+strictly *out-of-band*: nothing in here may change a byte of
+:meth:`repro.hyperion.runtime.ExecutionReport.to_dict` or any other pinned
+serialisation.  Telemetry observes the simulation (virtual time) and the
+harness (host time) without participating in either.
+
+Three pillars:
+
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket histograms
+  in a :class:`~repro.obs.metrics.MetricsRegistry` with a deterministic
+  ``to_dict`` and an additive ``merge`` for sweep-level aggregation.
+* :mod:`repro.obs.spans` — per-thread virtual-time phase spans (compute,
+  fault service, monitor wait, barrier, migration, ...) recorded by a
+  :class:`~repro.obs.spans.SpanTracer`, exportable as Chrome trace-event
+  JSON via :mod:`repro.obs.chrometrace` so a run opens in Perfetto.
+* :mod:`repro.obs.ledger` — :class:`~repro.obs.ledger.RunTelemetry`, the
+  versioned per-cell artifact bundling metrics + spans + host numbers,
+  built by the :class:`~repro.obs.ledger.TelemetryCollector` a runtime
+  carries when an :class:`~repro.harness.spec.ExperimentSpec` sets
+  ``telemetry=True``.
+
+:mod:`repro.obs.promtext` renders any registry (or its ``to_dict``
+payload) as Prometheus text exposition format; ``GET /metrics`` on the
+sweep service serves it.
+
+``ledger`` pulls in :mod:`repro.perf` (host clock, ``CellProfile``), which
+itself imports the harness — so it is re-exported lazily here to keep
+``repro.obs.metrics`` importable from low-level modules like the result
+store without import cycles.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.promtext import render_metrics
+from repro.obs.spans import SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunTelemetry",
+    "SpanTracer",
+    "TelemetryCollector",
+    "render_metrics",
+]
+
+_LAZY = {"RunTelemetry", "TelemetryCollector"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.obs import ledger
+
+        return getattr(ledger, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

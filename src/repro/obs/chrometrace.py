@@ -1,0 +1,111 @@
+"""Chrome trace-event JSON export so a telemetry ledger opens in Perfetto.
+
+Converts the ``spans`` (and optionally ``host.stages``) sections of a
+:class:`~repro.obs.ledger.RunTelemetry` payload into the Trace Event
+Format understood by ``chrome://tracing`` and https://ui.perfetto.dev:
+complete (``"ph": "X"``) events with microsecond timestamps.  Virtual-time
+spans map 1 simulated second to 1e6 trace microseconds on pid 0 (one tid
+per simulated thread, in spawn order); host-side harness stages go to
+pid 1.  Virtual events are deterministic; host events carry wall-clock
+durations and are excluded from byte-identity comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["chrome_trace_events", "render_chrome_trace", "write_chrome_trace"]
+
+_VIRTUAL_PID = 0
+_HOST_PID = 1
+_MICROS = 1e6
+
+
+def chrome_trace_events(telemetry, include_host: bool = True) -> list[dict]:
+    """Build the trace-event list for a :class:`~repro.obs.ledger.RunTelemetry`
+    (or its ``to_dict`` payload)."""
+    if not isinstance(telemetry, dict):
+        telemetry = telemetry.to_dict()
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _VIRTUAL_PID,
+            "tid": 0,
+            "args": {"name": f"virtual:{telemetry.get('label', 'cell')}"},
+        }
+    ]
+    spans = telemetry.get("spans") or {}
+    tids = {
+        track: index for index, track in enumerate(sorted(spans.get("tracks", {})))
+    }
+    for track, tid in sorted(tids.items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _VIRTUAL_PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for record in spans.get("records", ()):
+        track, phase, start, end = record
+        events.append(
+            {
+                "ph": "X",
+                "name": phase,
+                "cat": "virtual",
+                "pid": _VIRTUAL_PID,
+                "tid": tids.get(track, len(tids)),
+                "ts": start * _MICROS,
+                "dur": (end - start) * _MICROS,
+            }
+        )
+    if include_host:
+        host = telemetry.get("host") or {}
+        stages = [
+            stage
+            for stage in host.get("stages", ())
+            if stage.get("start") is not None and stage.get("end") is not None
+        ]
+        if stages:
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": _HOST_PID,
+                    "tid": 0,
+                    "args": {"name": "host:harness"},
+                }
+            )
+            for stage in stages:
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": stage["name"],
+                        "cat": "host",
+                        "pid": _HOST_PID,
+                        "tid": 0,
+                        "ts": stage["start"] * _MICROS,
+                        "dur": (stage["end"] - stage["start"]) * _MICROS,
+                    }
+                )
+    return events
+
+
+def render_chrome_trace(telemetry, include_host: bool = True) -> str:
+    payload = {
+        "traceEvents": chrome_trace_events(telemetry, include_host=include_host),
+        "displayTimeUnit": "ms",
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def write_chrome_trace(
+    path: str | Path, telemetry, include_host: bool = True
+) -> Path:
+    path = Path(path)
+    path.write_text(render_chrome_trace(telemetry, include_host=include_host))
+    return path

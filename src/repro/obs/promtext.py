@@ -1,0 +1,81 @@
+"""Prometheus text exposition rendering for :mod:`repro.obs.metrics`.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` (or its ``to_dict``
+payload) in the text format scraped by Prometheus (version 0.0.4): a
+``# HELP``/``# TYPE`` header per family, one sample line per label set,
+and the ``_bucket``/``_sum``/``_count`` expansion with cumulative
+``le``-labelled buckets for histograms.  Output is deterministic — the
+registry already sorts families and series.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CONTENT_TYPE", "render_metrics"]
+
+#: Content type served by ``GET /metrics`` on the sweep service.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    ]
+    pairs.extend(f'{key}="{_escape_label_value(value)}"' for key, value in extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def render_metrics(payload) -> str:
+    """Render a registry or its ``to_dict`` payload as Prometheus text."""
+    if hasattr(payload, "to_dict"):
+        payload = payload.to_dict()
+    lines: list[str] = []
+    for name, family in sorted(payload.get("families", {}).items()):
+        kind = family.get("kind", "untyped")
+        help_text = family.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            buckets = family.get("buckets", ())
+            for entry in family.get("series", ()):
+                labels = entry["labels"]
+                cumulative = 0
+                for bound, count in zip(buckets, entry["counts"]):
+                    cumulative += count
+                    label_text = _format_labels(
+                        labels, (("le", _format_value(bound)),)
+                    )
+                    lines.append(
+                        f"{name}_bucket{label_text} {_format_value(cumulative)}"
+                    )
+                label_text = _format_labels(labels, (("le", "+Inf"),))
+                lines.append(
+                    f"{name}_bucket{label_text} {_format_value(entry['count'])}"
+                )
+                plain = _format_labels(labels)
+                lines.append(f"{name}_sum{plain} {_format_value(entry['sum'])}")
+                lines.append(f"{name}_count{plain} {_format_value(entry['count'])}")
+        else:
+            for entry in family.get("series", ()):
+                label_text = _format_labels(entry["labels"])
+                lines.append(f"{name}{label_text} {_format_value(entry['value'])}")
+    return "\n".join(lines) + "\n" if lines else ""

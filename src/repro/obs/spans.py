@@ -1,0 +1,172 @@
+"""Virtual-time span tracing over the simulated run.
+
+A :class:`SpanTracer` partitions every simulated thread's lifetime into
+phase spans — ``compute``, ``fault_service``, ``monitor_wait``,
+``barrier``, ``migration``, ``join``, ``sleep``, ``idle`` — using a
+per-track *cursor*: each ``mark(track, phase, now)`` closes the interval
+``[cursor, now]`` under ``phase`` and advances the cursor.  Because a
+simulated thread's virtual clock only advances across its own yields, and
+every yield point in :mod:`repro.hyperion.threads` is bracketed by a mark,
+the spans of a track are an exact partition of ``[spawn, finish]`` — the
+per-phase totals sum to the thread's lifetime by construction.
+
+Attribution of flushed charges: the thread context accumulates pending
+CPU/wait and pays both at ``_flush()`` boundaries (the tracer must never
+split that payment into extra yields — it would change scheduling under
+contention and break determinism).  Instead, a blocking operation opens a
+*frame* (``begin``) that snapshots the pending amounts carried in from
+application code; when the flush pays, :meth:`flush_cpu`/:meth:`flush_wait`
+split the single interval arithmetically — the carried portion keeps the
+default attribution (``compute``/``fault_service``), the remainder goes to
+the frame's phase.  CPU-queueing delay (more threads than cores) folds
+into the phase of the charge that experienced it.
+
+The span *record* list is bounded (``max_spans``, with a ``dropped``
+counter, mirroring :class:`repro.simulation.trace.TraceRecorder`); the
+per-track phase totals are maintained independently and stay exact no
+matter how many records are dropped.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SpanTracer", "DEFAULT_MAX_SPANS", "PHASES"]
+
+DEFAULT_MAX_SPANS = 200_000
+
+#: Known phases, for documentation and table ordering; the tracer accepts
+#: any phase string.
+PHASES = (
+    "compute",
+    "fault_service",
+    "monitor_wait",
+    "barrier",
+    "migration",
+    "join",
+    "sleep",
+    "idle",
+)
+
+_COMPUTE_SLOT = 1
+_WAIT_SLOT = 2
+
+
+class SpanTracer:
+    """Cursor-based per-track phase spans with exact totals."""
+
+    __slots__ = (
+        "max_spans",
+        "records",
+        "dropped",
+        "_cursors",
+        "_frames",
+        "_phases",
+        "_starts",
+        "_ends",
+    )
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self.max_spans = max_spans
+        self.records: list[tuple[str, str, float, float]] = []
+        self.dropped = 0
+        self._cursors: dict[str, float] = {}
+        # frame: [phase, carried_cpu, carried_wait]
+        self._frames: dict[str, list] = {}
+        self._phases: dict[str, dict[str, float]] = {}
+        self._starts: dict[str, float] = {}
+        self._ends: dict[str, float] = {}
+
+    def register(self, track: str, now: float) -> None:
+        if track in self._cursors:
+            return
+        self._cursors[track] = now
+        self._starts[track] = now
+        self._phases[track] = {}
+
+    def mark(self, track: str, phase: str, now: float) -> None:
+        start = self._cursors.get(track)
+        if start is None:
+            self.register(track, now)
+            return
+        if now <= start:
+            return
+        self._cursors[track] = now
+        phases = self._phases[track]
+        phases[phase] = phases.get(phase, 0.0) + (now - start)
+        if len(self.records) < self.max_spans:
+            self.records.append((track, phase, start, now))
+        else:
+            self.dropped += 1
+
+    def begin(
+        self,
+        track: str,
+        phase: str,
+        carried_cpu: float = 0.0,
+        carried_wait: float = 0.0,
+    ) -> None:
+        """Open a blocking-phase frame, snapshotting carried-in charges."""
+        self._frames[track] = [phase, carried_cpu, carried_wait]
+
+    def end(self, track: str, now: float) -> None:
+        """Close the open frame, attributing the residual gap to it."""
+        frame = self._frames.pop(track, None)
+        if frame is not None:
+            self.mark(track, frame[0], now)
+
+    def flush_cpu(self, track: str, cpu: float, now: float) -> None:
+        self._flush_charge(track, cpu, now, _COMPUTE_SLOT, "compute")
+
+    def flush_wait(self, track: str, wait: float, now: float) -> None:
+        self._flush_charge(track, wait, now, _WAIT_SLOT, "fault_service")
+
+    def _flush_charge(
+        self, track: str, amount: float, now: float, slot: int, default_phase: str
+    ) -> None:
+        frame = self._frames.get(track)
+        if frame is None:
+            self.mark(track, default_phase, now)
+            return
+        carried = frame[slot]
+        if carried <= 0.0:
+            self.mark(track, frame[0], now)
+            return
+        if carried >= amount:
+            frame[slot] = carried - amount
+            self.mark(track, default_phase, now)
+            return
+        frame[slot] = 0.0
+        boundary = now - (amount - carried)
+        self.mark(track, default_phase, boundary)
+        self.mark(track, frame[0], now)
+
+    def finish(self, track: str, now: float) -> None:
+        self._frames.pop(track, None)
+        self.mark(track, "idle", now)
+        self._ends[track] = now
+
+    def phase_totals(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for phases in self._phases.values():
+            for phase, seconds in phases.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return {phase: totals[phase] for phase in sorted(totals)}
+
+    def track_totals(self, track: str) -> dict[str, float]:
+        phases = self._phases.get(track, {})
+        return {phase: phases[phase] for phase in sorted(phases)}
+
+    def to_dict(self) -> dict:
+        tracks = {}
+        for track in sorted(self._phases):
+            tracks[track] = {
+                "start": self._starts[track],
+                "end": self._ends.get(track, self._cursors[track]),
+                "phases": self.track_totals(track),
+            }
+        return {
+            "dropped": self.dropped,
+            "max_spans": self.max_spans,
+            "phases": self.phase_totals(),
+            "records": [list(record) for record in self.records],
+            "tracks": tracks,
+        }

@@ -113,7 +113,7 @@ class Profiler:
         hot: list[tuple] = []
         if profile is not None:
             text, hot = self._render(profile)
-        return CellProfile(
+        cell = CellProfile(
             label=spec.label(),
             wall_seconds=wall,
             events=report.events_processed,
@@ -122,6 +122,11 @@ class Profiler:
             profile_text=text,
             hot_functions=hot,
         )
+        if report.telemetry is not None:
+            # the profiler's wall clock wraps the whole run, so its numbers
+            # replace the collector's own host estimate in the ledger
+            report.telemetry.attach_profile(cell)
+        return cell
 
     def profile_many(self, specs: Iterable[ExperimentSpec]) -> list[CellProfile]:
         """Profile every spec serially, in submission order."""

@@ -36,6 +36,10 @@ class Engine:
         self.trace = trace
         self.strict_deadlock = strict_deadlock
         self._events_processed = 0
+        #: optional telemetry hook (duck-typed: ``record_event(kind, depth)``,
+        #: see :class:`repro.obs.ledger.EngineInstrument`).  Like ``trace``,
+        #: a non-None hook moves :meth:`run` off its hot configuration.
+        self.metrics = None
 
     # ------------------------------------------------------------------
     @property
@@ -104,6 +108,8 @@ class Engine:
         self._events_processed += 1
         if self.trace is not None:
             self.trace.record(time, event)
+        if self.metrics is not None:
+            self.metrics.record_event(type(event).__name__, len(self._queue))
         for callback in callbacks:
             callback(event)
         return self._now
@@ -129,11 +135,12 @@ class Engine:
         queue = self._queue
         pop = heapq.heappop
         trace = self.trace
+        metrics = self.metrics
         failures = self._failures
         processed = self._events_processed
         exhausted = False
         try:
-            if until is None and trace is None:
+            if until is None and trace is None and metrics is None:
                 # the hot configuration: no deadline, no tracing
                 while queue:
                     time, _seq, event = pop(queue)
@@ -158,6 +165,8 @@ class Engine:
                     processed += 1
                     if trace is not None:
                         trace.record(time, event)
+                    if metrics is not None:
+                        metrics.record_event(type(event).__name__, len(queue))
                     for callback in callbacks:
                         callback(event)
                     if failures:

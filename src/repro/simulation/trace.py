@@ -62,6 +62,34 @@ class TraceRecorder:
         """Return records whose kind equals *kind*."""
         return [r for r in self.records if r.kind == kind]
 
+    def summary(self) -> dict[str, object]:
+        """Record counts by kind plus the truncation state.
+
+        This is what the telemetry ledger embeds (and the ``report`` verb
+        prints) for traced cells: cheap, bounded, and honest about drops.
+        """
+        by_kind: dict[str, int] = {}
+        for record in self.records:
+            by_kind[record.kind] = by_kind.get(record.kind, 0) + 1
+        return {
+            "records": len(self.records),
+            "dropped": self.dropped,
+            "max_records": self.max_records,
+            "by_kind": {kind: by_kind[kind] for kind in sorted(by_kind)},
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        """Full JSON-friendly form: every record plus a meta entry.
+
+        The meta entry always carries ``dropped`` and ``max_records`` so a
+        consumer can tell a complete trace from a truncated one without
+        counting lines.
+        """
+        return {
+            "meta": {"dropped": self.dropped, "max_records": self.max_records},
+            "records": [record.to_dict() for record in self.records],
+        }
+
     def dump(self) -> str:
         """Render all records as a newline-joined string."""
         lines = [str(r) for r in self.records]
@@ -76,14 +104,18 @@ class TraceRecorder:
         """One compact JSON line per record, in dispatch order.
 
         When the recorder overflowed, a final ``{"kind": "__meta__", ...}``
-        line reports how many records were dropped, so consumers can tell a
-        complete trace from a truncated one.
+        line reports how many records were dropped and what the cap was, so
+        consumers can tell a complete trace from a truncated one.
         """
         for record in self.records:
             yield json.dumps(record.to_dict(), sort_keys=True, separators=(",", ":"))
         if self.dropped:
             yield json.dumps(
-                {"kind": "__meta__", "dropped": self.dropped},
+                {
+                    "kind": "__meta__",
+                    "dropped": self.dropped,
+                    "max_records": self.max_records,
+                },
                 sort_keys=True,
                 separators=(",", ":"),
             )

@@ -2,14 +2,23 @@
 
 The simulator emits structured, low-volume log records; by default nothing is
 configured so library users control handlers themselves.  ``enable_console``
-is a convenience for examples and the CLI.
+is a convenience for examples and the CLI.  With ``json_lines=True`` it emits
+one JSON object per record (machine-readable progress for the CLI's
+``--log-json`` flag) instead of the human-oriented line format.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 
 ROOT_LOGGER_NAME = "repro"
+
+#: LogRecord attributes that are plumbing, not payload — everything else a
+#: caller passes through ``extra=`` lands in the JSON line's "extra" object
+_RECORD_FIELDS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -19,17 +28,46 @@ def get_logger(name: str) -> logging.Logger:
     return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
 
 
-def enable_console(level: int = logging.INFO) -> logging.Logger:
-    """Attach a console handler to the package root logger.
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record: ts, logger, level, msg, extra."""
 
-    Safe to call repeatedly; only one handler is installed.
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "logger": record.name,
+            "level": record.levelname,
+            "msg": record.getMessage(),
+        }
+        extra = {
+            key: value
+            for key, value in record.__dict__.items()
+            if key not in _RECORD_FIELDS
+        }
+        if extra:
+            payload["extra"] = extra
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def enable_console(
+    level: int = logging.INFO, json_lines: bool = False
+) -> logging.Logger:
+    """Attach a console (stderr) handler to the package root logger.
+
+    Safe to call repeatedly; only one handler is installed, and calling
+    again with a different ``json_lines`` swaps its formatter in place.
     """
     root = logging.getLogger(ROOT_LOGGER_NAME)
     root.setLevel(level)
-    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+    handler = next(
+        (h for h in root.handlers if isinstance(h, logging.StreamHandler)), None
+    )
+    if handler is None:
         handler = logging.StreamHandler()
+        root.addHandler(handler)
+    if json_lines:
+        handler.setFormatter(JsonLinesFormatter())
+    else:
         handler.setFormatter(
             logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
         )
-        root.addHandler(handler)
     return root

@@ -150,6 +150,30 @@ def test_hyp005_only_applies_to_serialisation_functions():
 
 
 # ---------------------------------------------------------------------------
+# HYP006: direct print() in library code
+# ---------------------------------------------------------------------------
+def test_hyp006_flags_print_in_library_code():
+    source = 'print("progress: 50%")\n'
+    assert _codes(source, "repro/harness/jobs.py") == ["HYP006"]
+    assert _codes(source, "repro/simulation/engine.py") == ["HYP006"]
+
+
+def test_hyp006_exempts_the_designated_stdout_surfaces():
+    source = 'print("table")\n'
+    assert _codes(source, "repro/harness/cli.py") == []
+    assert _codes(source, "repro/harness/report.py") == []
+
+
+def test_hyp006_only_applies_to_repro_paths():
+    assert _codes('print("hi")\n', "scripts/tool.py") == []
+
+
+def test_hyp006_ignores_method_named_print():
+    source = "def run(self):\n    self.printer.print()\n"
+    assert _codes(source, "repro/harness/jobs.py") == []
+
+
+# ---------------------------------------------------------------------------
 # entry points
 # ---------------------------------------------------------------------------
 def test_repository_source_lints_clean():

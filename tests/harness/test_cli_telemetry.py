@@ -1,0 +1,101 @@
+"""The ``--telemetry`` flags and the ``hyperion-sim report`` verb."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+
+RUN = ["run", "pi", "--nodes", "2", "--scale", "testing"]
+
+
+def test_run_telemetry_prints_phase_breakdown(capsys):
+    assert cli_main(RUN + ["--telemetry"]) == 0
+    out = capsys.readouterr().out
+    assert "phase" in out
+    assert "compute" in out
+    assert "total" in out
+
+
+def test_run_telemetry_out_writes_ledger(tmp_path, capsys):
+    ledger_path = tmp_path / "telemetry.json"
+    # --telemetry-out implies --telemetry
+    assert cli_main(RUN + ["--telemetry-out", str(ledger_path)]) == 0
+    capsys.readouterr()
+    payload = json.loads(ledger_path.read_text())
+    assert payload["label"] == "pi/myrinet/java_pf/n2"
+    assert payload["cached"] is False
+    assert "sim_events_dispatched_total" in payload["metrics"]["families"]
+    assert payload["spans"]["tracks"]
+
+
+def test_run_chrome_out_writes_trace_events(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    assert cli_main(RUN + ["--chrome-out", str(trace_path)]) == 0
+    capsys.readouterr()
+    payload = json.loads(trace_path.read_text())
+    events = payload["traceEvents"]
+    assert any(event.get("ph") == "X" for event in events)
+
+
+def test_report_phase_total_matches_execution_seconds(tmp_path, capsys):
+    ledger_path = tmp_path / "telemetry.json"
+    assert cli_main(RUN + ["--telemetry-out", str(ledger_path)]) == 0
+    run_out = capsys.readouterr().out
+    execution_seconds = None
+    for line in run_out.splitlines():
+        if line.strip().startswith("execution_seconds"):
+            execution_seconds = float(line.split()[-1])
+    assert execution_seconds is not None
+
+    assert cli_main(["report", str(ledger_path), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["label"] == "pi/myrinet/java_pf/n2"
+    assert summary["cached"] is False
+    phase_sum = sum(row["seconds"] for row in summary["phases"])
+    assert summary["total_seconds"] == pytest.approx(phase_sum)
+    # the printed execution time is rounded; compare at its precision
+    ledger = json.loads(ledger_path.read_text())
+    main_track = ledger["spans"]["tracks"]["java-main"]
+    assert sum(main_track["phases"].values()) == pytest.approx(
+        execution_seconds, abs=1e-6
+    )
+
+
+def test_report_text_mode_and_chrome_conversion(tmp_path, capsys):
+    ledger_path = tmp_path / "telemetry.json"
+    assert cli_main(RUN + ["--telemetry-out", str(ledger_path)]) == 0
+    capsys.readouterr()
+    trace_path = tmp_path / "trace.json"
+    assert cli_main(["report", str(ledger_path), "--chrome-out", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "pi/myrinet/java_pf/n2" in out
+    assert "phase" in out
+    assert json.loads(trace_path.read_text())["traceEvents"]
+
+
+def test_report_rejects_non_ledger_json(tmp_path, capsys):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text(json.dumps({"hello": "world"}))
+    assert cli_main(["report", str(bogus)]) == 2
+    assert "telemetry ledger" in capsys.readouterr().err
+    assert cli_main(["report", str(tmp_path / "missing.json")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_grid_telemetry_out_aggregates_ledgers(tmp_path, capsys):
+    out_path = tmp_path / "sweep-telemetry.json"
+    args = [
+        "grid", "--apps", "pi", "--nodes", "1,2", "--scale", "testing",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--telemetry-out", str(out_path), "--json",
+    ]
+    assert cli_main(args) == 0
+    capsys.readouterr()
+    payload = json.loads(out_path.read_text())
+    assert len(payload["ledgers"]) == 4  # 2 nodes x 2 default protocols
+    families = payload["metrics"]["families"]
+    assert "sweep_cells_completed_total" in families
+    assert "sim_events_dispatched_total" in families

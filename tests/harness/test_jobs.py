@@ -250,3 +250,59 @@ def test_kill_and_resume_via_cli(tmp_path):
         .workload("testing")
     ).to_dict()
     assert grid == serial
+
+
+# ---------------------------------------------------------------------------
+# telemetry aggregation
+# ---------------------------------------------------------------------------
+def _family_total(families, name):
+    return sum(entry["value"] for entry in families[name]["series"])
+
+
+def test_job_telemetry_aggregates_ledgers_and_metrics(grid_specs, tmp_path):
+    job = SweepJob(
+        grid_specs,
+        checkpoint_dir=tmp_path / "ckpt",
+        shard_size=3,
+        store=ResultStore(tmp_path / "cache"),
+        telemetry=True,
+    )
+    assert job.telemetry_enabled
+    assert all(spec.telemetry for spec in job.specs)
+    job.run()
+    payload = job.telemetry()
+    assert len(payload["ledgers"]) == len(grid_specs)
+    assert all(not ledger["cached"] for ledger in payload["ledgers"])
+    families = payload["metrics"]["families"]
+    assert _family_total(families, "sweep_shards_completed_total") == 3
+    assert _family_total(families, "sweep_cells_completed_total") == 8
+    assert _family_total(families, "sweep_cells_executed_total") == 8
+    assert "sim_events_dispatched_total" in families
+    assert "store_gets_total" in families
+    assert "sweep_shard_host_seconds" in families
+
+
+def test_job_resume_counts_resumed_shards_without_ledgers(grid_specs, tmp_path):
+    ckpt = tmp_path / "ckpt"
+    SweepJob(grid_specs, checkpoint_dir=ckpt, shard_size=3, telemetry=True).run()
+    job = SweepJob(
+        grid_specs, checkpoint_dir=ckpt, shard_size=3, resume=True, telemetry=True
+    )
+    job.run()
+    payload = job.telemetry()
+    # resumed shards contribute counters, not host artifacts
+    assert payload["ledgers"] == []
+    families = payload["metrics"]["families"]
+    assert _family_total(families, "sweep_shards_resumed_total") == 3
+    assert _family_total(families, "sweep_cells_resumed_total") == 8
+
+
+def test_job_without_telemetry_keeps_sweep_counters_only(grid_specs, tmp_path):
+    job = SweepJob(grid_specs, shard_size=4)
+    assert not job.telemetry_enabled
+    job.run()
+    payload = job.telemetry()
+    assert payload["ledgers"] == []
+    families = payload["metrics"]["families"]
+    assert _family_total(families, "sweep_cells_completed_total") == 8
+    assert "sim_events_dispatched_total" not in families

@@ -208,3 +208,93 @@ def test_http_shutdown_drains_cleanly(tmp_path):
     # every sweep ended in a terminal state
     for record in server.service.statuses():
         assert record["state"] in ("done", "interrupted")
+
+
+# ---------------------------------------------------------------------------
+# telemetry: /metrics and per-sweep metric snapshots
+# ---------------------------------------------------------------------------
+def test_service_metrics_snapshot_aggregates_sweeps(tmp_path):
+    service = SweepService(cache_dir=tmp_path / "cache", shard_size=2)
+    try:
+        record = service.submit(REQUEST)
+        assert _wait_done(service, record.id)["state"] == "done"
+        families = service.metrics_snapshot()["families"]
+        for name in (
+            "service_sweeps_submitted_total",
+            "service_sweeps",
+            "service_workers",
+            "sweep_shards_completed_total",
+            "sweep_cells_completed_total",
+            "sim_events_dispatched_total",
+            "dsm_page_fetches_total",
+            "store_gets_total",
+        ):
+            assert name in families, name
+        cells = families["sweep_cells_completed_total"]["series"][0]["value"]
+        assert cells == 4
+        # the sweep's own detail carries its job-level snapshot
+        detail = service.get(record.id).detail()
+        assert detail["metrics"] is not None
+        assert "sweep_shards_completed_total" in detail["metrics"]["families"]
+    finally:
+        service.shutdown()
+
+
+def test_service_telemetry_opt_out(tmp_path):
+    service = SweepService(cache_dir=tmp_path / "cache", telemetry=False)
+    try:
+        record = service.submit(REQUEST)
+        assert record.telemetry is False
+        assert _wait_done(service, record.id)["state"] == "done"
+        families = service.metrics_snapshot()["families"]
+        # sweep bookkeeping still flows; per-cell engine families do not
+        assert "sweep_shards_completed_total" in families
+        assert "sim_events_dispatched_total" not in families
+        # a request can opt back in per sweep — but these cells are now
+        # cache hits, and cached stubs carry zero engine metrics, so the
+        # engine families still stay absent
+        record = service.submit(REQUEST | {"telemetry": True})
+        assert record.telemetry is True
+        assert _wait_done(service, record.id)["state"] == "done"
+        families = service.metrics_snapshot()["families"]
+        assert "sim_events_dispatched_total" not in families
+        hits = families["sweep_cells_cache_hits_total"]["series"][0]["value"]
+        assert hits == 4
+    finally:
+        service.shutdown()
+
+
+def test_http_metrics_endpoint_serves_prometheus_text(server):
+    import re
+
+    status, submitted = _call(server, "POST", "/sweeps", REQUEST)
+    assert status == 202
+    sweep_id = submitted["id"]
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        status, snapshot = _call(server, "GET", f"/sweeps/{sweep_id}")
+        if snapshot["state"] == "done":
+            break
+        time.sleep(0.05)
+    assert snapshot["state"] == "done"
+    assert "sweep_shards_completed_total" in snapshot["metrics"]["families"]
+
+    with urllib.request.urlopen(server.address + "/metrics", timeout=30) as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        text = response.read().decode()
+    for name in (
+        "sim_events_dispatched_total",
+        "dsm_page_fetches_total",
+        "store_gets_total",
+        "sweep_shards_completed_total",
+        "service_queue_depth",
+    ):
+        assert f"# TYPE {name} " in text, name
+    sample = re.compile(
+        r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.e+-]+(inf)?$'
+    )
+    for line in text.strip().splitlines():
+        if line.startswith("#"):
+            continue
+        assert sample.match(line), line

@@ -1,0 +1,179 @@
+"""End-to-end telemetry determinism and the out-of-band contract.
+
+The telemetry satellite's guarantees, encoded as tests:
+
+* the report payload (``to_dict``) is byte-identical with telemetry on
+  and off — telemetry is strictly out-of-band;
+* the same cell run twice produces byte-identical metrics and spans;
+* serial and parallel executors produce the same ledgers;
+* a cache-hit cell gets a ``cached`` stub with zero engine metrics;
+* the main track's phase spans partition ``execution_seconds`` exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.executor import ParallelExecutor, SerialExecutor
+from repro.harness.session import Session
+from repro.harness.spec import ExperimentSpec, run_spec
+from repro.harness.store import ResultStore
+from repro.obs.chrometrace import chrome_trace_events
+from repro.obs.ledger import RunTelemetry, phase_table
+
+
+def _spec(**overrides):
+    kwargs = dict(
+        app="pi",
+        cluster="myrinet",
+        protocol="java_pf",
+        num_nodes=2,
+        workload="testing",
+        telemetry=True,
+    )
+    kwargs.update(overrides)
+    return ExperimentSpec(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def telemetered_report():
+    return run_spec(_spec())
+
+
+def test_telemetry_flag_is_outside_spec_identity():
+    plain = _spec(telemetry=False)
+    on = _spec()
+    assert plain == on
+    assert plain.cache_key() == on.cache_key()
+
+
+def test_report_payload_identical_with_and_without_telemetry(telemetered_report):
+    baseline = run_spec(_spec(telemetry=False))
+    assert baseline.telemetry is None
+    assert telemetered_report.telemetry is not None
+    assert json.dumps(baseline.to_dict(), sort_keys=True) == json.dumps(
+        telemetered_report.to_dict(), sort_keys=True
+    )
+    # the ledger never leaks into the pinned payload
+    assert "telemetry" not in telemetered_report.to_dict()
+
+
+def test_same_seed_means_byte_identical_metrics_and_spans(telemetered_report):
+    again = run_spec(_spec())
+    for section in ("metrics", "spans"):
+        first = getattr(telemetered_report.telemetry, section)
+        second = getattr(again.telemetry, section)
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        ), section
+
+
+def test_main_track_phases_partition_execution_seconds(telemetered_report):
+    telemetry = telemetered_report.telemetry
+    spans = telemetry.spans
+    main = spans["tracks"]["java-main"]
+    total = sum(main["phases"].values())
+    assert total == pytest.approx(telemetered_report.execution_seconds, abs=1e-9)
+    # every track is an exact partition of its own lifetime
+    for entry in spans["tracks"].values():
+        assert sum(entry["phases"].values()) == pytest.approx(
+            entry["end"] - entry["start"], abs=1e-9
+        )
+
+
+def test_engine_and_dsm_families_are_populated(telemetered_report):
+    families = telemetered_report.telemetry.metrics["families"]
+    for name in (
+        "sim_events_dispatched_total",
+        "sim_virtual_seconds",
+        "dsm_page_fetches_total",
+        "monitor_enters_total",
+        "node_cpu_virtual_seconds_total",
+    ):
+        assert name in families, name
+    dispatched = sum(
+        entry["value"]
+        for entry in families["sim_events_dispatched_total"]["series"]
+    )
+    assert dispatched == telemetered_report.events_processed
+    virtual = families["sim_virtual_seconds"]["series"][0]["value"]
+    assert virtual == telemetered_report.execution_seconds
+
+
+def test_ledger_round_trips_through_json(telemetered_report):
+    telemetry = telemetered_report.telemetry
+    payload = json.loads(json.dumps(telemetry.to_dict()))
+    restored = RunTelemetry.from_dict(payload)
+    assert restored.to_dict() == telemetry.to_dict()
+    assert restored.cached is False
+    assert restored.label == "pi/myrinet/java_pf/n2"
+
+
+def test_phase_table_accepts_ledger_or_payload(telemetered_report):
+    telemetry = telemetered_report.telemetry
+    rows = phase_table(telemetry)
+    assert rows == phase_table(telemetry.to_dict())
+    assert rows, "expected at least one phase row"
+    seconds = [row[1] for row in rows]
+    assert seconds == sorted(seconds, reverse=True)
+    assert sum(row[2] for row in rows) == pytest.approx(1.0)
+
+
+def test_chrome_trace_events_cover_tracks(telemetered_report):
+    telemetry = telemetered_report.telemetry
+    events = chrome_trace_events(telemetry)
+    assert events == chrome_trace_events(telemetry.to_dict())
+    complete = [event for event in events if event.get("ph") == "X"]
+    assert complete
+    for event in complete:
+        assert event["dur"] >= 0
+        assert {"name", "pid", "tid", "ts"} <= set(event)
+
+
+def test_serial_and_parallel_executors_agree(tmp_path):
+    specs = [_spec(), _spec(protocol="java_ic")]
+    ledgers = {}
+    executors = {"serial": SerialExecutor(), "parallel": ParallelExecutor(jobs=2)}
+    for name, executor in executors.items():
+        session = Session(store=ResultStore(tmp_path / name), executor=executor)
+        result = session.run(specs)
+        ledgers[name] = [
+            json.dumps(
+                {
+                    "metrics": result[spec].telemetry.metrics,
+                    "spans": result[spec].telemetry.spans,
+                },
+                sort_keys=True,
+            )
+            for spec in specs
+        ]
+    assert ledgers["serial"] == ledgers["parallel"]
+
+
+def test_cache_hit_yields_cached_stub_and_store_keeps_real_ledger(tmp_path):
+    store = ResultStore(tmp_path)
+    session = Session(store=store, executor=SerialExecutor())
+    spec = _spec()
+    first = session.run([spec])[spec]
+    assert first.telemetry is not None and first.telemetry.cached is False
+    # the executed cell's full ledger is persisted next to the result
+    persisted = store.get_telemetry(spec)
+    assert persisted is not None
+    assert persisted["cached"] is False
+    assert persisted["metrics"] == first.telemetry.metrics
+
+    second = session.run([spec])[spec]
+    assert second.telemetry is not None
+    assert second.telemetry.cached is True
+    assert second.telemetry.metrics == {"families": {}}
+    assert second.telemetry.spans["records"] == []
+    assert second.telemetry.label == spec.label()
+
+
+def test_cached_stub_shape():
+    stub = RunTelemetry.cached_stub(_spec())
+    payload = stub.to_dict()
+    assert payload["cached"] is True
+    assert payload["metrics"] == {"families": {}}
+    assert payload["host"]["wall_seconds"] == 0.0
+    assert payload["trace_summary"] is None

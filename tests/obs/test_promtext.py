@@ -1,0 +1,67 @@
+"""Prometheus text exposition rendering."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import CONTENT_TYPE, render_metrics
+
+
+def test_content_type_pins_prometheus_text_version():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def test_render_counter_with_help_type_and_labels():
+    registry = MetricsRegistry()
+    registry.counter("events_total", "Events by kind.").inc(3, kind="Timeout")
+    text = render_metrics(registry)
+    lines = text.splitlines()
+    assert lines == [
+        "# HELP events_total Events by kind.",
+        "# TYPE events_total counter",
+        'events_total{kind="Timeout"} 3',
+    ]
+    assert text.endswith("\n")
+
+
+def test_render_accepts_payload_dict_and_sorts_families():
+    registry = MetricsRegistry()
+    registry.gauge("z_depth").set(2)
+    registry.counter("a_total").inc()
+    text = render_metrics(registry.to_dict())
+    assert text.index("a_total") < text.index("z_depth")
+    # no help text -> no HELP line, but TYPE is always present
+    assert "# HELP" not in text
+    assert "# TYPE a_total counter" in text
+    assert "# TYPE z_depth gauge" in text
+
+
+def test_render_histogram_cumulative_buckets_and_inf():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("lat_seconds", "Latency.", buckets=(1.0, 2.0))
+    histogram.observe(0.5, scope="intra")
+    histogram.observe(1.5, scope="intra")
+    histogram.observe(99.0, scope="intra")  # +Inf only
+    lines = render_metrics(registry).splitlines()
+    assert 'lat_seconds_bucket{scope="intra",le="1"} 1' in lines
+    assert 'lat_seconds_bucket{scope="intra",le="2"} 2' in lines  # cumulative
+    assert 'lat_seconds_bucket{scope="intra",le="+Inf"} 3' in lines
+    assert 'lat_seconds_sum{scope="intra"} 101' in lines
+    assert 'lat_seconds_count{scope="intra"} 3' in lines
+
+
+def test_render_escapes_label_values_and_help():
+    registry = MetricsRegistry()
+    registry.counter("c_total", 'has "quotes"\nand newline').inc(
+        1, label='va"l\nue'
+    )
+    text = render_metrics(registry)
+    assert '# HELP c_total has "quotes"\\nand newline' in text
+    assert 'c_total{label="va\\"l\\nue"} 1' in text
+
+
+def test_render_empty_registry_is_empty_string():
+    assert render_metrics(MetricsRegistry()) == ""
+
+
+def test_render_float_values_keep_precision():
+    registry = MetricsRegistry()
+    registry.gauge("g_seconds").set(0.125)
+    assert "g_seconds 0.125" in render_metrics(registry)

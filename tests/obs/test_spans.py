@@ -1,0 +1,127 @@
+"""The virtual-time span tracer: cursors, frames, flush splitting."""
+
+import pytest
+
+from repro.obs.spans import DEFAULT_MAX_SPANS, PHASES, SpanTracer
+
+
+def test_mark_advances_cursor_and_accumulates_phases():
+    tracer = SpanTracer()
+    tracer.register("t0", 0.0)
+    tracer.mark("t0", "compute", 1.0)
+    tracer.mark("t0", "monitor_wait", 3.0)
+    tracer.mark("t0", "compute", 3.5)
+    assert tracer.track_totals("t0") == {"compute": 1.5, "monitor_wait": 2.0}
+    assert tracer.records == [
+        ("t0", "compute", 0.0, 1.0),
+        ("t0", "monitor_wait", 1.0, 3.0),
+        ("t0", "compute", 3.0, 3.5),
+    ]
+
+
+def test_mark_on_unknown_track_registers_without_a_span():
+    tracer = SpanTracer()
+    tracer.mark("t0", "compute", 2.0)
+    assert tracer.records == []
+    tracer.mark("t0", "compute", 5.0)
+    assert tracer.track_totals("t0") == {"compute": 3.0}
+
+
+def test_zero_length_marks_are_dropped():
+    tracer = SpanTracer()
+    tracer.register("t0", 1.0)
+    tracer.mark("t0", "compute", 1.0)
+    assert tracer.records == []
+    assert tracer.track_totals("t0") == {}
+
+
+def test_begin_end_frame_attributes_gap_to_frame_phase():
+    tracer = SpanTracer()
+    tracer.register("t0", 0.0)
+    tracer.begin("t0", "barrier")
+    tracer.end("t0", 4.0)
+    assert tracer.track_totals("t0") == {"barrier": 4.0}
+    # end without an open frame is a no-op
+    tracer.end("t0", 9.0)
+    assert tracer.track_totals("t0") == {"barrier": 4.0}
+
+
+def test_flush_cpu_without_frame_defaults_to_compute():
+    tracer = SpanTracer()
+    tracer.register("t0", 0.0)
+    tracer.flush_cpu("t0", 2.0, 2.0)
+    tracer.flush_wait("t0", 1.0, 3.0)
+    assert tracer.track_totals("t0") == {"compute": 2.0, "fault_service": 1.0}
+
+
+def test_flush_splits_carried_amount_from_frame_phase():
+    tracer = SpanTracer()
+    tracer.register("t0", 0.0)
+    # 1.0s of CPU was pending before the monitor op began; the flush pays
+    # 3.0s total, so 1.0s stays compute and 2.0s belongs to the frame.
+    tracer.begin("t0", "monitor_wait", carried_cpu=1.0)
+    tracer.flush_cpu("t0", 3.0, 3.0)
+    tracer.end("t0", 3.0)
+    assert tracer.track_totals("t0") == {"compute": 1.0, "monitor_wait": 2.0}
+
+
+def test_flush_fully_carried_keeps_default_phase():
+    tracer = SpanTracer()
+    tracer.register("t0", 0.0)
+    tracer.begin("t0", "barrier", carried_cpu=5.0)
+    tracer.flush_cpu("t0", 2.0, 2.0)  # 2.0 <= carried: all compute
+    tracer.end("t0", 6.0)  # residual 4.0s is the barrier itself
+    assert tracer.track_totals("t0") == {"compute": 2.0, "barrier": 4.0}
+
+
+def test_finish_closes_with_idle_and_sets_end():
+    tracer = SpanTracer()
+    tracer.register("t0", 0.0)
+    tracer.mark("t0", "compute", 2.0)
+    tracer.finish("t0", 3.0)
+    payload = tracer.to_dict()
+    assert payload["tracks"]["t0"]["start"] == 0.0
+    assert payload["tracks"]["t0"]["end"] == 3.0
+    assert payload["tracks"]["t0"]["phases"]["idle"] == 1.0
+
+
+def test_phase_totals_partition_each_track_lifetime():
+    tracer = SpanTracer()
+    for index, track in enumerate(("a", "b")):
+        tracer.register(track, 0.0)
+        tracer.mark(track, "compute", 1.0 + index)
+        tracer.mark(track, "monitor_wait", 4.0)
+        tracer.finish(track, 5.0)
+    payload = tracer.to_dict()
+    for track, entry in payload["tracks"].items():
+        lifetime = entry["end"] - entry["start"]
+        assert sum(entry["phases"].values()) == pytest.approx(lifetime)
+    totals = tracer.phase_totals()
+    assert list(totals) == sorted(totals)
+    assert sum(totals.values()) == pytest.approx(10.0)
+
+
+def test_max_spans_bounds_records_but_totals_stay_exact():
+    tracer = SpanTracer(max_spans=2)
+    tracer.register("t0", 0.0)
+    for step in range(1, 6):
+        tracer.mark("t0", "compute", float(step))
+    assert len(tracer.records) == 2
+    assert tracer.dropped == 3
+    assert tracer.track_totals("t0") == {"compute": 5.0}
+    payload = tracer.to_dict()
+    assert payload["dropped"] == 3
+    assert payload["max_spans"] == 2
+
+
+def test_to_dict_shape_and_defaults():
+    tracer = SpanTracer()
+    payload = tracer.to_dict()
+    assert payload == {
+        "dropped": 0,
+        "max_spans": DEFAULT_MAX_SPANS,
+        "phases": {},
+        "records": [],
+        "tracks": {},
+    }
+    assert "compute" in PHASES and "idle" in PHASES

@@ -60,4 +60,4 @@ def test_trace_jsonl_reports_truncation(tmp_path):
     lines = list(trace.iter_jsonl())
     assert len(lines) == 2
     meta = json.loads(lines[-1])
-    assert meta == {"kind": "__meta__", "dropped": 1}
+    assert meta == {"kind": "__meta__", "dropped": 1, "max_records": 1}

@@ -69,3 +69,41 @@ def test_logging_helpers():
     handlers_before = len(root.handlers)
     enable_console(logging.DEBUG)  # idempotent
     assert len(root.handlers) == handlers_before
+
+
+def test_logging_json_lines_mode():
+    import json
+
+    from repro.util.logging import JsonLinesFormatter
+
+    root = enable_console(logging.INFO, json_lines=True)
+    handlers_before = len(root.handlers)
+    handler = next(
+        h for h in root.handlers if isinstance(h, logging.StreamHandler)
+    )
+    assert isinstance(handler.formatter, JsonLinesFormatter)
+
+    record = logging.LogRecord(
+        "repro.harness.grid", logging.INFO, __file__, 1,
+        "cells %d/%d", (3, 4), None,
+    )
+    record.progress = {"done": 3, "total": 4}
+    payload = json.loads(handler.formatter.format(record))
+    assert payload["logger"] == "repro.harness.grid"
+    assert payload["level"] == "INFO"
+    assert payload["msg"] == "cells 3/4"
+    assert payload["extra"] == {"progress": {"done": 3, "total": 4}}
+    assert isinstance(payload["ts"], float)
+
+    # plain records have no "extra" key, and non-JSON values fall back to repr
+    plain = logging.LogRecord(
+        "repro.x", logging.WARNING, __file__, 1, "hi", (), None
+    )
+    assert "extra" not in json.loads(handler.formatter.format(plain))
+    plain.weird = object()
+    assert "object object" in json.loads(handler.formatter.format(plain))["extra"]["weird"]
+
+    # switching back swaps the formatter without stacking handlers
+    root = enable_console(logging.INFO, json_lines=False)
+    assert len(root.handlers) == handlers_before
+    assert not isinstance(handler.formatter, JsonLinesFormatter)
