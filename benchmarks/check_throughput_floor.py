@@ -1,0 +1,70 @@
+"""Throughput regression gate for the benchmark-smoke CI job.
+
+Compares a freshly captured throughput artifact (``engine_throughput.json``
+or ``scenario_throughput.json``, both shaped by
+:func:`repro.perf.report.perf_report_dict`) against the committed recording
+of the same cell set: the fresh aggregate ``events_per_second`` must stay at
+or above ``ratio`` times the committed one.  The default ratio of 0.7 leaves
+headroom for shared-runner noise while still catching the class of
+regression that matters — an accidental de-optimisation of the replay fast
+paths, which shows up as a 2x-5x collapse, not a 20% wobble.
+
+Exit status 0 on pass, 1 on regression (with both numbers printed either
+way, so the CI log doubles as a trajectory record).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def aggregate_events_per_second(path: Path) -> float:
+    """The artifact's aggregate events/second (must be present and > 0)."""
+    payload = json.loads(path.read_text())
+    value = payload.get("events_per_second")
+    if not isinstance(value, (int, float)) or value <= 0:
+        raise SystemExit(f"{path}: missing or non-positive events_per_second")
+    return float(value)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--floor",
+        type=Path,
+        required=True,
+        help="committed throughput artifact (the recorded floor)",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        required=True,
+        help="freshly captured throughput artifact to gate",
+    )
+    parser.add_argument(
+        "--ratio",
+        type=float,
+        default=0.7,
+        help="fresh aggregate must be >= ratio * committed (default 0.7)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.ratio <= 1.0:
+        raise SystemExit(f"ratio must be in (0, 1], got {args.ratio}")
+
+    committed = aggregate_events_per_second(args.floor)
+    fresh = aggregate_events_per_second(args.fresh)
+    floor = committed * args.ratio
+    verdict = "OK" if fresh >= floor else "REGRESSION"
+    print(
+        f"{args.fresh.name}: fresh {fresh:.0f} ev/s vs committed "
+        f"{committed:.0f} ev/s (floor {floor:.0f} = {args.ratio:g}x) "
+        f"-> {verdict}"
+    )
+    return 0 if fresh >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,11 @@ HYP005   unsorted ``.items()``/``.keys()``/``.values()`` iteration inside a
 HYP006   direct ``print()`` in library code (``repro/`` outside the CLI and
          the report renderers) — user-facing output goes through
          :mod:`repro.util.logging` or the designated stdout surfaces
+HYP007   a per-element ``ctx.get``/``ctx.put`` loop in scenario code
+         (``repro/scenarios/``) — homogeneous access runs go through the
+         bulk primitives (``ctx.get_run``/``ctx.put_run``) or the
+         pre-grouped ``*_run`` script ops; the batching entry point itself
+         is exempt by name
 =======  ==================================================================
 
 The linter is self-contained stdlib ``ast`` — no third-party dependency —
@@ -100,6 +105,22 @@ HYP002_EXEMPT_FRAGMENTS = ("repro/perf/",)
 HYP006_EXEMPT_SUFFIXES = (
     "repro/harness/cli.py",
     "repro/harness/report.py",
+)
+
+#: path fragments HYP007 polices: the scenario layer, whose interpreter owns
+#: the batched replay primitives (the rest of the tree accesses memory
+#: through its own layered entry points)
+HYP007_PATH_FRAGMENTS = ("repro/scenarios/",)
+
+#: per-access context calls HYP007 looks for inside loops
+HYP007_ACCESS_METHODS = frozenset({"get", "put", "aget", "aput"})
+
+#: functions exempt from HYP007 — the calibrated list of loops that *are*
+#: the batching machinery (dispatching compiled steps, not per-element ops)
+HYP007_EXEMPT_FUNCTIONS = frozenset(
+    {
+        "replay_thread",  # the interpreter: its loop dispatches coalesced steps
+    }
 )
 
 #: function names HYP005 treats as serialisation producers
@@ -226,7 +247,11 @@ class _Linter(ast.NodeVisitor):
         self._print_exempt = "repro/" not in self.path or any(
             self.path.endswith(suffix) for suffix in HYP006_EXEMPT_SUFFIXES
         )
+        self._scenario_module = any(
+            fragment in self.path for fragment in HYP007_PATH_FRAGMENTS
+        )
         self._class_depth = 0
+        self._func_stack: list[str] = []
 
     def _flag(self, node: ast.AST, code: str, message: str) -> None:
         self.findings.append(
@@ -340,9 +365,53 @@ class _Linter(ast.NodeVisitor):
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         if node.name in SERIALISATION_FUNCTIONS:
             self._check_sorted_iteration(node)
+        self._func_stack.append(node.name)
         self.generic_visit(node)
+        self._func_stack.pop()
 
     visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    # -- HYP007: per-element access loops in scenario code -----------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_access_loop(node, node.body)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._check_access_loop(node, node.body)
+        self.generic_visit(node)
+
+    def _check_access_loop(self, loop: ast.AST, body: list[ast.stmt]) -> None:
+        if not self._scenario_module:
+            return
+        if any(name in HYP007_EXEMPT_FUNCTIONS for name in self._func_stack):
+            return
+        # walk the loop body without descending into nested loops: an inner
+        # loop is checked by its own visit, and only the loop actually
+        # issuing the per-element accesses should be flagged
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.For, ast.While)):
+                continue
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in HYP007_ACCESS_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "ctx"
+            ):
+                self._flag(
+                    node,
+                    "HYP007",
+                    f"per-element ctx.{node.func.attr}() inside a loop in "
+                    "scenario code — replay homogeneous runs through "
+                    "ctx.get_run()/ctx.put_run() (or emit pre-grouped "
+                    "*_run script ops) so the batched fast path applies; "
+                    "exempt deliberate per-element loops in "
+                    "repro.analysis.lint",
+                )
+                return
+            stack.extend(ast.iter_child_nodes(node))
 
     def _check_sorted_iteration(self, func: ast.FunctionDef) -> None:
         for node in ast.walk(func):

@@ -77,7 +77,22 @@ class AspApplication(Application):
         scale = workload.work_multiplier
         # three accesses per inner-loop element at paper scale; the bulk
         # read/write of the own row already accounts 2*n of them
-        extra_per_row = max(0.0, 3.0 * n * scale - 2.0 * n)
+        extra_per_row = int(max(0.0, 3.0 * n * scale - 2.0 * n))
+        row_int_ops = INT_OPS_PER_ELEMENT * n * scale
+        row_mem_seconds = MEM_SECONDS_PER_ELEMENT * n * scale
+        aget_range, _aput_range, _account, _aupdate = ctx.bulk_ops()
+        compute = ctx.compute
+        minimum = np.minimum
+        add = np.add
+        # scratch row for the relaxation: ``put_range`` copies values out, so
+        # one buffer can back every iteration (saves two allocations per row)
+        relaxed = np.empty(n, dtype=np.int32)
+        # the k-loop revisits each owned row once per iteration, so the span
+        # geometry and charge amounts are resolved once per row up front
+        update_row = {
+            i: ctx.make_range_updater(rows[i], 0, n, extra=extra_per_row)
+            for i in my_rows
+        }
 
         for k in range(n):
             # fetch the pivot row (remote for every thread but its owner).
@@ -86,28 +101,27 @@ class AspApplication(Application):
             # module constant's "fits comfortably even when two are added"
             # invariant — and skipping the int64 up-conversion avoids two
             # array copies per relaxed row.
-            row_k = ctx.aget_range(rows[k], 0, n)
+            row_k = aget_range(rows[k], 0, n)
+            pivot = rows[k]
+
+            def relax(row_i, _k=k, _row_k=row_k):
+                d_ik = row_i[_k]
+                if d_ik >= INFINITY:
+                    # no path through k; the compiled code still walks the
+                    # row, so the caller still accounts the accesses below
+                    return None
+                add(_row_k, d_ik, out=relaxed)
+                minimum(row_i, relaxed, out=relaxed)
+                return relaxed
+
             for i in my_rows:
                 if i == k:
                     continue
-                row_i = ctx.aget_range(rows[i], 0, n)
-                d_ik = row_i[k]
-                if d_ik >= INFINITY:
-                    # no path through k; the compiled code still walks the row
-                    ctx.account_accesses(rows[k], int(extra_per_row))
-                    ctx.compute(
-                        int_ops=INT_OPS_PER_ELEMENT * n * scale,
-                        mem_seconds=MEM_SECONDS_PER_ELEMENT * n * scale,
-                    )
-                    continue
-                relaxed = np.minimum(row_i, d_ik + row_k)
-                ctx.aput_range(rows[i], 0, n, relaxed.astype(np.int32))
-                # the read of d[k][j] inside the inner loop (scaled)
-                ctx.account_accesses(rows[k], int(extra_per_row))
-                ctx.compute(
-                    int_ops=INT_OPS_PER_ELEMENT * n * scale,
-                    mem_seconds=MEM_SECONDS_PER_ELEMENT * n * scale,
-                )
+                # read row i, relax it against the pivot, write it back, and
+                # account the inner-loop reads of d[k][j] — one fused call
+                # with charges identical to the unfused get/put/account
+                update_row[i](relax, pivot)
+                compute(int_ops=row_int_ops, mem_seconds=row_mem_seconds)
             yield from ctx.barrier(barrier)
         return None
 

@@ -28,6 +28,7 @@ Structure of one time step (barriers between phases):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from collections.abc import Generator
 
@@ -189,12 +190,31 @@ def make_walk_cache(flat: FlatTree) -> tuple:
     :func:`compute_acceleration` for every body.
     """
     children_rows = flat.children.tolist()
+    com = flat.com
     return (
         flat.mass.tolist(),
         flat.half.tolist(),
         flat.leaf_body.tolist(),
         children_rows,
-        [any(c >= 0 for c in row) for row in children_rows],
+        [max(row) >= 0 for row in children_rows],
+        com[:, 0].tolist(),
+        com[:, 1].tolist(),
+        com[:, 2].tolist(),
+        np.empty(3),
+    )
+
+
+def make_body_cache(positions: np.ndarray, masses: np.ndarray) -> tuple:
+    """Python-native views of the body state for the per-body traversal.
+
+    The companion of :func:`make_walk_cache` for the per-step quantities:
+    build once per step, pass to :func:`compute_acceleration` for every body.
+    """
+    return (
+        positions[:, 0].tolist(),
+        positions[:, 1].tolist(),
+        positions[:, 2].tolist(),
+        masses.tolist(),
     )
 
 
@@ -205,22 +225,35 @@ def compute_acceleration(
     body: int,
     theta: float,
     walk: tuple | None = None,
+    bodies: tuple | None = None,
 ) -> tuple[np.ndarray, int]:
     """Acceleration on *body* from a tree traversal; returns (acc, interactions).
 
-    ``walk`` is an optional :func:`make_walk_cache` result; passing it avoids
-    rebuilding the native views for every body of a step.  The traversal
-    order and every floating-point expression match the original ndarray
-    formulation, so accelerations are bit-identical either way.
+    ``walk`` and ``bodies`` are optional :func:`make_walk_cache` /
+    :func:`make_body_cache` results; passing them avoids rebuilding the
+    native views for every body of a step.  The traversal runs on plain
+    Python floats except for the squared-distance dot product, which stays a
+    NumPy 3-vector contraction: its BLAS kernel rounds differently from the
+    unfused ``dx*dx + dy*dy + dz*dz``, and keeping it is what makes the
+    accelerations bit-identical to the original ndarray formulation (every
+    other expression is evaluated scalar-by-scalar in the same order NumPy's
+    elementwise operators would).
     """
     if walk is None:
         walk = make_walk_cache(flat)
-    mass_l, half_l, leaf_l, children_l, has_kids = walk
-    com = flat.com
-    acc = np.zeros(3)
-    pos = positions[body]
+    if bodies is None:
+        bodies = make_body_cache(positions, masses)
+    mass_l, half_l, leaf_l, children_l, has_kids, comx, comy, comz, buf = walk
+    pxl, pyl, pzl, ml = bodies
+    px = pxl[body]
+    py = pyl[body]
+    pz = pzl[body]
+    ax = ay = az = 0.0
     interactions = 0
     theta_sq = theta * theta
+    soft_sq = SOFTENING**2
+    sqrt = math.sqrt
+    dot = buf.dot  # same BLAS ddot kernel as ``buf @ buf``, cheaper dispatch
     stack = [0]
     while stack:
         cell = stack.pop()
@@ -231,22 +264,40 @@ def compute_acceleration(
             other = leaf_l[cell]
             if other < 0 or other == body:
                 continue
-            delta = positions[other] - pos
-            dist_sq = float(delta @ delta) + SOFTENING**2
-            acc += G * masses[other] * delta / (dist_sq * np.sqrt(dist_sq))
+            dx = pxl[other] - px
+            dy = pyl[other] - py
+            dz = pzl[other] - pz
+            buf[0] = dx
+            buf[1] = dy
+            buf[2] = dz
+            dist_sq = float(dot(buf)) + soft_sq
+            denom = dist_sq * sqrt(dist_sq)
+            s = G * ml[other]
+            ax += s * dx / denom
+            ay += s * dy / denom
+            az += s * dz / denom
             interactions += 1
             continue
-        delta = com[cell] - pos
-        dist_sq = float(delta @ delta) + SOFTENING**2
+        dx = comx[cell] - px
+        dy = comy[cell] - py
+        dz = comz[cell] - pz
+        buf[0] = dx
+        buf[1] = dy
+        buf[2] = dz
+        dist_sq = float(dot(buf)) + soft_sq
         size = 2.0 * half_l[cell]
         if size * size < theta_sq * dist_sq:
-            acc += G * mass * delta / (dist_sq * np.sqrt(dist_sq))
+            denom = dist_sq * sqrt(dist_sq)
+            s = G * mass
+            ax += s * dx / denom
+            ay += s * dy / denom
+            az += s * dz / denom
             interactions += 1
         else:
             for child in children_l[cell]:
                 if child >= 0:
                     stack.append(child)
-    return acc, interactions
+    return np.array([ax, ay, az]), interactions
 
 
 def reference_simulation(workload: BarnesWorkload) -> dict[str, np.ndarray]:
@@ -259,10 +310,12 @@ def reference_simulation(workload: BarnesWorkload) -> dict[str, np.ndarray]:
     for _ in range(workload.steps):
         flat = build_octree(positions, masses)
         walk = make_walk_cache(flat)
+        body_cache = make_body_cache(positions, masses)
         acc = np.zeros((n, 3))
         for body in range(n):
             acc[body], _ = compute_acceleration(
-                flat, positions, masses, body, workload.theta, walk=walk
+                flat, positions, masses, body, workload.theta,
+                walk=walk, bodies=body_cache,
             )
         velocities = velocities + workload.dt * acc
         positions = positions + workload.dt * velocities
@@ -370,10 +423,12 @@ class BarnesApplication(Application):
             assignment = ctx.aget_range(shared["assign"], 0, n)
             my_bodies = np.flatnonzero(assignment == index)
             walk = make_walk_cache(flat)
+            body_cache = make_body_cache(positions, masses)
             total_interactions = 0
             for body in my_bodies:
                 acc, interactions = compute_acceleration(
-                    flat, positions, masses, int(body), workload.theta, walk=walk
+                    flat, positions, masses, int(body), workload.theta,
+                    walk=walk, bodies=body_cache,
                 )
                 total_interactions += interactions
                 ctx.aput(shared["ax"], int(body), acc[0])

@@ -70,22 +70,28 @@ class JacobiApplication(Application):
         # six accesses per cell at paper scale; the bulk reads/writes below
         # already account roughly 4*n of them per simulated row
         extra_accesses_per_row = max(0.0, 6.0 * n * scale - 4.0 * n)
+        extra_per_row = int(extra_accesses_per_row)
+        row_flops = FLOPS_PER_CELL * n * scale
+        row_int_ops = INT_OPS_PER_CELL * n * scale
+        row_mem_seconds = MEM_SECONDS_PER_CELL * n * scale
+        aget_range, aput_range, account_accesses, _update = ctx.bulk_ops()
+        compute = ctx.compute
 
         current, following = a_rows, b_rows
         for _step in range(workload.steps):
             for i in my_rows:
                 row = i + 1  # interior rows are 1..n in the padded mesh
-                center = ctx.aget_range(current[row], 0, n + 2)
-                north = ctx.aget_range(current[row - 1], 1, n + 1)
-                south = ctx.aget_range(current[row + 1], 1, n + 1)
+                center = aget_range(current[row], 0, n + 2)
+                north = aget_range(current[row - 1], 1, n + 1)
+                south = aget_range(current[row + 1], 1, n + 1)
                 updated = 0.25 * (north + south + center[:-2] + center[2:])
-                ctx.aput_range(following[row], 1, n + 1, updated)
+                aput_range(following[row], 1, n + 1, updated)
                 # west/east neighbour reads plus the work-multiplier scaling
-                ctx.account_accesses(current[row], int(extra_accesses_per_row))
-                ctx.compute(
-                    flops=FLOPS_PER_CELL * n * scale,
-                    int_ops=INT_OPS_PER_CELL * n * scale,
-                    mem_seconds=MEM_SECONDS_PER_CELL * n * scale,
+                account_accesses(current[row], extra_per_row)
+                compute(
+                    flops=row_flops,
+                    int_ops=row_int_ops,
+                    mem_seconds=row_mem_seconds,
                 )
             yield from ctx.barrier(barrier)
             current, following = following, current

@@ -134,14 +134,15 @@ class TspApplication(Application):
         visited_init = 0
         for city in prefix:
             visited_init |= 1 << city
-        bits = [1 << city for city in range(n)]
+        # pre-paired (city, bit) expansion list: one tuple unpack per
+        # candidate instead of an extra list index in the innermost loop
+        city_bits = [(city, 1 << city) for city in range(1, n)]
         # Stack nodes are (city, visited-mask, length, depth, parent-node)
         # parent chains instead of per-push path copies: a push is O(1) and
         # the full path is only reconstructed for the (rare) improvements.
         root = (prefix[-1], visited_init, prefix_length, len(prefix), None)
         best_node = None
         stack = [root]
-        cities = range(1, n)
         while stack:
             node = stack.pop()
             current, visited, length, depth, _parent = node
@@ -156,8 +157,7 @@ class TspApplication(Application):
                     best_node = node
                 continue
             child_depth = depth + 1
-            for city in cities:
-                bit = bits[city]
+            for city, bit in city_bits:
                 if visited & bit:
                     continue
                 candidates += 1

@@ -74,7 +74,7 @@ class CachedObject:
     def read_range(self, lo: int, hi: int) -> np.ndarray:
         """Read slots [lo, hi) of the node-local copy (as a copy)."""
         if self.is_array:
-            return np.array(self.data[lo:hi], copy=True)
+            return self.data[lo:hi].copy()
         return np.asarray(self.data[lo:hi])
 
     def write_range(self, lo: int, hi: int, values: Sequence) -> None:

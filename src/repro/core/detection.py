@@ -112,6 +112,81 @@ class DetectionStrategy:
         """Unoptimized twin of :meth:`detect_access` (same counters/charges)."""
         return self.detect_access(ctx, node_id, pages, count, write)
 
+    # ------------------------------------------------------------------
+    # bulk run entry points (batched replay)
+    # ------------------------------------------------------------------
+    def access_fast_plan(self) -> str | None:
+        """Fast-plan key for fused memory-side access charging, or None.
+
+        The memory subsystem open-codes the present-page charging of the
+        stateless strategies straight into its ``get``/``put`` hot paths.
+        That is only sound when this instance's ``detect_access`` is the
+        stock fast implementation of a strategy the memory layer knows:
+        a subclass override, an active :func:`reference_detection` patch,
+        or a stateful strategy (hybrid) must all return None here so every
+        access takes the exact polymorphic path.
+        """
+        cls = type(self)
+        impl = None
+        for klass in cls.__mro__:
+            impl = klass.__dict__.get("detect_access")
+            if impl is not None:
+                break
+        if impl is None or impl.__name__ != "detect_access":
+            # reference_detection() rebinds the class attribute to the
+            # reference twin; its __name__ gives the patch away
+            return None
+        return _FAST_PLAN_BY_IMPL.get(klass)
+
+    def detect_access_run(
+        self,
+        ctx: AccessContext,
+        node_id: int,
+        page: int,
+        n: int,
+        write: bool,
+        base_seconds: float,
+        extra: int = 0,
+        extra_base_seconds: float = 0.0,
+    ) -> bool:
+        """Price a run of *n* homogeneous single-page accesses in one call.
+
+        Equivalent to repeating, *n* times: charge *base_seconds* on *ctx*,
+        then ``detect_access(ctx, node_id, (page,), 1, write)``; and, when
+        *extra* is non-zero (the workload's ``work_multiplier`` accounting
+        accesses), charge *extra_base_seconds* and
+        ``detect_access(ctx, node_id, (page,), extra, write)`` as well.
+        The per-element float charges are applied in exactly that order, so
+        the accumulated pending time is bit-identical to the scalar path.
+
+        Returns True when the run was priced; False when the caller must
+        fall back to the exact per-access path (page not resident, strategy
+        stateful or patched to its reference twin, ...).  The base class
+        always refuses — batching is an opt-in per strategy.
+        """
+        return False
+
+    def detect_access_run_reference(
+        self,
+        ctx: AccessContext,
+        node_id: int,
+        page: int,
+        n: int,
+        write: bool,
+        base_seconds: float,
+        extra: int = 0,
+        extra_base_seconds: float = 0.0,
+    ) -> bool:
+        """Readable twin of :meth:`detect_access_run`: the literal loop."""
+        pages = (page,)
+        for _ in range(n):
+            ctx.charge_cpu(base_seconds)
+            self.detect_access_reference(ctx, node_id, pages, 1, write)
+            if extra:
+                ctx.charge_cpu(extra_base_seconds)
+                self.detect_access_reference(ctx, node_id, pages, extra, write)
+        return True
+
     def on_monitor_enter(self, ctx: AccessContext, node_id: int) -> None:
         """Acquire-side invalidation action of this detection mechanism."""
         raise NotImplementedError
@@ -206,6 +281,59 @@ class InlineCheckDetection(DetectionStrategy):
             ctx.charge_cpu(self.cost_model.cache_miss_overhead_seconds() * len(missing))
             self._fetch(ctx, node_id, missing)
         return len(missing)
+
+    def detect_access_run(
+        self,
+        ctx: AccessContext,
+        node_id: int,
+        page: int,
+        n: int,
+        write: bool,
+        base_seconds: float,
+        extra: int = 0,
+        extra_base_seconds: float = 0.0,
+    ) -> bool:
+        # Fused run path: one classification for the whole run (sound — the
+        # page is resident and nothing in a run can evict it), then the
+        # per-element float charges applied in exactly the scalar order
+        # (base, check[, extra base, extra check] per element) so the
+        # pending accumulator is bit-identical to n scalar calls.  Integer
+        # counters commute and are added once.
+        if self.access_fast_plan() is None:
+            return False
+        try:
+            remote = self._home_by_page[page] != node_id
+        except KeyError:
+            raise KeyError(f"page {page} has not been registered") from None
+        if remote and page not in self._tables[node_id]._present:
+            return False
+        try:
+            pending = ctx._pending_cpu
+        except AttributeError:
+            # a context without the pending accumulator (not a thread
+            # context) takes the exact per-access path instead
+            return False
+        stats = self.stats
+        total = n + n * extra
+        stats.accesses += total
+        if remote:
+            stats.remote_accesses += total
+        stats.inline_checks += total
+        freq = self._freq
+        check_1 = self._check_cycles / freq
+        if extra:
+            check_e = (self._check_cycles * extra) / freq
+            for _ in range(n):
+                pending += base_seconds
+                pending += check_1
+                pending += extra_base_seconds
+                pending += check_e
+        else:
+            for _ in range(n):
+                pending += base_seconds
+                pending += check_1
+        ctx._pending_cpu = pending
+        return True
 
     def on_monitor_enter(self, ctx: AccessContext, node_id: int) -> None:
         """Invalidate the node's cache: clear the presence entries.
@@ -331,6 +459,47 @@ class PageFaultDetection(DetectionStrategy):
             ctx.charge_cpu(self.cost_model.mprotect_seconds(calls))
         return len(missing)
 
+    def detect_access_run(
+        self,
+        ctx: AccessContext,
+        node_id: int,
+        page: int,
+        n: int,
+        write: bool,
+        base_seconds: float,
+        extra: int = 0,
+        extra_base_seconds: float = 0.0,
+    ) -> bool:
+        # Fused run path (see InlineCheckDetection's): a resident page costs
+        # nothing per access under fault-based detection, so only the base
+        # charges and the access counters are applied.
+        if self.access_fast_plan() is None:
+            return False
+        try:
+            remote = self._home_by_page[page] != node_id
+        except KeyError:
+            raise KeyError(f"page {page} has not been registered") from None
+        if remote and page not in self._tables[node_id]._present:
+            return False
+        try:
+            pending = ctx._pending_cpu
+        except AttributeError:
+            return False
+        stats = self.stats
+        total = n + n * extra
+        stats.accesses += total
+        if remote:
+            stats.remote_accesses += total
+        if extra:
+            for _ in range(n):
+                pending += base_seconds
+                pending += extra_base_seconds
+        else:
+            for _ in range(n):
+                pending += base_seconds
+        ctx._pending_cpu = pending
+        return True
+
     def on_monitor_enter(self, ctx: AccessContext, node_id: int) -> None:
         """Re-protect every replicated remote page (one ``mprotect`` each).
 
@@ -423,6 +592,52 @@ class HoistedCheckDetection(InlineCheckDetection):
             ctx.charge_cpu(self.cost_model.cache_miss_overhead_seconds() * len(missing))
             self._fetch(ctx, node_id, missing)
         return len(missing)
+
+    def detect_access_run(
+        self,
+        ctx: AccessContext,
+        node_id: int,
+        page: int,
+        n: int,
+        write: bool,
+        base_seconds: float,
+        extra: int = 0,
+        extra_base_seconds: float = 0.0,
+    ) -> bool:
+        # Fused run path: the hoisted check is per *call*, not per element,
+        # so both the scalar access and its extra accounting call charge one
+        # check each (single page ⇒ one check regardless of count).
+        if self.access_fast_plan() is None:
+            return False
+        try:
+            remote = self._home_by_page[page] != node_id
+        except KeyError:
+            raise KeyError(f"page {page} has not been registered") from None
+        if remote and page not in self._tables[node_id]._present:
+            return False
+        try:
+            pending = ctx._pending_cpu
+        except AttributeError:
+            return False
+        stats = self.stats
+        total = n + n * extra
+        stats.accesses += total
+        if remote:
+            stats.remote_accesses += total
+        stats.inline_checks += 2 * n if extra else n
+        check_1 = self._check_cycles / self._freq
+        if extra:
+            for _ in range(n):
+                pending += base_seconds
+                pending += check_1
+                pending += extra_base_seconds
+                pending += check_1
+        else:
+            for _ in range(n):
+                pending += base_seconds
+                pending += check_1
+        ctx._pending_cpu = pending
+        return True
 
 
 class HybridDetection(DetectionStrategy):
@@ -626,6 +841,19 @@ class HybridDetection(DetectionStrategy):
     def promoted_pages(self, node_id: int) -> set[int]:
         """Pages currently fault-managed on *node_id* (diagnostics/tests)."""
         return set(self._promoted[node_id])
+
+
+#: ``detect_access`` implementations whose present-page charging the memory
+#: subsystem may fuse straight into its own hot paths, keyed by the class
+#: *defining* the implementation: a subclass that inherits one of these is
+#: covered (it runs the very same code), a subclass that overrides
+#: ``detect_access`` is not (``access_fast_plan`` walks the MRO to the
+#: defining class), and stateful strategies (hybrid) are deliberately absent.
+_FAST_PLAN_BY_IMPL: dict[type, str] = {
+    InlineCheckDetection: "inline_check",
+    PageFaultDetection: "page_fault",
+    HoistedCheckDetection: "hoisted",
+}
 
 
 #: name -> strategy class, what ``register_composed`` resolves strings with

@@ -61,6 +61,38 @@ class MemorySubsystem:
         self._freq = cost_model.machine.frequency_hz
         self._base_cycles = cost_model.software.access_base_cycles
         self._detect = protocol.detect_access
+        # -- fused access fast path (the batched-replay substrate).  When
+        # the protocol can prove its present-page charging is open-codable
+        # (stateless detection, fixed homes, stock implementations — see
+        # ``access_fast_plan``), the scalar/range primitives below charge
+        # resident accesses inline and the run primitives batch whole
+        # same-page runs through the strategy's ``detect_access_run``.
+        # Every miss, every unusual page and every disabled configuration
+        # falls back to the exact ``_detect`` path, byte for byte.
+        self._fast_plan = protocol.access_fast_plan()
+        strategy = protocol.detection_strategy()
+        self._detect_run = (
+            strategy.detect_access_run
+            if strategy is not None and self._fast_plan is not None
+            else None
+        )
+        self._home_by_page = page_manager._home_by_page
+        self._tables = page_manager.tables
+        self._dsm_stats = page_manager.stats
+        # identical expressions to the per-call ones ((cycles * 1) is exact)
+        self._check_cycles = protocol._check_cycles
+        self._base_seconds = self._base_cycles / self._freq
+        self._check_seconds = protocol._check_cycles / self._freq
+
+    def disable_access_fast_path(self) -> None:
+        """Route every access through the exact polymorphic path.
+
+        Installed analysis layers (the consistency sanitizer) wrap the
+        per-instance entry points; the fused fast path would bypass those
+        wrappers, so such layers turn it off for the whole run.
+        """
+        self._fast_plan = None
+        self._detect_run = None
 
     # ------------------------------------------------------------------
     # helpers
@@ -144,6 +176,32 @@ class MemorySubsystem:
         page_size = self._page_size
         first = address // page_size
         last = (address + slot_size - 1) // page_size
+        plan = self._fast_plan
+        if plan is not None and first == last:
+            # fused fast path: identical charges in identical order to the
+            # detect path below, open-coded for the resident single-page
+            # access that dominates every workload
+            rhome = self._home_by_page.get(first)
+            if rhome is not None and (
+                rhome == node or first in self._tables[node]._present
+            ):
+                try:
+                    ctx._pending_cpu += self._base_seconds
+                except AttributeError:
+                    ctx.charge_cpu(self._base_seconds)
+                stats = self._dsm_stats
+                stats.accesses += 1
+                if rhome != node:
+                    stats.remote_accesses += 1
+                if plan != "page_fault":
+                    stats.inline_checks += 1
+                    try:
+                        ctx._pending_cpu += self._check_seconds
+                    except AttributeError:
+                        ctx.charge_cpu(self._check_seconds)
+                if obj.home_node == node:
+                    return obj.main_read(index)
+                return self._cache_entry(node, obj).read(index)
         pages = (first,) if first == last else (first, last)
         ctx.charge_cpu(self._base_cycles / self._freq)
         self._detect(ctx, node, pages, 1, False)
@@ -164,6 +222,31 @@ class MemorySubsystem:
         page_size = self._page_size
         first = address // page_size
         last = (address + slot_size - 1) // page_size
+        plan = self._fast_plan
+        if plan is not None and first == last:
+            rhome = self._home_by_page.get(first)
+            if rhome is not None and (
+                rhome == node or first in self._tables[node]._present
+            ):
+                try:
+                    ctx._pending_cpu += self._base_seconds
+                except AttributeError:
+                    ctx.charge_cpu(self._base_seconds)
+                stats = self._dsm_stats
+                stats.accesses += 1
+                if rhome != node:
+                    stats.remote_accesses += 1
+                if plan != "page_fault":
+                    stats.inline_checks += 1
+                    try:
+                        ctx._pending_cpu += self._check_seconds
+                    except AttributeError:
+                        ctx.charge_cpu(self._check_seconds)
+                if obj.home_node == node:
+                    obj.main_write(index, value)
+                    return
+                self._cache_entry(node, obj).write(index, value)
+                return
         pages = (first,) if first == last else (first, last)
         ctx.charge_cpu(self._base_cycles / self._freq)
         self._detect(ctx, node, pages, 1, True)
@@ -173,6 +256,61 @@ class MemorySubsystem:
         self._cache_entry(node, obj).write(index, value)
 
     # -- bulk accesses ---------------------------------------------------------
+    def _fused_range_charges(
+        self, ctx: AccessContext, node: int, first: int, last: int, count: int
+    ) -> bool:
+        """Charge a fully-resident range access inline (fast-plan path).
+
+        Returns False — with nothing charged — whenever the exact
+        ``_detect`` path must run instead: no plan, unregistered page, or
+        any page of [first, last] not readable from *node*.
+        """
+        plan = self._fast_plan
+        if plan is None:
+            return False
+        rhome = self._home_by_page.get(first)
+        if rhome is None:
+            return False
+        remote = rhome != node
+        if remote:
+            present = self._tables[node]._present
+            if first == last:
+                if first not in present:
+                    return False
+            elif not present.issuperset(range(first, last + 1)):
+                return False
+        # the charges below accumulate pending CPU time directly (the exact
+        # float additions ``ctx.charge_cpu`` would perform, in the same
+        # order) and only fall back to the method for contexts that keep
+        # their pending time elsewhere — same idiom as the fused detection
+        # runs in ``core/detection.py``
+        charge = (self._base_cycles * count) / self._freq
+        try:
+            ctx._pending_cpu += charge
+        except AttributeError:
+            ctx.charge_cpu(charge)
+        stats = self._dsm_stats
+        stats.accesses += count
+        if remote:
+            stats.remote_accesses += count
+        if plan == "inline_check":
+            stats.inline_checks += count
+            charge = (self._check_cycles * count) / self._freq
+            try:
+                ctx._pending_cpu += charge
+            except AttributeError:
+                ctx.charge_cpu(charge)
+        elif plan == "hoisted":
+            n_pages = last - first + 1
+            checks = n_pages if n_pages > 1 else 1
+            stats.inline_checks += checks
+            charge = (self._check_cycles * checks) / self._freq
+            try:
+                ctx._pending_cpu += charge
+            except AttributeError:
+                ctx.charge_cpu(charge)
+        return True
+
     def get_range(
         self, ctx: AccessContext, node: int, obj: SharedEntity, lo: int, hi: int
     ) -> np.ndarray:
@@ -185,9 +323,48 @@ class MemorySubsystem:
         page_size = self._page_size
         first = address // page_size
         last = (address + count * slot_size - 1) // page_size
-        pages = (first,) if first == last else range(first, last + 1)
-        ctx.charge_cpu((self._base_cycles * count) / self._freq)
-        self._detect(ctx, node, pages, count, False)
+        # open-coded :meth:`_fused_range_charges` (one call per element-range
+        # is hot enough that the extra frame shows up in every app profile);
+        # that method remains the readable spec of this block
+        plan = self._fast_plan
+        fused = False
+        if plan is not None and (rhome := self._home_by_page.get(first)) is not None:
+            remote = rhome != node
+            if not remote or (
+                first in self._tables[node]._present
+                if first == last
+                else self._tables[node]._present.issuperset(range(first, last + 1))
+            ):
+                fused = True
+                charge = (self._base_cycles * count) / self._freq
+                try:
+                    ctx._pending_cpu += charge
+                except AttributeError:
+                    ctx.charge_cpu(charge)
+                stats = self._dsm_stats
+                stats.accesses += count
+                if remote:
+                    stats.remote_accesses += count
+                if plan == "inline_check":
+                    stats.inline_checks += count
+                    charge = (self._check_cycles * count) / self._freq
+                    try:
+                        ctx._pending_cpu += charge
+                    except AttributeError:
+                        ctx.charge_cpu(charge)
+                elif plan == "hoisted":
+                    n_pages = last - first + 1
+                    checks = n_pages if n_pages > 1 else 1
+                    stats.inline_checks += checks
+                    charge = (self._check_cycles * checks) / self._freq
+                    try:
+                        ctx._pending_cpu += charge
+                    except AttributeError:
+                        ctx.charge_cpu(charge)
+        if not fused:
+            pages = (first,) if first == last else range(first, last + 1)
+            ctx.charge_cpu((self._base_cycles * count) / self._freq)
+            self._detect(ctx, node, pages, count, False)
         if obj.home_node == node:
             return obj.main_read_range(lo, hi)
         return self._cache_entry(node, obj).read_range(lo, hi)
@@ -219,9 +396,46 @@ class MemorySubsystem:
         page_size = self._page_size
         first = address // page_size
         last = (address + count * slot_size - 1) // page_size
-        pages = (first,) if first == last else range(first, last + 1)
-        ctx.charge_cpu((self._base_cycles * count) / self._freq)
-        self._detect(ctx, node, pages, count, True)
+        # open-coded :meth:`_fused_range_charges` (see get_range)
+        plan = self._fast_plan
+        fused = False
+        if plan is not None and (rhome := self._home_by_page.get(first)) is not None:
+            remote = rhome != node
+            if not remote or (
+                first in self._tables[node]._present
+                if first == last
+                else self._tables[node]._present.issuperset(range(first, last + 1))
+            ):
+                fused = True
+                charge = (self._base_cycles * count) / self._freq
+                try:
+                    ctx._pending_cpu += charge
+                except AttributeError:
+                    ctx.charge_cpu(charge)
+                stats = self._dsm_stats
+                stats.accesses += count
+                if remote:
+                    stats.remote_accesses += count
+                if plan == "inline_check":
+                    stats.inline_checks += count
+                    charge = (self._check_cycles * count) / self._freq
+                    try:
+                        ctx._pending_cpu += charge
+                    except AttributeError:
+                        ctx.charge_cpu(charge)
+                elif plan == "hoisted":
+                    n_pages = last - first + 1
+                    checks = n_pages if n_pages > 1 else 1
+                    stats.inline_checks += checks
+                    charge = (self._check_cycles * checks) / self._freq
+                    try:
+                        ctx._pending_cpu += charge
+                    except AttributeError:
+                        ctx.charge_cpu(charge)
+        if not fused:
+            pages = (first,) if first == last else range(first, last + 1)
+            ctx.charge_cpu((self._base_cycles * count) / self._freq)
+            self._detect(ctx, node, pages, count, True)
         if obj.home_node == node:
             obj.main_write_range(lo, hi, values)
             return
@@ -260,9 +474,565 @@ class MemorySubsystem:
                 size = 1
         first = address // page_size
         last = (address + size - 1) // page_size
+        # open-coded :meth:`_fused_range_charges` (see get_range)
+        plan = self._fast_plan
+        if plan is not None and (rhome := self._home_by_page.get(first)) is not None:
+            remote = rhome != node
+            if not remote or (
+                first in self._tables[node]._present
+                if first == last
+                else self._tables[node]._present.issuperset(range(first, last + 1))
+            ):
+                charge = (self._base_cycles * count) / self._freq
+                try:
+                    ctx._pending_cpu += charge
+                except AttributeError:
+                    ctx.charge_cpu(charge)
+                stats = self._dsm_stats
+                stats.accesses += count
+                if remote:
+                    stats.remote_accesses += count
+                if plan == "inline_check":
+                    stats.inline_checks += count
+                    charge = (self._check_cycles * count) / self._freq
+                    try:
+                        ctx._pending_cpu += charge
+                    except AttributeError:
+                        ctx.charge_cpu(charge)
+                elif plan == "hoisted":
+                    n_pages = last - first + 1
+                    checks = n_pages if n_pages > 1 else 1
+                    stats.inline_checks += checks
+                    charge = (self._check_cycles * checks) / self._freq
+                    try:
+                        ctx._pending_cpu += charge
+                    except AttributeError:
+                        ctx.charge_cpu(charge)
+                return
         pages = (first,) if first == last else range(first, last + 1)
         ctx.charge_cpu((self._base_cycles * count) / self._freq)
         self._detect(ctx, node, pages, count, write)
+
+    def update_range(
+        self,
+        ctx: AccessContext,
+        node: int,
+        obj: SharedEntity,
+        lo: int,
+        hi: int,
+        transform,
+        extra_obj: SharedEntity | None = None,
+        extra: int = 0,
+    ) -> None:
+        """Fetch-modify-store over slots [lo, hi) in one call.
+
+        Executes — charge for charge, counter for counter, byte for byte —
+        exactly the sequence
+
+        .. code-block:: python
+
+            values = get_range(obj, lo, hi)
+            new = transform(values)
+            if new is not None:
+                put_range(obj, lo, hi, new)
+            if extra_obj is not None and extra > 0:
+                account_accesses(extra_obj, extra)
+
+        but in a single Python frame when every touched page is resident
+        (the dominant case in relaxation-style inner loops, which otherwise
+        pay three extra frames per row).  ``transform`` receives the freshly
+        read values and returns the values to write back, or ``None`` to
+        skip the write entirely; the pending-CPU float additions happen in
+        the same order as the unfused calls, so the result is bit-identical.
+        Any condition the fused path cannot prove (no fast plan, an absent
+        page, bounds needing validation) falls back to literally the
+        sequence above.
+        """
+        count = hi - lo
+        plan = self._fast_plan
+        fast = False
+        remote = eremote = False
+        first = last = efirst = elast = 0
+        if plan is not None and 0 <= lo < hi <= obj.num_slots:
+            slot_size = obj.slot_size
+            address = obj.address + lo * slot_size
+            page_size = self._page_size
+            first = address // page_size
+            last = (address + count * slot_size - 1) // page_size
+            rhome = self._home_by_page.get(first)
+            if rhome is not None:
+                remote = rhome != node
+                if not remote or (
+                    first in self._tables[node]._present
+                    if first == last
+                    else self._tables[node]._present.issuperset(range(first, last + 1))
+                ):
+                    if extra_obj is None or extra <= 0:
+                        fast = True
+                    else:
+                        eaddress = extra_obj.address
+                        efirst = eaddress // page_size
+                        elast = (eaddress + extra_obj.size_bytes - 1) // page_size
+                        erhome = self._home_by_page.get(efirst)
+                        if erhome is not None:
+                            eremote = erhome != node
+                            if not eremote or (
+                                efirst in self._tables[node]._present
+                                if efirst == elast
+                                else self._tables[node]._present.issuperset(
+                                    range(efirst, elast + 1)
+                                )
+                            ):
+                                fast = True
+        if not fast:
+            values = self.get_range(ctx, node, obj, lo, hi)
+            new = transform(values)
+            if new is not None:
+                self.put_range(ctx, node, obj, lo, hi, new)
+            if extra_obj is not None and extra > 0:
+                self.account_accesses(ctx, node, extra_obj, extra)
+            return
+        freq = self._freq
+        base = self._base_cycles
+        check = self._check_cycles
+        stats = self._dsm_stats
+        # -- the read's charges (same block as get_range's fused path)
+        charge = (base * count) / freq
+        try:
+            ctx._pending_cpu += charge
+        except AttributeError:
+            ctx.charge_cpu(charge)
+        stats.accesses += count
+        if remote:
+            stats.remote_accesses += count
+        if plan == "inline_check":
+            stats.inline_checks += count
+            charge = (check * count) / freq
+            try:
+                ctx._pending_cpu += charge
+            except AttributeError:
+                ctx.charge_cpu(charge)
+        elif plan == "hoisted":
+            n_pages = last - first + 1
+            checks = n_pages if n_pages > 1 else 1
+            stats.inline_checks += checks
+            charge = (check * checks) / freq
+            try:
+                ctx._pending_cpu += charge
+            except AttributeError:
+                ctx.charge_cpu(charge)
+        if obj.home_node == node:
+            values = obj.main_read_range(lo, hi)
+        else:
+            values = self._cache_entry(node, obj).read_range(lo, hi)
+        new = transform(values)
+        if new is not None:
+            if isinstance(new, np.ndarray):
+                if new.ndim and len(new) != count:
+                    raise ValueError(
+                        f"put_range of {count} slots received {len(new)} values"
+                    )
+            elif np.ndim(new) and len(new) != count:
+                raise ValueError(
+                    f"put_range of {count} slots received {len(new)} values"
+                )
+            # -- the write-back's charges: identical pages, identical block
+            charge = (base * count) / freq
+            try:
+                ctx._pending_cpu += charge
+            except AttributeError:
+                ctx.charge_cpu(charge)
+            stats.accesses += count
+            if remote:
+                stats.remote_accesses += count
+            if plan == "inline_check":
+                stats.inline_checks += count
+                charge = (check * count) / freq
+                try:
+                    ctx._pending_cpu += charge
+                except AttributeError:
+                    ctx.charge_cpu(charge)
+            elif plan == "hoisted":
+                n_pages = last - first + 1
+                checks = n_pages if n_pages > 1 else 1
+                stats.inline_checks += checks
+                charge = (check * checks) / freq
+                try:
+                    ctx._pending_cpu += charge
+                except AttributeError:
+                    ctx.charge_cpu(charge)
+            if obj.home_node == node:
+                obj.main_write_range(lo, hi, new)
+            else:
+                self._cache_entry(node, obj).write_range(lo, hi, new)
+        if extra_obj is not None and extra > 0:
+            # -- the detection-only accesses (account_accesses, full span)
+            charge = (base * extra) / freq
+            try:
+                ctx._pending_cpu += charge
+            except AttributeError:
+                ctx.charge_cpu(charge)
+            stats.accesses += extra
+            if eremote:
+                stats.remote_accesses += extra
+            if plan == "inline_check":
+                stats.inline_checks += extra
+                charge = (check * extra) / freq
+                try:
+                    ctx._pending_cpu += charge
+                except AttributeError:
+                    ctx.charge_cpu(charge)
+            elif plan == "hoisted":
+                n_pages = elast - efirst + 1
+                checks = n_pages if n_pages > 1 else 1
+                stats.inline_checks += checks
+                charge = (check * checks) / freq
+                try:
+                    ctx._pending_cpu += charge
+                except AttributeError:
+                    ctx.charge_cpu(charge)
+
+    def make_range_updater(
+        self,
+        ctx: AccessContext,
+        node: int,
+        obj: SharedEntity,
+        lo: int,
+        hi: int,
+        extra: int = 0,
+    ):
+        """Prepare a fused fetch-modify-store closure over a fixed span.
+
+        Returns ``update(transform, extra_obj=None)``, behaving exactly
+        like ``update_range(ctx, node, obj, lo, hi, transform, extra_obj,
+        extra)`` — charge for charge, counter for counter.  The point is
+        relaxation-style loops that hit the *same* span once per outer
+        iteration: everything run-constant in ``update_range``'s gate (the
+        page span, the home lookup, the plan branch, the charge amounts —
+        computed here with the identical expressions, so the floats are
+        bit-equal) is resolved once at preparation, and each call only
+        re-checks what can actually change between calls: that the fast
+        path is still enabled, page presence, and the per-call extra
+        object's span.  Any failed check delegates to :meth:`update_range`
+        itself.
+        """
+        plan = self._fast_plan
+        count = hi - lo
+        update_range = self.update_range
+        if plan is None or not (0 <= lo < hi <= obj.num_slots):
+
+            def update(transform, extra_obj=None):
+                update_range(ctx, node, obj, lo, hi, transform, extra_obj, extra)
+
+            return update
+        page_size = self._page_size
+        slot_size = obj.slot_size
+        address = obj.address + lo * slot_size
+        first = address // page_size
+        last = (address + count * slot_size - 1) // page_size
+        rhome = self._home_by_page.get(first)
+        if rhome is None:
+
+            def update(transform, extra_obj=None):
+                update_range(ctx, node, obj, lo, hi, transform, extra_obj, extra)
+
+            return update
+        remote = rhome != node
+        single_page = first == last
+        span = range(first, last + 1)
+        table = self._tables[node]
+        home_by_page = self._home_by_page
+        stats = self._dsm_stats
+        freq = self._freq
+        base = self._base_cycles
+        check = self._check_cycles
+        home_local = obj.home_node == node
+        read_local = obj.main_read_range
+        write_local = obj.main_write_range
+        cache_entry = self._cache_entry
+        inline = plan == "inline_check"
+        hoisted = plan == "hoisted"
+        # identical expressions to update_range's per-call ones, evaluated
+        # once: same operands, same operations, bit-equal results
+        c_base = (base * count) / freq
+        c_check = 0.0
+        hoist_checks = 0
+        if inline:
+            c_check = (check * count) / freq
+        elif hoisted:
+            n_pages = last - first + 1
+            hoist_checks = n_pages if n_pages > 1 else 1
+            c_check = (check * hoist_checks) / freq
+        c_extra = (base * extra) / freq
+        c_extra_check = (check * extra) / freq
+
+        def update(transform, extra_obj=None):
+            if self._fast_plan is None:
+                # the fast path was disabled after preparation (installed
+                # analysis wrappers) — take the exact polymorphic route
+                update_range(ctx, node, obj, lo, hi, transform, extra_obj, extra)
+                return
+            present = table._present
+            if remote and not (
+                first in present if single_page else present.issuperset(span)
+            ):
+                update_range(ctx, node, obj, lo, hi, transform, extra_obj, extra)
+                return
+            eremote = False
+            efirst = elast = 0
+            if extra_obj is not None and extra > 0:
+                eaddress = extra_obj.address
+                efirst = eaddress // page_size
+                elast = (eaddress + extra_obj.size_bytes - 1) // page_size
+                erhome = home_by_page.get(efirst)
+                if erhome is None:
+                    update_range(ctx, node, obj, lo, hi, transform, extra_obj, extra)
+                    return
+                eremote = erhome != node
+                if eremote and not (
+                    efirst in present
+                    if efirst == elast
+                    else present.issuperset(range(efirst, elast + 1))
+                ):
+                    update_range(ctx, node, obj, lo, hi, transform, extra_obj, extra)
+                    return
+            # -- the read's charges (same block as update_range's fast path)
+            try:
+                ctx._pending_cpu += c_base
+            except AttributeError:
+                ctx.charge_cpu(c_base)
+            stats.accesses += count
+            if remote:
+                stats.remote_accesses += count
+            if inline:
+                stats.inline_checks += count
+                try:
+                    ctx._pending_cpu += c_check
+                except AttributeError:
+                    ctx.charge_cpu(c_check)
+            elif hoisted:
+                stats.inline_checks += hoist_checks
+                try:
+                    ctx._pending_cpu += c_check
+                except AttributeError:
+                    ctx.charge_cpu(c_check)
+            if home_local:
+                values = read_local(lo, hi)
+            else:
+                values = cache_entry(node, obj).read_range(lo, hi)
+            new = transform(values)
+            if new is not None:
+                if isinstance(new, np.ndarray):
+                    if new.ndim and len(new) != count:
+                        raise ValueError(
+                            f"put_range of {count} slots received {len(new)} values"
+                        )
+                elif np.ndim(new) and len(new) != count:
+                    raise ValueError(
+                        f"put_range of {count} slots received {len(new)} values"
+                    )
+                # -- the write-back's charges
+                try:
+                    ctx._pending_cpu += c_base
+                except AttributeError:
+                    ctx.charge_cpu(c_base)
+                stats.accesses += count
+                if remote:
+                    stats.remote_accesses += count
+                if inline:
+                    stats.inline_checks += count
+                    try:
+                        ctx._pending_cpu += c_check
+                    except AttributeError:
+                        ctx.charge_cpu(c_check)
+                elif hoisted:
+                    stats.inline_checks += hoist_checks
+                    try:
+                        ctx._pending_cpu += c_check
+                    except AttributeError:
+                        ctx.charge_cpu(c_check)
+                if home_local:
+                    write_local(lo, hi, new)
+                else:
+                    cache_entry(node, obj).write_range(lo, hi, new)
+            if extra_obj is not None and extra > 0:
+                # -- the detection-only accesses (account_accesses, full span)
+                try:
+                    ctx._pending_cpu += c_extra
+                except AttributeError:
+                    ctx.charge_cpu(c_extra)
+                stats.accesses += extra
+                if eremote:
+                    stats.remote_accesses += extra
+                if inline:
+                    stats.inline_checks += extra
+                    try:
+                        ctx._pending_cpu += c_extra_check
+                    except AttributeError:
+                        ctx.charge_cpu(c_extra_check)
+                elif hoisted:
+                    e_pages = elast - efirst + 1
+                    checks = e_pages if e_pages > 1 else 1
+                    stats.inline_checks += checks
+                    charge = (check * checks) / freq
+                    try:
+                        ctx._pending_cpu += charge
+                    except AttributeError:
+                        ctx.charge_cpu(charge)
+
+        return update
+
+    # -- batched runs (the replay interpreter's bulk primitives) --------------
+    def get_run(
+        self,
+        ctx: AccessContext,
+        node: int,
+        obj: SharedEntity,
+        slots: Sequence[int],
+        extra: int = 0,
+    ) -> None:
+        """A run of scalar ``get``\\ s on *obj*, one per entry of *slots*.
+
+        Semantically identical — charge for charge, counter for counter —
+        to calling :meth:`get` for each slot in order (each followed by an
+        ``account_accesses(count=extra)`` when *extra* is non-zero, the
+        workload's ``work_multiplier`` accounting).  Values are not
+        returned: this is the accounting/coherence primitive behind the
+        script interpreter, whose replayed reads are discarded anyway.
+        Runs of slots sharing one resident page are priced in bulk through
+        the detection strategy's ``detect_access_run``; everything else —
+        misses, page-straddling slots, disabled fast paths — degrades to
+        the per-element entry points of this instance (so installed
+        wrappers observe every access).
+        """
+        detect_run = self._detect_run
+        if detect_run is None:
+            get = self.get
+            if extra:
+                account = self.account_accesses
+                for slot in slots:
+                    get(ctx, node, obj, slot)
+                    account(ctx, node, obj, extra, lo=slot, hi=slot + 1, write=False)
+            else:
+                for slot in slots:
+                    get(ctx, node, obj, slot)
+            return
+        slot_size = obj.slot_size
+        page_size = self._page_size
+        base_addr = obj.address
+        base_s = self._base_seconds
+        extra_base_s = (self._base_cycles * extra) / self._freq if extra else 0.0
+        i = 0
+        n = len(slots)
+        while i < n:
+            slot = slots[i]
+            address = base_addr + slot * slot_size
+            page = address // page_size
+            if (address + slot_size - 1) // page_size != page:
+                # page-straddling element: exact path, one element
+                self.get(ctx, node, obj, slot)
+                if extra:
+                    self.account_accesses(
+                        ctx, node, obj, extra, lo=slot, hi=slot + 1, write=False
+                    )
+                i += 1
+                continue
+            j = i + 1
+            while j < n:
+                a = base_addr + slots[j] * slot_size
+                if a // page_size != page or (a + slot_size - 1) // page_size != page:
+                    break
+                j += 1
+            if detect_run(ctx, node, page, j - i, False, base_s, extra, extra_base_s):
+                i = j
+                continue
+            # the page is not resident (or the strategy refused): run one
+            # element exactly — fetching the page — and re-batch the rest
+            self.get(ctx, node, obj, slot)
+            if extra:
+                self.account_accesses(
+                    ctx, node, obj, extra, lo=slot, hi=slot + 1, write=False
+                )
+            i += 1
+
+    def put_run(
+        self,
+        ctx: AccessContext,
+        node: int,
+        obj: SharedEntity,
+        slots: Sequence[int],
+        values: Sequence,
+        extra: int = 0,
+    ) -> None:
+        """A run of scalar ``put``\\ s: ``put(slots[k], values[k])`` for all k.
+
+        Batched twin of :meth:`get_run` for writes (the extra accounting
+        accesses are written-flagged, matching the unbatched interpreter).
+        Unlike reads, the data movement is not elidable: every element is
+        written to the home copy or recorded dirty in the node cache, so
+        monitor-exit flushes carry identical bytes.
+        """
+        if len(values) != len(slots):
+            raise ValueError(
+                f"put_run of {len(slots)} slots received {len(values)} values"
+            )
+        detect_run = self._detect_run
+        if detect_run is None:
+            put = self.put
+            if extra:
+                account = self.account_accesses
+                for k, slot in enumerate(slots):
+                    put(ctx, node, obj, slot, values[k])
+                    account(ctx, node, obj, extra, lo=slot, hi=slot + 1, write=True)
+            else:
+                for k, slot in enumerate(slots):
+                    put(ctx, node, obj, slot, values[k])
+            return
+        slot_size = obj.slot_size
+        page_size = self._page_size
+        base_addr = obj.address
+        base_s = self._base_seconds
+        extra_base_s = (self._base_cycles * extra) / self._freq if extra else 0.0
+        local = obj.home_node == node
+        entry = None
+        i = 0
+        n = len(slots)
+        while i < n:
+            slot = slots[i]
+            address = base_addr + slot * slot_size
+            page = address // page_size
+            if (address + slot_size - 1) // page_size != page:
+                self.put(ctx, node, obj, slot, values[i])
+                if extra:
+                    self.account_accesses(
+                        ctx, node, obj, extra, lo=slot, hi=slot + 1, write=True
+                    )
+                i += 1
+                continue
+            j = i + 1
+            while j < n:
+                a = base_addr + slots[j] * slot_size
+                if a // page_size != page or (a + slot_size - 1) // page_size != page:
+                    break
+                j += 1
+            if detect_run(ctx, node, page, j - i, True, base_s, extra, extra_base_s):
+                if local:
+                    for k in range(i, j):
+                        obj.main_write(slots[k], values[k])
+                else:
+                    if entry is None:
+                        entry = self._cache_entry(node, obj)
+                    write = entry.write
+                    for k in range(i, j):
+                        write(slots[k], values[k])
+                i = j
+                continue
+            self.put(ctx, node, obj, slot, values[i])
+            if extra:
+                self.account_accesses(
+                    ctx, node, obj, extra, lo=slot, hi=slot + 1, write=True
+                )
+            i += 1
 
     # ------------------------------------------------------------------
     @staticmethod

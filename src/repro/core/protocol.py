@@ -139,6 +139,20 @@ class ConsistencyProtocol(DsmProtocolHooks):
         """
         return self.detect_access(ctx, node_id, pages, count, write)
 
+    def access_fast_plan(self) -> str | None:
+        """Fast-plan key for fused memory-side access charging, or None.
+
+        Non-None only when the protocol can prove that the memory
+        subsystem's open-coded present-page charging is byte-identical to
+        routing every access through :meth:`detect_access` (see
+        ``DetectionStrategy.access_fast_plan``).  Plain protocols refuse.
+        """
+        return None
+
+    def detection_strategy(self):
+        """The detection layer instance for composed protocols (else None)."""
+        return None
+
     def describe(self) -> str:
         """One-line description used in reports.
 
@@ -232,6 +246,20 @@ class ComposedProtocol(ConsistencyProtocol):
 
     def on_monitor_enter(self, ctx: AccessContext, node_id: int) -> None:  # type: ignore[override]
         self.detection.on_monitor_enter(ctx, node_id)
+
+    def access_fast_plan(self) -> str | None:
+        """Delegate to the detection layer; write-observing policies refuse.
+
+        A policy that observes writes (migratory homes) hooks every write
+        through ``note_write`` — fusing accesses around that hook would skip
+        its bookkeeping, so such compositions always take the exact path.
+        """
+        if self.home_policy.observes_writes:
+            return None
+        return self.detection.access_fast_plan()
+
+    def detection_strategy(self):
+        return self.detection
 
     def attach_migration(self, migration) -> None:
         """Forward the runtime's migration manager to the home policy."""

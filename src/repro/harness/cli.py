@@ -12,7 +12,7 @@ Sub-commands::
     hyperion-sim run asp --telemetry-out asp-telemetry.json
     hyperion-sim report asp-telemetry.json        # per-phase breakdown
     hyperion-sim report asp-telemetry.json --chrome-out asp-trace.json
-    hyperion-sim lint                     # determinism/perf lint (HYP001-006)
+    hyperion-sim lint                     # determinism/perf lint (HYP001-007)
     hyperion-sim protocols                # the protocol family + its layers
     hyperion-sim topologies               # cluster shapes + their islands
     hyperion-sim figure 2 --protocols java_ic,java_pf,java_hybrid
@@ -81,6 +81,7 @@ from repro.harness.spec import ExperimentSpec, resolve_workload, run_spec_runtim
 from repro.harness.sweep import ABLATIONS
 from repro.hyperion.runtime import RuntimeConfig
 from repro.scenarios.registry import (
+    SCENARIO_PREFIX,
     available_scenarios,
     get_pattern,
     scenario_parameters,
@@ -134,6 +135,16 @@ def _add_sanitize_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="PATH",
         help="also write the sanitizer report to PATH as JSON (implies --sanitize)",
+    )
+
+
+def _add_fast_forward_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fast-forward",
+        action="store_true",
+        help="price contention-free compute/wait phases analytically instead "
+        "of event by event (identical results, fewer host-side events; "
+        "ignored when an event trace is recorded)",
     )
 
 
@@ -224,6 +235,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--nodes", type=int, default=4)
     run.add_argument("--scale", default="bench", choices=["testing", "bench", "paper"])
     run.add_argument("--verify", action="store_true")
+    _add_fast_forward_flag(run)
     run.add_argument(
         "--trace-out",
         default=None,
@@ -263,6 +275,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="override one pattern parameter (repeatable); see `scenario list`",
     )
     scenario_run.add_argument("--verify", action="store_true")
+    _add_fast_forward_flag(scenario_run)
     scenario_run.add_argument("--json", action="store_true")
     scenario_run.add_argument(
         "--trace-out",
@@ -446,7 +459,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="repo-specific determinism/performance lint (HYP001-HYP006)",
+        help="repo-specific determinism/performance lint (HYP001-HYP007)",
     )
     lint.add_argument(
         "paths",
@@ -472,6 +485,20 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--protocol", default="java_pf", choices=available_protocols())
     profile.add_argument("--nodes", type=int, default=4)
     profile.add_argument("--scale", default="bench", choices=["testing", "bench", "paper"])
+    profile.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the pattern's RNG seed (syn-* apps only)",
+    )
+    profile.add_argument(
+        "--pattern-arg",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override one pattern parameter (syn-* apps only, repeatable)",
+    )
+    _add_fast_forward_flag(profile)
     profile.add_argument(
         "--sort", default="cumulative", choices=sorted(PROFILE_SORT_KEYS),
         help="cProfile sort key for the per-cell tables",
@@ -789,7 +816,7 @@ def cmd_run(args) -> int:
     # works for the paper benchmarks and the generated syn-* scenarios alike
     sanitize = args.sanitize or bool(args.sanitize_out)
     telemetry = args.telemetry or bool(args.telemetry_out) or bool(args.chrome_out)
-    if args.trace_out or sanitize or telemetry:
+    if args.trace_out or sanitize or telemetry or args.fast_forward:
         spec = ExperimentSpec(
             app=args.app,
             cluster=args.cluster,
@@ -799,6 +826,7 @@ def cmd_run(args) -> int:
             verify=args.verify,
             sanitize=sanitize,
             telemetry=telemetry,
+            fast_forward=args.fast_forward,
         )
         if args.trace_out:
             report = _run_with_trace(spec, args.trace_out)
@@ -876,6 +904,7 @@ def cmd_scenario(args) -> int:
             verify=args.verify,
             sanitize=sanitize,
             telemetry=telemetry,
+            fast_forward=args.fast_forward,
         )
         if args.trace_out:
             if args.jobs != 1 or args.cache_dir:
@@ -996,6 +1025,17 @@ def cmd_lint(args) -> int:
 def cmd_profile(args) -> int:
     apps = [args.app] if args.app else available_apps()
     workload = _workload(args.scale)
+    if args.pattern_arg or args.seed is not None:
+        if not (args.app and args.app.startswith(SCENARIO_PREFIX)):
+            raise CliError("--pattern-arg/--seed need a single syn-* scenario app")
+        try:
+            workload = scenario_workload(
+                args.app,
+                scale=args.scale,
+                **_pattern_overrides(args.app, args.pattern_arg, args.seed),
+            )
+        except (KeyError, ValueError) as exc:
+            raise CliError(str(exc)) from exc
     specs = [
         ExperimentSpec(
             app=app,
@@ -1003,6 +1043,7 @@ def cmd_profile(args) -> int:
             protocol=args.protocol,
             num_nodes=args.nodes,
             workload=workload,
+            fast_forward=args.fast_forward,
         )
         for app in apps
     ]

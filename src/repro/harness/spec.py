@@ -121,6 +121,12 @@ class ExperimentSpec:
     #: ``cached`` instead of a re-execution.  The ledger surfaces on
     #: ``ExecutionReport.telemetry``.
     telemetry: bool = field(default=False, compare=False)
+    #: price contention-free compute/read phases analytically instead of one
+    #: engine event at a time (see ``Engine.try_fast_advance``).  The
+    #: simulated outcome is byte-identical — the determinism suite pins it —
+    #: so like ``verify``/``sanitize``/``telemetry`` the flag is excluded
+    #: from the cell's identity: cache keys MUST NOT distinguish the modes.
+    fast_forward: bool = field(default=False, compare=False)
 
     # ------------------------------------------------------------------
     @property
@@ -254,6 +260,7 @@ def run_spec_runtime(spec: ExperimentSpec) -> "tuple[ExecutionReport, HyperionRu
         config=spec.effective_config(),
         sanitize=spec.sanitize,
         telemetry=spec.telemetry,
+        fast_forward=spec.fast_forward,
     )
     collector = runtime.telemetry
     if collector is not None:

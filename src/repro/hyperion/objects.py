@@ -189,7 +189,7 @@ class JavaArray:
 
     def main_read_range(self, lo: int, hi: int) -> np.ndarray:
         """Copy of elements [lo, hi) from the reference copy."""
-        return np.array(self._data[lo:hi], copy=True)
+        return self._data[lo:hi].copy()
 
     def main_write_range(self, lo: int, hi: int, values: Sequence) -> None:
         """Write elements [lo, hi) of the reference copy."""
@@ -197,7 +197,7 @@ class JavaArray:
 
     def snapshot(self) -> np.ndarray:
         """Deep copy of the element payload for node-local caching."""
-        return np.array(self._data, copy=True)
+        return self._data.copy()
 
     # -- convenience -------------------------------------------------------------
     def as_numpy(self) -> np.ndarray:

@@ -21,6 +21,7 @@ paper's "future work" ablation (A3) explores.
 from __future__ import annotations
 
 from collections.abc import Callable, Generator, Sequence
+from functools import partial
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -140,6 +141,8 @@ class JavaThreadContext(AccessContext):
         # must never add or split a yield, or scheduling would change
         telemetry = runtime.telemetry
         self._spans = telemetry.spans if telemetry is not None else None
+        # analytic fast-forward (opt-in per run; see Engine.try_fast_advance)
+        self._fast_forward = runtime.engine.fast_forward
 
     # ------------------------------------------------------------------
     # identity / time
@@ -196,22 +199,36 @@ class JavaThreadContext(AccessContext):
         )
         if total_cycles < 0:
             raise ValueError(f"cycles must be >= 0, got {total_cycles!r}")
-        self.charge_cpu(total_cycles / self._freq + mem_seconds)
+        # charge_cpu, inlined (both operands already validated non-negative)
+        self._pending_cpu += total_cycles / self._freq + mem_seconds
 
     def _flush(self) -> Generator:
-        """Pay accumulated CPU and wait time on the simulation clock."""
+        """Pay accumulated CPU and wait time on the simulation clock.
+
+        In fast-forward mode the Marcel ``try_*_fast`` twins are offered the
+        phase first; they price it analytically (identical accounting,
+        identical final clock) when the CPU is provably uncontended, and
+        refuse — falling back to the exact event path below — whenever any
+        other scheduled event could interleave.  Span attribution is shared
+        by both paths: the flush hooks observe the same amounts at the same
+        ``engine.now`` either way.
+        """
         cpu, wait = self._pending_cpu, self._pending_wait
         self._pending_cpu = 0.0
         self._pending_wait = 0.0
         spans = self._spans
+        marcel = self.runtime.marcel
+        fast = self._fast_forward
         if cpu > 0.0:
             self.runtime.run_stats.record_cpu(self.node_id, cpu)
-            yield from self.runtime.marcel.occupy_cpu(self.thread.marcel, cpu)
+            if not (fast and marcel.try_occupy_cpu_fast(self.thread.marcel, cpu)):
+                yield from marcel.occupy_cpu(self.thread.marcel, cpu)
             if spans is not None:
                 spans.flush_cpu(self.thread.name, cpu, self.runtime.engine.now)
         if wait > 0.0:
             self.runtime.run_stats.record_wait(self.node_id, wait)
-            yield from self.runtime.marcel.wait(self.thread.marcel, wait)
+            if not (fast and marcel.try_wait_fast(self.thread.marcel, wait)):
+                yield from marcel.wait(self.thread.marcel, wait)
             if spans is not None:
                 spans.flush_wait(self.thread.name, wait, self.runtime.engine.now)
 
@@ -285,6 +302,68 @@ class JavaThreadContext(AccessContext):
         """Account extra per-element accesses without moving data (see memory)."""
         self._memory.account_accesses(
             self, self._marcel.node_id, obj, count, lo=lo, hi=hi, write=write
+        )
+
+    def bulk_ops(self) -> tuple:
+        """Pre-bound bulk primitives for hot per-row application loops.
+
+        Returns ``(get_range, put_range, account_accesses, update_range)``
+        partials that are call-for-call identical to :meth:`aget_range` /
+        :meth:`aput_range` / :meth:`account_accesses` /
+        :meth:`aupdate_range` — same charges, same counters, same data
+        movement — minus one Python frame per call.  The range bounds must
+        be passed explicitly (no ``hi=None`` default).  Worth using only in
+        loops issuing thousands of range accesses.
+        """
+        memory = self._memory
+        node = self._marcel.node_id
+        return (
+            partial(memory.get_range, self, node),
+            partial(memory.put_range, self, node),
+            partial(memory.account_accesses, self, node),
+            partial(memory.update_range, self, node),
+        )
+
+    def aupdate_range(
+        self,
+        array: JavaArray,
+        lo: int,
+        hi: int,
+        transform,
+        extra_obj=None,
+        extra: int = 0,
+    ) -> None:
+        """Fused fetch-modify-store on [lo, hi) (see ``memory.update_range``).
+
+        Equivalent to ``aget_range`` + ``transform`` + ``aput_range`` (when
+        the transform returns values) + ``account_accesses(extra_obj,
+        extra)``, in that order, with identical charges and counters.
+        """
+        self._memory.update_range(
+            self, self._marcel.node_id, array, lo, hi, transform,
+            extra_obj=extra_obj, extra=extra,
+        )
+
+    def make_range_updater(self, array: JavaArray, lo: int, hi: int, extra: int = 0):
+        """Prepared :meth:`aupdate_range` closure for a fixed span.
+
+        Returns ``update(transform, extra_obj=None)`` with all the
+        run-constant gate work of ``memory.update_range`` resolved once
+        (see ``memory.make_range_updater``) — for loops that revisit the
+        same span every iteration.
+        """
+        return self._memory.make_range_updater(
+            self, self._marcel.node_id, array, lo, hi, extra=extra
+        )
+
+    def get_run(self, obj, slots: Sequence[int], extra: int = 0) -> None:
+        """A run of scalar ``get``\\ s (accounting only; see memory.get_run)."""
+        self._memory.get_run(self, self._marcel.node_id, obj, slots, extra=extra)
+
+    def put_run(self, obj, slots: Sequence[int], values: Sequence, extra: int = 0) -> None:
+        """A run of scalar ``put``\\ s: ``put(slots[k], values[k])`` for all k."""
+        self._memory.put_run(
+            self, self._marcel.node_id, obj, slots, values, extra=extra
         )
 
     def load(self, obj) -> None:

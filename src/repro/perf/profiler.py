@@ -78,6 +78,15 @@ class Profiler:
         ``pstats`` sort key for the rendered table (see :data:`SORT_KEYS`).
     limit:
         Number of rows kept in the rendered table and in ``hot_functions``.
+    repeats:
+        Timed runs per cell; the reported ``wall_seconds`` is the **minimum**
+        across them (``timeit``-style best-of-N — the minimum is the run
+        least disturbed by the host, which is the right estimator for a
+        deterministic workload on a noisy machine).  The run is identical
+        every time, so which repeat's report is kept does not matter.
+    warmup:
+        Untimed runs before the timed ones, so byte-code, allocator and
+        import effects don't land in the first measurement.
     """
 
     def __init__(
@@ -85,30 +94,47 @@ class Profiler:
         with_cprofile: bool = True,
         sort: str = "cumulative",
         limit: int = 20,
+        repeats: int = 1,
+        warmup: int = 0,
     ):
         if sort not in SORT_KEYS:
             raise ValueError(f"sort must be one of {SORT_KEYS}, got {sort!r}")
         if limit < 1:
             raise ValueError(f"limit must be >= 1, got {limit}")
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup}")
         self.with_cprofile = with_cprofile
         self.sort = sort
         self.limit = int(limit)
+        self.repeats = int(repeats)
+        self.warmup = int(warmup)
 
     # ------------------------------------------------------------------
     def profile_spec(self, spec: ExperimentSpec) -> CellProfile:
         """Run one cell under the profiler."""
+        for _ in range(self.warmup):
+            run_spec(spec)
         profile: cProfile.Profile | None = None
-        t0 = time.perf_counter()
-        if self.with_cprofile:
-            profile = cProfile.Profile()
-            profile.enable()
-            try:
+        wall = None
+        report = None
+        for _ in range(self.repeats):
+            t0 = time.perf_counter()
+            if self.with_cprofile and profile is None:
+                # capture the profile on the first timed run only; with
+                # repeats > 1 its (inflated) wall time never wins the min
+                profile = cProfile.Profile()
+                profile.enable()
+                try:
+                    report = run_spec(spec)
+                finally:
+                    profile.disable()
+            else:
                 report = run_spec(spec)
-            finally:
-                profile.disable()
-        else:
-            report = run_spec(spec)
-        wall = time.perf_counter() - t0
+            elapsed = time.perf_counter() - t0
+            if wall is None or elapsed < wall:
+                wall = elapsed
         text = ""
         hot: list[tuple] = []
         if profile is not None:
@@ -116,7 +142,9 @@ class Profiler:
         cell = CellProfile(
             label=spec.label(),
             wall_seconds=wall,
-            events=report.events_processed,
+            # fast-forwarded events are simulated work the host never paid
+            # for; counting them keeps events/sec comparable across modes
+            events=report.events_processed + report.events_fast_forwarded,
             execution_seconds=report.execution_seconds,
             report=report,
             profile_text=text,
@@ -153,7 +181,15 @@ def profile_specs(
     with_cprofile: bool = False,
     sort: str = "cumulative",
     limit: int = 20,
+    repeats: int = 1,
+    warmup: int = 0,
 ) -> list[CellProfile]:
     """Convenience: profile a batch of specs with one-call configuration."""
-    profiler = Profiler(with_cprofile=with_cprofile, sort=sort, limit=limit)
+    profiler = Profiler(
+        with_cprofile=with_cprofile,
+        sort=sort,
+        limit=limit,
+        repeats=repeats,
+        warmup=warmup,
+    )
     return profiler.profile_many(specs)

@@ -430,3 +430,75 @@ def generate_uniform(
         if (op_index + 1) % workload.sync_period == 0:
             builder.barrier_all()
     return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# streaming scans
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class StreamingWorkload(ScenarioWorkload):
+    """Sequential whole-array scans: long homogeneous access runs.
+
+    The batched-replay stress case: each thread streams through page-aligned
+    arrays chunk by chunk with *no* per-element compute, so scripts are
+    dominated by maximal ``get``/``put`` runs.  The generator emits the runs
+    pre-grouped (``get_run``/``put_run`` ops), exercising the bulk context
+    primitives directly rather than relying on interpreter coalescing.
+    """
+
+    #: slots of each per-node streamed array
+    slots: int = 512
+    #: scan phases, separated by barriers (each rotates array ownership)
+    rounds: int = 6
+    #: elements per emitted run op (each chunk is one ``*_run``)
+    chunk: int = 64
+    #: fraction of chunks that are written back instead of read
+    write_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_positive("slots", self.slots)
+        check_positive("rounds", self.rounds)
+        check_positive("chunk", self.chunk)
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError(f"write_fraction must be in [0, 1], got {self.write_fraction}")
+
+    @classmethod
+    def paper(cls) -> "StreamingWorkload":
+        return cls(slots=2048, rounds=12, chunk=128, work_multiplier=40.0)
+
+    @classmethod
+    def testing(cls) -> "StreamingWorkload":
+        return cls(slots=96, rounds=2, chunk=16)
+
+
+def generate_streaming(
+    workload: StreamingWorkload, num_threads: int, num_nodes: int
+) -> AccessScript:
+    """Each phase, thread *t* scans array ``(t + round) % num_nodes`` in chunks.
+
+    Rotating ownership makes every array stream through every thread's node
+    over the rounds (first touch is remote, later chunks hit the cached
+    pages), while the chunked pre-grouped runs keep the access stream
+    maximally homogeneous between synchronisation points.
+    """
+    rng = random.Random(workload.seed)
+    builder = ScriptBuilder(num_threads)
+    streams = [
+        builder.shared_array(f"stream-{node}", workload.slots, home_node=node)
+        for node in range(num_nodes)
+    ]
+    for round_index in range(workload.rounds):
+        for t in range(num_threads):
+            stream = streams[(t + round_index) % len(streams)]
+            for lo in range(0, workload.slots, workload.chunk):
+                slots = range(lo, min(lo + workload.chunk, workload.slots))
+                if rng.random() < workload.write_fraction:
+                    builder.put_run(
+                        t, stream, slots, [rng.randrange(1_000_000) for _ in slots]
+                    )
+                else:
+                    builder.get_run(t, stream, slots)
+            builder.compute(t, THINK_CYCLES)
+        builder.barrier_all()
+    return builder.build()

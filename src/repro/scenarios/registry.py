@@ -25,12 +25,14 @@ from repro.scenarios.patterns import (
     ProducerConsumerWorkload,
     ReadMostlyWorkload,
     ScenarioWorkload,
+    StreamingWorkload,
     UniformWorkload,
     generate_false_sharing,
     generate_hot_lock,
     generate_migratory,
     generate_producer_consumer,
     generate_read_mostly,
+    generate_streaming,
     generate_uniform,
 )
 from repro.scenarios.runner import SyntheticApplication
@@ -183,5 +185,13 @@ register_pattern(
         workload_cls=UniformWorkload,
         generate=generate_uniform,
         description="uniform all-to-all accesses over one page-aligned array per node",
+    )
+)
+register_pattern(
+    ScenarioPattern(
+        key="streaming",
+        workload_cls=StreamingWorkload,
+        generate=generate_streaming,
+        description="chunked sequential array scans emitted as pre-grouped access runs",
     )
 )

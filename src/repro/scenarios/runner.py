@@ -22,6 +22,13 @@ from repro.scenarios.script import AccessScript, materialise_layout, replay_thre
 if TYPE_CHECKING:  # pragma: no cover
     from repro.scenarios.registry import ScenarioPattern
 
+#: memoised generated scripts, keyed by (pattern key, workload, threads, nodes).
+#: Scripts are pure functions of that key (generators are seeded by the
+#: workload) and :class:`AccessScript` is a frozen dataclass, so sharing one
+#: validated instance across repeated runs of the same spec is safe — and it
+#: removes the generate+validate cost from every run after the first.
+_SCRIPT_CACHE: dict[tuple, AccessScript] = {}
+
 
 class SyntheticApplication(Application):
     """A generated scenario behaving like one of the paper benchmarks.
@@ -50,9 +57,22 @@ class SyntheticApplication(Application):
 
     # ------------------------------------------------------------------
     def build_script(self, workload, num_threads: int, num_nodes: int) -> AccessScript:
-        """Generate and validate the scenario's script (pure, seeded)."""
-        script = self.pattern.generate(workload, num_threads, num_nodes)
-        return script.validate()
+        """Generate and validate the scenario's script (pure, seeded).
+
+        The result is memoised: the generators are deterministic in
+        ``(workload, num_threads, num_nodes)`` and the script is immutable,
+        so repeated runs of the same spec (sweeps, benchmark repetitions)
+        reuse one already-validated instance.
+        """
+        key = (self.pattern.key, workload, num_threads, num_nodes)
+        try:
+            cached = _SCRIPT_CACHE.get(key)
+        except TypeError:  # unhashable workload override — just regenerate
+            return self.pattern.generate(workload, num_threads, num_nodes).validate()
+        if cached is None:
+            cached = self.pattern.generate(workload, num_threads, num_nodes).validate()
+            _SCRIPT_CACHE[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     def _worker(

@@ -11,14 +11,25 @@ barriers carry their usual Java-consistency side effects.
 
 Operations are plain tuples, keyed by their first element:
 
-==================  =========================================================
-``("get", o, s)``    read slot *s* of layout object *o*
-``("put", o, s, v)`` write value *v* to slot *s* of layout object *o*
-``("lock", o)``      enter the monitor of layout object *o*
-``("unlock", o)``    exit the monitor of layout object *o*
-``("barrier",)``     wait at the scenario-wide barrier (all workers)
-``("compute", c)``   charge *c* CPU cycles of application compute
-==================  =========================================================
+==========================  =================================================
+``("get", o, s)``            read slot *s* of layout object *o*
+``("put", o, s, v)``         write value *v* to slot *s* of layout object *o*
+``("get_run", o, ss)``       read each slot of tuple *ss* in order (batched)
+``("put_run", o, ss, vs)``   write ``vs[k]`` to slot ``ss[k]`` in order
+``("lock", o)``              enter the monitor of layout object *o*
+``("unlock", o)``            exit the monitor of layout object *o*
+``("barrier",)``             wait at the scenario-wide barrier (all workers)
+``("compute", c)``           charge *c* CPU cycles of application compute
+==========================  =================================================
+
+The two ``*_run`` forms are pre-grouped run-length encodings of adjacent
+scalar accesses to one object: semantically identical to the equivalent
+``get``/``put`` sequence (the determinism suite pins this), but replayed
+through the bulk context primitives so the interpreter doesn't pay the
+per-element dispatch.  The interpreter also discovers such runs on the fly
+(:func:`coalesce_ops`), so generators may emit either form; batches always
+end at ``lock``/``unlock``/``barrier``/``compute`` boundaries because runs
+only span *adjacent* accesses to a single object.
 
 Keeping the IR this small is deliberate: a script is pure data (hashable
 tuples of tuples), so the same seed always produces the same script, and a
@@ -35,6 +46,8 @@ from repro.util.validation import check_non_negative
 #: operation tags understood by the interpreter
 OP_GET = "get"
 OP_PUT = "put"
+OP_GET_RUN = "get_run"
+OP_PUT_RUN = "put_run"
 OP_LOCK = "lock"
 OP_UNLOCK = "unlock"
 OP_BARRIER = "barrier"
@@ -44,6 +57,8 @@ OP_COMPUTE = "compute"
 _OP_ARITY: dict[str, int] = {
     OP_GET: 3,
     OP_PUT: 4,
+    OP_GET_RUN: 3,
+    OP_PUT_RUN: 4,
     OP_LOCK: 2,
     OP_UNLOCK: 2,
     OP_BARRIER: 1,
@@ -103,16 +118,27 @@ class AccessScript:
 
     # ------------------------------------------------------------------
     def validate(self) -> "AccessScript":
-        """Check every op refers to a declared object and an in-range slot."""
+        """Check every op refers to a declared object and an in-range slot.
+
+        Runs once per generated script, but over *every* op of every
+        thread — for bulk-heavy patterns that is tens of thousands of slot
+        checks, so the loop binds the per-object slot counts once (instead
+        of re-reading the ``num_slots`` property per check) and bounds-checks
+        run ops with C-speed ``min``/``max``, only walking a run's slots to
+        name the offender after a violation is detected.
+        """
         if not self.layout:
             raise ValueError("a script needs at least one declared object")
         if not self.threads:
             raise ValueError("a script needs at least one thread")
+        slot_counts = [decl.num_slots for decl in self.layout]
+        num_objects = len(self.layout)
+        arity_of = _OP_ARITY.get
         for tid, ops in enumerate(self.threads):
             depth = 0
             for op in ops:
                 tag = op[0]
-                arity = _OP_ARITY.get(tag)
+                arity = arity_of(tag)
                 if arity is None:
                     raise ValueError(f"thread {tid}: unknown op tag {tag!r}")
                 if len(op) != arity:
@@ -120,29 +146,59 @@ class AccessScript:
                         f"thread {tid}: op {op!r} has {len(op)} elements, "
                         f"expected {arity}"
                     )
-                if tag in (OP_GET, OP_PUT, OP_LOCK, OP_UNLOCK):
+                if tag == OP_GET or tag == OP_PUT:
                     obj = op[1]
-                    if not 0 <= obj < len(self.layout):
+                    if not 0 <= obj < num_objects:
                         raise ValueError(
                             f"thread {tid}: op {op!r} references object {obj}, "
-                            f"layout has {len(self.layout)}"
+                            f"layout has {num_objects}"
                         )
-                if tag in (OP_GET, OP_PUT):
                     slot = op[2]
-                    decl = self.layout[op[1]]
-                    if not 0 <= slot < decl.num_slots:
+                    if not 0 <= slot < slot_counts[obj]:
+                        decl = self.layout[obj]
                         raise ValueError(
                             f"thread {tid}: op {op!r} addresses slot {slot} of "
                             f"{decl.name!r} ({decl.num_slots} slots)"
                         )
-                if tag == OP_COMPUTE and op[1] < 0:
+                elif tag == OP_GET_RUN or tag == OP_PUT_RUN:
+                    obj = op[1]
+                    if not 0 <= obj < num_objects:
+                        raise ValueError(
+                            f"thread {tid}: op {op!r} references object {obj}, "
+                            f"layout has {num_objects}"
+                        )
+                    slots = op[2]
+                    if not slots:
+                        raise ValueError(f"thread {tid}: empty run op {op!r}")
+                    limit = slot_counts[obj]
+                    if min(slots) < 0 or max(slots) >= limit:
+                        decl = self.layout[obj]
+                        for slot in slots:
+                            if not 0 <= slot < limit:
+                                raise ValueError(
+                                    f"thread {tid}: run op {op!r} addresses slot "
+                                    f"{slot} of {decl.name!r} ({decl.num_slots} slots)"
+                                )
+                    if tag == OP_PUT_RUN and len(op[3]) != len(slots):
+                        raise ValueError(
+                            f"thread {tid}: put_run op has {len(slots)} slots but "
+                            f"{len(op[3])} values"
+                        )
+                elif tag == OP_LOCK or tag == OP_UNLOCK:
+                    obj = op[1]
+                    if not 0 <= obj < num_objects:
+                        raise ValueError(
+                            f"thread {tid}: op {op!r} references object {obj}, "
+                            f"layout has {num_objects}"
+                        )
+                    if tag == OP_LOCK:
+                        depth += 1
+                    else:
+                        depth -= 1
+                        if depth < 0:
+                            raise ValueError(f"thread {tid}: unlock without a lock")
+                elif tag == OP_COMPUTE and op[1] < 0:
                     raise ValueError(f"thread {tid}: negative compute {op!r}")
-                if tag == OP_LOCK:
-                    depth += 1
-                elif tag == OP_UNLOCK:
-                    depth -= 1
-                    if depth < 0:
-                        raise ValueError(f"thread {tid}: unlock without a lock")
             if depth != 0:
                 raise ValueError(f"thread {tid}: {depth} unmatched lock(s)")
         return self
@@ -226,6 +282,14 @@ class ScriptBuilder:
     def put(self, thread: int, obj: int, slot: int, value) -> None:
         self._ops[thread].append((OP_PUT, obj, slot, value))
 
+    def get_run(self, thread: int, obj: int, slots: Sequence[int]) -> None:
+        """Append one pre-grouped batched read of *slots* (in order)."""
+        self._ops[thread].append((OP_GET_RUN, obj, tuple(slots)))
+
+    def put_run(self, thread: int, obj: int, slots: Sequence[int], values: Sequence) -> None:
+        """Append one pre-grouped batched write of *values* to *slots*."""
+        self._ops[thread].append((OP_PUT_RUN, obj, tuple(slots), tuple(values)))
+
     def lock(self, thread: int, obj: int) -> None:
         self._ops[thread].append((OP_LOCK, obj))
 
@@ -280,6 +344,42 @@ def materialise_layout(ctx, script: AccessScript) -> list:
     return entities
 
 
+def coalesce_ops(ops: Sequence[Op]) -> tuple[tuple[Op, int], ...]:
+    """Group adjacent homogeneous scalar accesses into run steps.
+
+    Returns ``(op, nops)`` pairs: a discovered run of *k* adjacent scalar
+    ``get``/``put`` ops on one object becomes a single ``get_run``/``put_run``
+    step with ``nops == k`` (each scalar op still counts as executed); every
+    other op — including pre-grouped run ops, which count as one op — passes
+    through with ``nops == 1``.  Synchronisation and compute ops are never
+    merged over, so a batch always flushes at ``lock``/``unlock``/``barrier``
+    boundaries.
+    """
+    steps: list[tuple[Op, int]] = []
+    i = 0
+    n = len(ops)
+    while i < n:
+        op = ops[i]
+        tag = op[0]
+        if tag == OP_GET or tag == OP_PUT:
+            obj = op[1]
+            j = i + 1
+            while j < n and ops[j][0] == tag and ops[j][1] == obj:
+                j += 1
+            if j - i > 1:
+                slots = tuple(ops[k][2] for k in range(i, j))
+                if tag == OP_GET:
+                    steps.append(((OP_GET_RUN, obj, slots), j - i))
+                else:
+                    values = tuple(ops[k][3] for k in range(i, j))
+                    steps.append(((OP_PUT_RUN, obj, slots, values), j - i))
+                i = j
+                continue
+        steps.append((op, 1))
+        i += 1
+    return tuple(steps)
+
+
 def replay_thread(
     ctx,
     script: AccessScript,
@@ -296,12 +396,23 @@ def replay_thread(
     (:meth:`~repro.hyperion.threads.JavaThreadContext.account_accesses`), so
     a scaled-down script keeps the paper-scale check/fault balance without
     moving more data.  Returns the number of ops executed.
+
+    Adjacent scalar accesses to one object are coalesced up front
+    (:func:`coalesce_ops`) and replayed through the bulk context primitives
+    ``get_run``/``put_run`` — including the per-access extra accounting, which
+    the memory layer interleaves exactly as the scalar path would.  The
+    result is pinned byte-identical to the unbatched replay by the
+    determinism suite.
     """
     extra = max(0, int(round(work_multiplier)) - 1)
     executed = 0
-    for op in script.threads[thread_index]:
+    for op, nops in coalesce_ops(script.threads[thread_index]):
         tag = op[0]
-        if tag == OP_GET:
+        if tag == OP_GET_RUN:
+            ctx.get_run(entities[op[1]], op[2], extra=extra)
+        elif tag == OP_PUT_RUN:
+            ctx.put_run(entities[op[1]], op[2], op[3], extra=extra)
+        elif tag == OP_GET:
             ctx.get(entities[op[1]], op[2])
             if extra:
                 ctx.account_accesses(
@@ -323,5 +434,5 @@ def replay_thread(
             yield from ctx.barrier(barrier)
         else:  # pragma: no cover - build() validates tags
             raise ValueError(f"unknown op tag {tag!r}")
-        executed += 1
+        executed += nops
     return executed

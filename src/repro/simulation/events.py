@@ -112,7 +112,11 @@ class Timeout(SimEvent):
     def __init__(self, engine: "Engine", delay: float, value: Any = None, name: str = ""):
         if delay < 0:
             raise ValueError(f"timeout delay must be >= 0, got {delay!r}")
-        super().__init__(engine, name=name or f"timeout({delay:g})")
+        if not name:
+            # the formatted label is only observable through the trace
+            # recorder; skip the f-string on the (hot) untraced path
+            name = f"timeout({delay:g})" if engine.trace is not None else "timeout"
+        super().__init__(engine, name=name)
         self.delay = delay
         self._value = value
         self.engine.schedule(self, delay)

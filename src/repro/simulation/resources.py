@@ -43,7 +43,12 @@ class Lock:
 
     def acquire(self, owner: object = None) -> SimEvent:
         """Return an event that triggers once the caller owns the lock."""
-        event = SimEvent(self.engine, name=f"acquire:{self.name}")
+        # the formatted label is only observable through the trace recorder;
+        # skip the f-string on the (hot) untraced path
+        event = SimEvent(
+            self.engine,
+            name=f"acquire:{self.name}" if self.engine.trace is not None else "acquire",
+        )
         if self._holder is None:
             self._holder = owner if owner is not None else event
             self.acquisitions += 1

@@ -174,6 +174,64 @@ def test_hyp006_ignores_method_named_print():
 
 
 # ---------------------------------------------------------------------------
+# HYP007: per-element access loops in scenario code
+# ---------------------------------------------------------------------------
+def test_hyp007_flags_per_element_access_loops_in_scenarios():
+    source = (
+        "def stream(ctx, obj, slots):\n"
+        "    for slot in slots:\n"
+        "        ctx.get(obj, slot)\n"
+    )
+    assert _codes(source, "repro/scenarios/custom.py") == ["HYP007"]
+    put_loop = (
+        "def fill(ctx, obj, n):\n"
+        "    while n:\n"
+        "        ctx.put(obj, n, 0)\n"
+        "        n -= 1\n"
+    )
+    assert _codes(put_loop, "repro/scenarios/custom.py") == ["HYP007"]
+
+
+def test_hyp007_flags_only_the_innermost_loop():
+    source = (
+        "def sweep(ctx, objs):\n"
+        "    for obj in objs:\n"
+        "        for slot in range(8):\n"
+        "            ctx.get(obj, slot)\n"
+    )
+    assert _codes(source, "repro/scenarios/custom.py") == ["HYP007"]
+
+
+def test_hyp007_only_applies_to_scenario_modules():
+    source = (
+        "def stream(ctx, obj, slots):\n"
+        "    for slot in slots:\n"
+        "        ctx.get(obj, slot)\n"
+    )
+    assert _codes(source, "repro/apps/benchmarks.py") == []
+    assert _codes(source, "repro/core/memory.py") == []
+
+
+def test_hyp007_exempts_the_batching_entry_point():
+    source = (
+        "def replay_thread(ctx, steps):\n"
+        "    for op in steps:\n"
+        "        ctx.get(op[0], op[1])\n"
+    )
+    assert _codes(source, "repro/scenarios/script.py") == []
+
+
+def test_hyp007_ignores_bulk_primitives_and_non_ctx_receivers():
+    source = (
+        "def stream(ctx, builder, obj, runs):\n"
+        "    for slots in runs:\n"
+        "        ctx.get_run(obj, slots)\n"
+        "        builder.get(0, obj, slots[0])\n"
+    )
+    assert _codes(source, "repro/scenarios/custom.py") == []
+
+
+# ---------------------------------------------------------------------------
 # entry points
 # ---------------------------------------------------------------------------
 def test_repository_source_lints_clean():

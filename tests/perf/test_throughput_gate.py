@@ -1,0 +1,56 @@
+"""The benchmark-smoke throughput regression gate (benchmarks/check_throughput_floor.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "benchmarks" / "check_throughput_floor.py"
+_spec = importlib.util.spec_from_file_location("check_throughput_floor", _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _artifact(tmp_path: Path, name: str, events_per_second: float) -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps({"events_per_second": events_per_second}))
+    return path
+
+
+def test_gate_passes_at_and_above_the_floor(tmp_path):
+    floor = _artifact(tmp_path, "floor.json", 10_000.0)
+    fresh = _artifact(tmp_path, "fresh.json", 7_000.0)  # exactly 0.7x
+    assert gate.main(["--floor", str(floor), "--fresh", str(fresh)]) == 0
+    faster = _artifact(tmp_path, "faster.json", 25_000.0)
+    assert gate.main(["--floor", str(floor), "--fresh", str(faster)]) == 0
+
+
+def test_gate_fails_below_the_floor(tmp_path):
+    floor = _artifact(tmp_path, "floor.json", 10_000.0)
+    fresh = _artifact(tmp_path, "fresh.json", 6_999.0)
+    assert gate.main(["--floor", str(floor), "--fresh", str(fresh)]) == 1
+
+
+def test_gate_respects_a_custom_ratio(tmp_path):
+    floor = _artifact(tmp_path, "floor.json", 10_000.0)
+    fresh = _artifact(tmp_path, "fresh.json", 9_000.0)
+    assert gate.main(["--floor", str(floor), "--fresh", str(fresh), "--ratio", "0.95"]) == 1
+    assert gate.main(["--floor", str(floor), "--fresh", str(fresh), "--ratio", "0.9"]) == 0
+
+
+def test_gate_rejects_malformed_artifacts(tmp_path):
+    floor = _artifact(tmp_path, "floor.json", 10_000.0)
+    broken = tmp_path / "broken.json"
+    broken.write_text(json.dumps({"events_per_second": 0}))
+    with pytest.raises(SystemExit):
+        gate.main(["--floor", str(floor), "--fresh", str(broken)])
+
+
+def test_gate_runs_against_the_committed_artifacts():
+    results = _SCRIPT.parent / "results"
+    for name in ("engine_throughput.json", "scenario_throughput.json"):
+        artifact = results / name
+        assert gate.main(["--floor", str(artifact), "--fresh", str(artifact)]) == 0

@@ -2,13 +2,24 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.apps.base import create_app
 from repro.scenarios.script import (
+    OP_BARRIER,
+    OP_COMPUTE,
+    OP_GET,
+    OP_GET_RUN,
+    OP_LOCK,
+    OP_PUT,
+    OP_PUT_RUN,
+    OP_UNLOCK,
     AccessScript,
     ObjectDecl,
     ScriptBuilder,
+    coalesce_ops,
     materialise_layout,
 )
 from tests.conftest import make_runtime
@@ -125,6 +136,178 @@ def test_materialise_layout_wraps_home_nodes():
     a, b, c = captured["entities"]
     assert (a.home_node, b.home_node, c.home_node) == (0, 1, 1)
     assert c.num_slots == 4
+
+
+def test_validate_checks_run_ops():
+    layout = (ObjectDecl(name="arr", kind="array", length=8),)
+    ok = AccessScript(
+        layout=layout,
+        threads=(((OP_GET_RUN, 0, (0, 1, 2)), (OP_PUT_RUN, 0, (3, 4), (9, 9))),),
+    )
+    ok.validate()
+    with pytest.raises(ValueError, match="addresses slot"):
+        AccessScript(
+            layout=layout, threads=(((OP_GET_RUN, 0, (0, 8)),),)
+        ).validate()
+    with pytest.raises(ValueError, match="empty run"):
+        AccessScript(layout=layout, threads=(((OP_GET_RUN, 0, ()),),)).validate()
+    with pytest.raises(ValueError, match="slots but"):
+        AccessScript(
+            layout=layout, threads=(((OP_PUT_RUN, 0, (0, 1), (7,)),),)
+        ).validate()
+
+
+def test_builder_run_helpers():
+    builder = ScriptBuilder(num_threads=1)
+    arr = builder.shared_array("arr", length=16)
+    builder.get_run(0, arr, range(4))
+    builder.put_run(0, arr, [4, 5], [40, 50])
+    script = builder.build()
+    assert script.op_count() == 2
+    assert script.counts_by_kind() == {"get_run": 1, "put_run": 1}
+    assert script.threads[0][0] == (OP_GET_RUN, arr, (0, 1, 2, 3))
+    assert script.threads[0][1] == (OP_PUT_RUN, arr, (4, 5), (40, 50))
+
+
+# ---------------------------------------------------------------------------
+# coalescing (the batched-replay compile pass)
+# ---------------------------------------------------------------------------
+def test_coalesce_merges_adjacent_same_object_accesses():
+    ops = (
+        (OP_GET, 0, 0),
+        (OP_GET, 0, 1),
+        (OP_GET, 0, 2),
+        (OP_PUT, 0, 3, 7),
+        (OP_PUT, 0, 4, 8),
+    )
+    steps = coalesce_ops(ops)
+    assert steps == (
+        ((OP_GET_RUN, 0, (0, 1, 2)), 3),
+        ((OP_PUT_RUN, 0, (3, 4), (7, 8)), 2),
+    )
+    # executed-op accounting: discovered runs preserve the scalar op count
+    assert sum(nops for _, nops in steps) == len(ops)
+
+
+def test_coalesce_breaks_at_sync_compute_and_object_boundaries():
+    ops = (
+        (OP_GET, 0, 0),
+        (OP_GET, 0, 1),
+        (OP_LOCK, 1),       # sync boundary: the batch must flush here
+        (OP_GET, 0, 2),
+        (OP_UNLOCK, 1),
+        (OP_GET, 0, 3),
+        (OP_COMPUTE, 10.0),
+        (OP_GET, 0, 4),
+        (OP_GET, 1, 0),     # different object: separate run
+        (OP_BARRIER,),
+    )
+    steps = coalesce_ops(ops)
+    tags = [op[0] for op, _ in steps]
+    assert tags == [
+        OP_GET_RUN, OP_LOCK, OP_GET, OP_UNLOCK, OP_GET,
+        OP_COMPUTE, OP_GET, OP_GET, OP_BARRIER,
+    ]
+    assert steps[0] == ((OP_GET_RUN, 0, (0, 1)), 2)
+    # lone accesses between boundaries stay scalar (no run overhead)
+    assert sum(nops for _, nops in steps) == len(ops)
+
+
+def test_coalesce_passes_pregrouped_runs_through():
+    ops = ((OP_GET_RUN, 0, (0, 1, 2)), (OP_GET, 0, 3), (OP_PUT_RUN, 0, (4,), (9,)))
+    steps = coalesce_ops(ops)
+    # pre-grouped run ops count as one op each and are never re-merged
+    assert steps == tuple((op, 1) for op in ops)
+
+
+# ---------------------------------------------------------------------------
+# batched replay == scalar replay, byte for byte
+# ---------------------------------------------------------------------------
+def _batchy_script(num_threads=2):
+    """Runs straddling every boundary kind: locks, barriers, compute.
+
+    Writes to the unguarded array happen between barriers (which flush and
+    invalidate), writes to the lock object under its monitor — the usual
+    Java-consistency discipline of the built-in patterns.
+    """
+    builder = ScriptBuilder(num_threads)
+    arr = builder.shared_array("arr", length=64, home_node=0)
+    lock = builder.shared_object("lock", num_fields=1, home_node=1)
+    for t in range(num_threads):
+        base = t * 16
+        builder.get_run(t, arr, range(base, base + 8))  # pre-grouped
+        for k in range(8):  # scalar ops the interpreter should coalesce
+            builder.put(t, arr, base + k, k)
+    builder.barrier_all()
+    for t in range(num_threads):
+        builder.lock(t, lock)
+        builder.get(t, lock, 0)
+        builder.put(t, lock, 0, t)
+        builder.unlock(t, lock)
+        builder.compute(t, 250.0)
+        base = t * 16
+        for k in range(6):
+            builder.get(t, arr, (base + 16 + k) % 64)
+    builder.barrier_all()
+    for t in range(num_threads):
+        builder.put_run(t, arr, [t * 16, t * 16 + 2], [5, 6])
+    builder.barrier_all()
+    return builder.build()
+
+
+def _run_custom(script, workload, protocol="java_ic", **config_kwargs):
+    app = create_app("syn-uniform")
+    app.build_script = lambda *a, **k: script
+    runtime = make_runtime(num_nodes=2, protocol=protocol, **config_kwargs)
+    report = app.run(runtime, workload)
+    assert report.result["ops_executed"] == script.op_count()
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+@pytest.mark.parametrize("protocol", ["java_ic", "java_pf", "java_ic_hoisted"])
+@pytest.mark.parametrize("work_multiplier", [1.0, 3.0])
+def test_batched_replay_is_byte_identical_to_scalar(
+    monkeypatch, protocol, work_multiplier
+):
+    """Coalesced replay (with sync-boundary flushes) matches op-at-a-time."""
+    from repro.scenarios.registry import scenario_workload
+
+    script = _batchy_script()
+    workload = scenario_workload("syn-uniform", "testing", work_multiplier=work_multiplier)
+    batched = _run_custom(script, workload)
+
+    # fully scalar interpretation of the same script: expand the pre-grouped
+    # runs into their scalar op sequences and disable interpreter coalescing
+    def expand(ops):
+        out = []
+        for op in ops:
+            if op[0] == OP_GET_RUN:
+                out.extend((OP_GET, op[1], s) for s in op[2])
+            elif op[0] == OP_PUT_RUN:
+                out.extend((OP_PUT, op[1], s, v) for s, v in zip(op[2], op[3]))
+            else:
+                out.append(op)
+        return tuple(out)
+
+    scalar_script = AccessScript(
+        layout=script.layout, threads=tuple(expand(ops) for ops in script.threads)
+    ).validate()
+    monkeypatch.setattr(
+        "repro.scenarios.script.coalesce_ops", lambda ops: tuple((op, 1) for op in ops)
+    )
+    scalar = _run_custom(scalar_script, workload)
+    assert batched == scalar
+
+
+def test_batched_replay_trace_on_off_identical():
+    """Tracing must not perturb batched replay (and vice versa)."""
+    from repro.scenarios.registry import scenario_workload
+
+    script = _batchy_script()
+    workload = scenario_workload("syn-uniform", "testing")
+    plain = _run_custom(script, workload, trace=False)
+    traced = _run_custom(script, workload, trace=True)
+    assert plain == traced
 
 
 def test_replay_executes_every_op_and_respects_the_protocol():
