@@ -634,7 +634,7 @@ class ConsistencySanitizer:
                     f"home node {home}'s reference copy of page {page} is "
                     f"protected {entry.protection.value}",
                 )
-        for table in pm.tables:
+        for table in pm.tables.materialised():
             mirror = {p for p, e in table._entries.items() if e.present}
             if mirror != table._present:
                 self._violation(

@@ -10,6 +10,10 @@ constants:
     Two 8-node Myrinet islands (the paper's Pentium Pro nodes) whose
     switches are joined by a Fast Ethernet backbone — the commodity
     "cluster of clusters" of the era.
+``myrinet_grid``
+    The scale-out of ``myrinet2x8``: up to 1024 Myrinet nodes as 8-node
+    islands over the same Fast Ethernet backbone (at 16 nodes the partition
+    is exactly ``myrinet2x8``'s).
 ``myrinet_tree``
     Sixteen Myrinet nodes under four leaf switches and a root switch; the
     inter-switch links are Myrinet with doubled wire latency (one extra
@@ -76,6 +80,19 @@ def myrinet2x8_topology(num_nodes: int, network: NetworkSpec) -> Topology:
     )
 
 
+def myrinet_grid_topology(num_nodes: int, network: NetworkSpec) -> Topology:
+    """A grid of 8-node Myrinet islands over a Fast Ethernet backbone.
+
+    The thousand-node scale-out of ``myrinet2x8``: the physical island
+    capacity is pinned at 8 nodes (``island_size``, not ``num_islands``), so
+    the island count grows with the run — 2 islands at 16 nodes (exactly the
+    ``myrinet2x8`` partition), 128 at the full 1024.
+    """
+    return MultiClusterTopology(
+        num_nodes, network, island_size=8, backbone=FAST_ETHERNET
+    )
+
+
 def myrinet_tree_topology(num_nodes: int, network: NetworkSpec) -> Topology:
     """Four-node leaf switches under a root switch of doubled wire latency."""
     inter = replace(
@@ -106,6 +123,16 @@ def myrinet2x8_cluster() -> ClusterSpec:
         name="myrinet2x8",
         num_nodes=16,
         topology_factory=myrinet2x8_topology,
+    )
+
+
+def myrinet_grid_cluster() -> ClusterSpec:
+    """1024 Myrinet nodes as 8-node islands over Fast Ethernet."""
+    return replace(
+        myrinet_cluster(),
+        name="myrinet_grid",
+        num_nodes=1024,
+        topology_factory=myrinet_grid_topology,
     )
 
 
@@ -215,6 +242,13 @@ register_topology_preset(
         name="myrinet2x8",
         cluster_factory=myrinet2x8_cluster,
         description="two 8-node Myrinet islands joined by a Fast Ethernet backbone",
+    )
+)
+register_topology_preset(
+    TopologyPreset(
+        name="myrinet_grid",
+        cluster_factory=myrinet_grid_cluster,
+        description="1024 Myrinet nodes as 8-node islands over Fast Ethernet",
     )
 )
 register_topology_preset(

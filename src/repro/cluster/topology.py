@@ -79,11 +79,22 @@ class Topology(ABC):
     #: True when ``hops(i, j) == hops(j, i)`` for every pair; the
     #: unidirectional ring is the one built-in exception
     symmetric = True
+    #: True when the price of a pair depends only on its hop count (and the
+    #: payload size), so ``one_way_time`` may be memoised by ``(hops,
+    #: nbytes)``.  Set on the built-in homogeneous kinds; subclasses whose
+    #: ``extra_hop_seconds`` depends on the *pair* rather than the hop count
+    #: must leave it False or the cache would conflate distinct prices.
+    hop_uniform_pricing = False
 
     def __init__(self, num_nodes: int, network: NetworkSpec):
         check_positive("num_nodes", num_nodes)
         self.num_nodes = int(num_nodes)
         self.network = network
+        #: memoised message prices; values are the float of the *exact*
+        #: uncached expression (same summation order), so cache hits are
+        #: bit-identical to cold calls.
+        self._price_cache: dict = {}
+        self._num_islands_cache: "int | None" = None
 
     def _check_pair(self, src: int, dst: int) -> None:
         if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
@@ -117,6 +128,15 @@ class Topology(ABC):
         if src == dst:
             return 0.0
         hops = self.hops(src, dst)
+        if self.hop_uniform_pricing:
+            key = (hops, nbytes)
+            cached = self._price_cache.get(key)
+            if cached is None:
+                cached = self.network.one_way_time(nbytes) + self.extra_hop_seconds(
+                    src, dst, hops
+                )
+                self._price_cache[key] = cached
+            return cached
         return self.network.one_way_time(nbytes) + self.extra_hop_seconds(src, dst, hops)
 
     def round_trip_time(self, src: int, dst: int, request_bytes: int = 0, reply_bytes: int = 0) -> float:
@@ -134,7 +154,21 @@ class Topology(ABC):
 
     @property
     def num_islands(self) -> int:
-        """Number of islands this topology partitions its nodes into."""
+        """Number of islands this topology partitions its nodes into.
+
+        Built-in kinds answer analytically (:meth:`_count_islands`); the
+        base fallback still walks every node but does so once per instance,
+        so repeated reads — the CLI listings, figure generators, per-fetch
+        island splits — stop re-scanning O(num_nodes) sets.
+        """
+        cached = self._num_islands_cache
+        if cached is None:
+            cached = self._count_islands()
+            self._num_islands_cache = cached
+        return cached
+
+    def _count_islands(self) -> int:
+        """Count distinct islands; override with closed-form arithmetic."""
         return len({self.island_of(node) for node in range(self.num_nodes)})
 
     def same_island(self, src: int, dst: int) -> bool:
@@ -153,10 +187,14 @@ class CrossbarTopology(Topology):
     """Single switch: every distinct pair of nodes is one hop apart."""
 
     kind = "crossbar"
+    hop_uniform_pricing = True
 
     def hops(self, src: int, dst: int) -> int:
         self._check_pair(src, dst)
         return 0 if src == dst else 1
+
+    def _count_islands(self) -> int:
+        return 1
 
 
 class RingTopology(Topology):
@@ -169,6 +207,7 @@ class RingTopology(Topology):
 
     kind = "ring"
     symmetric = False
+    hop_uniform_pricing = True
 
     def __init__(self, num_nodes: int, network: NetworkSpec, per_hop_fraction: float = 0.15):
         super().__init__(num_nodes, network)
@@ -185,6 +224,9 @@ class RingTopology(Topology):
     def extra_hop_seconds(self, src: int, dst: int, hops: int) -> float:
         return (hops - 1) * self.per_hop_fraction * self.network.latency_seconds
 
+    def _count_islands(self) -> int:
+        return 1
+
 
 class TorusTopology(Topology):
     """Bidirectional 2-D torus; hop count is the wrap-around Manhattan distance.
@@ -196,6 +238,7 @@ class TorusTopology(Topology):
     """
 
     kind = "torus"
+    hop_uniform_pricing = True
 
     def __init__(
         self,
@@ -246,6 +289,9 @@ class TorusTopology(Topology):
     def extra_hop_seconds(self, src: int, dst: int, hops: int) -> float:
         return (hops - 1) * self.per_hop_fraction * self.network.latency_seconds
 
+    def _count_islands(self) -> int:
+        return 1
+
 
 class LinkPathTopology(Topology):
     """Base class for topologies whose paths traverse heterogeneous links.
@@ -262,22 +308,45 @@ class LinkPathTopology(Topology):
     def links(self, src: int, dst: int) -> Sequence[LinkSpec]:
         """The links a message from *src* to *dst* traverses (src != dst)."""
 
+    def path_class(self, src: int, dst: int) -> "object | None":
+        """Hashable key identifying the *link path* of a distinct pair.
+
+        Two pairs with the same path class must traverse an identical link
+        sequence, so their prices can share one cache slot.  ``None`` (the
+        default) disables caching for subclasses whose paths are not
+        classifiable.  The built-in subclasses key on whether the pair
+        shares an island — the only thing their :meth:`links` inspect.
+        """
+        return None
+
     def hops(self, src: int, dst: int) -> int:
         self._check_pair(src, dst)
         if src == dst:
             return 0
         return len(self.links(src, dst))
 
-    def one_way_time(self, src: int, dst: int, nbytes: int = 0) -> float:
-        self._check_pair(src, dst)
-        if src == dst:
-            return 0.0
-        path = self.links(src, dst)
+    @staticmethod
+    def _price_links(path: Sequence[LinkSpec], nbytes: int) -> float:
+        """Sum the path's wire times plus the endpoint software overheads."""
         total = path[0].network.send_overhead_seconds
         for link in path:
             total += link.wire_seconds(nbytes)
         total += path[-1].network.recv_overhead_seconds
         return total
+
+    def one_way_time(self, src: int, dst: int, nbytes: int = 0) -> float:
+        self._check_pair(src, dst)
+        if src == dst:
+            return 0.0
+        path_class = self.path_class(src, dst)
+        if path_class is None:
+            return self._price_links(self.links(src, dst), nbytes)
+        key = (path_class, nbytes)
+        cached = self._price_cache.get(key)
+        if cached is None:
+            cached = self._price_links(self.links(src, dst), nbytes)
+            self._price_cache[key] = cached
+        return cached
 
 
 class SwitchedTreeTopology(LinkPathTopology):
@@ -307,14 +376,27 @@ class SwitchedTreeTopology(LinkPathTopology):
         elif isinstance(inter_link, NetworkSpec):
             inter_link = LinkSpec("inter-switch", inter_link)
         self.inter_link = inter_link
+        self._island_by_node = tuple(
+            node // self.leaf_size for node in range(self.num_nodes)
+        )
+        self._intra_path = (self.intra_link,)
+        self._inter_path = (self.intra_link, self.inter_link, self.intra_link)
 
     def island_of(self, node: int) -> int:
+        if 0 <= node < self.num_nodes:
+            return self._island_by_node[node]
         return node // self.leaf_size
+
+    def path_class(self, src: int, dst: int) -> bool:
+        return self._island_by_node[src] == self._island_by_node[dst]
+
+    def _count_islands(self) -> int:
+        return -(-self.num_nodes // self.leaf_size)
 
     def links(self, src: int, dst: int) -> Sequence[LinkSpec]:
         if self.island_of(src) == self.island_of(dst):
-            return (self.intra_link,)
-        return (self.intra_link, self.inter_link, self.intra_link)
+            return self._intra_path
+        return self._inter_path
 
 
 class MultiClusterTopology(LinkPathTopology):
@@ -331,8 +413,11 @@ class MultiClusterTopology(LinkPathTopology):
     sub-cluster — so a 2-island preset exhibits inter-island traffic at
     every run size >= 2.  When the node count does not divide evenly the
     last island is smaller and may be empty (a 9-node run at
-    ``num_islands=4`` yields three 3-node islands); pass ``island_size``
-    instead to pin the physical island capacity.  ``backbone=None`` derives a generic
+    ``num_islands=4`` yields three 3-node islands); the requested count is
+    kept on ``num_islands_requested`` and :meth:`describe` reports the
+    normalised effective count whenever the two differ.  Pass
+    ``island_size`` instead to pin the physical island capacity.
+    ``backbone=None`` derives a generic
     order-of-magnitude-slower backbone from the island network (10x
     latency, 1/10 bandwidth, 2x overheads).
     """
@@ -353,7 +438,10 @@ class MultiClusterTopology(LinkPathTopology):
         if island_size is None:
             islands = 2 if num_islands is None else int(num_islands)
             check_positive("num_islands", islands)
+            self.num_islands_requested: "int | None" = islands
             island_size = max(1, -(-self.num_nodes // islands))
+        else:
+            self.num_islands_requested = None
         check_positive("island_size", island_size)
         self.island_size = int(island_size)
         self.intra_link = LinkSpec("intra-cluster", network)
@@ -362,6 +450,11 @@ class MultiClusterTopology(LinkPathTopology):
         if isinstance(backbone, NetworkSpec):
             backbone = LinkSpec("backbone", backbone)
         self.backbone_link = backbone
+        self._island_by_node = tuple(
+            node // self.island_size for node in range(self.num_nodes)
+        )
+        self._intra_path = (self.intra_link,)
+        self._inter_path = (self.intra_link, self.backbone_link, self.intra_link)
 
     @staticmethod
     def default_backbone(network: NetworkSpec) -> NetworkSpec:
@@ -375,12 +468,29 @@ class MultiClusterTopology(LinkPathTopology):
         )
 
     def island_of(self, node: int) -> int:
+        if 0 <= node < self.num_nodes:
+            return self._island_by_node[node]
         return node // self.island_size
+
+    def path_class(self, src: int, dst: int) -> bool:
+        return self._island_by_node[src] == self._island_by_node[dst]
+
+    def _count_islands(self) -> int:
+        return -(-self.num_nodes // self.island_size)
 
     def links(self, src: int, dst: int) -> Sequence[LinkSpec]:
         if self.island_of(src) == self.island_of(dst):
-            return (self.intra_link,)
-        return (self.intra_link, self.backbone_link, self.intra_link)
+            return self._intra_path
+        return self._inter_path
+
+    def describe(self) -> str:
+        summary = super().describe()
+        requested = self.num_islands_requested
+        if requested is not None and requested != self.num_islands:
+            summary += (
+                f" (requested {requested} islands, normalised to {self.num_islands})"
+            )
+        return summary
 
 
 # ---------------------------------------------------------------------------

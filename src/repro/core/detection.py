@@ -419,7 +419,8 @@ class PageFaultDetection(DetectionStrategy):
                 entry.protection = PageProtection.NONE
             entry.faults += 1
         stats.page_faults += n_missing
-        faults_by_node[node_id] = faults_by_node.get(node_id, 0) + n_missing
+        stat_key = self.page_manager.stat_node(node_id)
+        faults_by_node[stat_key] = faults_by_node.get(stat_key, 0) + n_missing
         ctx.charge_cpu(self._page_fault_s * n_missing)
         self._fetch(ctx, node_id, missing)
         # The fault handler re-opens access to the arrived pages.
@@ -759,7 +760,8 @@ class HybridDetection(DetectionStrategy):
                         entry.protection = PageProtection.NONE
                     entry.faults += 1
                 stats.page_faults += n_faults
-                faults_by_node[node_id] = faults_by_node.get(node_id, 0) + n_faults
+                stat_key = self.page_manager.stat_node(node_id)
+                faults_by_node[stat_key] = faults_by_node.get(stat_key, 0) + n_faults
                 ctx.charge_cpu(self._page_fault_s * n_faults)
             self._fetch(ctx, node_id, missing)
             if fault_pages:

@@ -69,6 +69,12 @@ class DsmStats:
     intra_island_fetch_seconds: float = 0.0
     inter_island_fetch_seconds: float = 0.0
     inter_island_bytes: int = 0
+    #: per-node traffic attribution, also outside :meth:`as_dict` (host-side
+    #: observability only).  Keys are whatever the owning manager's
+    #: :meth:`PageManager.stat_node` yields: exact node ids up to
+    #: ``NODE_STAT_CAP`` nodes (the historical representation, unchanged for
+    #: every pre-existing sweep point), island indices above it so the dicts
+    #: stay memory-bounded at thousand-node scale.
     fetches_by_node: dict[int, int] = field(default_factory=dict)
     faults_by_node: dict[int, int] = field(default_factory=dict)
 
@@ -105,18 +111,24 @@ class NodePageTable:
     """Per-node view of the page space: presence and protection.
 
     The ``present`` bits of the entries are mirrored in :attr:`_present` so
-    the access fast path can answer membership with one set probe.  Presence
-    must therefore only change through :meth:`mark_present` /
-    :meth:`mark_absent`; writing ``entry.present`` directly desynchronises
-    the mirror.
+    the access fast path can answer membership with one set probe, and — when
+    the table belongs to a :class:`PageManager` — in the manager's shared
+    ``page -> holder nodes`` replica directory, so ``replica_count`` is
+    O(replicas) instead of a scan over every node.  Presence must therefore
+    only change through :meth:`mark_present` / :meth:`mark_absent` (or the
+    inlined-equivalent :meth:`forget_present`); writing ``entry.present``
+    directly desynchronises the mirrors.
     """
 
-    __slots__ = ("node_id", "_entries", "_present")
+    __slots__ = ("node_id", "_entries", "_present", "_replicas")
 
-    def __init__(self, node_id: int):
+    def __init__(self, node_id: int, replicas: "dict[int, set[int]] | None" = None):
         self.node_id = node_id
         self._entries: dict[int, PageTableEntry] = {}
         self._present: set = set()
+        #: the owning manager's shared replica directory (``None`` for
+        #: standalone tables built in tests)
+        self._replicas = replicas
 
     def entry(self, page: int) -> PageTableEntry:
         """The (lazily created) table entry for *page*."""
@@ -132,14 +144,36 @@ class NodePageTable:
         if not entry.present:
             entry.present = True
             self._present.add(page)
+            replicas = self._replicas
+            if replicas is not None:
+                holders = replicas.get(page)
+                if holders is None:
+                    replicas[page] = {self.node_id}
+                else:
+                    holders.add(self.node_id)
         return entry
 
     def mark_absent(self, page: int) -> None:
         """Clear *page*'s presence on this node (no-op for unknown pages)."""
         entry = self._entries.get(page)
         if entry is not None and entry.present:
-            entry.present = False
-            self._present.discard(page)
+            self.forget_present(page, entry)
+
+    def forget_present(self, page: int, entry: PageTableEntry) -> None:
+        """:meth:`mark_absent` for callers already holding the present entry.
+
+        The single transition point every bulk invalidation path routes
+        through: it keeps the presence set and the shared replica directory
+        in lock-step with ``entry.present``, so no caller can desynchronise
+        the mirrors by flipping the bit directly.
+        """
+        entry.present = False
+        self._present.discard(page)
+        replicas = self._replicas
+        if replicas is not None:
+            holders = replicas.get(page)
+            if holders is not None:
+                holders.discard(self.node_id)
 
     def known_pages(self) -> list[int]:
         """Pages that have an entry on this node."""
@@ -153,8 +187,44 @@ class NodePageTable:
         return page in self._entries
 
 
+class NodePageTables(dict):
+    """Lazy ``node id -> NodePageTable`` map backing :attr:`PageManager.tables`.
+
+    A thousand-node run only ever touches the handful of nodes its threads
+    and page homes live on, so tables materialise on first subscript instead
+    of being built eagerly for every node.  Hits stay on the C-level dict
+    fast path (``__missing__`` only runs for absent keys); out-of-range
+    nodes raise ``IndexError`` like the eager list used to.
+    """
+
+    __slots__ = ("num_nodes", "_replicas")
+
+    def __init__(self, num_nodes: int, replicas: "dict[int, set[int]]"):
+        super().__init__()
+        self.num_nodes = num_nodes
+        self._replicas = replicas
+
+    def __missing__(self, node: int) -> NodePageTable:
+        if not 0 <= node < self.num_nodes:
+            raise IndexError(f"node {node} out of range for {self.num_nodes} node(s)")
+        table = NodePageTable(node, self._replicas)
+        self[node] = table
+        return table
+
+    def materialised(self) -> "list[NodePageTable]":
+        """Every table touched so far, in node order (audits and dumps)."""
+        return [self[node] for node in sorted(self)]
+
+
 class PageManager:
     """Home directory plus per-node page tables and transfer accounting."""
+
+    #: node count above which per-node stat dicts switch to island buckets.
+    #: Every pre-existing sweep point (2–16 nodes) sits far below the cap, so
+    #: their ``fetches_by_node``/``faults_by_node`` keep exact per-node keys
+    #: byte-identically; thousand-node runs bucket by island instead of
+    #: growing a dict entry per node.
+    NODE_STAT_CAP = 64
 
     def __init__(
         self,
@@ -180,7 +250,28 @@ class PageManager:
         #: flat page -> home-node map; the access fast path reads this
         #: instead of chasing PageInfo attributes
         self._home_by_page: dict[int, int] = {}
-        self.tables: list[NodePageTable] = [NodePageTable(n) for n in range(num_nodes)]
+        #: page -> nodes whose tables hold it present (the replica
+        #: directory); maintained by the tables' presence transitions
+        self._replicas: dict[int, set[int]] = {}
+        self.tables = NodePageTables(self.num_nodes, self._replicas)
+        if self.num_nodes > self.NODE_STAT_CAP:
+            island_of = topology.island_of
+            self._stat_node: "tuple[int, ...] | None" = tuple(
+                island_of(node) for node in range(self.num_nodes)
+            )
+        else:
+            self._stat_node = None
+
+    def stat_node(self, node: int) -> int:
+        """Key under which *node*'s per-node stats accumulate.
+
+        Identity below :attr:`NODE_STAT_CAP` (the exact historical
+        behaviour); the node's island index above it, bounding
+        ``fetches_by_node``/``faults_by_node`` by the island count instead
+        of the node count.
+        """
+        mapping = self._stat_node
+        return node if mapping is None else mapping[node]
 
     # ------------------------------------------------------------------
     # registration
@@ -315,11 +406,12 @@ class PageManager:
         record_fetch = stats.record_fetch
         telemetry = self.telemetry
         node_island = island_of(node)
+        stat_key = self.stat_node(node)
         for home, group in by_home.items():
             payload = len(group) * self.page_size
             group_latency = round_trip(node, home, 64, payload) + rpc_service
             latency += group_latency
-            record_fetch(node, len(group), payload)
+            record_fetch(stat_key, len(group), payload)
             intra = island_of(home) == node_island
             if intra:
                 stats.intra_island_page_fetches += len(group)
@@ -354,7 +446,7 @@ class PageManager:
         """Account one page fault taken by *node* on *page*."""
         entry = self.tables[node].entry(page)
         entry.faults += 1
-        self.stats.record_fault(node)
+        self.stats.record_fault(self.stat_node(node))
 
     def protect_remote_present_pages(self, node: int) -> int:
         """``mprotect`` every replicated non-home page on *node* to NONE.
@@ -373,8 +465,7 @@ class PageManager:
             entry = entries[page]
             if entry.protection is not PageProtection.NONE:
                 entry.protection = PageProtection.NONE
-                entry.present = False
-                table._present.discard(page)
+                table.forget_present(page, entry)
                 calls += 1
         if calls:
             self.stats.mprotect_calls += calls
@@ -394,8 +485,7 @@ class PageManager:
         for page in list(table._present):
             if home_map[page] == node:
                 continue
-            entries[page].present = False
-            table._present.discard(page)
+            table.forget_present(page, entries[page])
             dropped += 1
         return dropped
 
@@ -420,8 +510,7 @@ class PageManager:
             if home_map[page] == node:
                 continue
             entry = entries[page]
-            entry.present = False
-            table._present.discard(page)
+            table.forget_present(page, entry)
             if page in protect_pages:
                 if entry.protection is not PageProtection.NONE:
                     entry.protection = PageProtection.NONE
@@ -477,7 +566,22 @@ class PageManager:
 
     # ------------------------------------------------------------------
     def replica_count(self, page: int) -> int:
-        """Number of nodes currently holding *page* (including its home)."""
+        """Number of nodes currently holding *page* (including its home).
+
+        O(1) via the replica directory: the home always counts (it owns the
+        reference copy even when its table entry was dropped), every other
+        holder is a directory member.
+        """
+        info = self.page_info(page)
+        holders = self._replicas.get(page)
+        if not holders:
+            return 1
+        if info.home_node in holders:
+            return len(holders)
+        return len(holders) + 1
+
+    def replica_count_reference(self, page: int) -> int:
+        """Readable twin of :meth:`replica_count`: the all-nodes scan."""
         info = self.page_info(page)
         count = 0
         for node in range(self.num_nodes):

@@ -589,6 +589,156 @@ def generate_topology_grid(
     return grid
 
 
+#: node counts of the scaling-law sweep: the paper-scale anchor (16, where
+#: the partition equals ``myrinet2x8``'s) plus the scale-out points.
+TOPOLOGY_SCALE_COUNTS: tuple[int, ...] = (16, 64, 256, 1024)
+#: the two paper protocols — the pair every scale point is measured under
+TOPOLOGY_SCALE_PROTOCOLS: tuple[str, ...] = ("java_ic", "java_pf")
+
+
+@dataclass
+class TopologyScaleData:
+    """The scaling law of one app on a grid-of-islands preset.
+
+    One row family per protocol, swept over node counts: how the fault
+    count and the inter-island share of page-transfer cost grow as the
+    cluster scales from paper size (16 nodes, 2 islands) to a thousand-node
+    grid.  This is the figure ROADMAP item 1 asks for — island structure
+    dominating transfer cost at scale.
+    """
+
+    app: str
+    topology: str
+    workload_name: str
+    node_counts: list[int]
+    protocols: list[str]
+    #: node count -> islands in the preset's partition at that count
+    islands_by_count: dict[int, int] = field(default_factory=dict)
+    #: (num_nodes, protocol) -> report
+    reports: dict[tuple[int, str], "object"] = field(default_factory=dict)
+    #: every cell, as the harness-wide common record
+    cells: list[CellResult] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def report(self, num_nodes: int, protocol: str):
+        """The report of one scale point."""
+        return self.reports[(num_nodes, protocol)]
+
+    def to_dict(self) -> dict:
+        """JSON-friendly scaling series (recorded by the scale benchmark)."""
+        series: dict[str, dict] = {}
+        for protocol in self.protocols:
+            series[protocol] = {}
+            for count in self.node_counts:
+                report = self.report(count, protocol)
+                scalars = report.to_dict()
+                series[protocol][str(count)] = {
+                    "execution_seconds": scalars["execution_seconds"],
+                    "page_faults": scalars["page_faults"],
+                    "page_fetches": scalars["page_fetches"],
+                    "mprotect_calls": scalars["mprotect_calls"],
+                    "inter_cluster_cost_share": report.inter_cluster_cost_share,
+                    "inter_cluster_page_fetches": report.inter_cluster_page_fetches,
+                    "intra_cluster_page_fetches": report.intra_cluster_page_fetches,
+                    "inter_cluster_bytes": report.inter_cluster_bytes,
+                }
+        return {
+            "app": self.app,
+            "topology": self.topology,
+            "workload": self.workload_name,
+            "node_counts": list(self.node_counts),
+            "protocols": list(self.protocols),
+            "islands": {str(c): self.islands_by_count[c] for c in self.node_counts},
+            "series": series,
+        }
+
+    def render(self) -> str:
+        """Text table: per protocol and node count, faults + inter share."""
+        lines = [
+            f"Topology scale ({self.app} on {self.topology}, "
+            f"{self.workload_name} scale)",
+            "",
+        ]
+        header = ("protocol", "n", "islands", "time [s]", "faults", "inter share")
+        widths = (10, 6, 8, 14, 9, 13)
+        lines.append("".join(h.rjust(w) for h, w in zip(header, widths, strict=True)))
+        for protocol in self.protocols:
+            for count in self.node_counts:
+                report = self.report(count, protocol)
+                row = (
+                    protocol,
+                    str(count),
+                    str(self.islands_by_count[count]),
+                    f"{report.execution_seconds:.6f}",
+                    str(report.to_dict()["page_faults"]),
+                    f"{report.inter_cluster_cost_share:.3f}",
+                )
+                lines.append(
+                    "".join(cell.rjust(w) for cell, w in zip(row, widths, strict=True))
+                )
+        return "\n".join(lines)
+
+
+def generate_topology_scale(
+    app: str = "syn-false-sharing",
+    topology: str = "myrinet_grid",
+    protocols: Iterable[str] = TOPOLOGY_SCALE_PROTOCOLS,
+    node_counts: Sequence[int] = TOPOLOGY_SCALE_COUNTS,
+    workload="testing",
+    config: RuntimeConfig | None = None,
+    session: Session | None = None,
+) -> TopologyScaleData:
+    """Sweep one app over node counts on a grid-of-islands preset.
+
+    Defaults to the false-sharing scenario on ``myrinet_grid`` (8-node
+    Myrinet islands over Fast Ethernet) at the ``testing`` scale, so the
+    full 1024-node point stays CI-sized.  All cells batch into one
+    ``Session.run``.  Node counts above the preset's capacity raise — a
+    scale sweep must not silently cap its x-axis.
+    """
+    from repro.cluster.topologies import topology_preset_by_name
+
+    preset = topology_preset_by_name(topology)
+    cluster = preset.cluster()
+    counts = [int(c) for c in node_counts]
+    for count in counts:
+        if count > cluster.num_nodes:
+            raise ValueError(
+                f"node count {count} exceeds preset {topology!r}'s "
+                f"{cluster.num_nodes} node(s)"
+            )
+    protocol_list = list(protocols)
+    workload_name = (
+        workload if isinstance(workload, str) else getattr(workload, "name", "custom")
+    )
+    data = TopologyScaleData(
+        app=app,
+        topology=topology,
+        workload_name=str(workload_name),
+        node_counts=counts,
+        protocols=protocol_list,
+    )
+    specs: dict[tuple[int, str], ExperimentSpec] = {}
+    for count in counts:
+        data.islands_by_count[count] = cluster.topology_factory(
+            count, cluster.network
+        ).num_islands
+        for protocol in protocol_list:
+            specs[(count, protocol)] = ExperimentSpec(
+                app=app,
+                cluster=cluster,
+                protocol=protocol,
+                num_nodes=count,
+                workload=workload,
+                config=config,
+            )
+    result = (session or default_session()).run(list(specs.values()))
+    for key, spec in specs.items():
+        data.reports[key] = result[spec]
+        data.cells.append(result.cell(spec))
+    return data
+
+
 def generate_all_figures(
     workload=None,
     clusters: Iterable[str] = ("myrinet", "sci"),

@@ -49,7 +49,7 @@ from repro.harness.session import Session, SessionResult
 from repro.harness.spec import ExperimentSpec
 from repro.harness.store import ResultStore, report_from_payload, report_to_payload
 from repro.obs.metrics import DEFAULT_HOST_SECONDS_BUCKETS, MetricsRegistry
-from repro.perf.clock import host_clock
+from repro.perf.clock import host_clock, peak_rss_bytes
 from repro.util.validation import check_positive
 
 #: bump when the checkpoint file layout changes
@@ -154,26 +154,43 @@ def _run_shard(
     Workers open their own store handle in write-behind mode: cells land in
     memory as the shard runs and are flushed to disk in one locked batch at
     the end, so a pool of workers contends on the store lock once per shard,
-    not once per cell.
+    not once per cell.  Cells run one ``Session.run`` each (the session —
+    and its in-process memo — is shared across the shard, so nothing warms
+    differently than the old one-batch call) to give the job per-cell wall
+    times; the worker's peak RSS rides along for the memory-budget gauge.
     """
     started = host_clock()
     store = (
         ResultStore(store_root, write_behind=True) if store_root is not None else None
     )
     session = Session(store=store)
-    result = session.run(specs)
-    if store is not None:
-        store.flush()
+    reports: dict[ExperimentSpec, Any] = {}
+    cached: set[ExperimentSpec] = set()
+    cell_seconds: list[float] = []
+    executed = 0
+    cache_hits = 0
     ledgers = []
     for spec in specs:
+        cell_started = host_clock()
+        result = session.run([spec])
+        cell_seconds.append(host_clock() - cell_started)
+        executed += result.executed
+        cache_hits += result.cache_hits
+        reports[spec] = result[spec]
+        if spec in result.cached_specs:
+            cached.add(spec)
         telemetry = result[spec].telemetry
         if telemetry is not None:
             ledgers.append(telemetry.to_dict())
+    if store is not None:
+        store.flush()
     return {
         "shard": shard_index,
-        "executed": result.executed,
-        "cache_hits": result.cache_hits,
+        "executed": executed,
+        "cache_hits": cache_hits,
         "host_seconds": host_clock() - started,
+        "cell_seconds": cell_seconds,
+        "peak_rss_bytes": peak_rss_bytes(),
         # out-of-band per-cell ledgers (empty unless specs asked for them)
         # plus the worker store's own counters, for job-level aggregation
         "telemetry": ledgers,
@@ -182,8 +199,8 @@ def _run_shard(
             {
                 "key": spec.cache_key(),
                 "label": spec.label(),
-                "cached": spec in result.cached_specs,
-                "report": report_to_payload(result[spec]),
+                "cached": spec in cached,
+                "report": report_to_payload(reports[spec]),
             }
             for spec in specs
         ],
@@ -407,6 +424,21 @@ class SweepJob:
                     "Host wall-clock seconds per shard.",
                     buckets=DEFAULT_HOST_SECONDS_BUCKETS,
                 ).observe(host_seconds)
+            cell_seconds = outcome.get("cell_seconds")
+            if cell_seconds:
+                per_cell = metrics.histogram(
+                    "sweep_cell_host_seconds",
+                    "Host wall-clock seconds per cell.",
+                    buckets=DEFAULT_HOST_SECONDS_BUCKETS,
+                )
+                for seconds in cell_seconds:
+                    per_cell.observe(seconds)
+            peak_rss = outcome.get("peak_rss_bytes")
+            if peak_rss:
+                metrics.gauge(
+                    "sweep_peak_rss_bytes",
+                    "Peak worker resident set size, in bytes.",
+                ).set_max(peak_rss)
             for ledger in outcome.get("telemetry") or ():
                 self._ledgers.append(ledger)
                 payload = ledger.get("metrics")

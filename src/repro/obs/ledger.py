@@ -166,6 +166,9 @@ class TelemetryCollector:
             "sim_virtual_seconds", "Virtual seconds the simulated execution took."
         ).set(stats.execution_seconds)
 
+        # The ``node`` label carries whatever key the manager attributes
+        # stats under: exact node ids on paper-sized runs, island indices on
+        # runs past PageManager.NODE_STAT_CAP (see ``stat_node``).
         fetches = registry.counter(
             "dsm_page_fetches_total", "Pages fetched into each node."
         )

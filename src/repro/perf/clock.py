@@ -9,9 +9,22 @@ funnels through ``repro/perf/``.
 
 from __future__ import annotations
 
+import resource
+import sys
 import time
 
 
 def host_clock() -> float:
     """Monotonic host seconds (only differences are meaningful)."""
     return time.monotonic()
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalising here
+    keeps the memory-budget telemetry portable.  Host-side only, like
+    everything in this module.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024

@@ -1,0 +1,154 @@
+"""Scale-out invariants: the island partition and price caches at n <= 1024.
+
+The thousand-node sweep leans on three properties this suite pins with
+hypothesis at n in {64, 256, 1024}:
+
+* the island partition is total and contiguous — every node lands in
+  exactly one island, island indices start at 0 and never skip;
+* the analytic ``num_islands`` equals the old all-nodes set computation it
+  replaced;
+* the memoised ``one_way_time`` is bit-identical to the uncached pricing
+  expression for every sampled pair (same floats, not approximately equal).
+
+Plus the ``MultiClusterTopology(num_islands=k)`` normalisation edge: a
+non-dividing node count yields fewer islands than requested, which must be
+surfaced — not silent.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.network import NetworkSpec
+from repro.cluster.topology import (
+    CrossbarTopology,
+    LinkPathTopology,
+    MultiClusterTopology,
+    RingTopology,
+    SwitchedTreeTopology,
+    TorusTopology,
+)
+
+NETWORK = NetworkSpec(
+    name="scale-net",
+    latency_seconds=9e-6,
+    bandwidth_bytes_per_second=140e6,
+    send_overhead_seconds=3e-6,
+    recv_overhead_seconds=2e-6,
+)
+
+SCALE_COUNTS = (64, 256, 1024)
+
+BUILDERS = (
+    lambda n: CrossbarTopology(n, NETWORK),
+    lambda n: RingTopology(n, NETWORK),
+    lambda n: TorusTopology(n, NETWORK),
+    lambda n: SwitchedTreeTopology(n, NETWORK, leaf_size=8),
+    lambda n: MultiClusterTopology(n, NETWORK, island_size=8),
+)
+
+
+@st.composite
+def scale_topologies(draw):
+    """One built topology at a scale-out node count."""
+    build = draw(st.sampled_from(BUILDERS))
+    num_nodes = draw(st.sampled_from(SCALE_COUNTS))
+    return build(num_nodes)
+
+
+def _uncached_price(topology, src: int, dst: int, nbytes: int) -> float:
+    """The pricing expression with no cache in the way."""
+    if src == dst:
+        return 0.0
+    if isinstance(topology, LinkPathTopology):
+        return LinkPathTopology._price_links(topology.links(src, dst), nbytes)
+    hops = topology.hops(src, dst)
+    return topology.network.one_way_time(nbytes) + topology.extra_hop_seconds(
+        src, dst, hops
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(scale_topologies())
+def test_island_partition_is_total_and_contiguous(topology):
+    islands = [topology.island_of(node) for node in range(topology.num_nodes)]
+    count = topology.num_islands
+    assert all(0 <= island < count for island in islands)
+    assert islands[0] == 0
+    # contiguous: the index never decreases and never skips a value
+    for previous, current in zip(islands, islands[1:], strict=False):
+        assert current in (previous, previous + 1)
+    assert islands[-1] == count - 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(scale_topologies())
+def test_num_islands_equals_the_old_set_computation(topology):
+    """The analytic count pins exactly what the per-call scan used to say."""
+    scanned = len({topology.island_of(node) for node in range(topology.num_nodes)})
+    assert topology.num_islands == scanned
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    scale_topologies(),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from((0, 64, 4096, 65536)),
+)
+def test_cached_price_is_bit_identical_to_uncached(topology, a, b, nbytes):
+    src, dst = a % topology.num_nodes, b % topology.num_nodes
+    expected = _uncached_price(topology, src, dst, nbytes)
+    # first call populates the cache, second hits it: both must equal the
+    # raw expression exactly (byte-identity is the repo-wide contract)
+    assert topology.one_way_time(src, dst, nbytes) == expected
+    assert topology.one_way_time(src, dst, nbytes) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    scale_topologies(),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_round_trip_is_the_sum_of_cached_legs(topology, a, b):
+    src, dst = a % topology.num_nodes, b % topology.num_nodes
+    expected = _uncached_price(topology, src, dst, 64) + _uncached_price(
+        topology, dst, src, 4096
+    )
+    assert topology.round_trip_time(src, dst, 64, 4096) == expected
+
+
+# ---------------------------------------------------------------------------
+# the num_islands normalisation edge
+# ---------------------------------------------------------------------------
+def test_non_dividing_island_request_is_normalised_and_surfaced():
+    """9 nodes at num_islands=4 can only form three 3-node islands."""
+    topology = MultiClusterTopology(9, NETWORK, num_islands=4)
+    assert topology.island_size == 3
+    assert topology.num_islands == 3
+    assert topology.num_islands_requested == 4
+    assert "requested 4 islands, normalised to 3" in topology.describe()
+
+
+def test_dividing_island_request_keeps_the_describe_line_clean():
+    topology = MultiClusterTopology(8, NETWORK, num_islands=4)
+    assert topology.num_islands == 4
+    assert topology.num_islands_requested == 4
+    assert "normalised" not in topology.describe()
+
+
+def test_island_request_larger_than_the_run_degenerates_to_one_per_node():
+    """num_islands above the node count yields singleton islands, surfaced."""
+    topology = MultiClusterTopology(3, NETWORK, num_islands=8)
+    assert topology.island_size == 1
+    assert topology.num_islands == 3
+    assert "requested 8 islands, normalised to 3" in topology.describe()
+
+
+def test_pinned_island_size_records_no_request():
+    topology = MultiClusterTopology(1024, NETWORK, island_size=8)
+    assert topology.num_islands_requested is None
+    assert topology.num_islands == 128
+    assert "normalised" not in topology.describe()

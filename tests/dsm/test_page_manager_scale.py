@@ -1,0 +1,199 @@
+"""Scale-out behaviour of the page manager: lazy tables, the replica
+directory, bounded per-node stats, and the presence-mirror regression.
+
+These pin the thousand-node fixes:
+
+* ``PageManager.tables`` materialises per-node tables on first touch — a
+  1024-node manager holds tables only for the nodes the run touched;
+* ``replica_count`` reads the O(replicas) directory and must agree with the
+  brute-force all-nodes scan after any interleaving of fetches and bulk
+  invalidations (hypothesis drives the interleaving);
+* per-node stat dicts stay exact below ``NODE_STAT_CAP`` and bucket by
+  island above it;
+* the bulk invalidation paths (`protect_remote_present_pages`,
+  ``drop_remote_present_pages``, ``invalidate_remote_present_pages``) route
+  presence transitions through the shared helper, so the presence mirror
+  and the replica directory can never desynchronise (the regression the
+  module docstring's invariant mandates).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.costs import CostModel, SoftwareCosts
+from repro.cluster.network import NetworkSpec
+from repro.cluster.node import MachineSpec
+from repro.cluster.topology import CrossbarTopology, MultiClusterTopology
+from repro.dsm.page_manager import PageManager
+from repro.pm2.isoaddr import IsoAddressAllocator
+
+NETWORK = NetworkSpec(
+    name="n", latency_seconds=10e-6, bandwidth_bytes_per_second=100e6
+)
+
+
+def make_manager(num_nodes: int, topology=None):
+    isoaddr = IsoAddressAllocator(
+        num_nodes=num_nodes, arena_size=1024 * 1024, page_size=4096
+    )
+    cost_model = CostModel(
+        machine=MachineSpec(name="m", frequency_hz=200e6),
+        network=NETWORK,
+        software=SoftwareCosts(),
+    )
+    if topology is None:
+        topology = CrossbarTopology(num_nodes, NETWORK)
+    return PageManager(num_nodes, 4096, isoaddr, cost_model, topology), isoaddr
+
+
+def register(pm, isoaddr, node: int, pages: int = 1) -> list[int]:
+    allocation = isoaddr.allocate_pages(node, pages)
+    return pm.register_range(allocation.address, allocation.size)
+
+
+def assert_mirrors_consistent(pm) -> None:
+    """Presence mirror == entries, replica directory == union of mirrors."""
+    holders_by_page: dict[int, set[int]] = {}
+    for table in pm.tables.materialised():
+        mirror = {p for p, e in table._entries.items() if e.present}
+        assert mirror == table._present, f"node {table.node_id} desynchronised"
+        for page in mirror:
+            holders_by_page.setdefault(page, set()).add(table.node_id)
+    directory = {page: set(nodes) for page, nodes in pm._replicas.items() if nodes}
+    assert directory == holders_by_page
+
+
+# ---------------------------------------------------------------------------
+# lazy tables
+# ---------------------------------------------------------------------------
+def test_tables_materialise_on_first_touch():
+    pm, isoaddr = make_manager(1024)
+    assert len(pm.tables) == 0
+    pages = register(pm, isoaddr, node=7, pages=2)
+    assert sorted(pm.tables) == [7]  # only the home node's table exists
+    pm.fetch_pages(3, pages)
+    assert sorted(pm.tables) == [3, 7]
+    assert pm.tables[3].node_id == 3
+    # untouched nodes still answer queries without materialising state
+    assert not pm.is_present(900, pages[0])
+
+
+def test_out_of_range_nodes_raise_like_the_eager_list_did():
+    pm, _ = make_manager(4)
+    with pytest.raises(IndexError):
+        pm.tables[4]
+    with pytest.raises(IndexError):
+        pm.tables[-5]
+
+
+def test_thousand_node_manager_stays_small():
+    """The whole point: state scales with touched nodes, not num_nodes."""
+    pm, isoaddr = make_manager(1024)
+    pages = register(pm, isoaddr, node=0, pages=8)
+    for node in range(1, 9):
+        pm.fetch_pages(node, pages)
+    assert len(pm.tables) == 9
+    assert pm.replica_count(pages[0]) == 9
+
+
+# ---------------------------------------------------------------------------
+# the replica directory vs the brute-force scan
+# ---------------------------------------------------------------------------
+def test_replica_count_counts_home_exactly_once():
+    pm, isoaddr = make_manager(6)
+    (page,) = register(pm, isoaddr, node=2)
+    assert pm.replica_count(page) == 1  # the home's reference copy
+    pm.fetch_pages(0, [page])
+    pm.fetch_pages(4, [page])
+    assert pm.replica_count(page) == 3
+    assert pm.replica_count(page) == pm.replica_count_reference(page)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(("fetch", "protect", "drop", "invalidate")),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=24,
+    )
+)
+def test_replica_count_matches_brute_force_under_interleaving(ops):
+    pm, isoaddr = make_manager(6)
+    pages = register(pm, isoaddr, node=0, pages=2)
+    pages += register(pm, isoaddr, node=3, pages=2)
+    protect_set = set(pages[:2])
+    for action, node in ops:
+        if action == "fetch":
+            pm.fetch_pages(node, pages)
+        elif action == "protect":
+            pm.protect_remote_present_pages(node)
+        elif action == "drop":
+            pm.drop_remote_present_pages(node)
+        else:
+            pm.invalidate_remote_present_pages(node, protect_set)
+    for page in pages:
+        assert pm.replica_count(page) == pm.replica_count_reference(page)
+    assert_mirrors_consistent(pm)
+
+
+# ---------------------------------------------------------------------------
+# the presence-mirror regression (bulk invalidation paths)
+# ---------------------------------------------------------------------------
+def test_bulk_invalidations_keep_mirror_and_directory_synchronised():
+    pm, isoaddr = make_manager(6)
+    pages = register(pm, isoaddr, node=0, pages=4)
+    for node in (1, 2, 3):
+        pm.fetch_pages(node, pages)
+    assert_mirrors_consistent(pm)
+
+    assert pm.protect_remote_present_pages(1) == 4
+    assert_mirrors_consistent(pm)
+    assert pm.replica_count(pages[0]) == 3  # home + nodes 2, 3
+
+    assert pm.drop_remote_present_pages(2) == 4
+    assert_mirrors_consistent(pm)
+    assert pm.replica_count(pages[0]) == 2
+
+    calls, dropped = pm.invalidate_remote_present_pages(3, set(pages[:1]))
+    assert (calls, dropped) == (1, 3)
+    assert_mirrors_consistent(pm)
+    for page in pages:
+        assert pm.replica_count(page) == 1  # only the home remains
+
+
+# ---------------------------------------------------------------------------
+# bounded per-node stats
+# ---------------------------------------------------------------------------
+def test_stat_node_is_identity_at_paper_scale():
+    pm, isoaddr = make_manager(16)
+    pages = register(pm, isoaddr, node=0)
+    pm.fetch_pages(9, pages)
+    pm.record_fault(11, pages[0])
+    assert pm.stat_node(9) == 9
+    assert pm.stats.fetches_by_node == {9: 1}
+    assert pm.stats.faults_by_node == {11: 1}
+
+
+def test_stat_node_is_identity_exactly_at_the_cap():
+    pm, _ = make_manager(PageManager.NODE_STAT_CAP)
+    assert pm.stat_node(PageManager.NODE_STAT_CAP - 1) == PageManager.NODE_STAT_CAP - 1
+
+
+def test_stat_node_buckets_by_island_above_the_cap():
+    topology = MultiClusterTopology(1024, NETWORK, island_size=8)
+    pm, isoaddr = make_manager(1024, topology)
+    pages = register(pm, isoaddr, node=0)
+    pm.fetch_pages(9, pages)  # island 1
+    pm.fetch_pages(17, pages)  # island 2
+    pm.record_fault(1023, pages[0])  # island 127
+    assert pm.stat_node(9) == 1
+    assert pm.stats.fetches_by_node == {1: 1, 2: 1}
+    assert pm.stats.faults_by_node == {127: 1}
+    # scalar totals are untouched by the bucketing
+    assert pm.stats.page_fetches == 2
+    assert pm.stats.page_faults == 1
